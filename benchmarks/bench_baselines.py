@@ -1,0 +1,116 @@
+"""EXP-BASELINE — the related-work baselines, measured.
+
+Two comparisons the paper makes qualitatively (Section 7), made
+quantitative:
+
+* **TRBAC (interval-based temporal RBAC)** — role enabling evaluated on
+  the serving server's *skewed local clock* errs near window edges;
+  the duration-based scheme is skew-immune (only drift matters, at
+  parts-per-million).  We measure the wrongful-decision rate as clock
+  skew grows.
+* **Local-history access control** — per-site histories miss accesses
+  performed elsewhere; we measure the wrongful-grant rate as the mobile
+  object's activity spreads over more servers.
+
+Run:  pytest benchmarks/bench_baselines.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.coalition.clock import ServerClock
+from repro.rbac.history_baseline import CoordinatedReference, LocalHistoryEngine
+from repro.rbac.trbac import PeriodicInterval, TRBACEngine, TRBACPolicy
+from repro.srac.parser import parse_constraint
+from repro.temporal.validity import ValidityTracker
+from repro.traces.trace import AccessKey
+
+LIMIT = parse_constraint("count(0, 5, [res = rsw])")
+WINDOW = PeriodicInterval(24.0, 0.0, 3.0)
+
+
+def trbac_error_rate(skew: float, n_requests: int = 2000, seed: int = 7) -> float:
+    """Fraction of wrongful TRBAC decisions at clock skew ±``skew``."""
+    policy = TRBACPolicy()
+    policy.add_role("editor", WINDOW)
+    policy.grant("editor", op="write", resource="issue")
+    engine = TRBACEngine(policy)
+    rng = np.random.default_rng(seed)
+    times = rng.uniform(0.0, 24.0 * 7, size=n_requests)
+    skews = rng.uniform(-skew, skew, size=n_requests)
+    wrong = 0
+    access = ("write", "issue", "s1")
+    for t, s in zip(times, skews):
+        truth = engine.decide(["editor"], access, t)  # perfect clock
+        seen = engine.decide(["editor"], access, t, ServerClock(skew=s))
+        wrong += truth != seen
+    return wrong / n_requests
+
+
+def duration_error_rate(skew: float, n_requests: int = 2000, seed: int = 7) -> float:
+    """Same workload under the paper's duration scheme: the budget is
+    metered by elapsed time (per window occurrence), which no skew can
+    distort — errors come only from drift, which we set to zero here
+    exactly as for TRBAC."""
+    rng = np.random.default_rng(seed)
+    times = rng.uniform(0.0, 24.0 * 7, size=n_requests)
+    wrong = 0
+    for t in times:
+        window_start = (t // 24.0) * 24.0
+        tracker = ValidityTracker(duration=WINDOW.window_length())
+        tracker.activate(window_start)
+        truth = WINDOW.enabled_at(t)
+        seen = tracker.is_valid(t)
+        wrong += truth != seen
+    return wrong / n_requests
+
+
+@pytest.mark.parametrize("skew", [0.0, 0.25, 0.5, 1.0, 2.0])
+def bench_trbac_skew_errors(benchmark, skew):
+    rate = benchmark.pedantic(trbac_error_rate, args=(skew,), rounds=2, iterations=1)
+    benchmark.extra_info["skew_hours"] = skew
+    benchmark.extra_info["error_rate"] = rate
+    if skew == 0.0:
+        assert rate == 0.0  # TRBAC is exact with a perfect clock
+    else:
+        # Expected wrongful fraction ≈ skew / period (edge crossings).
+        assert rate > 0.0
+
+
+def bench_duration_scheme_skew_immune(benchmark):
+    rate = benchmark.pedantic(
+        duration_error_rate, args=(2.0,), rounds=2, iterations=1
+    )
+    assert rate == 0.0
+    benchmark.extra_info["error_rate"] = rate
+
+
+@pytest.mark.parametrize("n_servers", [1, 2, 4, 8])
+def bench_local_history_wrongful_grants(benchmark, n_servers):
+    """Local-history baseline vs coordinated reference on histories
+    spread over ``n_servers`` servers."""
+    local = LocalHistoryEngine()
+    coordinated = CoordinatedReference()
+    rng = np.random.default_rng(n_servers)
+
+    def run():
+        wrongful = 0
+        trials = 100
+        for trial in range(trials):
+            length = int(rng.integers(4, 9))
+            history = tuple(
+                AccessKey("exec", "rsw", f"s{int(rng.integers(n_servers))}")
+                for _ in range(length)
+            )
+            request = AccessKey("exec", "rsw", f"s{int(rng.integers(n_servers))}")
+            granted_local = local.decide(LIMIT, history, request)
+            granted_truth = coordinated.decide(LIMIT, history, request)
+            wrongful += granted_local and not granted_truth
+        return wrongful / trials
+
+    rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["wrongful_grant_rate"] = rate
+    if n_servers == 1:
+        assert rate == 0.0  # single site: local sees everything
+    if n_servers >= 4:
+        assert rate > 0.0  # coalition mobility breaks the local baseline

@@ -1,0 +1,95 @@
+"""EXP-T32 — Theorem 3.2: ``P |= C`` checking scales as O(m × n).
+
+Two sweeps over the paper's polynomial fragment: program size *m* with
+a fixed constraint, and constraint size *n* with a fixed program.  The
+asserted configuration counts bound the product exploration; the fitted
+exponents are reported by ``benchmarks/run_experiments.py``.
+
+Run:  pytest benchmarks/bench_checker_scaling.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.sral.ast import program_size
+from repro.srac.ast import constraint_size
+from repro.srac.checker import check_program_stats
+from repro.workloads.constraints import random_constraint
+from repro.workloads.programs import access_alphabet, random_program
+
+ALPHABET = access_alphabet(2, 3, 2)
+
+
+def _program(leaves, seed=11, p_par=0.0):
+    # Sequential fragment by default: the paper's O(m*n) claim concerns
+    # sequential/branching/looping programs; `||` makes the trace
+    # automaton product-sized by construction (see bench_par_blowup).
+    return random_program(
+        np.random.default_rng(seed), leaves, ALPHABET, p_par=p_par
+    )
+
+
+def _constraint(leaves, seed=13):
+    return random_constraint(
+        np.random.default_rng(seed), leaves, ALPHABET, positive_only=True
+    )
+
+
+@pytest.mark.parametrize("m_leaves", [10, 30, 100, 300, 1000, 3000])
+def bench_check_scaling_in_m(benchmark, m_leaves):
+    """Fixed constraint (n≈13 nodes), growing program size m."""
+    program = _program(m_leaves)
+    constraint = _constraint(4)
+    result = benchmark(check_program_stats, program, constraint)
+    assert result.configurations >= 1
+    benchmark.extra_info["m"] = program_size(program)
+    benchmark.extra_info["n"] = constraint_size(constraint)
+    benchmark.extra_info["configurations"] = result.configurations
+
+
+@pytest.mark.parametrize("n_leaves", [2, 4, 8, 16, 32])
+def bench_check_scaling_in_n(benchmark, n_leaves):
+    """Fixed program (m≈300 nodes), growing constraint size n."""
+    program = _program(100)
+    constraint = _constraint(n_leaves)
+    result = benchmark(check_program_stats, program, constraint)
+    benchmark.extra_info["m"] = program_size(program)
+    benchmark.extra_info["n"] = constraint_size(constraint)
+    benchmark.extra_info["configurations"] = result.configurations
+
+
+def bench_check_exists_mode(benchmark):
+    """Existential mode often exits early — the grant-time fast path."""
+    program = _program(300)
+    constraint = _constraint(6)
+    benchmark(
+        check_program_stats, program, constraint, (), "exists"
+    )
+
+
+def bench_trace_check_definition36(benchmark):
+    """Runtime trace checking (Definition 3.6) on a 1000-access history."""
+    from repro.srac.trace_check import trace_satisfies
+    from repro.workloads.programs import random_access
+
+    rng = np.random.default_rng(3)
+    trace = tuple(random_access(rng, ALPHABET) for _ in range(1000))
+    constraint = _constraint(8)
+    benchmark(trace_satisfies, trace, constraint)
+
+
+@pytest.mark.parametrize("pars", [0, 2, 4, 6])
+def bench_par_blowup(benchmark, pars):
+    """The cost of `||`: interleaving k branches multiplies the
+    program automaton (outside the O(m*n) fragment; documented in
+    DESIGN.md)."""
+    from repro.sral.ast import par, seq
+    from repro.sral.ast import Access as A
+
+    branch = lambda i: seq(
+        A("op0", f"r{i}", "s0"), A("op1", f"r{i}", "s1"), A("op0", f"r{i}", "s0")
+    )
+    program = par(*(branch(i) for i in range(pars + 1)))
+    constraint = _constraint(3)
+    result = benchmark(check_program_stats, program, constraint)
+    benchmark.extra_info["configurations"] = result.configurations

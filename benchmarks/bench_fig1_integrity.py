@@ -1,0 +1,62 @@
+"""EXP-F1 — Figure 1 / Section 6: the integrity-verification audit.
+
+Regenerates the paper's only figure-backed experiment: a mobile auditor
+verifying dependency-ordered module integrity across coalition servers,
+plus size sweeps (modules × servers) far beyond the drawn instance.
+
+Run:  pytest benchmarks/bench_fig1_integrity.py --benchmark-only
+"""
+
+import pytest
+
+from repro.apps.integrity import (
+    auditor_program,
+    figure1_graph,
+    run_audit,
+    verification_constraint,
+)
+from repro.srac.checker import check_program
+from repro.workloads.digraphs import random_module_graph
+
+
+def bench_figure1_clean_audit(benchmark):
+    """The audit exactly as drawn: 12 modules, 4 servers."""
+    graph = figure1_graph()
+    report = benchmark(run_audit, graph)
+    assert report.all_verified()
+    assert report.order_constraint_ok
+
+
+def bench_figure1_tampered_audit(benchmark):
+    graph = figure1_graph()
+    report = benchmark(lambda: run_audit(graph, tamper={"m7"}))
+    assert not report.all_verified()
+
+
+def bench_figure1_static_check(benchmark):
+    """Theorem 3.2 applied to Figure 1: auditor program |= dependency
+    constraint, checked statically before dispatch."""
+    graph = figure1_graph()
+    program = auditor_program(graph)
+    constraint = verification_constraint(graph)
+    assert benchmark(check_program, program, constraint)
+
+
+@pytest.mark.parametrize("n_modules", [25, 50, 100, 200])
+def bench_audit_scaling_modules(benchmark, n_modules):
+    """Audit cost versus module count (4 servers)."""
+    graph = random_module_graph(n_modules, 4, edge_probability=0.1, seed=n_modules)
+    report = benchmark.pedantic(
+        lambda: run_audit(graph), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert report.all_verified()
+
+
+@pytest.mark.parametrize("n_servers", [2, 4, 8, 16])
+def bench_audit_scaling_servers(benchmark, n_servers):
+    """Audit cost versus coalition width (60 modules)."""
+    graph = random_module_graph(60, n_servers, edge_probability=0.1, seed=n_servers)
+    report = benchmark.pedantic(
+        lambda: run_audit(graph), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert report.all_verified()

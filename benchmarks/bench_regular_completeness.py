@@ -1,0 +1,43 @@
+"""EXP-T31 — Theorem 3.1 (regular completeness), machine-checked.
+
+For random regular trace models of growing size, synthesise the SRAL
+program (the theorem's constructive proof) and decide language equality
+between ``traces(P)`` and the regex's model.  The equality must hold on
+every instance; the benchmark times synthesis + equivalence checking.
+
+Run:  pytest benchmarks/bench_regular_completeness.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.traces.regular import (
+    regex_to_program,
+    regex_traces,
+    verify_regular_completeness,
+)
+from repro.traces.model import program_traces
+from repro.workloads.programs import access_alphabet, random_regex
+
+ALPHABET = access_alphabet(2, 2, 2)
+
+
+@pytest.mark.parametrize("leaves", [5, 10, 20, 40])
+def bench_regular_completeness(benchmark, leaves):
+    regex = random_regex(np.random.default_rng(leaves), leaves, ALPHABET)
+    assert benchmark(verify_regular_completeness, regex)
+
+
+def bench_program_synthesis_only(benchmark):
+    """Just the regex → program construction (the proof's content)."""
+    regex = random_regex(np.random.default_rng(7), 60, ALPHABET)
+    benchmark(regex_to_program, regex)
+
+
+def bench_trace_model_equality(benchmark):
+    """Language-equality decision between two presentations of one
+    model (minimise + Hopcroft-Karp)."""
+    regex = random_regex(np.random.default_rng(21), 25, ALPHABET)
+    left = regex_traces(regex)
+    right = program_traces(regex_to_program(regex))
+    assert benchmark(left.equals, right)

@@ -1,0 +1,75 @@
+"""EXP-T41 — Theorem 4.1: permission validity checking.
+
+The duration integral ``∫ valid(perm, u) du`` over timelines with a
+growing number of activation intervals, the event-driven tracker, and
+the combined spatio-temporal validity decision.  The analytic integral
+is cross-checked against a Riemann reference in the test suite; here we
+measure cost and confirm decidability at scale.
+
+Run:  pytest benchmarks/bench_temporal_validity.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.sral.parser import parse_program
+from repro.srac.parser import parse_constraint
+from repro.temporal.checker import check_validity
+from repro.temporal.timeline import BooleanTimeline
+from repro.temporal.validity import Scheme, ValidityTracker
+
+
+def _timeline(k_intervals, seed=0):
+    rng = np.random.default_rng(seed)
+    points = np.sort(rng.uniform(0, 1000, size=2 * k_intervals))
+    intervals = [(points[2 * i], points[2 * i + 1]) for i in range(k_intervals)]
+    return BooleanTimeline.from_intervals(intervals)
+
+
+@pytest.mark.parametrize("k", [10, 100, 1000, 10000])
+def bench_duration_integral(benchmark, k):
+    """∫ over a timeline with k activation intervals (vectorised)."""
+    timeline = _timeline(k)
+    value = benchmark(timeline.integrate, 0.0, 1000.0)
+    assert 0.0 <= value <= 1000.0
+
+
+@pytest.mark.parametrize("k", [10, 100, 1000])
+def bench_expiry_search(benchmark, k):
+    """first_time_accumulated: when does the budget run out?"""
+    timeline = _timeline(k)
+    total = timeline.integrate(0.0, 1000.0)
+    budget = total / 2
+    hit = benchmark(timeline.first_time_accumulated, 0.0, budget)
+    assert hit is not None
+
+
+def bench_validity_tracker_event_stream(benchmark):
+    """The event-driven tracker over 1000 activate/deactivate/migrate
+    events (the engine's hot path)."""
+
+    def run():
+        tracker = ValidityTracker(duration=200.0, scheme=Scheme.PER_SERVER)
+        t = 0.0
+        for i in range(1000):
+            t += 1.0
+            if i % 3 == 0:
+                tracker.activate(t)
+            elif i % 3 == 1:
+                tracker.migrate(t)
+            else:
+                tracker.deactivate(t)
+        return tracker.state(t)
+
+    benchmark(run)
+
+
+def bench_combined_validity_decision(benchmark):
+    """The full Theorem 4.1 procedure: spatial check + integral."""
+    program = parse_program("exec rsw @ s1 ; exec rsw @ s2 ; read log @ s2")
+    constraint = parse_constraint("count(0, 5, [res = rsw])")
+    valid = _timeline(200, seed=5)
+    decision = benchmark(
+        check_validity, program, constraint, valid, 0.0, 900.0, 600.0
+    )
+    assert decision.spatial_ok

@@ -1,0 +1,81 @@
+"""EXP-TRACE — the trace-model algebra and automata substrate
+(Definitions 3.2–3.3).
+
+Costs of the operators the checker is built on: interleaving growth
+(the combinatorial price of ``||``), determinisation, Hopcroft
+minimisation and equivalence on program-derived automata.
+
+Run:  pytest benchmarks/bench_trace_ops.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.automata.ops import determinize, equivalent, minimize
+from repro.traces.model import program_traces
+from repro.traces.trace import count_interleavings, make_trace
+from repro.workloads.programs import access_alphabet, random_program
+
+ALPHABET = access_alphabet(2, 3, 2)
+
+
+def _distinct_trace(length, offset=0):
+    return make_trace(
+        *((f"op{i + offset}", f"r{i + offset}", "s1") for i in range(length))
+    )
+
+
+@pytest.mark.parametrize("length", [2, 4, 6, 8])
+def bench_interleaving_enumeration(benchmark, length):
+    """Explicit t # v enumeration: C(2L, L) growth (kept small)."""
+    t = _distinct_trace(length)
+    v = _distinct_trace(length, offset=100)
+    count = benchmark(count_interleavings, t, v)
+    from math import comb
+
+    assert count == comb(2 * length, length)
+
+
+@pytest.mark.parametrize("leaves", [20, 60, 180])
+def bench_program_to_trace_model(benchmark, leaves):
+    """Definition 3.2: program → NFA construction (low `||` density —
+    nested interleaving is product-sized by nature and measured
+    separately in bench_shuffle_product / bench_par_blowup)."""
+    program = random_program(
+        np.random.default_rng(leaves), leaves, ALPHABET, p_par=0.0
+    )
+    model = benchmark(program_traces, program)
+    assert not model.is_empty()
+
+
+@pytest.mark.parametrize("leaves", [20, 60, 180])
+def bench_determinize_and_minimize(benchmark, leaves):
+    """Subset construction + Hopcroft on program automata."""
+    program = random_program(
+        np.random.default_rng(leaves + 1), leaves, ALPHABET, p_par=0.05
+    )
+    nfa = program_traces(program).nfa
+
+    def run():
+        return minimize(determinize(nfa))
+
+    dfa = benchmark(run)
+    assert dfa.n_states >= 1
+
+
+def bench_shuffle_product(benchmark):
+    """The || operator on trace models (shuffle of two automata)."""
+    rng = np.random.default_rng(5)
+    left = program_traces(random_program(rng, 15, ALPHABET, p_par=0.0))
+    right = program_traces(random_program(rng, 15, ALPHABET, p_par=0.0))
+    model = benchmark(left.interleave, right)
+    assert not model.is_empty()
+
+
+def bench_model_equality(benchmark):
+    """Language equality of two syntactically different presentations."""
+    rng = np.random.default_rng(9)
+    program = random_program(rng, 40, ALPHABET, p_par=0.05)
+    left = program_traces(program)
+    right = program_traces(program)  # fresh automaton, same language
+    assert benchmark(lambda: equivalent(left.dfa, right.dfa))

@@ -1,0 +1,146 @@
+"""A security officer's walkthrough: author a policy in the text DSL,
+vet agents at admission, classify temporal permissions, and audit the
+decision trail.
+
+This example exercises the administration surface of the library:
+
+1. the policy text format (the analog of Naplet's Java policy files);
+2. static vetting at admission — type checking the agent's program and
+   proving it *can* satisfy the spatial constraints (Theorem 3.2 used
+   as an admission filter);
+3. permission classification (the paper's future work): all
+   licensed-software permissions share one aggregated validity budget;
+4. the audit log as the coalition's evidence trail.
+
+Run:  python examples/policy_administration.py
+"""
+
+from repro import (
+    AccessControlEngine,
+    Coalition,
+    CoalitionServer,
+    Naplet,
+    NapletSecurityManager,
+    Resource,
+    parse_program,
+)
+from repro.agent.principal import Authority
+from repro.rbac.policy import Policy
+from repro.temporal.aggregation import (
+    AggregationStrategy,
+    PermissionClass,
+    PermissionClassifier,
+)
+
+# ----------------------------------------------------------------------
+# 1. The policy, as the security officer writes it.
+POLICY_TEXT = """
+# Coalition trial-software policy
+user contractor
+role evaluator
+
+# Each package may run at most 3 times anywhere in the coalition, and
+# each permission individually carries a 3-hour validity budget.
+permission p_word  exec word  @ * constraint "count(0, 3, [res = word])"  duration 3
+permission p_excel exec excel @ * constraint "count(0, 3, [res = excel])" duration 3
+permission p_docs  read docs  @ *
+
+assign contractor evaluator
+grant evaluator p_word
+grant evaluator p_excel
+grant evaluator p_docs
+"""
+policy = Policy.from_text(POLICY_TEXT)
+print("policy loaded:", sorted(policy.permissions))
+
+# 2. Classify the office permissions: together they may be valid for at
+#    most 3 hours total (MIN of the member budgets), not 3 hours each.
+classifier = PermissionClassifier(
+    [
+        PermissionClass(
+            "office-suite",
+            frozenset({"p_word", "p_excel"}),
+            AggregationStrategy.MIN,  # together at most 3h, not 3h each
+        )
+    ]
+)
+engine = AccessControlEngine(policy, classifier=classifier)
+
+authority = Authority()
+certificate = authority.register("contractor")
+security = NapletSecurityManager(
+    engine,
+    authority=authority,
+    admission_check=True,   # program must be able to satisfy constraints
+    typecheck=True,         # and be statically well-typed
+    incremental=True,       # O(1)-in-history decisions
+)
+
+coalition = Coalition(
+    [
+        CoalitionServer("hq", resources=[Resource("word"), Resource("docs")]),
+        CoalitionServer("branch", resources=[Resource("excel"), Resource("docs")]),
+    ]
+)
+
+# ----------------------------------------------------------------------
+# 3. Admission + runtime enforcement (defense in depth): the ill-typed
+#    agent is rejected before running a single instruction; the
+#    over-budget agent is *admitted* (some unrolling of its loop
+#    complies — admission is an exists-check) but the coordinated
+#    runtime check stops it at the 4th access.
+from repro.agent.scheduler import Simulation  # noqa: E402
+from repro.agent.naplet import NapletStatus  # noqa: E402
+
+ill_typed = Naplet(
+    "contractor",
+    parse_program("x := 1 + true ; exec word @ hq"),
+    certificate=certificate,
+    roles=("evaluator",),
+    name="ill-typed",
+)
+over_budget = Naplet(
+    "contractor",
+    parse_program("n := 0 ; while n < 4 do { exec word @ hq ; n := n + 1 }"),
+    certificate=certificate,
+    roles=("evaluator",),
+    name="over-budget",
+)
+well_behaved = Naplet(
+    "contractor",
+    parse_program(
+        "read docs @ hq ; exec word @ hq ; exec excel @ branch ; read docs @ branch"
+    ),
+    certificate=certificate,
+    roles=("evaluator",),
+    name="well-behaved",
+)
+
+simulation = Simulation(coalition, security=security, access_cost=0.5)
+for agent in (ill_typed, over_budget, well_behaved):
+    simulation.add_naplet(agent, "hq")
+report = simulation.run()
+
+print("\nadmission results:")
+for agent in (ill_typed, over_budget, well_behaved):
+    note = f"  ({agent.error})" if agent.error else ""
+    print(f"  {agent.naplet_id:<13} {agent.status.value}{note}")
+assert ill_typed.status is NapletStatus.FAILED       # static rejection
+assert over_budget.status is NapletStatus.DENIED     # runtime denial
+assert len(over_budget.history()) == 3               # exactly the quota
+assert well_behaved.status is NapletStatus.FINISHED
+
+# ----------------------------------------------------------------------
+# 4. The shared class budget: word at hq consumed the office-suite
+#    budget that excel at branch also draws from.
+session = security.session_of(well_behaved)
+print("\nvalidity trackers of the finished agent's session:")
+for key, tracker in sorted(session.trackers.items()):
+    print(f"  {key:<20} remaining budget: {tracker.remaining_budget():.2f}h")
+assert "class:office-suite" in session.trackers
+
+# 5. The audit trail.
+print(f"\naudit log: {len(engine.audit)} decisions, "
+      f"grant rate {engine.audit.grant_rate():.0%}")
+for decision in engine.audit.grants()[:4]:
+    print(f"  t={decision.time:<4} GRANT {decision.access} via {decision.permission}")

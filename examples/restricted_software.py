@@ -1,0 +1,88 @@
+"""The paper's motivating scenario (Section 1 / Example 3.5).
+
+    "If a mobile device accesses a resource r (e.g. a licensed software
+    package or its trial version) on site s1 for too many times during
+    a certain time period, it is not allowed to access the resource on
+    site s2 forever."
+
+The constraint #(0, 5, σ_RSW(A)) counts accesses to the restricted
+software package *wherever they happen*: five runs at s1 exhaust the
+budget, and the sixth request — made at a different server — is denied.
+This is precisely the coordination that per-site history mechanisms
+(e.g. classical history-based access control) cannot express.
+
+Run:  python examples/restricted_software.py
+"""
+
+from repro import (
+    AccessControlEngine,
+    Coalition,
+    CoalitionServer,
+    Naplet,
+    NapletSecurityManager,
+    NapletStatus,
+    Permission,
+    Policy,
+    Resource,
+    Simulation,
+    parse_constraint,
+    parse_program,
+)
+from repro.agent.principal import Authority
+
+LIMIT = parse_constraint("count(0, 5, [res = rsw])")
+
+policy = Policy()
+policy.add_user("trial-user")
+policy.add_role("trial")
+policy.add_permission(
+    Permission("p_rsw", op="exec", resource="rsw", spatial_constraint=LIMIT)
+)
+policy.assign_user("trial-user", "trial")
+policy.assign_permission("trial", "p_rsw")
+
+engine = AccessControlEngine(policy)
+authority = Authority()
+certificate = authority.register("trial-user")
+security = NapletSecurityManager(engine, authority=authority)
+
+coalition = Coalition(
+    [
+        CoalitionServer("s1", resources=[Resource("rsw")]),
+        CoalitionServer("s2", resources=[Resource("rsw")]),
+    ]
+)
+
+# The device runs the trial software five times at s1, then relocates
+# and tries again at s2.
+program = parse_program(
+    "n := 0 ; while n < 5 do { exec rsw @ s1 ; n := n + 1 } ; exec rsw @ s2"
+)
+
+simulation = Simulation(coalition, security=security, on_denied="abort")
+naplet = Naplet("trial-user", program, certificate=certificate, roles=("trial",))
+simulation.add_naplet(naplet, "s1")
+simulation.run()
+
+print("status after run:", naplet.status.value)
+print("successful accesses:", len(naplet.history()))
+for i, access in enumerate(naplet.history(), 1):
+    print(f"   {i}. {access}")
+assert naplet.status is NapletStatus.DENIED
+assert len(naplet.history()) == 5
+
+denial = engine.audit.denials()[0]
+print("\ndenied request:", denial.access, "| reason:", denial.reason)
+assert denial.access.server == "s2", "the denial is at the OTHER server"
+
+print(
+    "\nThe 6th access was refused at s2 although all previous accesses "
+    "happened at s1:\ncoordinated spatio-temporal control spans the "
+    "whole coalition. Re-authenticating\nor migrating does not help — "
+    "the constraint is permanently unsatisfiable:"
+)
+session2 = engine.authenticate("trial-user", t=100.0)
+engine.activate_role(session2, "trial", 100.0)
+retry = engine.decide(session2, ("exec", "rsw", "s2"), 101.0, history=naplet.history())
+print("retry in a fresh session granted?", retry.granted)
+assert not retry.granted

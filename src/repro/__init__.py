@@ -1,0 +1,105 @@
+"""repro — A Coordinated Spatio-Temporal Access Control Model for
+Mobile Computing in Coalition Environments.
+
+Faithful, from-scratch reproduction of Fu & Xu (IPPS 2005):
+
+* :mod:`repro.sral` — the Shared Resource Access Language
+  (Definition 3.1): AST, parser, printer, builders, analyses;
+* :mod:`repro.traces` — trace models (Definitions 3.2-3.3) and the
+  regular-completeness Theorem 3.1, on top of :mod:`repro.automata`;
+* :mod:`repro.srac` — the spatial constraint language
+  (Definition 3.4), trace satisfaction (Definition 3.6) and the
+  polynomial program checker (Theorem 3.2);
+* :mod:`repro.temporal` — continuous-time permission validity
+  (Section 4, Eq. 4.1, Theorem 4.1) with both base-time schemes;
+* :mod:`repro.rbac` — the extended RBAC engine enforcing Eq. 3.1;
+* :mod:`repro.coalition` / :mod:`repro.agent` — the Naplet-style
+  mobile-agent emulation of mobile computing (Section 5);
+* :mod:`repro.apps.integrity` — the Section 6 / Figure 1 integrity
+  verification application;
+* :mod:`repro.workloads` — reproducible synthetic workload generators.
+
+Quickstart::
+
+    from repro import parse_program, parse_constraint, check_program
+
+    program = parse_program("exec rsw @ s1 ; exec rsw @ s2")
+    limit = parse_constraint("count(0, 5, [res = rsw])")
+    assert check_program(program, limit)            # P |= C (Theorem 3.2)
+"""
+
+from repro.agent import (
+    Authority,
+    Naplet,
+    NapletSecurityManager,
+    NapletStatus,
+    ParPattern,
+    PermissiveSecurityManager,
+    SeqItinerary,
+    SeqPattern,
+    Simulation,
+    SingletonPattern,
+)
+from repro.apps.integrity import figure1_graph, run_audit
+from repro.coalition import (
+    Coalition,
+    CoalitionServer,
+    ProofRegistry,
+    Resource,
+    ServerClock,
+)
+from repro.errors import AccessDenied, ReproError
+from repro.rbac import AccessControlEngine, Permission, Policy
+from repro.sral import Program, parse_program, unparse
+from repro.srac import (
+    Constraint,
+    check_program,
+    check_program_stats,
+    parse_constraint,
+    trace_satisfies,
+)
+from repro.temporal import BooleanTimeline, PermissionState, Scheme, ValidityTracker
+from repro.traces import AccessKey, TraceModel, program_traces
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Authority",
+    "Naplet",
+    "NapletSecurityManager",
+    "NapletStatus",
+    "ParPattern",
+    "PermissiveSecurityManager",
+    "SeqItinerary",
+    "SeqPattern",
+    "Simulation",
+    "SingletonPattern",
+    "figure1_graph",
+    "run_audit",
+    "Coalition",
+    "CoalitionServer",
+    "ProofRegistry",
+    "Resource",
+    "ServerClock",
+    "AccessDenied",
+    "ReproError",
+    "AccessControlEngine",
+    "Permission",
+    "Policy",
+    "Program",
+    "parse_program",
+    "unparse",
+    "Constraint",
+    "check_program",
+    "check_program_stats",
+    "parse_constraint",
+    "trace_satisfies",
+    "BooleanTimeline",
+    "PermissionState",
+    "Scheme",
+    "ValidityTracker",
+    "AccessKey",
+    "TraceModel",
+    "program_traces",
+    "__version__",
+]

@@ -1,0 +1,84 @@
+"""Mobile-agent emulation of mobile computing (paper Section 5).
+
+The Naplet analog: agents (:class:`Naplet`) carry SRAL programs and
+hash-chained access histories across a simulated coalition; a
+discrete-event :class:`Simulation` drives them through authentication,
+role activation, guarded accesses, migrations, channel communication
+and cloning; the :class:`NapletSecurityManager` interposes the
+coordinated spatio-temporal access control on every access.
+"""
+
+from repro.agent.interpreter import (
+    DoAccess,
+    DoReceive,
+    DoSend,
+    DoSignal,
+    DoSpawn,
+    DoWait,
+    Request,
+    evaluate_expr,
+    interpret,
+)
+from repro.agent.itinerary import (
+    AltItinerary,
+    Itinerary,
+    LoopItinerary,
+    SeqItinerary,
+    plan_of_program,
+)
+from repro.agent.naplet import LifecycleHooks, Naplet, NapletStatus
+from repro.agent.patterns import (
+    AccessPattern,
+    LoopPattern,
+    ParPattern,
+    SeqPattern,
+    SingletonPattern,
+)
+from repro.agent.principal import (
+    NAPLET_PRINCIPAL,
+    OWNER_PRINCIPAL,
+    SERVER_ADMIN_PRINCIPAL,
+    Authority,
+    Certificate,
+)
+from repro.agent.scheduler import Simulation, SimulationReport
+from repro.agent.security import (
+    NapletSecurityManager,
+    PermissiveSecurityManager,
+    SecurityManager,
+)
+
+__all__ = [
+    "DoAccess",
+    "DoReceive",
+    "DoSend",
+    "DoSignal",
+    "DoSpawn",
+    "DoWait",
+    "Request",
+    "evaluate_expr",
+    "interpret",
+    "AltItinerary",
+    "Itinerary",
+    "LoopItinerary",
+    "SeqItinerary",
+    "plan_of_program",
+    "LifecycleHooks",
+    "Naplet",
+    "NapletStatus",
+    "AccessPattern",
+    "LoopPattern",
+    "ParPattern",
+    "SeqPattern",
+    "SingletonPattern",
+    "NAPLET_PRINCIPAL",
+    "OWNER_PRINCIPAL",
+    "SERVER_ADMIN_PRINCIPAL",
+    "Authority",
+    "Certificate",
+    "Simulation",
+    "SimulationReport",
+    "NapletSecurityManager",
+    "PermissiveSecurityManager",
+    "SecurityManager",
+]

@@ -1,0 +1,273 @@
+"""The SRAL interpreter: executes a mobile object's program as a
+coroutine of effect requests.
+
+The interpreter is deliberately effect-free: it never touches servers,
+channels or clocks itself.  Evaluating a program yields a stream of
+:class:`Request` objects — access, receive, send, signal, wait, spawn —
+and the discrete-event scheduler (:mod:`repro.agent.scheduler`)
+performs each effect and sends the result back into the generator.
+This is the generator-as-process idiom: agents are cheap cooperative
+coroutines, and thousands of them can be simulated without threads.
+
+Expressions are evaluated against the agent's variable environment with
+strict typing (no implicit coercions; integer division for ``/`` on
+integers, as in the Java substrate the paper used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Mapping, MutableMapping
+
+from repro.errors import AgentError
+from repro.sral.ast import (
+    Access,
+    Assign,
+    BinOp,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Par,
+    Program,
+    Receive,
+    Send,
+    Seq,
+    Signal,
+    Skip,
+    StrLit,
+    UnaryOp,
+    Var,
+    Wait,
+    While,
+)
+
+__all__ = [
+    "Request",
+    "DoAccess",
+    "DoReceive",
+    "DoSend",
+    "DoSignal",
+    "DoWait",
+    "DoSpawn",
+    "evaluate_expr",
+    "interpret",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base class of interpreter effect requests."""
+
+
+@dataclass(frozen=True)
+class DoAccess(Request):
+    """Perform ``op resource @ server`` (migrating there if needed).
+    The scheduler sends back the access outcome value (or ``None``)."""
+
+    op: str
+    resource: str
+    server: str
+
+
+@dataclass(frozen=True)
+class DoReceive(Request):
+    """Receive from a channel; blocks while empty.  The scheduler sends
+    back the received value."""
+
+    channel: str
+
+
+@dataclass(frozen=True)
+class DoSend(Request):
+    """Append ``value`` to a channel."""
+
+    channel: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class DoSignal(Request):
+    """Raise a signal."""
+
+    event: str
+
+
+@dataclass(frozen=True)
+class DoWait(Request):
+    """Block until a signal has been raised."""
+
+    event: str
+
+
+@dataclass(frozen=True)
+class DoSpawn(Request):
+    """Run sub-programs concurrently (cloned naplets); the parent
+    resumes when all clones finish."""
+
+    programs: tuple[Program, ...]
+
+
+def evaluate_expr(expr: Expr, env: Mapping[str, Any]) -> Any:
+    """Evaluate an SRAL expression in ``env``.
+
+    Raises :class:`~repro.errors.AgentError` for unbound variables,
+    type mismatches and division by zero.
+    """
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, BoolLit):
+        return expr.value
+    if isinstance(expr, StrLit):
+        return expr.value
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise AgentError(f"unbound variable {expr.name!r}") from None
+    if isinstance(expr, UnaryOp):
+        value = evaluate_expr(expr.operand, env)
+        if expr.op == "not":
+            _expect(bool, value, "not")
+            return not value
+        if expr.op == "-":
+            _expect(int, value, "unary -")
+            return -value
+        raise AgentError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, BinOp):
+        return _binop(expr, env)
+    raise TypeError(f"not an SRAL expression: {expr!r}")
+
+
+def _expect(kind: type, value: Any, op: str) -> None:
+    # bool is a subclass of int in Python; keep them strictly apart.
+    if kind is int and isinstance(value, bool) or not isinstance(value, kind):
+        raise AgentError(
+            f"operator {op!r} expects {kind.__name__}, got {value!r}"
+        )
+
+
+def _binop(expr: BinOp, env: Mapping[str, Any]) -> Any:
+    op = expr.op
+    # Short-circuit boolean operators evaluate lazily.
+    if op == "and":
+        left = evaluate_expr(expr.left, env)
+        _expect(bool, left, op)
+        if not left:
+            return False
+        right = evaluate_expr(expr.right, env)
+        _expect(bool, right, op)
+        return right
+    if op == "or":
+        left = evaluate_expr(expr.left, env)
+        _expect(bool, left, op)
+        if left:
+            return True
+        right = evaluate_expr(expr.right, env)
+        _expect(bool, right, op)
+        return right
+
+    left = evaluate_expr(expr.left, env)
+    right = evaluate_expr(expr.right, env)
+    if op in ("==", "!="):
+        equal = left == right and type(left) is type(right)
+        return equal if op == "==" else not equal
+    if op in ("+", "-", "*", "/", "%"):
+        if op == "+" and isinstance(left, str) and isinstance(right, str):
+            return left + right
+        _expect(int, left, op)
+        _expect(int, right, op)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if right == 0:
+            raise AgentError(f"division by zero in {op!r}")
+        # Java-style truncating integer division.
+        if op == "/":
+            quotient = abs(left) // abs(right)
+            return quotient if (left < 0) == (right < 0) else -quotient
+        remainder = abs(left) % abs(right)
+        return remainder if left >= 0 else -remainder
+    if op in ("<", "<=", ">", ">="):
+        _expect(int, left, op)
+        _expect(int, right, op)
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        return left >= right
+    raise AgentError(f"unknown binary operator {op!r}")
+
+
+def interpret(
+    program: Program,
+    env: MutableMapping[str, Any],
+    max_loop_iterations: int = 100_000,
+) -> Generator[Request, Any, None]:
+    """Run ``program`` over ``env`` as a coroutine of effect requests.
+
+    ``max_loop_iterations`` bounds the *total* number of ``while``
+    iterations in the run; exceeding it raises
+    :class:`~repro.errors.AgentError` (runaway-program guard — SRAL
+    itself cannot prove termination, cf. Section 3.2).
+
+    The evaluator is iterative (explicit work stack), so arbitrarily
+    long ``;``-chains and deeply nested programs execute without
+    touching Python's recursion limit.
+    """
+    stack: list[Program] = [program]
+    iterations = 0
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Skip):
+            continue
+        if isinstance(node, Access):
+            yield DoAccess(node.op, node.resource, node.server)
+            continue
+        if isinstance(node, Receive):
+            value = yield DoReceive(node.channel)
+            env[node.var] = value
+            continue
+        if isinstance(node, Send):
+            yield DoSend(node.channel, evaluate_expr(node.expr, env))
+            continue
+        if isinstance(node, Signal):
+            yield DoSignal(node.event)
+            continue
+        if isinstance(node, Wait):
+            yield DoWait(node.event)
+            continue
+        if isinstance(node, Assign):
+            env[node.var] = evaluate_expr(node.expr, env)
+            continue
+        if isinstance(node, Seq):
+            stack.append(node.second)
+            stack.append(node.first)
+            continue
+        if isinstance(node, If):
+            cond = evaluate_expr(node.cond, env)
+            _expect(bool, cond, "if")
+            stack.append(node.then if cond else node.orelse)
+            continue
+        if isinstance(node, While):
+            cond = evaluate_expr(node.cond, env)
+            _expect(bool, cond, "while")
+            if cond:
+                iterations += 1
+                if iterations > max_loop_iterations:
+                    raise AgentError(
+                        f"program exceeded {max_loop_iterations} total "
+                        "loop iterations"
+                    )
+                stack.append(node)  # re-test after the body
+                stack.append(node.body)
+            continue
+        if isinstance(node, Par):
+            yield DoSpawn((node.left, node.right))
+            continue
+        raise TypeError(f"not an SRAL program: {node!r}")

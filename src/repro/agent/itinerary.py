@@ -1,0 +1,104 @@
+"""Structured agent itineraries.
+
+"We can use the agent itinerary to describe the roaming agenda of a
+mobile device, i.e. the list of servers to be visited and their
+ordering" (Section 5).  Naplet's navigation facility is structured, so
+itineraries compose: a sequence of stops, a loop over a sub-itinerary,
+and an alternative chosen at runtime.
+
+An itinerary is a *plan*; the scheduler also migrates implicitly when a
+program accesses a resource on another server.  :func:`plan_of_program`
+derives the minimal itinerary from a program's accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import AgentError
+from repro.sral.ast import Access, Program, walk
+
+__all__ = [
+    "Itinerary",
+    "SeqItinerary",
+    "LoopItinerary",
+    "AltItinerary",
+    "plan_of_program",
+]
+
+
+@dataclass(frozen=True)
+class Itinerary:
+    """Base class of itineraries."""
+
+    def stops(self) -> Iterator[str]:
+        """The server names in visiting order (alternatives yield their
+        primary branch)."""
+        raise NotImplementedError
+
+    def servers(self) -> frozenset[str]:
+        """All servers this itinerary may visit."""
+        return frozenset(self.stops())
+
+    def __iter__(self) -> Iterator[str]:
+        return self.stops()
+
+
+@dataclass(frozen=True)
+class SeqItinerary(Itinerary):
+    """Visit the given servers in order."""
+
+    servers_in_order: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "servers_in_order", tuple(self.servers_in_order))
+        if not all(self.servers_in_order):
+            raise AgentError("itinerary stops must be non-empty names")
+
+    def stops(self) -> Iterator[str]:
+        return iter(self.servers_in_order)
+
+
+@dataclass(frozen=True)
+class LoopItinerary(Itinerary):
+    """Repeat a sub-itinerary a fixed number of times."""
+
+    inner: Itinerary
+    times: int
+
+    def __post_init__(self) -> None:
+        if self.times < 0:
+            raise AgentError("loop count must be non-negative")
+
+    def stops(self) -> Iterator[str]:
+        for _ in range(self.times):
+            yield from self.inner.stops()
+
+    def servers(self) -> frozenset[str]:
+        return self.inner.servers()
+
+
+@dataclass(frozen=True)
+class AltItinerary(Itinerary):
+    """Visit one of two sub-itineraries; ``stops`` follows the primary
+    branch, ``servers`` covers both (the static over-approximation)."""
+
+    primary: Itinerary
+    alternative: Itinerary
+
+    def stops(self) -> Iterator[str]:
+        return self.primary.stops()
+
+    def servers(self) -> frozenset[str]:
+        return self.primary.servers() | self.alternative.servers()
+
+
+def plan_of_program(program: Program) -> SeqItinerary:
+    """The itinerary implied by a program: servers in first-access
+    order, deduplicated (consecutive repeats collapse)."""
+    stops: list[str] = []
+    for node in walk(program):
+        if isinstance(node, Access) and (not stops or stops[-1] != node.server):
+            stops.append(node.server)
+    return SeqItinerary(tuple(stops))

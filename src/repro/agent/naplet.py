@@ -1,0 +1,126 @@
+"""The Naplet: a first-class mobile object.
+
+"Naplet-based mobile distributed systems are built upon a first-class
+Naplet object … defining hooks for application-specific functions to be
+performed in different stages of its life cycle in each server and an
+itinerary for its way of travelling among the servers" (Section 5).
+
+A :class:`Naplet` bundles the agent's identity and owner certificate,
+its SRAL program (or an access pattern that compiles to one), its
+variable environment, its itinerary plan, its proof registry (the
+carried, hash-chained access history) and life-cycle hooks.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable, Mapping
+
+from repro.agent.itinerary import Itinerary, plan_of_program
+from repro.agent.patterns import AccessPattern
+from repro.agent.principal import Certificate
+from repro.coalition.proofs import ProofRegistry
+from repro.errors import AgentError
+from repro.sral.ast import Program
+from repro.traces.trace import Trace
+
+__all__ = ["Naplet", "NapletStatus", "LifecycleHooks"]
+
+_naplet_counter = itertools.count(1)
+
+
+class NapletStatus(enum.Enum):
+    """Life-cycle states of an agent in the simulation."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    MIGRATING = "migrating"
+    FINISHED = "finished"
+    DENIED = "denied"
+    FAILED = "failed"
+
+
+class LifecycleHooks:
+    """Application hooks called at life-cycle stages (the Naplet
+    ``onArrival``/``onDeparture`` style callbacks).  All optional."""
+
+    def __init__(
+        self,
+        on_arrival: Callable[["Naplet", str, float], None] | None = None,
+        on_departure: Callable[["Naplet", str, float], None] | None = None,
+        on_finish: Callable[["Naplet", float], None] | None = None,
+        on_denied: Callable[["Naplet", object, float], None] | None = None,
+    ):
+        self.on_arrival = on_arrival
+        self.on_departure = on_departure
+        self.on_finish = on_finish
+        self.on_denied = on_denied
+
+
+class Naplet:
+    """A mobile software agent emulating a roaming mobile device."""
+
+    def __init__(
+        self,
+        owner: str,
+        program: Program | AccessPattern,
+        certificate: Certificate | None = None,
+        itinerary: Itinerary | None = None,
+        env: Mapping[str, Any] | None = None,
+        name: str | None = None,
+        hooks: LifecycleHooks | None = None,
+        roles: tuple[str, ...] = (),
+    ):
+        if not owner:
+            raise AgentError("naplet owner must be non-empty")
+        if isinstance(program, AccessPattern):
+            program = program.to_program()
+        if not isinstance(program, Program):
+            raise AgentError(f"not an SRAL program or pattern: {program!r}")
+        self.naplet_id = name or f"naplet-{next(_naplet_counter)}"
+        self.owner = owner
+        self.certificate = certificate
+        self.program = program
+        self.itinerary = itinerary if itinerary is not None else plan_of_program(program)
+        self.env: dict[str, Any] = dict(env or {})
+        self.hooks = hooks or LifecycleHooks()
+        self.roles = tuple(roles)
+
+        self.registry = ProofRegistry(self.naplet_id)
+        self.status = NapletStatus.CREATED
+        self.location: str | None = None
+        self.denials: list[object] = []
+        self.error: Exception | None = None
+        self.finish_time: float | None = None
+        #: Values returned by executed accesses, in execution order —
+        #: e.g. the module digests a Section 6 integrity auditor collects.
+        self.observations: list[tuple[Any, Any]] = []
+
+    # -- derived views ------------------------------------------------------
+
+    def history(self) -> Trace:
+        """The proved access history the agent carries."""
+        return self.registry.trace()
+
+    def clone(self, program: Program, suffix: str) -> "Naplet":
+        """A child agent sharing owner/certificate/roles but with its own
+        environment copy and empty history — the paper's cloned naplets
+        for ``ParPattern``."""
+        child = Naplet(
+            owner=self.owner,
+            program=program,
+            certificate=self.certificate,
+            env=dict(self.env),
+            name=f"{self.naplet_id}/{suffix}",
+            roles=self.roles,
+        )
+        child.location = self.location
+        return child
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Naplet({self.naplet_id!r}, owner={self.owner!r}, "
+            f"status={self.status.value}, at={self.location!r})"
+        )

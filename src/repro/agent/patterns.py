@@ -1,0 +1,118 @@
+"""Naplet access-pattern constructs (paper Section 5.2).
+
+"The SRAL prototype has been implemented in recursively constructed
+resource access patterns.  Its base is a Singleton pattern, comprising
+of a single shared resource access at a server guarded by a
+pre-condition.  Over the set of access patterns, we define three
+composite operators: SeqPattern and ParPattern, and Loop."
+
+Each pattern compiles to a SRAL :class:`~repro.sral.ast.Program` via
+:meth:`AccessPattern.to_program`, so the whole SRAL toolchain (trace
+models, constraint checking, interpretation) applies to
+pattern-constructed programs.  Guards are SRAL boolean expressions
+evaluated against the naplet's variable environment at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AgentError
+from repro.sral.ast import (
+    Access,
+    BoolLit,
+    Expr,
+    If,
+    Program,
+    Skip,
+    While,
+    par,
+    seq,
+)
+
+__all__ = ["AccessPattern", "SingletonPattern", "SeqPattern", "ParPattern", "LoopPattern"]
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """Base class of Naplet access patterns."""
+
+    def to_program(self) -> Program:
+        """Compile the pattern to an SRAL program."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SingletonPattern(AccessPattern):
+    """A single guarded access: ``if guard then (op r @ s)``.
+
+    ``guard`` defaults to ``true`` (the unguarded access).  This is the
+    paper's base pattern, with the ``Checkable`` guardian realised as an
+    SRAL pre-condition.
+    """
+
+    op: str
+    resource: str
+    server: str
+    guard: Expr = BoolLit(True)
+
+    def to_program(self) -> Program:
+        access = Access(self.op, self.resource, self.server)
+        if self.guard == BoolLit(True):
+            return access
+        return If(self.guard, access, Skip())
+
+
+@dataclass(frozen=True)
+class SeqPattern(AccessPattern):
+    """Sequential composition ``p1 ; p2 ; …``."""
+
+    parts: tuple[AccessPattern, ...]
+
+    def __init__(self, *parts: AccessPattern | Sequence[AccessPattern]):
+        flattened: list[AccessPattern] = []
+        for part in parts:
+            if isinstance(part, AccessPattern):
+                flattened.append(part)
+            else:
+                flattened.extend(part)
+        if not flattened:
+            raise AgentError("SeqPattern needs at least one sub-pattern")
+        object.__setattr__(self, "parts", tuple(flattened))
+
+    def to_program(self) -> Program:
+        return seq(*(p.to_program() for p in self.parts))
+
+
+@dataclass(frozen=True)
+class ParPattern(AccessPattern):
+    """Concurrent composition ``p1 || p2 || …`` — executed by cloned
+    naplets as in the paper's ``ApplAgentProg`` example."""
+
+    parts: tuple[AccessPattern, ...]
+
+    def __init__(self, *parts: AccessPattern | Sequence[AccessPattern]):
+        flattened: list[AccessPattern] = []
+        for part in parts:
+            if isinstance(part, AccessPattern):
+                flattened.append(part)
+            else:
+                flattened.extend(part)
+        if not flattened:
+            raise AgentError("ParPattern needs at least one sub-pattern")
+        object.__setattr__(self, "parts", tuple(flattened))
+
+    def to_program(self) -> Program:
+        return par(*(p.to_program() for p in self.parts))
+
+
+@dataclass(frozen=True)
+class LoopPattern(AccessPattern):
+    """Repeat a pattern while a pre-condition holds."""
+
+    cond: Expr
+    body: AccessPattern
+
+    def to_program(self) -> Program:
+        return While(self.cond, self.body.to_program())

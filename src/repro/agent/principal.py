@@ -1,0 +1,85 @@
+"""Principals and agent authentication (paper Section 5.1).
+
+The Naplet system authenticates an arriving agent "based on the
+certificate of its owner issued by an authority or via a priori
+registration", then creates a subject holding a ``NapletPrincipal``.
+We reproduce that flow with a deterministic HMAC-style certificate: the
+authority registers owners and derives per-owner certificates; a server
+presented with ``(owner, certificate)`` recomputes and compares.
+
+Principal names follow the paper's three types:
+``NapletPrincipal``, ``NapletOwnerPrincipal`` and
+``NapletServerAdministrator``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import AuthenticationError
+
+__all__ = [
+    "NAPLET_PRINCIPAL",
+    "OWNER_PRINCIPAL",
+    "SERVER_ADMIN_PRINCIPAL",
+    "Authority",
+    "Certificate",
+]
+
+NAPLET_PRINCIPAL = "NapletPrincipal"
+OWNER_PRINCIPAL = "NapletOwnerPrincipal"
+SERVER_ADMIN_PRINCIPAL = "NapletServerAdministrator"
+
+
+class Certificate:
+    """An owner certificate: the owner name plus an authority MAC."""
+
+    __slots__ = ("owner", "mac")
+
+    def __init__(self, owner: str, mac: str):
+        self.owner = owner
+        self.mac = mac
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Certificate(owner={self.owner!r})"
+
+
+class Authority:
+    """The coalition's certificate authority / registration service."""
+
+    def __init__(self, secret: bytes = b"repro-coalition-authority"):
+        self._secret = secret
+        self._registered: set[str] = set()
+
+    def register(self, owner: str) -> Certificate:
+        """Register an owner and issue its certificate."""
+        if not owner:
+            raise AuthenticationError("owner name must be non-empty")
+        self._registered.add(owner)
+        return Certificate(owner, self._mac(owner))
+
+    def _mac(self, owner: str) -> str:
+        return hmac.new(self._secret, owner.encode(), hashlib.sha256).hexdigest()
+
+    def authenticate(self, certificate: Certificate) -> frozenset[str]:
+        """Validate a certificate; returns the principal set for the
+        authenticated subject or raises
+        :class:`~repro.errors.AuthenticationError`."""
+        if certificate.owner not in self._registered:
+            raise AuthenticationError(
+                f"owner {certificate.owner!r} is not registered with the authority"
+            )
+        if not hmac.compare_digest(certificate.mac, self._mac(certificate.owner)):
+            raise AuthenticationError(
+                f"certificate for {certificate.owner!r} failed verification"
+            )
+        return frozenset(
+            {
+                NAPLET_PRINCIPAL,
+                f"{OWNER_PRINCIPAL}:{certificate.owner}",
+            }
+        )
+
+    def is_registered(self, owner: str) -> bool:
+        return owner in self._registered

@@ -1,0 +1,395 @@
+"""Discrete-event simulation of mobile agents roaming a coalition.
+
+This is the emulation substrate the paper builds with the Naplet Java
+system, reduced to its essentials: agents are cooperative coroutines
+(the SRAL interpreter's request generators), the scheduler owns a
+virtual global clock and an event heap, and every effect — resource
+access, migration with latency, channel I/O, signal synchronisation,
+cloning for ``||`` — is an event.
+
+Key behaviours:
+
+* **Implicit migration** — an access ``op r @ s`` from an agent located
+  elsewhere first migrates the agent to ``s`` (taking the coalition's
+  latency), then performs the access.  The itinerary thus *emerges*
+  from the program, as in the paper's model where computation "spreads
+  across several hosting sites".
+* **Security interposition** — on first arrival the agent is
+  authenticated (certificate + RBAC session + role activation); every
+  access then passes ``check_permission`` (spatial + temporal
+  constraint checks); migrations notify the engine so per-server
+  validity budgets reset under Scheme A.
+* **Cloned parallelism** — ``p1 || p2`` spawns child agents with copies
+  of the environment (the paper's ``ApplAgentProg`` cloned naplets);
+  the parent resumes when all clones finish.
+* **Blocking semantics** — ``ch ? x`` blocks on empty channels,
+  ``wait(ξ)`` blocks until ``signal(ξ)``; wake-ups re-attempt the
+  operation, so racing receivers are handled correctly.  If the event
+  heap drains while agents are still blocked, the simulation reports a
+  deadlock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Literal
+
+from repro.agent.interpreter import (
+    DoAccess,
+    DoReceive,
+    DoSend,
+    DoSignal,
+    DoSpawn,
+    DoWait,
+    Request,
+    interpret,
+)
+from repro.agent.naplet import Naplet, NapletStatus
+from repro.agent.security import PermissiveSecurityManager, SecurityManager
+from repro.coalition.channels import EMPTY
+from repro.coalition.network import Coalition
+from repro.errors import (
+    AccessDenied,
+    AgentError,
+    AuthenticationError,
+    CoalitionError,
+    RbacError,
+    SimulationError,
+)
+from repro.traces.trace import AccessKey
+
+__all__ = ["Simulation", "SimulationReport"]
+
+DeniedPolicy = Literal["abort", "skip"]
+
+
+@dataclass
+class _Task:
+    """Scheduler-side state of one agent coroutine."""
+
+    naplet: Naplet
+    generator: Any
+    inbox: Any = None  # value to send into the generator on resume
+    pending: Request | None = None  # request to re-attempt on resume
+    parent: "_Task | None" = None
+    children_remaining: int = 0
+    started: bool = False
+    migrating_to: str | None = None  # destination of an in-flight migration
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Outcome of a simulation run."""
+
+    end_time: float
+    events_processed: int
+    naplets: tuple[Naplet, ...]
+    deadlocked: tuple[str, ...]
+
+    def by_id(self, naplet_id: str) -> Naplet:
+        for naplet in self.naplets:
+            if naplet.naplet_id == naplet_id:
+                return naplet
+        raise SimulationError(f"no naplet {naplet_id!r} in report")
+
+    def statuses(self) -> dict[str, str]:
+        return {n.naplet_id: n.status.value for n in self.naplets}
+
+    def all_finished(self) -> bool:
+        return all(n.status is NapletStatus.FINISHED for n in self.naplets)
+
+
+class Simulation:
+    """A coalition-wide discrete-event simulation.
+
+    Parameters
+    ----------
+    coalition:
+        Servers, latency model, channels, signals.
+    security:
+        The security manager interposed on every access (default:
+        permissive).
+    access_cost:
+        Virtual time one access takes (or a callable
+        ``(AccessKey) -> float``).
+    on_denied:
+        ``"abort"`` — a denied access terminates the agent with status
+        ``DENIED`` (the paper's ``SecurityException``); ``"skip"`` — the
+        denial is recorded and the program continues (the access is not
+        performed).
+    """
+
+    def __init__(
+        self,
+        coalition: Coalition,
+        security: SecurityManager | None = None,
+        access_cost: float | Callable[[AccessKey], float] = 1.0,
+        on_denied: DeniedPolicy = "abort",
+        max_loop_iterations: int = 100_000,
+    ):
+        if on_denied not in ("abort", "skip"):
+            raise SimulationError(f"unknown on_denied policy {on_denied!r}")
+        self.coalition = coalition
+        self.security = security if security is not None else PermissiveSecurityManager()
+        self._access_cost = access_cost
+        self.on_denied: DeniedPolicy = on_denied
+        self.max_loop_iterations = max_loop_iterations
+
+        self._tasks: dict[str, _Task] = {}
+        self._heap: list[tuple[float, int, str]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._events = 0
+
+    # -- setup -------------------------------------------------------------
+
+    def add_naplet(
+        self, naplet: Naplet, start_server: str, at: float = 0.0
+    ) -> None:
+        """Dispatch ``naplet`` to ``start_server`` at time ``at``."""
+        if naplet.naplet_id in self._tasks:
+            raise SimulationError(f"duplicate naplet {naplet.naplet_id!r}")
+        if start_server not in self.coalition:
+            raise SimulationError(f"unknown start server {start_server!r}")
+        naplet.location = start_server
+        task = _Task(
+            naplet=naplet,
+            generator=interpret(
+                naplet.program, naplet.env, self.max_loop_iterations
+            ),
+        )
+        self._tasks[naplet.naplet_id] = task
+        self._schedule(at, naplet.naplet_id)
+
+    # -- event plumbing -------------------------------------------------------
+
+    def _schedule(self, t: float, task_id: str) -> None:
+        heapq.heappush(self._heap, (t, next(self._counter), task_id))
+
+    def _cost_of(self, access: AccessKey) -> float:
+        if callable(self._access_cost):
+            return float(self._access_cost(access))
+        return float(self._access_cost)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> SimulationReport:
+        """Run until the event heap drains (or past ``until``)."""
+        while self._heap:
+            t, _, task_id = heapq.heappop(self._heap)
+            if until is not None and t > until:
+                heapq.heappush(self._heap, (t, next(self._counter), task_id))
+                break
+            self._now = t
+            self._events += 1
+            task = self._tasks[task_id]
+            if task.naplet.status in (
+                NapletStatus.FINISHED,
+                NapletStatus.DENIED,
+                NapletStatus.FAILED,
+            ):
+                continue
+            self._resume(task, t)
+        deadlocked = tuple(
+            sorted(
+                task_id
+                for task_id, task in self._tasks.items()
+                if task.naplet.status is NapletStatus.BLOCKED
+            )
+        )
+        return SimulationReport(
+            end_time=self._now,
+            events_processed=self._events,
+            naplets=tuple(self._tasks[k].naplet for k in self._tasks),
+            deadlocked=deadlocked,
+        )
+
+    # -- task stepping ----------------------------------------------------------
+
+    def _resume(self, task: _Task, t: float) -> None:
+        naplet = task.naplet
+        if not task.started:
+            task.started = True
+            if not self._arrive(task, naplet.location, t, first=True):
+                return
+        if task.migrating_to is not None:
+            destination = task.migrating_to
+            task.migrating_to = None
+            naplet.location = destination
+            if not self._arrive(task, destination, t, first=False):
+                return
+        naplet.status = NapletStatus.RUNNING
+        while True:
+            if task.pending is not None:
+                request = task.pending
+                task.pending = None
+            else:
+                try:
+                    request = task.generator.send(task.inbox)
+                except StopIteration:
+                    self._finish(task, t)
+                    return
+                except AgentError as error:
+                    naplet.status = NapletStatus.FAILED
+                    naplet.error = error
+                    self._notify_parent(task, t)
+                    return
+                finally:
+                    task.inbox = None
+            if not self._dispatch(task, request, t):
+                return
+
+    def _dispatch(self, task: _Task, request: Request, t: float) -> bool:
+        """Handle one request.  Returns True to keep stepping inline,
+        False when the task yielded control (scheduled/blocked/done)."""
+        if isinstance(request, DoAccess):
+            return self._do_access(task, request, t)
+        if isinstance(request, DoReceive):
+            channel = self.coalition.channels.get(request.channel)
+            value = channel.try_receive()
+            if value is EMPTY:
+                channel.add_waiter(task.naplet.naplet_id)
+                task.pending = request
+                task.naplet.status = NapletStatus.BLOCKED
+                return False
+            task.inbox = value
+            return True
+        if isinstance(request, DoSend):
+            channel = self.coalition.channels.get(request.channel)
+            for waiter in channel.send(request.value):
+                self._wake(waiter, t)
+            return True
+        if isinstance(request, DoSignal):
+            for waiter in self.coalition.signals.raise_signal(request.event):
+                self._wake(waiter, t)
+            return True
+        if isinstance(request, DoWait):
+            signals = self.coalition.signals
+            if signals.is_raised(request.event):
+                return True
+            signals.add_waiter(request.event, task.naplet.naplet_id)
+            task.pending = request
+            task.naplet.status = NapletStatus.BLOCKED
+            return False
+        if isinstance(request, DoSpawn):
+            return self._do_spawn(task, request, t)
+        raise SimulationError(f"unknown request {request!r}")
+
+    def _wake(self, naplet_id: str, t: float) -> None:
+        task = self._tasks.get(naplet_id)
+        if task is None:
+            raise SimulationError(f"woke unknown agent {naplet_id!r}")
+        # Re-attempting a DoWait whose signal has been raised must not
+        # re-register; _dispatch handles both cases on resume.
+        self._schedule(t, naplet_id)
+
+    # -- access + migration -------------------------------------------------------
+
+    def _do_access(self, task: _Task, request: DoAccess, t: float) -> bool:
+        naplet = task.naplet
+        if naplet.location != request.server:
+            try:
+                latency = self.coalition.migration_latency(
+                    naplet.location, request.server
+                )
+            except CoalitionError as error:
+                # Migration to an unknown server kills the agent, not
+                # the simulation.
+                naplet.status = NapletStatus.FAILED
+                naplet.error = error
+                self._notify_parent(task, t)
+                return False
+            if naplet.hooks.on_departure:
+                naplet.hooks.on_departure(naplet, naplet.location, t)
+            naplet.status = NapletStatus.MIGRATING
+            task.pending = request
+            task.migrating_to = request.server
+            # On arrival the pending access is re-attempted.
+            self._schedule(t + latency, naplet.naplet_id)
+            return False
+        access = AccessKey(request.op, request.resource, request.server)
+        try:
+            self.security.check_permission(naplet, access, t)
+        except AccessDenied as denial:
+            naplet.denials.append(denial.decision)
+            if naplet.hooks.on_denied:
+                naplet.hooks.on_denied(naplet, denial.decision, t)
+            if self.on_denied == "abort":
+                naplet.status = NapletStatus.DENIED
+                self._notify_parent(task, t)
+                return False
+            task.inbox = None
+            return True
+        server = self.coalition.server(request.server)
+        try:
+            outcome = server.execute_access(
+                naplet.registry, request.op, request.resource, t
+            )
+        except CoalitionError as error:
+            # Unknown resource / unsupported operation: the agent's
+            # program is broken, not the coalition.
+            naplet.status = NapletStatus.FAILED
+            naplet.error = error
+            self._notify_parent(task, t)
+            return False
+        naplet.observations.append((access, outcome.value))
+        self.security.on_access_executed(naplet, access, t)
+        task.inbox = outcome.value
+        # The access consumes virtual time: resume after its cost.
+        self._schedule(t + self._cost_of(access), naplet.naplet_id)
+        return False
+
+    def _arrive(self, task: _Task, server: str, t: float, first: bool) -> bool:
+        """Arrival bookkeeping; returns False if authentication failed."""
+        naplet = task.naplet
+        self.coalition.server(server).note_arrival()
+        try:
+            if first:
+                self.security.on_first_arrival(naplet, server, t)
+            else:
+                self.security.on_migration(naplet, server, t)
+        except (AuthenticationError, RbacError) as error:
+            naplet.status = NapletStatus.FAILED
+            naplet.error = error
+            self._notify_parent(task, t)
+            return False
+        if naplet.hooks.on_arrival:
+            naplet.hooks.on_arrival(naplet, server, t)
+        return True
+
+    # -- spawning -----------------------------------------------------------------
+
+    def _do_spawn(self, task: _Task, request: DoSpawn, t: float) -> bool:
+        parent = task.naplet
+        task.children_remaining = len(request.programs)
+        for index, program in enumerate(request.programs):
+            child = parent.clone(program, suffix=f"clone{index}")
+            child_task = _Task(
+                naplet=child,
+                generator=interpret(child.program, child.env, self.max_loop_iterations),
+                parent=task,
+            )
+            # Clones inherit the parent's session lazily: they present
+            # the same certificate at their first arrival.
+            self._tasks[child.naplet_id] = child_task
+            self._schedule(t, child.naplet_id)
+        parent.status = NapletStatus.BLOCKED
+        return False
+
+    def _notify_parent(self, task: _Task, t: float) -> None:
+        parent = task.parent
+        if parent is None:
+            return
+        parent.children_remaining -= 1
+        if parent.children_remaining == 0:
+            self._schedule(t, parent.naplet.naplet_id)
+
+    def _finish(self, task: _Task, t: float) -> None:
+        naplet = task.naplet
+        naplet.status = NapletStatus.FINISHED
+        naplet.finish_time = t
+        if naplet.hooks.on_finish:
+            naplet.hooks.on_finish(naplet, t)
+        self._notify_parent(task, t)

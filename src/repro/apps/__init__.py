@@ -1,0 +1,27 @@
+"""Applications built on the coordinated access-control stack.
+
+Currently: the Section 6 software-module integrity verification
+(:mod:`repro.apps.integrity`, the Figure 1 workload).
+"""
+
+from repro.apps.integrity import (
+    AuditReport,
+    DependencyGraph,
+    ModuleSpec,
+    auditor_program,
+    build_coalition,
+    figure1_graph,
+    run_audit,
+    verification_constraint,
+)
+
+__all__ = [
+    "AuditReport",
+    "DependencyGraph",
+    "ModuleSpec",
+    "auditor_program",
+    "build_coalition",
+    "figure1_graph",
+    "run_audit",
+    "verification_constraint",
+]

@@ -1,0 +1,35 @@
+"""Finite automata over access alphabets.
+
+Substrate for the trace-model algebra (Definitions 3.2–3.3), the
+regular-completeness theorem (Theorem 3.1) and the constraint checker
+(Theorem 3.2).
+"""
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA, NFABuilder
+from repro.automata.ops import (
+    canonical_form,
+    contains,
+    determinize,
+    difference,
+    equivalent,
+    intersect,
+    minimize,
+    product,
+    union,
+)
+
+__all__ = [
+    "DFA",
+    "NFA",
+    "NFABuilder",
+    "canonical_form",
+    "contains",
+    "determinize",
+    "difference",
+    "equivalent",
+    "intersect",
+    "minimize",
+    "product",
+    "union",
+]

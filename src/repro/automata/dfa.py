@@ -1,0 +1,182 @@
+"""Deterministic finite automata with partial transition functions.
+
+A missing transition is an implicit dead state (reject).  Operations
+that need totality (complement) complete the automaton over an explicit
+alphabet first.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import AutomatonError
+
+__all__ = ["DFA"]
+
+Symbol = Hashable
+
+
+class DFA:
+    """An immutable DFA.
+
+    ``delta[s]`` maps symbols to the unique successor of state ``s``;
+    absent symbols lead to an implicit dead state.
+    """
+
+    __slots__ = ("delta", "start", "accepts")
+
+    def __init__(
+        self,
+        delta: Sequence[Mapping[Symbol, int]],
+        start: int,
+        accepts: Iterable[int],
+    ) -> None:
+        self.delta = tuple(dict(d) for d in delta)
+        self.start = start
+        self.accepts = frozenset(accepts)
+        n = len(self.delta)
+        if not 0 <= start < n:
+            raise AutomatonError(f"start state {start} out of range")
+        for state in self.accepts:
+            if not 0 <= state < n:
+                raise AutomatonError(f"accept state {state} out of range")
+        for src, edges in enumerate(self.delta):
+            for symbol, dst in edges.items():
+                if not 0 <= dst < n:
+                    raise AutomatonError(
+                        f"transition {src} --{symbol!r}--> {dst} out of range"
+                    )
+
+    # -- basic facts ----------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        return len(self.delta)
+
+    def alphabet(self) -> frozenset[Symbol]:
+        out: set[Symbol] = set()
+        for edges in self.delta:
+            out.update(edges.keys())
+        return frozenset(out)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self, state: int | None, symbol: Symbol) -> int | None:
+        """One step; ``None`` is the dead state."""
+        if state is None:
+            return None
+        return self.delta[state].get(symbol)
+
+    def accepts_word(self, word: Iterable[Symbol]) -> bool:
+        state: int | None = self.start
+        for symbol in word:
+            state = self.step(state, symbol)
+            if state is None:
+                return False
+        return state in self.accepts
+
+    # -- structure --------------------------------------------------------
+
+    def reachable_states(self) -> frozenset[int]:
+        """States reachable from the start state."""
+        seen = {self.start}
+        queue = deque([self.start])
+        while queue:
+            state = queue.popleft()
+            for dst in self.delta[state].values():
+                if dst not in seen:
+                    seen.add(dst)
+                    queue.append(dst)
+        return frozenset(seen)
+
+    def trim(self) -> "DFA":
+        """Drop unreachable states (renumbering the rest)."""
+        reachable = sorted(self.reachable_states())
+        remap = {old: new for new, old in enumerate(reachable)}
+        delta = [
+            {
+                symbol: remap[dst]
+                for symbol, dst in self.delta[old].items()
+                if dst in remap
+            }
+            for old in reachable
+        ]
+        accepts = [remap[s] for s in self.accepts if s in remap]
+        return DFA(delta, remap[self.start], accepts)
+
+    def completed(self, alphabet: Iterable[Symbol]) -> "DFA":
+        """Make the transition function total over ``alphabet`` by
+        adding an explicit dead state (if any transition is missing)."""
+        alphabet = frozenset(alphabet) | self.alphabet()
+        n = self.n_states
+        needs_dead = any(
+            symbol not in edges for edges in self.delta for symbol in alphabet
+        )
+        if not needs_dead:
+            return self
+        dead = n
+        delta: list[dict[Symbol, int]] = [dict(d) for d in self.delta]
+        delta.append({})
+        for edges in delta:
+            for symbol in alphabet:
+                edges.setdefault(symbol, dead)
+        return DFA(delta, self.start, self.accepts)
+
+    def complement(self, alphabet: Iterable[Symbol]) -> "DFA":
+        """The DFA accepting exactly the words over ``alphabet`` that
+        this DFA rejects.  The result is total over ``alphabet``."""
+        total = self.completed(alphabet)
+        accepts = frozenset(range(total.n_states)) - total.accepts
+        return DFA(total.delta, total.start, accepts)
+
+    def is_empty(self) -> bool:
+        """True iff no reachable state accepts."""
+        return not (self.reachable_states() & self.accepts)
+
+    def shortest_word(self) -> tuple[Symbol, ...] | None:
+        """A shortest accepted word, or None."""
+        if self.start in self.accepts:
+            return ()
+        parent: dict[int, tuple[int, Symbol]] = {}
+        seen = {self.start}
+        queue = deque([self.start])
+        while queue:
+            state = queue.popleft()
+            for symbol, dst in sorted(self.delta[state].items(), key=lambda kv: repr(kv[0])):
+                if dst in seen:
+                    continue
+                seen.add(dst)
+                parent[dst] = (state, symbol)
+                if dst in self.accepts:
+                    word: list[Symbol] = []
+                    current = dst
+                    while current != self.start:
+                        prev, sym = parent[current]
+                        word.append(sym)
+                        current = prev
+                    return tuple(reversed(word))
+                queue.append(dst)
+        return None
+
+    def words_up_to(self, max_length: int) -> Iterator[tuple[Symbol, ...]]:
+        """All accepted words of length ≤ ``max_length`` (BFS order)."""
+        layer: list[tuple[int, tuple[Symbol, ...]]] = [(self.start, ())]
+        for length in range(max_length + 1):
+            next_layer: list[tuple[int, tuple[Symbol, ...]]] = []
+            for state, word in layer:
+                if state in self.accepts:
+                    yield word
+                if length == max_length:
+                    continue
+                for symbol, dst in self.delta[state].items():
+                    next_layer.append((dst, word + (symbol,)))
+            layer = next_layer
+            if not layer:
+                return
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"DFA(states={self.n_states}, start={self.start}, "
+            f"accepts={sorted(self.accepts)}, |Σ|={len(self.alphabet())})"
+        )

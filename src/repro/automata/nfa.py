@@ -1,0 +1,254 @@
+"""Nondeterministic finite automata over arbitrary hashable symbols.
+
+The trace alphabet of this library is the set of access triples
+``(op, resource, server)``, but nothing here depends on that: symbols
+are any hashable values.  States are dense integers ``0..n-1`` so the
+hot loops index lists rather than hash dictionaries of state objects
+(see the optimisation guidance in the HPC coding guides: simple data
+layout first, measure before anything fancier).
+
+:class:`NFA` is immutable once built; construct via :class:`NFABuilder`.
+ε-transitions are supported and eliminated on demand by
+:meth:`NFA.epsilon_closure` / subset construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import AutomatonError
+
+__all__ = ["NFA", "NFABuilder"]
+
+Symbol = Hashable
+
+
+class NFABuilder:
+    """Mutable builder for :class:`NFA`.
+
+    Typical use::
+
+        b = NFABuilder()
+        s0, s1 = b.add_state(), b.add_state()
+        b.add_edge(s0, "a", s1)
+        b.add_eps(s1, s0)
+        nfa = b.build(start=s0, accepts=[s1])
+    """
+
+    def __init__(self) -> None:
+        self._edges: list[dict[Symbol, set[int]]] = []
+        self._eps: list[set[int]] = []
+
+    @property
+    def n_states(self) -> int:
+        return len(self._edges)
+
+    def add_state(self) -> int:
+        """Create a fresh state and return its index."""
+        self._edges.append({})
+        self._eps.append(set())
+        return len(self._edges) - 1
+
+    def add_states(self, count: int) -> list[int]:
+        """Create ``count`` fresh states."""
+        return [self.add_state() for _ in range(count)]
+
+    def _check(self, state: int) -> None:
+        if not 0 <= state < len(self._edges):
+            raise AutomatonError(f"unknown state {state}")
+
+    def add_edge(self, src: int, symbol: Symbol, dst: int) -> None:
+        """Add a transition ``src --symbol--> dst``."""
+        self._check(src)
+        self._check(dst)
+        self._edges[src].setdefault(symbol, set()).add(dst)
+
+    def add_eps(self, src: int, dst: int) -> None:
+        """Add an ε-transition ``src --> dst``."""
+        self._check(src)
+        self._check(dst)
+        self._eps[src].add(dst)
+
+    def embed(self, other: "NFA") -> list[int]:
+        """Copy all states and transitions of ``other`` into this
+        builder; returns the mapping from other's state index to the
+        new index (as a list)."""
+        offset = self.n_states
+        for _ in range(other.n_states):
+            self.add_state()
+        for src in range(other.n_states):
+            for symbol, dsts in other.edges[src].items():
+                for dst in dsts:
+                    self.add_edge(offset + src, symbol, offset + dst)
+            for dst in other.eps[src]:
+                self.add_eps(offset + src, offset + dst)
+        return list(range(offset, offset + other.n_states))
+
+    def build(self, start: int, accepts: Iterable[int]) -> "NFA":
+        """Freeze the builder into an immutable :class:`NFA`."""
+        self._check(start)
+        accept_set = frozenset(accepts)
+        for state in accept_set:
+            self._check(state)
+        edges = tuple(
+            {symbol: frozenset(dsts) for symbol, dsts in state_edges.items()}
+            for state_edges in self._edges
+        )
+        eps = tuple(frozenset(e) for e in self._eps)
+        return NFA(edges, eps, start, accept_set)
+
+
+class NFA:
+    """An immutable NFA with ε-transitions.
+
+    Attributes
+    ----------
+    edges:
+        ``edges[s]`` maps each symbol to the frozenset of successor
+        states of ``s``.
+    eps:
+        ``eps[s]`` is the frozenset of ε-successors of ``s``.
+    start, accepts:
+        initial state and accepting-state set.
+    """
+
+    __slots__ = ("edges", "eps", "start", "accepts", "_closure_cache")
+
+    def __init__(
+        self,
+        edges: Sequence[Mapping[Symbol, frozenset[int]]],
+        eps: Sequence[frozenset[int]],
+        start: int,
+        accepts: frozenset[int],
+    ) -> None:
+        self.edges = tuple(dict(e) for e in edges)
+        self.eps = tuple(eps)
+        self.start = start
+        self.accepts = accepts
+        self._closure_cache: dict[int, frozenset[int]] = {}
+
+    # -- basic facts ----------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        return len(self.edges)
+
+    def alphabet(self) -> frozenset[Symbol]:
+        """All symbols appearing on any transition."""
+        out: set[Symbol] = set()
+        for state_edges in self.edges:
+            out.update(state_edges.keys())
+        return frozenset(out)
+
+    # -- ε-closures -------------------------------------------------------
+
+    def epsilon_closure(self, state: int) -> frozenset[int]:
+        """States reachable from ``state`` by ε-transitions (reflexive)."""
+        cached = self._closure_cache.get(state)
+        if cached is not None:
+            return cached
+        seen = {state}
+        queue = deque((state,))
+        while queue:
+            current = queue.popleft()
+            for nxt in self.eps[current]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        result = frozenset(seen)
+        self._closure_cache[state] = result
+        return result
+
+    def closure_of(self, states: Iterable[int]) -> frozenset[int]:
+        """ε-closure of a set of states."""
+        out: set[int] = set()
+        for state in states:
+            out |= self.epsilon_closure(state)
+        return frozenset(out)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self, states: frozenset[int], symbol: Symbol) -> frozenset[int]:
+        """One symbol step from a closed state set (result is closed)."""
+        moved: set[int] = set()
+        for state in states:
+            moved |= self.edges[state].get(symbol, frozenset())
+        return self.closure_of(moved)
+
+    def accepts_word(self, word: Iterable[Symbol]) -> bool:
+        """Run the NFA on ``word`` and report acceptance."""
+        current = self.epsilon_closure(self.start)
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.accepts)
+
+    # -- language queries --------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True iff the accepted language is empty."""
+        return self.shortest_word() is None
+
+    def shortest_word(self) -> tuple[Symbol, ...] | None:
+        """A shortest accepted word, or ``None`` if the language is
+        empty.  BFS over state-set configurations."""
+        start = self.epsilon_closure(self.start)
+        if start & self.accepts:
+            return ()
+        seen = {start}
+        queue: deque[tuple[frozenset[int], tuple[Symbol, ...]]] = deque(
+            [(start, ())]
+        )
+        while queue:
+            states, word = queue.popleft()
+            symbols: set[Symbol] = set()
+            for state in states:
+                symbols.update(self.edges[state].keys())
+            for symbol in sorted(symbols, key=repr):
+                nxt = self.step(states, symbol)
+                if not nxt or nxt in seen:
+                    continue
+                extended = word + (symbol,)
+                if nxt & self.accepts:
+                    return extended
+                seen.add(nxt)
+                queue.append((nxt, extended))
+        return None
+
+    def words_up_to(self, max_length: int) -> Iterator[tuple[Symbol, ...]]:
+        """Enumerate all accepted words of length ≤ ``max_length``
+        (deduplicated, shortest first).  Intended for small automata in
+        tests; the number of words can be exponential in ``max_length``."""
+        start = self.epsilon_closure(self.start)
+        layer: list[tuple[frozenset[int], tuple[Symbol, ...]]] = [(start, ())]
+        emitted: set[tuple[Symbol, ...]] = set()
+        for length in range(max_length + 1):
+            next_layer: list[tuple[frozenset[int], tuple[Symbol, ...]]] = []
+            dedup: dict[tuple[Symbol, ...], frozenset[int]] = {}
+            for states, word in layer:
+                prev = dedup.get(word)
+                dedup[word] = states | prev if prev else states
+            for word, states in sorted(dedup.items(), key=lambda kv: repr(kv[0])):
+                if states & self.accepts and word not in emitted:
+                    emitted.add(word)
+                    yield word
+                if length == max_length:
+                    continue
+                symbols: set[Symbol] = set()
+                for state in states:
+                    symbols.update(self.edges[state].keys())
+                for symbol in symbols:
+                    nxt = self.step(states, symbol)
+                    if nxt:
+                        next_layer.append((nxt, word + (symbol,)))
+            layer = next_layer
+            if not layer:
+                return
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"NFA(states={self.n_states}, start={self.start}, "
+            f"accepts={sorted(self.accepts)}, |Σ|={len(self.alphabet())})"
+        )

@@ -1,0 +1,325 @@
+"""Automata algorithms: determinisation, minimisation, products,
+equivalence.
+
+These are the engine room of Theorem 3.1 (regular completeness is
+*verified* by checking language equivalence between a regex and the
+synthesised program's trace NFA) and of the trace-model equality used
+throughout the tests.
+
+Algorithms
+----------
+
+* :func:`determinize` — subset construction (lazy; only reachable
+  subsets are materialised).
+* :func:`minimize` — Hopcroft's partition refinement, ``O(kn log n)``.
+* :func:`product` — lazy synchronous product for intersection /
+  union / difference.
+* :func:`equivalent` — Hopcroft–Karp union-find equivalence check,
+  near-linear and without full minimisation.
+* :func:`canonical_form` — minimise + BFS renumbering; two DFAs are
+  language-equal iff their canonical forms are identical (used for
+  hashing trace models).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Callable, Hashable
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+
+__all__ = [
+    "determinize",
+    "minimize",
+    "product",
+    "intersect",
+    "union",
+    "difference",
+    "equivalent",
+    "contains",
+    "canonical_form",
+]
+
+Symbol = Hashable
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Subset construction.  Only subsets reachable from the start
+    closure are created, so the common case stays far below ``2^n``."""
+    start = nfa.epsilon_closure(nfa.start)
+    index: dict[frozenset[int], int] = {start: 0}
+    delta: list[dict[Symbol, int]] = [{}]
+    accepts: list[int] = []
+    if start & nfa.accepts:
+        accepts.append(0)
+    queue = deque([start])
+    while queue:
+        states = queue.popleft()
+        src = index[states]
+        symbols: set[Symbol] = set()
+        for state in states:
+            symbols.update(nfa.edges[state].keys())
+        for symbol in symbols:
+            nxt = nfa.step(states, symbol)
+            if not nxt:
+                continue
+            dst = index.get(nxt)
+            if dst is None:
+                dst = len(delta)
+                index[nxt] = dst
+                delta.append({})
+                if nxt & nfa.accepts:
+                    accepts.append(dst)
+                queue.append(nxt)
+            delta[src][symbol] = dst
+    return DFA(delta, 0, accepts)
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Hopcroft's algorithm over the trimmed, completed automaton.
+
+    The returned DFA is trimmed again afterwards so a dead class does
+    not linger when the language is co-finite-free.
+    """
+    trimmed = dfa.trim()
+    alphabet = sorted(trimmed.alphabet(), key=repr)
+    total = trimmed.completed(alphabet)
+    n = total.n_states
+
+    # Inverse transition table: inv[symbol][dst] -> list of srcs
+    inv: dict[Symbol, list[list[int]]] = {
+        symbol: [[] for _ in range(n)] for symbol in alphabet
+    }
+    for src in range(n):
+        for symbol, dst in total.delta[src].items():
+            inv[symbol][dst].append(src)
+
+    accepting = set(total.accepts)
+    rejecting = set(range(n)) - accepting
+    partition: list[set[int]] = [s for s in (accepting, rejecting) if s]
+    class_of = [0] * n
+    for idx, block in enumerate(partition):
+        for state in block:
+            class_of[state] = idx
+
+    # Textbook Hopcroft worklist discipline: pairs (block id, symbol).
+    # When block Y splits into Y (kept id, new content) and Y' (new id):
+    # for each symbol c, if (Y, c) is pending it now denotes the new Y,
+    # so (Y', c) must be added too; otherwise adding the smaller half
+    # alone preserves the invariant.
+    worklist: deque[tuple[int, Symbol]] = deque()
+    in_work: set[tuple[int, Symbol]] = set()
+
+    def push(idx: int, symbol: Symbol) -> None:
+        key = (idx, symbol)
+        if key not in in_work:
+            in_work.add(key)
+            worklist.append(key)
+
+    seed = 0 if len(partition) == 1 or len(partition[0]) <= len(partition[1]) else 1
+    for symbol in alphabet:
+        push(seed, symbol)
+
+    while worklist:
+        key = worklist.popleft()
+        in_work.discard(key)
+        block_idx, symbol = key
+        block = partition[block_idx]
+        # States with a transition on `symbol` into `block`
+        movers: set[int] = set()
+        for dst in block:
+            movers.update(inv[symbol][dst])
+        if not movers:
+            continue
+        touched: dict[int, set[int]] = defaultdict(set)
+        for state in movers:
+            touched[class_of[state]].add(state)
+        for idx, subset in touched.items():
+            if len(subset) == len(partition[idx]):
+                continue
+            # Split partition[idx] into subset (keeps idx) and the rest.
+            rest = partition[idx] - subset
+            partition[idx] = subset
+            new_idx = len(partition)
+            partition.append(rest)
+            for state in rest:
+                class_of[state] = new_idx
+            for sym in alphabet:
+                if (idx, sym) in in_work:
+                    push(new_idx, sym)
+                elif len(subset) <= len(rest):
+                    push(idx, sym)
+                else:
+                    push(new_idx, sym)
+
+    # Rebuild the quotient automaton.
+    delta: list[dict[Symbol, int]] = [dict() for _ in partition]
+    for block_idx, block in enumerate(partition):
+        representative = next(iter(block))
+        for symbol, dst in total.delta[representative].items():
+            delta[block_idx][symbol] = class_of[dst]
+    accepts = {class_of[s] for s in total.accepts}
+    quotient = DFA(delta, class_of[total.start], accepts)
+
+    # Drop the dead class if it became unreachable-from-acceptance:
+    # keeping the DFA partial makes downstream products smaller.
+    return _drop_dead(quotient.trim())
+
+
+def _drop_dead(dfa: DFA) -> DFA:
+    """Remove states from which no accepting state is reachable and the
+    transitions into them (making the DFA partial again)."""
+    n = dfa.n_states
+    # Reverse reachability from accepting states.
+    reverse: list[set[int]] = [set() for _ in range(n)]
+    for src in range(n):
+        for dst in dfa.delta[src].values():
+            reverse[dst].add(src)
+    alive = set(dfa.accepts)
+    queue = deque(alive)
+    while queue:
+        state = queue.popleft()
+        for prev in reverse[state]:
+            if prev not in alive:
+                alive.add(prev)
+                queue.append(prev)
+    if dfa.start not in alive:
+        # Empty language: single non-accepting state.
+        return DFA([{}], 0, [])
+    keep = sorted(alive)
+    remap = {old: new for new, old in enumerate(keep)}
+    delta = [
+        {
+            symbol: remap[dst]
+            for symbol, dst in dfa.delta[old].items()
+            if dst in alive
+        }
+        for old in keep
+    ]
+    return DFA(delta, remap[dfa.start], [remap[s] for s in dfa.accepts])
+
+
+def product(
+    left: DFA, right: DFA, accept: Callable[[bool, bool], bool]
+) -> DFA:
+    """Lazy synchronous product of two *completed* views of the inputs.
+
+    ``accept(in_left, in_right)`` decides acceptance of a product
+    state; use ``and`` for intersection, ``or`` for union,
+    ``lambda a, b: a and not b`` for difference.  Both automata are
+    completed over the union alphabet so union/difference are correct.
+    """
+    alphabet = left.alphabet() | right.alphabet()
+    ltotal = left.completed(alphabet)
+    rtotal = right.completed(alphabet)
+    start = (ltotal.start, rtotal.start)
+    index: dict[tuple[int, int], int] = {start: 0}
+    delta: list[dict[Symbol, int]] = [{}]
+    accepts: list[int] = []
+    if accept(ltotal.start in ltotal.accepts, rtotal.start in rtotal.accepts):
+        accepts.append(0)
+    queue = deque([start])
+    while queue:
+        pair = queue.popleft()
+        src = index[pair]
+        lstate, rstate = pair
+        for symbol in alphabet:
+            npair = (ltotal.delta[lstate][symbol], rtotal.delta[rstate][symbol])
+            dst = index.get(npair)
+            if dst is None:
+                dst = len(delta)
+                index[npair] = dst
+                delta.append({})
+                if accept(npair[0] in ltotal.accepts, npair[1] in rtotal.accepts):
+                    accepts.append(dst)
+                queue.append(npair)
+            delta[src][symbol] = dst
+    return DFA(delta, 0, accepts)
+
+
+def intersect(left: DFA, right: DFA) -> DFA:
+    """DFA for ``L(left) ∩ L(right)``."""
+    return product(left, right, lambda a, b: a and b)
+
+
+def union(left: DFA, right: DFA) -> DFA:
+    """DFA for ``L(left) ∪ L(right)``."""
+    return product(left, right, lambda a, b: a or b)
+
+
+def difference(left: DFA, right: DFA) -> DFA:
+    """DFA for ``L(left) \\ L(right)``."""
+    return product(left, right, lambda a, b: a and not b)
+
+
+def equivalent(left: DFA, right: DFA) -> bool:
+    """Hopcroft–Karp language-equivalence check (union-find merging)."""
+    alphabet = left.alphabet() | right.alphabet()
+    ltotal = left.completed(alphabet)
+    rtotal = right.completed(alphabet)
+
+    # Union-find over the disjoint union of state sets; right states are
+    # offset by ltotal.n_states.
+    parent = list(range(ltotal.n_states + rtotal.n_states))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def unite(x: int, y: int) -> bool:
+        rx, ry = find(x), find(y)
+        if rx == ry:
+            return False
+        parent[rx] = ry
+        return True
+
+    offset = ltotal.n_states
+    queue = deque([(ltotal.start, rtotal.start)])
+    unite(ltotal.start, rtotal.start + offset)
+    while queue:
+        lstate, rstate = queue.popleft()
+        if (lstate in ltotal.accepts) != (rstate in rtotal.accepts):
+            return False
+        for symbol in alphabet:
+            lnext = ltotal.delta[lstate][symbol]
+            rnext = rtotal.delta[rstate][symbol]
+            if unite(lnext, rnext + offset):
+                queue.append((lnext, rnext))
+    return True
+
+
+def contains(larger: DFA, smaller: DFA) -> bool:
+    """True iff ``L(smaller) ⊆ L(larger)``."""
+    return difference(smaller, larger).is_empty()
+
+
+def canonical_form(
+    dfa: DFA,
+) -> tuple[int, frozenset[int], tuple[tuple[tuple[Symbol, int], ...], ...]]:
+    """A canonical fingerprint of the language: minimise, then renumber
+    states in BFS order with symbols sorted by ``repr``.  Two DFAs have
+    identical canonical forms iff their languages are equal (for
+    languages over comparable symbol reprs)."""
+    minimal = minimize(dfa)
+    order: dict[int, int] = {minimal.start: 0}
+    queue = deque([minimal.start])
+    while queue:
+        state = queue.popleft()
+        for symbol, dst in sorted(minimal.delta[state].items(), key=lambda kv: repr(kv[0])):
+            if dst not in order:
+                order[dst] = len(order)
+                queue.append(dst)
+    delta = [
+        tuple(
+            sorted(
+                ((symbol, order[dst]) for symbol, dst in minimal.delta[old].items()),
+                key=lambda kv: repr(kv[0]),
+            )
+        )
+        for old in sorted(order, key=order.get)
+    ]
+    accepts = frozenset(order[s] for s in minimal.accepts)
+    return (len(order), accepts, tuple(delta))

@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``check``
+    Decide ``P ⊨ C`` (Theorem 3.2) for a program file and a constraint.
+``traces``
+    Enumerate (bounded) traces of a program.
+``figure1``
+    Print the paper's Figure 1 dependency digraph (optionally as DOT).
+``audit``
+    Run the Section 6 integrity audit on Figure 1 or a random module
+    graph, with optional tampering and deadline.
+``simulate``
+    Run a program as a mobile agent over an ad-hoc coalition under a
+    policy file, printing the proved history and decision log.
+
+All inputs are plain text files in the library's concrete syntaxes
+(SRAL programs, SRAC constraints, the policy DSL).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Coordinated spatio-temporal access control (Fu & Xu, IPPS 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="decide P |= C (Theorem 3.2)")
+    check.add_argument("program", type=Path, help="SRAL program file")
+    check.add_argument("constraint", help="SRAC constraint (inline source)")
+    check.add_argument(
+        "--mode", choices=("forall", "exists"), default="forall",
+        help="every trace must satisfy C (forall) or some trace (exists)",
+    )
+
+    traces = sub.add_parser("traces", help="enumerate traces of a program")
+    traces.add_argument("program", type=Path, help="SRAL program file")
+    traces.add_argument("--max-length", type=int, default=6)
+    traces.add_argument("--limit", type=int, default=50, help="max traces printed")
+
+    figure1 = sub.add_parser("figure1", help="print the Figure 1 digraph")
+    figure1.add_argument("--dot", type=Path, help="write Graphviz DOT here")
+
+    audit = sub.add_parser("audit", help="run the Section 6 integrity audit")
+    audit.add_argument("--modules", type=int, help="random graph instead of Figure 1")
+    audit.add_argument("--servers", type=int, default=4)
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument("--tamper", action="append", default=[], metavar="MODULE")
+    audit.add_argument("--deadline", type=float, default=math.inf)
+
+    simulate = sub.add_parser("simulate", help="run a program as a mobile agent")
+    simulate.add_argument("policy", type=Path, help="policy file (text DSL)")
+    simulate.add_argument("program", type=Path, help="SRAL program file")
+    simulate.add_argument("--owner", required=True, help="user name from the policy")
+    simulate.add_argument("--roles", default="", help="comma-separated roles to activate")
+    simulate.add_argument("--start", help="start server (default: first accessed)")
+    simulate.add_argument(
+        "--on-denied", choices=("abort", "skip"), default="abort"
+    )
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "traces":
+        return _cmd_traces(args)
+    if args.command == "figure1":
+        return _cmd_figure1(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    raise AssertionError(args.command)  # pragma: no cover
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.sral.parser import parse_program
+    from repro.srac.checker import check_program_stats
+    from repro.srac.parser import parse_constraint
+
+    program = parse_program(args.program.read_text())
+    constraint = parse_constraint(args.constraint)
+    result = check_program_stats(program, constraint, mode=args.mode)
+    quantifier = "every trace" if args.mode == "forall" else "some trace"
+    print(f"P |= C ({quantifier}): {result.holds}")
+    if result.witness is not None:
+        kind = "violating" if args.mode == "forall" else "satisfying"
+        rendered = ", ".join(str(a) for a in result.witness) or "<empty trace>"
+        print(f"{kind} trace: {rendered}")
+    print(f"configurations explored: {result.configurations}")
+    return 0 if result.holds else 1
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    from repro.sral.parser import parse_program
+    from repro.traces.model import program_traces
+
+    model = program_traces(parse_program(args.program.read_text()))
+    finite = model.is_finite()
+    print(f"trace model is {'finite' if finite else 'infinite'}")
+    shown = 0
+    for trace in model.enumerate(args.max_length):
+        rendered = " -> ".join(str(a) for a in trace) or "<empty trace>"
+        print(f"  {rendered}")
+        shown += 1
+        if shown >= args.limit:
+            print(f"  ... (limit {args.limit} reached)")
+            break
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from repro.apps.integrity import figure1_graph
+    from repro.viz import dependency_graph_to_ascii, dependency_graph_to_dot
+
+    graph = figure1_graph()
+    print(dependency_graph_to_ascii(graph))
+    if args.dot is not None:
+        args.dot.write_text(dependency_graph_to_dot(graph) + "\n")
+        print(f"DOT written to {args.dot}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.apps.integrity import figure1_graph, run_audit
+    from repro.viz import audit_report_to_ascii
+    from repro.workloads.digraphs import random_module_graph
+
+    if args.modules is not None:
+        graph = random_module_graph(args.modules, args.servers, seed=args.seed)
+    else:
+        graph = figure1_graph()
+    report = run_audit(graph, tamper=set(args.tamper), deadline=args.deadline)
+    print(audit_report_to_ascii(report))
+    return 0 if report.all_verified() else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.agent.naplet import Naplet
+    from repro.agent.scheduler import Simulation
+    from repro.agent.security import NapletSecurityManager
+    from repro.coalition.network import Coalition
+    from repro.coalition.resource import Resource
+    from repro.coalition.server import CoalitionServer
+    from repro.rbac.engine import AccessControlEngine
+    from repro.rbac.policy import Policy
+    from repro.sral.analysis import alphabet as program_alphabet
+    from repro.sral.parser import parse_program
+    from repro.traces.trace import AccessKey
+
+    policy = Policy.from_text(args.policy.read_text())
+    program = parse_program(args.program.read_text())
+
+    # Build an ad-hoc coalition: every server the program names, hosting
+    # every resource the program touches there.
+    accesses = sorted(AccessKey(*a) for a in program_alphabet(program))
+    if not accesses:
+        print("program performs no shared-resource access")
+        return 1
+    servers: dict[str, set[str]] = {}
+    for op, resource, server in accesses:
+        servers.setdefault(server, set()).add(resource)
+    coalition = Coalition(
+        CoalitionServer(name, resources=[Resource(r) for r in sorted(resources)])
+        for name, resources in sorted(servers.items())
+    )
+
+    engine = AccessControlEngine(policy)
+    simulation = Simulation(
+        coalition,
+        security=NapletSecurityManager(engine),
+        on_denied=args.on_denied,
+    )
+    roles = tuple(r for r in args.roles.split(",") if r)
+    naplet = Naplet(args.owner, program, roles=roles)
+    start = args.start or accesses[0].server
+    simulation.add_naplet(naplet, start)
+    simulation.run()
+
+    print(f"status: {naplet.status.value}")
+    print(f"proved history ({len(naplet.history())} accesses):")
+    for access in naplet.history():
+        print(f"  {access}")
+    if naplet.error is not None:
+        print(f"error: {naplet.error}")
+    denials = [d for d in engine.audit.denials()]
+    if denials:
+        print("denials:")
+        for decision in denials:
+            print(f"  {decision.access}  ({decision.reason})")
+    print(f"proof chain verifies: {naplet.registry.verify_chain()}")
+    return 0 if naplet.status.value == "finished" else 1

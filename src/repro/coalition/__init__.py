@@ -1,0 +1,39 @@
+"""Coalition-environment substrate (paper Section 2).
+
+Servers with local (skewed) clocks host shared resources; execution
+proofs record successful accesses; coalition-wide channels and signals
+carry SRAL's communication primitives.
+"""
+
+from repro.coalition.channels import EMPTY, Channel, ChannelTable, SignalTable
+from repro.coalition.clock import ServerClock, make_clocks
+from repro.coalition.network import (
+    Coalition,
+    LatencyModel,
+    constant_latency,
+    uniform_latency,
+)
+from repro.coalition.proofs import GENESIS_DIGEST, ExecutionProof, ProofRegistry
+from repro.coalition.resource import DEFAULT_OPERATIONS, Resource, ResourceRegistry
+from repro.coalition.server import AccessOutcome, CoalitionServer
+
+__all__ = [
+    "EMPTY",
+    "Channel",
+    "ChannelTable",
+    "SignalTable",
+    "ServerClock",
+    "make_clocks",
+    "Coalition",
+    "LatencyModel",
+    "constant_latency",
+    "uniform_latency",
+    "GENESIS_DIGEST",
+    "ExecutionProof",
+    "ProofRegistry",
+    "DEFAULT_OPERATIONS",
+    "Resource",
+    "ResourceRegistry",
+    "AccessOutcome",
+    "CoalitionServer",
+]

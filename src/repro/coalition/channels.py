@@ -1,0 +1,143 @@
+"""Channels and signals — SRAL's communication primitives.
+
+``ch ? x`` receives (blocking while the channel is empty); ``ch ! e``
+appends a value and wakes blocked receivers; ``signal(ξ)`` /
+``wait(ξ)`` enforce order synchronisation: the wait may only proceed
+after the signal was raised (Definition 3.1's explanation).
+
+These are *passive* structures: blocking is realised by the
+discrete-event scheduler (:mod:`repro.agent.scheduler`).  A receive
+either returns a value or registers the caller as a waiter; a send
+returns the list of waiters to wake.  This mirrors the message-passing
+substrate style of MPI-like systems (explicit send/recv with wake-up on
+message arrival) without threads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Hashable
+
+from repro.errors import ChannelError
+
+__all__ = ["Channel", "ChannelTable", "SignalTable", "EMPTY"]
+
+
+class _Empty:
+    """Sentinel returned by :meth:`Channel.try_receive` on an empty
+    channel (None is a legal payload)."""
+
+    _instance: "_Empty | None" = None
+
+    def __new__(cls) -> "_Empty":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "EMPTY"
+
+
+EMPTY = _Empty()
+
+
+class Channel:
+    """An unbounded FIFO channel."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ChannelError("channel name must be non-empty")
+        self.name = name
+        self._queue: deque[Any] = deque()
+        self._waiters: deque[Hashable] = deque()
+
+    # -- data --------------------------------------------------------------
+
+    def try_receive(self) -> Any:
+        """Pop the oldest value, or return :data:`EMPTY` if none."""
+        if self._queue:
+            return self._queue.popleft()
+        return EMPTY
+
+    def send(self, value: Any) -> list[Hashable]:
+        """Append ``value``; return the waiters to wake (cleared here —
+        the scheduler re-runs them and they re-attempt the receive)."""
+        self._queue.append(value)
+        woken = list(self._waiters)
+        self._waiters.clear()
+        return woken
+
+    # -- blocking bookkeeping -------------------------------------------------
+
+    def add_waiter(self, agent_id: Hashable) -> None:
+        """Register an agent blocked on an empty receive."""
+        if agent_id in self._waiters:
+            raise ChannelError(f"agent {agent_id!r} already waiting on {self.name!r}")
+        self._waiters.append(agent_id)
+
+    def waiters(self) -> tuple[Hashable, ...]:
+        return tuple(self._waiters)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Channel({self.name!r}, queued={len(self._queue)}, waiters={len(self._waiters)})"
+
+
+class ChannelTable:
+    """Coalition-wide channel namespace (channels are shared; mobile
+    objects on different servers may communicate through them)."""
+
+    def __init__(self) -> None:
+        self._channels: dict[str, Channel] = {}
+
+    def get(self, name: str) -> Channel:
+        """Fetch (creating on first use) the channel ``name``."""
+        channel = self._channels.get(name)
+        if channel is None:
+            channel = Channel(name)
+            self._channels[name] = channel
+        return channel
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._channels
+
+    def names(self) -> list[str]:
+        return sorted(self._channels)
+
+
+class SignalTable:
+    """Order-synchronisation signals: ``wait(ξ)`` proceeds only after
+    ``signal(ξ)`` has been performed.  Signals are sticky (once raised,
+    every later wait passes), matching the paper's one-directional
+    ordering semantics."""
+
+    def __init__(self) -> None:
+        self._raised: set[str] = set()
+        self._waiters: dict[str, deque[Hashable]] = {}
+
+    def raise_signal(self, event: str) -> list[Hashable]:
+        """Raise ``event``; returns the blocked waiters to wake."""
+        self._raised.add(event)
+        woken = list(self._waiters.pop(event, ()))
+        return woken
+
+    def is_raised(self, event: str) -> bool:
+        return event in self._raised
+
+    def add_waiter(self, event: str, agent_id: Hashable) -> None:
+        """Register an agent blocked on an un-raised signal."""
+        if event in self._raised:
+            raise ChannelError(f"signal {event!r} already raised; nothing to wait for")
+        queue = self._waiters.setdefault(event, deque())
+        if agent_id in queue:
+            raise ChannelError(f"agent {agent_id!r} already waiting on {event!r}")
+        queue.append(agent_id)
+
+    def waiters(self, event: str) -> tuple[Hashable, ...]:
+        return tuple(self._waiters.get(event, ()))
+
+    def pending_events(self) -> list[str]:
+        """Events with blocked waiters (deadlock diagnostics)."""
+        return sorted(e for e, q in self._waiters.items() if q)

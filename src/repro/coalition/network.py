@@ -1,0 +1,100 @@
+"""The coalition: a set of cooperating servers plus a latency model.
+
+Multiple organisations "must cooperate to share the subset of their
+protected resources necessary to the coalition" (Section 2).  The
+:class:`Coalition` owns the server namespace, the shared channel and
+signal tables (coalition-wide, so agents on different servers can
+synchronise) and the migration latency model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.coalition.channels import ChannelTable, SignalTable
+from repro.coalition.server import CoalitionServer
+from repro.errors import CoalitionError, MigrationError
+
+__all__ = ["Coalition", "LatencyModel", "constant_latency", "uniform_latency"]
+
+#: Maps an ordered server-name pair to a migration latency.
+LatencyModel = Callable[[str, str], float]
+
+
+def constant_latency(value: float = 1.0) -> LatencyModel:
+    """Every migration takes ``value`` time units."""
+    if value < 0:
+        raise CoalitionError("latency must be non-negative")
+
+    def model(src: str, dst: str) -> float:
+        return 0.0 if src == dst else value
+
+    return model
+
+
+def uniform_latency(table: dict[tuple[str, str], float], default: float = 1.0) -> LatencyModel:
+    """Latencies from an explicit symmetric table with a default."""
+    for (a, b), value in table.items():
+        if value < 0:
+            raise CoalitionError(f"latency {a}->{b} must be non-negative")
+
+    def model(src: str, dst: str) -> float:
+        if src == dst:
+            return 0.0
+        return table.get((src, dst), table.get((dst, src), default))
+
+    return model
+
+
+class Coalition:
+    """A coalition environment: servers, channels, signals, latencies."""
+
+    def __init__(
+        self,
+        servers: Iterable[CoalitionServer] = (),
+        latency: LatencyModel | None = None,
+    ):
+        self._servers: dict[str, CoalitionServer] = {}
+        for server in servers:
+            self.add_server(server)
+        self.latency_model = latency if latency is not None else constant_latency()
+        self.channels = ChannelTable()
+        self.signals = SignalTable()
+
+    # -- membership -----------------------------------------------------------
+
+    def add_server(self, server: CoalitionServer) -> None:
+        if server.name in self._servers:
+            raise CoalitionError(f"duplicate server {server.name!r}")
+        self._servers[server.name] = server
+
+    def server(self, name: str) -> CoalitionServer:
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise CoalitionError(f"unknown server {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._servers
+
+    def __iter__(self) -> Iterator[CoalitionServer]:
+        return iter(self._servers.values())
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def server_names(self) -> list[str]:
+        return sorted(self._servers)
+
+    # -- migration --------------------------------------------------------------
+
+    def migration_latency(self, src: str, dst: str) -> float:
+        """Time for a mobile object to travel ``src → dst``."""
+        if dst not in self._servers:
+            raise MigrationError(f"cannot migrate to unknown server {dst!r}")
+        if src not in self._servers:
+            raise MigrationError(f"cannot migrate from unknown server {src!r}")
+        value = self.latency_model(src, dst)
+        if value < 0:
+            raise MigrationError(f"latency model returned negative value {value}")
+        return value

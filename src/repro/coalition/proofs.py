@@ -1,0 +1,219 @@
+"""Execution proofs (the paper's ``Pr_x``).
+
+"We assume when an access request to a shared resource is executed by a
+coalition server, a execution proof will be issued to the mobile
+object.  It records the information of (o, op, r, s) for the access,
+and the execution time" (Section 2).
+
+Each :class:`ExecutionProof` is hash-chained to its predecessor for the
+same mobile object, so a server receiving a roaming object can verify
+that the presented history was not reordered or truncated in the middle
+(truncating the *tail* is detectable only against the issuing servers,
+as in any offline token scheme — a limitation the paper shares).
+``Pr_x(a)`` is :meth:`ProofRegistry.proved`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import CoalitionError
+from repro.traces.trace import AccessKey, Trace
+
+__all__ = ["ExecutionProof", "ProofRegistry", "GENESIS_DIGEST"]
+
+#: Chain head for an object with no prior accesses.
+GENESIS_DIGEST = hashlib.sha256(b"repro-proof-genesis").hexdigest()
+
+
+@dataclass(frozen=True)
+class ExecutionProof:
+    """Proof that mobile object ``object_id`` performed ``access`` at
+    server-local time ``local_time`` (sequence number ``seq`` in the
+    object's history)."""
+
+    object_id: str
+    access: AccessKey
+    local_time: float
+    seq: int
+    prev_digest: str
+    digest: str
+
+    @staticmethod
+    def issue(
+        object_id: str,
+        access: AccessKey | tuple[str, str, str],
+        local_time: float,
+        seq: int,
+        prev_digest: str,
+    ) -> "ExecutionProof":
+        """Create a proof chained onto ``prev_digest``."""
+        access = AccessKey(*access)
+        digest = ExecutionProof._compute_digest(
+            object_id, access, local_time, seq, prev_digest
+        )
+        return ExecutionProof(object_id, access, local_time, seq, prev_digest, digest)
+
+    @staticmethod
+    def _compute_digest(
+        object_id: str,
+        access: AccessKey,
+        local_time: float,
+        seq: int,
+        prev_digest: str,
+    ) -> str:
+        material = "|".join(
+            (
+                object_id,
+                access.op,
+                access.resource,
+                access.server,
+                repr(local_time),
+                str(seq),
+                prev_digest,
+            )
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def is_consistent(self) -> bool:
+        """Recompute the digest and compare (tamper check for a single
+        link)."""
+        return self.digest == self._compute_digest(
+            self.object_id, self.access, self.local_time, self.seq, self.prev_digest
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-safe representation (wire format for carrying proofs
+        between organisations)."""
+        return {
+            "object_id": self.object_id,
+            "access": list(self.access),
+            "local_time": self.local_time,
+            "seq": self.seq,
+            "prev_digest": self.prev_digest,
+            "digest": self.digest,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ExecutionProof":
+        """Parse the wire format; digest consistency is *not* assumed —
+        verify via :meth:`ProofRegistry.extend_verified` or
+        :meth:`is_consistent`."""
+        try:
+            return ExecutionProof(
+                object_id=data["object_id"],
+                access=AccessKey(*data["access"]),
+                local_time=float(data["local_time"]),
+                seq=int(data["seq"]),
+                prev_digest=data["prev_digest"],
+                digest=data["digest"],
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CoalitionError(f"malformed proof record: {error}") from None
+
+
+class ProofRegistry:
+    """Append-only, hash-chained access history of one mobile object."""
+
+    def __init__(self, object_id: str):
+        self.object_id = object_id
+        self._proofs: list[ExecutionProof] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def record(
+        self, access: AccessKey | tuple[str, str, str], local_time: float
+    ) -> ExecutionProof:
+        """Issue and append the proof for a freshly executed access."""
+        prev = self._proofs[-1].digest if self._proofs else GENESIS_DIGEST
+        proof = ExecutionProof.issue(
+            self.object_id, access, local_time, len(self._proofs), prev
+        )
+        self._proofs.append(proof)
+        return proof
+
+    def extend_verified(self, proofs: Iterable[ExecutionProof]) -> None:
+        """Adopt an externally presented proof sequence after verifying
+        it chains onto the current history (used when a server imports
+        the history a roaming object carries)."""
+        for proof in proofs:
+            prev = self._proofs[-1].digest if self._proofs else GENESIS_DIGEST
+            if proof.object_id != self.object_id:
+                raise CoalitionError(
+                    f"proof belongs to {proof.object_id!r}, not {self.object_id!r}"
+                )
+            if proof.seq != len(self._proofs):
+                raise CoalitionError(
+                    f"proof sequence gap: expected {len(self._proofs)}, got {proof.seq}"
+                )
+            if proof.prev_digest != prev:
+                raise CoalitionError("proof chain broken: prev digest mismatch")
+            if not proof.is_consistent():
+                raise CoalitionError("proof digest does not match its contents")
+            self._proofs.append(proof)
+
+    # -- queries -------------------------------------------------------------
+
+    def proved(self, access: AccessKey | tuple[str, str, str]) -> bool:
+        """``Pr_x(a)``: has ``a`` been successfully carried out?"""
+        access = AccessKey(*access)
+        return any(p.access == access for p in self._proofs)
+
+    def trace(self) -> Trace:
+        """The proved access history as a trace (Definition 3.6 input)."""
+        return tuple(p.access for p in self._proofs)
+
+    def proofs(self) -> tuple[ExecutionProof, ...]:
+        return tuple(self._proofs)
+
+    def verify_chain(self) -> bool:
+        """Check the whole chain: digests consistent, sequence dense,
+        links connected."""
+        prev = GENESIS_DIGEST
+        for index, proof in enumerate(self._proofs):
+            if (
+                proof.seq != index
+                or proof.prev_digest != prev
+                or proof.object_id != self.object_id
+                or not proof.is_consistent()
+            ):
+                return False
+            prev = proof.digest
+        return True
+
+    def __len__(self) -> int:
+        return len(self._proofs)
+
+    def __iter__(self) -> Iterator[ExecutionProof]:
+        return iter(self._proofs)
+
+    # -- wire format ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise the whole chain (what a roaming object carries)."""
+        return json.dumps(
+            {
+                "object_id": self.object_id,
+                "proofs": [p.to_dict() for p in self._proofs],
+            }
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "ProofRegistry":
+        """Parse and *verify* a carried chain; raises
+        :class:`~repro.errors.CoalitionError` on malformed input or a
+        broken chain (the receiving server's import path)."""
+        try:
+            data = json.loads(text)
+            object_id = data["object_id"]
+            records = data["proofs"]
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            raise CoalitionError(f"malformed proof chain: {error}") from None
+        registry = ProofRegistry(object_id)
+        registry.extend_verified(
+            ExecutionProof.from_dict(record) for record in records
+        )
+        return registry

@@ -1,0 +1,101 @@
+"""Shared resources hosted by coalition servers.
+
+A :class:`Resource` is a named object a server exposes to roaming
+mobile objects, with a declared set of supported operations (the
+paper's ``OP`` — execute/read/write for file-system style resources)
+and optional binary content (used by the Section 6 integrity
+application, whose mobile auditor hashes module blobs).
+
+:class:`ResourceRegistry` is a server's catalogue with access counting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import CoalitionError
+
+__all__ = ["Resource", "ResourceRegistry", "DEFAULT_OPERATIONS"]
+
+#: Operations supported when none are declared explicitly.
+DEFAULT_OPERATIONS = frozenset({"read", "write", "exec"})
+
+
+@dataclass
+class Resource:
+    """A shared resource.
+
+    Parameters
+    ----------
+    name:
+        Resource identifier, unique within a server.
+    operations:
+        Operations the resource supports; requests for others fail with
+        :class:`~repro.errors.CoalitionError` before reaching access
+        control.
+    content:
+        Optional payload (module bytes, document text, ...).
+    kind:
+        Free-form classification tag (``"module"``, ``"service"``, ...)
+        usable by selections and policies.
+    """
+
+    name: str
+    operations: frozenset[str] = DEFAULT_OPERATIONS
+    content: bytes = b""
+    kind: str = "generic"
+    access_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CoalitionError("resource name must be non-empty")
+        self.operations = frozenset(self.operations)
+        if not self.operations:
+            raise CoalitionError(f"resource {self.name!r} supports no operation")
+
+    def supports(self, op: str) -> bool:
+        """Does this resource support operation ``op``?"""
+        return op in self.operations
+
+    def digest(self) -> str:
+        """SHA-256 of the content — what the Section 6 mobile auditor
+        computes to verify module integrity."""
+        return hashlib.sha256(self.content).hexdigest()
+
+    def touch(self) -> None:
+        """Record one successful access."""
+        self.access_count += 1
+
+
+class ResourceRegistry:
+    """A server's resource catalogue."""
+
+    def __init__(self, resources: Iterable[Resource] = ()):
+        self._resources: dict[str, Resource] = {}
+        for resource in resources:
+            self.add(resource)
+
+    def add(self, resource: Resource) -> None:
+        if resource.name in self._resources:
+            raise CoalitionError(f"duplicate resource {resource.name!r}")
+        self._resources[resource.name] = resource
+
+    def get(self, name: str) -> Resource:
+        try:
+            return self._resources[name]
+        except KeyError:
+            raise CoalitionError(f"unknown resource {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._resources
+
+    def __iter__(self) -> Iterator[Resource]:
+        return iter(self._resources.values())
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+    def names(self) -> list[str]:
+        return sorted(self._resources)

@@ -1,0 +1,94 @@
+"""Coalition servers.
+
+A :class:`CoalitionServer` hosts shared resources behind its own clock.
+Executing an access validates the resource and operation, stamps the
+server's *local* time and issues the execution proof into the mobile
+object's registry.  Authorization is interposed a layer above (the
+Naplet security manager in :mod:`repro.agent.security`), mirroring the
+paper's design where the Java ``SecurityManager`` guards the service
+call and the server merely executes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.coalition.clock import ServerClock
+from repro.coalition.proofs import ExecutionProof, ProofRegistry
+from repro.coalition.resource import Resource, ResourceRegistry
+from repro.errors import CoalitionError
+from repro.traces.trace import AccessKey
+
+__all__ = ["CoalitionServer", "AccessOutcome"]
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of a successfully executed access: the issued proof plus
+    the resource payload (digest for exec/read of content resources)."""
+
+    proof: ExecutionProof
+    value: object
+
+
+class CoalitionServer:
+    """One cooperating server of the coalition environment."""
+
+    def __init__(
+        self,
+        name: str,
+        resources: Iterable[Resource] = (),
+        clock: ServerClock | None = None,
+    ):
+        if not name:
+            raise CoalitionError("server name must be non-empty")
+        self.name = name
+        self.clock = clock if clock is not None else ServerClock()
+        self.resources = ResourceRegistry(resources)
+        self.executed_accesses = 0
+        self.arrivals = 0
+
+    # -- hosting -----------------------------------------------------------
+
+    def note_arrival(self) -> None:
+        """Book-keeping: a mobile object arrived here."""
+        self.arrivals += 1
+
+    # -- execution ------------------------------------------------------------
+
+    def execute_access(
+        self,
+        registry: ProofRegistry,
+        op: str,
+        resource_name: str,
+        global_time: float,
+    ) -> AccessOutcome:
+        """Execute ``op`` on ``resource_name`` for the mobile object that
+        owns ``registry`` and issue the execution proof.
+
+        The caller (the security manager) must have authorised the
+        access already.  Raises :class:`~repro.errors.CoalitionError`
+        for unknown resources or unsupported operations.
+        """
+        resource = self.resources.get(resource_name)
+        if not resource.supports(op):
+            raise CoalitionError(
+                f"resource {resource_name!r} at {self.name!r} does not support {op!r}"
+            )
+        access = AccessKey(op, resource_name, self.name)
+        proof = registry.record(access, self.clock.local_time(global_time))
+        resource.touch()
+        self.executed_accesses += 1
+        value: object = None
+        if op in ("read", "exec") and resource.content:
+            # Reading returns the content; executing a content-bearing
+            # module returns its digest (what the integrity auditor needs).
+            value = resource.content if op == "read" else resource.digest()
+        return AccessOutcome(proof=proof, value=value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CoalitionServer({self.name!r}, resources={len(self.resources)}, "
+            f"executed={self.executed_accesses})"
+        )

@@ -1,0 +1,76 @@
+"""Audit log of access-control decisions.
+
+Every decision the engine takes — grant or denial, with the spatial and
+temporal verdicts that produced it — is appended here, giving the
+security officer the evidence trail the coalition setting demands
+(decisions at one server justified by history from others).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.traces.trace import AccessKey
+
+__all__ = ["Decision", "AuditLog"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One access-control decision (the output of Eq. 3.1 + Eq. 4.1).
+
+    ``permission``/``role`` name the pair that granted the access, or
+    the last candidate examined when denied.  ``reason`` is a short
+    human-readable explanation of denials ("no matching permission",
+    "spatial constraint unsatisfiable", "validity duration expired",
+    ...).
+    """
+
+    subject_id: str
+    access: AccessKey
+    granted: bool
+    time: float
+    role: str | None = None
+    permission: str | None = None
+    spatial_ok: bool | None = None
+    temporal_ok: bool | None = None
+    reason: str = ""
+
+
+class AuditLog:
+    """Append-only decision log with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._decisions: list[Decision] = []
+
+    def record(self, decision: Decision) -> None:
+        self._decisions.append(decision)
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    def __iter__(self) -> Iterator[Decision]:
+        return iter(self._decisions)
+
+    def decisions(
+        self, predicate: Callable[[Decision], bool] | None = None
+    ) -> list[Decision]:
+        if predicate is None:
+            return list(self._decisions)
+        return [d for d in self._decisions if predicate(d)]
+
+    def denials(self) -> list[Decision]:
+        return self.decisions(lambda d: not d.granted)
+
+    def grants(self) -> list[Decision]:
+        return self.decisions(lambda d: d.granted)
+
+    def for_subject(self, subject_id: str) -> list[Decision]:
+        return self.decisions(lambda d: d.subject_id == subject_id)
+
+    def grant_rate(self) -> float:
+        """Fraction of decisions that were grants (0 for an empty log)."""
+        if not self._decisions:
+            return 0.0
+        return len(self.grants()) / len(self._decisions)

@@ -1,0 +1,467 @@
+"""The coordinated access-control decision engine.
+
+This is the paper's extended RBAC (Eq. 3.1 + Eq. 4.1) as an executable
+object: authenticate users into sessions, activate roles (under DSD),
+and decide access requests by searching the subject's active roles for
+a permission that (a) matches the access, (b) whose spatial constraint
+is still satisfiable given the object's proved history — and remaining
+program when known — and (c) is temporally **valid** (activation budget
+not exhausted, per the configured base-time scheme)::
+
+    active(perm) = true  iff  ∃r ∈ AR(s): perm ∈ RP(r)
+                          ∧ check(P, C) = true          (Eq. 3.1)
+    valid(perm, t) = 1   iff  active(perm, t) = 1
+                          ∧ ∫ valid(perm, u) du ≤ dur(perm)   (Eq. 4.1)
+
+Every decision is recorded in the :class:`~repro.rbac.audit.AuditLog`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import AccessDenied, RbacError
+from repro.rbac.audit import AuditLog, Decision
+from repro.rbac.model import Permission, Role, Subject
+from repro.rbac.policy import Policy
+from repro.sral.ast import Program
+from repro.srac.ast import constraint_alphabet
+from repro.srac.checker import (
+    check_program,
+    satisfiable_extension,
+    satisfiable_extension_states,
+)
+from repro.srac.monitors import CompiledConstraint, compile_constraint
+from repro.temporal.aggregation import PermissionClassifier
+from repro.temporal.validity import PermissionState, Scheme, ValidityTracker
+from repro.traces.trace import AccessKey, Trace
+
+__all__ = ["Session", "AccessControlEngine"]
+
+_session_counter = itertools.count(1)
+
+
+@dataclass
+class Session:
+    """A subject's login session with its activated roles and the
+    per-permission validity trackers."""
+
+    subject: Subject
+    start_time: float
+    session_id: str = field(default="")
+    active_roles: set[Role] = field(default_factory=set)
+    trackers: dict[str, ValidityTracker] = field(default_factory=dict)
+    #: Accesses the engine has observed for this session (fed by
+    #: :meth:`AccessControlEngine.observe`) — the basis of incremental
+    #: spatial checking.
+    observed: tuple[AccessKey, ...] = ()
+    #: Per-constraint compiled monitors advanced over ``observed``.
+    monitor_cache: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.session_id:
+            self.session_id = f"session-{next(_session_counter)}"
+
+
+class AccessControlEngine:
+    """Evaluates access requests against a :class:`Policy` with
+    coordinated spatio-temporal constraints.
+
+    Parameters
+    ----------
+    policy:
+        The security officer's declarations.
+    scheme:
+        Base-time scheme for validity budgets
+        (:data:`~repro.temporal.validity.Scheme.WHOLE_EXECUTION` or
+        :data:`~repro.temporal.validity.Scheme.PER_SERVER`).
+    extension_alphabet:
+        Universe of accesses used by the grant-time satisfiability
+        search when the requester's remaining program is unknown
+        (defaults to the accesses named by the constraint plus the
+        requested one).
+    classifier:
+        Optional :class:`~repro.temporal.aggregation.PermissionClassifier`
+        (the paper's future-work extension): permissions in one class
+        share a single aggregated validity budget.
+    coordination_scope:
+        ``"subject"`` (default) — spatial constraints are evaluated
+        against the requesting mobile object's own history.
+        ``"owner"`` — against the *combined* observed history of every
+        session of the same user: "permissions may be granted based not
+        only on the requesting subject, but also on the previous access
+        actions of the device **and even of its companions**"
+        (Section 1).  Owner scope applies to incremental decisions
+        (``history=None``), where the engine is the history's source of
+        truth; explicit histories are always taken as given.
+    """
+
+    def __init__(
+        self,
+        policy: Policy,
+        scheme: Scheme = Scheme.WHOLE_EXECUTION,
+        extension_alphabet: Iterable[AccessKey | tuple[str, str, str]] = (),
+        classifier: PermissionClassifier | None = None,
+        coordination_scope: str = "subject",
+    ):
+        if coordination_scope not in ("subject", "owner"):
+            raise RbacError(
+                f"unknown coordination scope {coordination_scope!r}"
+            )
+        self.policy = policy
+        self.scheme = scheme
+        self.extension_alphabet = tuple(
+            AccessKey(*a) for a in extension_alphabet
+        )
+        self.classifier = classifier
+        self.coordination_scope = coordination_scope
+        self.audit = AuditLog()
+        self._sessions: dict[str, Session] = {}
+        # Owner-scope state: combined histories and monitor caches keyed
+        # by user name.
+        self._owner_observed: dict[str, tuple[AccessKey, ...]] = {}
+        self._owner_monitors: dict[tuple[str, object], tuple] = {}
+
+    # -- session management --------------------------------------------------
+
+    def authenticate(
+        self,
+        user_name: str,
+        t: float,
+        principals: Iterable[str] = (),
+    ) -> Session:
+        """Authenticate ``user_name`` and establish a session (the
+        paper's subject creation after certificate validation)."""
+        user = self.policy.user(user_name)
+        subject = Subject(user, frozenset(principals) | {f"user:{user_name}"})
+        session = Session(subject=subject, start_time=t)
+        self._sessions[session.session_id] = session
+        return session
+
+    def close_session(self, session: Session, t: float) -> None:
+        """End a session: deactivate everything."""
+        for role in list(session.active_roles):
+            self.deactivate_role(session, role.name, t)
+        self._sessions.pop(session.session_id, None)
+
+    def activate_role(self, session: Session, role_name: str, t: float) -> None:
+        """Activate a role the user is entitled to (checks UA membership
+        and DSD), and activate the validity trackers of its permissions."""
+        role = self.policy.role(role_name)
+        entitled = self.policy.roles_of_user(session.subject.user)
+        # A user may activate any assigned role or one it dominates.
+        if role not in self.policy.hierarchy.closure(entitled):
+            raise RbacError(
+                f"user {session.subject.user.name!r} is not authorized "
+                f"for role {role_name!r}"
+            )
+        # DSD is checked against the *directly activated* role set (the
+        # ANSI-RBAC reading); SSD, in the policy, uses the inheritance
+        # closure.  Using the closure here would make any DSD pair with
+        # an inheritance edge between its members unsatisfiable.
+        proposed = session.active_roles | {role}
+        for constraint in self.policy.dsd_constraints:
+            if constraint.violated_by(proposed):
+                raise RbacError(
+                    f"activating {role_name!r} violates DSD constraint "
+                    f"{constraint.name!r}"
+                )
+        session.active_roles.add(role)
+        for permission in self.policy.permissions_of_role(role):
+            self._tracker(session, permission).activate(t)
+
+    def deactivate_role(self, session: Session, role_name: str, t: float) -> None:
+        """Deactivate a role; permissions no longer reachable through a
+        remaining active role lose their active state."""
+        role = self.policy.role(role_name)
+        session.active_roles.discard(role)
+        remaining = self.policy.permissions_of_roles(
+            self.policy.hierarchy.closure(session.active_roles)
+        )
+        remaining_keys = {self._tracker_key(p) for p in remaining}
+        for key, tracker in session.trackers.items():
+            if key not in remaining_keys:
+                tracker.deactivate(t)
+
+    def notify_migration(self, session: Session, t: float) -> None:
+        """The mobile object arrived at a new server: under the
+        per-server scheme this resets validity budgets (Section 4)."""
+        for tracker in session.trackers.values():
+            tracker.migrate(t)
+
+    def _tracker_key(self, permission: Permission) -> str:
+        """Permissions classified together share one tracker (and thus
+        one budget); unclassified permissions track individually."""
+        if self.classifier is not None:
+            cls = self.classifier.class_of(permission.name)
+            if cls is not None:
+                return f"class:{cls.name}"
+        return permission.name
+
+    def _duration_for(self, permission: Permission) -> float:
+        if self.classifier is not None:
+            cls = self.classifier.class_of(permission.name)
+            if cls is not None:
+                durations = {
+                    name: perm.validity_duration
+                    for name, perm in self.policy.permissions.items()
+                }
+                return cls.aggregate(durations)
+        return permission.validity_duration
+
+    def _tracker(self, session: Session, permission: Permission) -> ValidityTracker:
+        key = self._tracker_key(permission)
+        tracker = session.trackers.get(key)
+        if tracker is None:
+            tracker = ValidityTracker(
+                duration=self._duration_for(permission),
+                scheme=self.scheme,
+                start_time=session.start_time,
+            )
+            session.trackers[key] = tracker
+        return tracker
+
+    # -- decisions ---------------------------------------------------------------
+
+    def observe(self, session: Session, access: AccessKey | tuple[str, str, str]) -> None:
+        """Record that ``access`` was *actually executed* for this
+        session (a proof was issued).  Advances the cached constraint
+        monitors so that incremental decisions (``history=None``) stay
+        O(1) in history length.  Under owner scope the observation also
+        counts against every companion session of the same user."""
+        access = AccessKey(*access)
+        session.observed += (access,)
+        for constraint, (compiled, states) in list(session.monitor_cache.items()):
+            session.monitor_cache[constraint] = (
+                compiled,
+                compiled.step(states, access),
+            )
+        if self.coordination_scope == "owner":
+            owner = session.subject.user.name
+            self._owner_observed[owner] = self._owner_observed.get(owner, ()) + (
+                access,
+            )
+            for key, (compiled, states) in list(self._owner_monitors.items()):
+                if key[0] == owner:
+                    self._owner_monitors[key] = (
+                        compiled,
+                        compiled.step(states, access),
+                    )
+
+    def _cached_monitors(
+        self, session: Session, constraint
+    ) -> tuple[CompiledConstraint, tuple[int, ...]]:
+        if self.coordination_scope == "owner":
+            owner = session.subject.user.name
+            key = (owner, constraint)
+            entry = self._owner_monitors.get(key)
+            if entry is None:
+                compiled = compile_constraint(constraint)
+                entry = (compiled, compiled.run(self._owner_observed.get(owner, ())))
+                self._owner_monitors[key] = entry
+            return entry
+        entry = session.monitor_cache.get(constraint)
+        if entry is None:
+            compiled = compile_constraint(constraint)
+            entry = (compiled, compiled.run(session.observed))
+            session.monitor_cache[constraint] = entry
+        return entry
+
+    def decide(
+        self,
+        session: Session,
+        access: AccessKey | tuple[str, str, str],
+        t: float,
+        history: Trace | None = (),
+        program: Program | None = None,
+    ) -> Decision:
+        """Decide one access request.
+
+        ``history`` is the object's *proved* access trace (from its
+        :class:`~repro.coalition.proofs.ProofRegistry`); ``program`` is
+        the remaining SRAL program when the requester discloses it.
+        The spatial check asks whether the history *including this
+        access* can still satisfy each candidate permission's
+        constraint — through the disclosed program if given, otherwise
+        through any future over the constraint-relevant alphabet.
+
+        ``history=None`` selects **incremental mode**: the engine uses
+        the session's own observed history (fed by :meth:`observe`) via
+        cached monitor states, making the spatial check independent of
+        history length.  Decisions are identical to passing
+        ``session.observed`` explicitly (property-tested).
+        """
+        access = AccessKey(*access)
+        candidates = self._candidates(session, access)
+        if not candidates:
+            decision = Decision(
+                subject_id=session.subject.subject_id,
+                access=access,
+                granted=False,
+                time=t,
+                reason="no active role provides a matching permission",
+            )
+            self.audit.record(decision)
+            return decision
+
+        last_reason = ""
+        last: tuple[Role, Permission] | None = None
+        last_spatial = last_temporal = None
+        for role, permission in candidates:
+            spatial_ok = self._spatial_ok(
+                session, permission, access, history, program
+            )
+            tracker = self._tracker(session, permission)
+            state = tracker.state(t)
+            temporal_ok = state is PermissionState.VALID
+            last = (role, permission)
+            last_spatial, last_temporal = spatial_ok, temporal_ok
+            if spatial_ok and temporal_ok:
+                decision = Decision(
+                    subject_id=session.subject.subject_id,
+                    access=access,
+                    granted=True,
+                    time=t,
+                    role=role.name,
+                    permission=permission.name,
+                    spatial_ok=True,
+                    temporal_ok=True,
+                )
+                self.audit.record(decision)
+                return decision
+            if not spatial_ok:
+                last_reason = (
+                    f"spatial constraint of {permission.name!r} cannot be satisfied"
+                )
+            else:
+                last_reason = (
+                    f"permission {permission.name!r} is {state.value}"
+                )
+        decision = Decision(
+            subject_id=session.subject.subject_id,
+            access=access,
+            granted=False,
+            time=t,
+            role=last[0].name if last else None,
+            permission=last[1].name if last else None,
+            spatial_ok=last_spatial,
+            temporal_ok=last_temporal,
+            reason=last_reason,
+        )
+        self.audit.record(decision)
+        return decision
+
+    def enforce(
+        self,
+        session: Session,
+        access: AccessKey | tuple[str, str, str],
+        t: float,
+        history: Trace | None = (),
+        program: Program | None = None,
+    ) -> Decision:
+        """Like :meth:`decide` but raises
+        :class:`~repro.errors.AccessDenied` on denial."""
+        decision = self.decide(session, access, t, history, program)
+        if not decision.granted:
+            raise AccessDenied(
+                f"access {AccessKey(*access)} denied: {decision.reason}",
+                decision=decision,
+            )
+        return decision
+
+    def explain(
+        self,
+        session: Session,
+        access: AccessKey | tuple[str, str, str],
+        t: float,
+        history: Trace | None = (),
+        program: Program | None = None,
+    ) -> list[dict]:
+        """Dry-run every candidate ``(role, permission)`` pair for an
+        access and report both verdicts for each — the security
+        officer's "why was this denied?" tool.
+
+        Unlike :meth:`decide`, this does not stop at the first passing
+        candidate, does not advance validity trackers' clocks beyond
+        the query, and records nothing in the audit log.  Returns a
+        list of dicts with keys ``role``, ``permission``,
+        ``spatial_ok``, ``temporal_ok``, ``state``.
+        """
+        access = AccessKey(*access)
+        rows: list[dict] = []
+        for role, permission in self._candidates(session, access):
+            tracker = self._tracker(session, permission)
+            state = tracker.state(t)
+            rows.append(
+                {
+                    "role": role.name,
+                    "permission": permission.name,
+                    "spatial_ok": self._spatial_ok(
+                        session, permission, access, history, program
+                    ),
+                    "temporal_ok": state is PermissionState.VALID,
+                    "state": state.value,
+                }
+            )
+        return rows
+
+    # -- internals -------------------------------------------------------------
+
+    def _candidates(
+        self, session: Session, access: AccessKey
+    ) -> list[tuple[Role, Permission]]:
+        """(role, permission) pairs from active roles matching the
+        access, deterministic order."""
+        out: list[tuple[Role, Permission]] = []
+        seen: set[str] = set()
+        for role in sorted(session.active_roles, key=lambda r: r.name):
+            for permission in sorted(
+                self.policy.permissions_of_role(role), key=lambda p: p.name
+            ):
+                if permission.name in seen:
+                    continue
+                if permission.matches(access):
+                    seen.add(permission.name)
+                    out.append((role, permission))
+        return out
+
+    def _spatial_ok(
+        self,
+        session: Session,
+        permission: Permission,
+        access: AccessKey,
+        history: Trace | None,
+        program: Program | None,
+    ) -> bool:
+        constraint = permission.spatial_constraint
+        if constraint is None:
+            return True
+        universe: Sequence[AccessKey] = tuple(
+            dict.fromkeys(
+                (*constraint_alphabet(constraint), *self.extension_alphabet, access)
+            )
+        )
+        if history is None and program is None:
+            # Incremental mode: one monitor step instead of replaying
+            # the whole history.
+            compiled, states = self._cached_monitors(session, constraint)
+            return satisfiable_extension_states(
+                compiled, compiled.step(states, access), universe
+            )
+        if history is None:
+            if self.coordination_scope == "owner":
+                effective: Trace = self._owner_observed.get(
+                    session.subject.user.name, ()
+                )
+            else:
+                effective = session.observed
+        else:
+            effective = history
+        hypothetical = tuple(AccessKey(*a) for a in effective) + (access,)
+        if program is not None:
+            return check_program(
+                program, constraint, history=hypothetical, mode="exists"
+            )
+        return satisfiable_extension(constraint, hypothetical, universe)

@@ -1,0 +1,167 @@
+"""GTRBAC — the generalised temporal RBAC baseline (Joshi et al.,
+cited in the paper's Section 7).
+
+GTRBAC extends TRBAC "by incorporating a set of language constructs for
+the specification of various temporal constraints on roles, user-role
+assignments and role-permission assignments".  We implement that
+faithful subset:
+
+* periodic **role enabling** (as in :mod:`repro.rbac.trbac`);
+* periodic **user-role assignment** windows — a user holds a role only
+  inside the window;
+* periodic **role-permission assignment** windows — a role grants a
+  permission only inside the window;
+* per-activation **duration caps** — a role activation expires after a
+  maximum active span (GTRBAC's duration constraint, still anchored to
+  the absolute activation instant).
+
+The point of carrying this baseline: even with the richer constructs,
+*every* check reads an absolute local clock, so all of TRBAC's
+skew-sensitivity remains; and temporal state still attaches to roles
+and assignments, not to the mobile object's cross-server behaviour —
+spatial requirements (Example 3.5, Figure 1 ordering) stay
+inexpressible.  Both points are exercised in ``tests/test_gtrbac.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coalition.clock import ServerClock
+from repro.errors import RbacError
+from repro.rbac.trbac import PeriodicInterval
+from repro.traces.trace import AccessKey
+
+__all__ = ["GTRBACPolicy", "GTRBACEngine", "Activation"]
+
+_ALWAYS = None  # sentinel: no window => always
+
+
+@dataclass(frozen=True)
+class Activation:
+    """A role activation: who, which role, and the local time it began
+    (GTRBAC's duration constraints are anchored here)."""
+
+    user: str
+    role: str
+    started_at: float
+
+
+class GTRBACPolicy:
+    """Roles, permissions and the three families of periodic windows."""
+
+    def __init__(self) -> None:
+        self._role_enabling: dict[str, PeriodicInterval | None] = {}
+        self._assignment_windows: dict[tuple[str, str], PeriodicInterval] = {}
+        self._grant_windows: dict[tuple[str, str], PeriodicInterval] = {}
+        self._grants: dict[str, list[tuple[str, str, str]]] = {}
+        self._assignments: set[tuple[str, str]] = set()
+        self._duration_caps: dict[str, float] = {}
+
+    # -- declarations ------------------------------------------------------
+
+    def add_role(
+        self,
+        role: str,
+        enabling: PeriodicInterval | None = None,
+        max_activation: float | None = None,
+    ) -> None:
+        if role in self._role_enabling:
+            raise RbacError(f"duplicate role {role!r}")
+        self._role_enabling[role] = enabling
+        self._grants[role] = []
+        if max_activation is not None:
+            if max_activation <= 0:
+                raise RbacError("activation duration cap must be positive")
+            self._duration_caps[role] = max_activation
+
+    def assign_user(
+        self, user: str, role: str, window: PeriodicInterval | None = None
+    ) -> None:
+        """UA entry, optionally valid only inside ``window``."""
+        self._require_role(role)
+        self._assignments.add((user, role))
+        if window is not None:
+            self._assignment_windows[(user, role)] = window
+
+    def grant(
+        self,
+        role: str,
+        op: str = "*",
+        resource: str = "*",
+        server: str = "*",
+        window: PeriodicInterval | None = None,
+    ) -> None:
+        """PA entry, optionally valid only inside ``window``.
+
+        The window applies to every pattern granted to the role with the
+        same (role, name) key; for simplicity each grant carries its own
+        optional window keyed by its pattern string."""
+        self._require_role(role)
+        self._grants[role].append((op, resource, server))
+        if window is not None:
+            self._grant_windows[(role, f"{op}|{resource}|{server}")] = window
+
+    def _require_role(self, role: str) -> None:
+        if role not in self._role_enabling:
+            raise RbacError(f"unknown role {role!r}")
+
+    # -- queries -----------------------------------------------------------
+
+    def role_enabled(self, role: str, local_time: float) -> bool:
+        self._require_role(role)
+        window = self._role_enabling[role]
+        return window is None or window.enabled_at(local_time)
+
+    def assignment_valid(self, user: str, role: str, local_time: float) -> bool:
+        if (user, role) not in self._assignments:
+            return False
+        window = self._assignment_windows.get((user, role))
+        return window is None or window.enabled_at(local_time)
+
+    def matching_grants(
+        self, role: str, access: AccessKey, local_time: float
+    ) -> bool:
+        """Does ``role`` grant ``access`` at ``local_time`` (respecting
+        per-grant windows)?"""
+        for op, resource, server in self._grants.get(role, ()):
+            if (
+                op in ("*", access.op)
+                and resource in ("*", access.resource)
+                and server in ("*", access.server)
+            ):
+                window = self._grant_windows.get((role, f"{op}|{resource}|{server}"))
+                if window is None or window.enabled_at(local_time):
+                    return True
+        return False
+
+    def activation_alive(self, activation: Activation, local_time: float) -> bool:
+        """GTRBAC duration constraint: the activation is still within
+        its role's cap (measured on the same absolute clock)."""
+        cap = self._duration_caps.get(activation.role)
+        return cap is None or (local_time - activation.started_at) < cap
+
+
+class GTRBACEngine:
+    """Decides accesses under GTRBAC semantics on the serving server's
+    local clock (the only clock a coalition server has)."""
+
+    def __init__(self, policy: GTRBACPolicy):
+        self.policy = policy
+
+    def decide(
+        self,
+        activation: Activation,
+        access: AccessKey | tuple[str, str, str],
+        global_time: float,
+        clock: ServerClock | None = None,
+    ) -> bool:
+        access = AccessKey(*access)
+        local = (clock or ServerClock()).local_time(global_time)
+        policy = self.policy
+        return (
+            policy.assignment_valid(activation.user, activation.role, local)
+            and policy.role_enabled(activation.role, local)
+            and policy.activation_alive(activation, local)
+            and policy.matching_grants(activation.role, access, local)
+        )

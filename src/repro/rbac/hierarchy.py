@@ -1,0 +1,85 @@
+"""Role hierarchies (RBAC1): senior roles inherit the permissions of
+their juniors.
+
+The paper notes that "the indirect assignment of permissions to
+subjects and the permission inheritance in role hierarchies facilitate
+the privilege delegation and security policy making" — this module is
+that machinery: a DAG over roles with transitive permission
+inheritance, cycle rejection, and the closure queries the engine needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.errors import RbacError
+from repro.rbac.model import Role
+
+__all__ = ["RoleHierarchy"]
+
+
+class RoleHierarchy:
+    """A DAG of roles.  ``add_inheritance(senior, junior)`` makes
+    ``senior`` inherit every permission of ``junior`` (and of the
+    junior's juniors, transitively)."""
+
+    def __init__(self) -> None:
+        self._juniors: dict[Role, set[Role]] = {}
+
+    def add_inheritance(self, senior: Role, junior: Role) -> None:
+        """Declare ``senior ≥ junior``.  Rejects self-loops and edges
+        that would close a cycle."""
+        if senior == junior:
+            raise RbacError(f"role {senior.name!r} cannot inherit from itself")
+        if senior in self.juniors_of(junior):
+            raise RbacError(
+                f"adding {senior.name!r} -> {junior.name!r} would create a cycle"
+            )
+        self._juniors.setdefault(senior, set()).add(junior)
+
+    def direct_juniors(self, role: Role) -> frozenset[Role]:
+        return frozenset(self._juniors.get(role, ()))
+
+    def juniors_of(self, role: Role) -> frozenset[Role]:
+        """All roles ``role`` inherits from, transitively (excluding
+        itself)."""
+        seen: set[Role] = set()
+        queue = deque(self._juniors.get(role, ()))
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self._juniors.get(current, ()))
+        return frozenset(seen)
+
+    def closure(self, roles: Iterable[Role]) -> frozenset[Role]:
+        """The given roles plus everything they inherit — the role set
+        whose permissions a subject effectively holds."""
+        out: set[Role] = set()
+        for role in roles:
+            out.add(role)
+            out |= self.juniors_of(role)
+        return frozenset(out)
+
+    def seniors_of(self, role: Role) -> frozenset[Role]:
+        """All roles that (transitively) inherit from ``role``."""
+        out: set[Role] = set()
+        changed = True
+        while changed:
+            changed = False
+            for senior, juniors in self._juniors.items():
+                if senior in out:
+                    continue
+                if juniors & (out | {role}):
+                    out.add(senior)
+                    changed = True
+        return frozenset(out)
+
+    def roles(self) -> frozenset[Role]:
+        """Every role mentioned by the hierarchy."""
+        out: set[Role] = set(self._juniors)
+        for juniors in self._juniors.values():
+            out |= juniors
+        return frozenset(out)

@@ -1,0 +1,79 @@
+"""Local-history access control — the history-based baseline
+(paper Section 7: Abadi & Fournet [1], Edjlali et al. [5]).
+
+These mechanisms determine a code's rights from its *execution history
+on the local site*.  The paper's critique: "this mechanism only
+inspects the execution history on the local site.  As a result, it can
+not be applied to access control in a coalition environment, where the
+authorization decision depends on the access actions on other related
+sites."
+
+:class:`LocalHistoryEngine` evaluates the same SRAC constraints as the
+coordinated engine but sees only the slice of the history performed at
+the deciding server.  On single-site workloads it is exactly as strong;
+on coalition workloads it wrongly grants whatever the other sites'
+history would forbid — quantified in ``benchmarks/bench_baselines.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.srac.ast import Constraint, constraint_alphabet
+from repro.srac.checker import satisfiable_extension
+from repro.traces.trace import AccessKey, Trace
+
+__all__ = ["LocalHistoryEngine", "CoordinatedReference"]
+
+
+class LocalHistoryEngine:
+    """Per-site history-based decisions (the [1]/[5] model).
+
+    ``decide(constraint, history, access)`` filters the carried history
+    down to accesses performed *at the requested access's server* —
+    all a local mechanism can observe — then applies the same
+    still-satisfiable test as the coordinated engine.
+    """
+
+    def decide(
+        self,
+        constraint: Constraint,
+        history: Trace,
+        access: AccessKey | tuple[str, str, str],
+        extra_alphabet: Sequence[AccessKey] = (),
+    ) -> bool:
+        access = AccessKey(*access)
+        local_history = tuple(
+            AccessKey(*a) for a in history if AccessKey(*a).server == access.server
+        )
+        universe = tuple(
+            dict.fromkeys(
+                (*constraint_alphabet(constraint), *extra_alphabet, access)
+            )
+        )
+        return satisfiable_extension(
+            constraint, local_history + (access,), universe
+        )
+
+
+class CoordinatedReference:
+    """The coordinated decision (full carried history) with the same
+    interface, for side-by-side comparison in benchmarks."""
+
+    def decide(
+        self,
+        constraint: Constraint,
+        history: Trace,
+        access: AccessKey | tuple[str, str, str],
+        extra_alphabet: Sequence[AccessKey] = (),
+    ) -> bool:
+        access = AccessKey(*access)
+        full_history = tuple(AccessKey(*a) for a in history)
+        universe = tuple(
+            dict.fromkeys(
+                (*constraint_alphabet(constraint), *extra_alphabet, access)
+            )
+        )
+        return satisfiable_extension(
+            constraint, full_history + (access,), universe
+        )

@@ -1,0 +1,59 @@
+"""Separation-of-duty constraints (library extension).
+
+The paper's constraint machinery is spatial/temporal; classic RBAC
+deployments also need static and dynamic separation of duty, and the
+paper's future work ("how to classify the temporal permissions")
+presupposes richer constraint sets.  We provide the two ANSI-RBAC
+forms:
+
+* :class:`SSDConstraint` — *static*: no user may be **assigned**
+  ``cardinality`` or more roles from the conflicting set;
+* :class:`DSDConstraint` — *dynamic*: no session may **activate**
+  ``cardinality`` or more roles from the set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.errors import RbacError
+from repro.rbac.model import Role
+
+__all__ = ["SSDConstraint", "DSDConstraint"]
+
+
+@dataclass(frozen=True)
+class _SeparationConstraint:
+    """Common shape: a conflicting role set and a cardinality ≥ 2."""
+
+    name: str
+    roles: FrozenSet[Role]
+    cardinality: int = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "roles", frozenset(self.roles))
+        if not self.name:
+            raise RbacError("separation constraint name must be non-empty")
+        if self.cardinality < 2:
+            raise RbacError("separation cardinality must be at least 2")
+        if len(self.roles) < self.cardinality:
+            raise RbacError(
+                f"constraint {self.name!r}: role set smaller than cardinality"
+            )
+
+    def violated_by(self, roles: Iterable[Role]) -> bool:
+        """Would holding/activating ``roles`` violate the constraint?"""
+        return len(self.roles & set(roles)) >= self.cardinality
+
+
+@dataclass(frozen=True)
+class SSDConstraint(_SeparationConstraint):
+    """Static separation of duty: restricts user-role *assignment*
+    (checked against the inheritance closure of assigned roles)."""
+
+
+@dataclass(frozen=True)
+class DSDConstraint(_SeparationConstraint):
+    """Dynamic separation of duty: restricts role *activation* within
+    one session."""

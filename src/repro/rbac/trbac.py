@@ -1,0 +1,149 @@
+"""Interval-based temporal RBAC — the TRBAC/GTRBAC baseline
+(paper Section 7, Related Work).
+
+Bertino et al.'s TRBAC enables/disables *roles* over periodic intervals
+of a discrete absolute timeline; Joshi et al.'s GTRBAC generalises the
+constraint language.  The paper argues this family is ill-suited to
+mobile computing for two reasons we make measurable:
+
+1. **Role granularity** — "a disabling event of a role would revoke all
+   of its granted privileges", so permissions needing different windows
+   force extra roles (:meth:`TRBACPolicy.roles_required` quantifies
+   the blow-up);
+2. **Absolute time** — interval checks need a synchronised clock, but
+   "there is no global clock in distributed systems and the arrival
+   time of a mobile object on a server is unpredictable": a server
+   evaluating an interval on its *skewed local clock* grants/denies
+   wrongly near window edges (benchmarked against the duration scheme
+   in ``benchmarks/bench_baselines.py``).
+
+This is a faithful *baseline*, not a straw man: within a single
+well-synchronised site it behaves exactly as TRBAC should.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.coalition.clock import ServerClock
+from repro.errors import RbacError
+from repro.traces.trace import AccessKey
+
+__all__ = ["PeriodicInterval", "TRBACPolicy", "TRBACEngine"]
+
+
+@dataclass(frozen=True)
+class PeriodicInterval:
+    """A periodic enabling expression: within every period of length
+    ``period``, the role is enabled during ``[start, end)`` (offsets
+    from the period boundary).
+
+    ``PeriodicInterval(24.0, 0.0, 3.0)`` = "daily, midnight to 3am" —
+    the newspaper window as TRBAC would write it.
+    """
+
+    period: float
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise RbacError("period must be positive")
+        if not 0 <= self.start < self.period:
+            raise RbacError("window start must lie within the period")
+        if not self.start < self.end <= self.period:
+            raise RbacError("window must be non-empty and within the period")
+
+    def enabled_at(self, t: float) -> bool:
+        """Is the role enabled at absolute time ``t``?"""
+        phase = t % self.period
+        return self.start <= phase < self.end
+
+    def window_length(self) -> float:
+        return self.end - self.start
+
+
+class TRBACPolicy:
+    """Role-enabling declarations plus role→permission assignment.
+
+    Permissions are plain access patterns (op/resource/server with
+    ``"*"`` wildcards); the temporal dimension lives on the *role*, as
+    in TRBAC.
+    """
+
+    def __init__(self) -> None:
+        self._enabling: dict[str, PeriodicInterval] = {}
+        self._permissions: dict[str, list[tuple[str, str, str]]] = {}
+
+    def add_role(
+        self,
+        role: str,
+        enabling: PeriodicInterval | None = None,
+    ) -> None:
+        if role in self._enabling or role in self._permissions:
+            raise RbacError(f"duplicate role {role!r}")
+        self._permissions[role] = []
+        if enabling is not None:
+            self._enabling[role] = enabling
+
+    def grant(self, role: str, op: str = "*", resource: str = "*", server: str = "*") -> None:
+        if role not in self._permissions:
+            raise RbacError(f"unknown role {role!r}")
+        self._permissions[role].append((op, resource, server))
+
+    def role_enabled(self, role: str, t: float) -> bool:
+        """Roles without an enabling expression are always enabled."""
+        if role not in self._permissions:
+            raise RbacError(f"unknown role {role!r}")
+        interval = self._enabling.get(role)
+        return interval.enabled_at(t) if interval is not None else True
+
+    def role_matches(self, role: str, access: AccessKey) -> bool:
+        return any(
+            op in ("*", access.op)
+            and resource in ("*", access.resource)
+            and server in ("*", access.server)
+            for op, resource, server in self._permissions.get(role, ())
+        )
+
+    def roles(self) -> list[str]:
+        return sorted(self._permissions)
+
+    @staticmethod
+    def roles_required(permission_windows: Mapping[str, PeriodicInterval]) -> int:
+        """The paper's granularity critique, quantified: TRBAC needs one
+        role per *distinct* permission window, because disabling a role
+        revokes everything it grants.  Given a mapping permission →
+        window, returns the number of roles TRBAC must define (distinct
+        windows), versus the coordinated model's 1."""
+        return len(set(permission_windows.values()))
+
+
+class TRBACEngine:
+    """Decides accesses by evaluating role enabling on the *serving
+    server's local clock* — the only clock a coalition server has.
+
+    ``decide(roles, access, global_time, clock)`` returns whether any
+    held role is enabled (on the skewed local reading) and grants the
+    access.  Compare with the ground truth ``decide(..., ServerClock())``
+    to count wrongful decisions under skew.
+    """
+
+    def __init__(self, policy: TRBACPolicy):
+        self.policy = policy
+
+    def decide(
+        self,
+        roles: Iterable[str],
+        access: AccessKey | tuple[str, str, str],
+        global_time: float,
+        clock: ServerClock | None = None,
+    ) -> bool:
+        access = AccessKey(*access)
+        local = (clock or ServerClock()).local_time(global_time)
+        return any(
+            self.policy.role_enabled(role, local)
+            and self.policy.role_matches(role, access)
+            for role in roles
+        )

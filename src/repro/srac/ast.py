@@ -1,0 +1,251 @@
+"""Abstract syntax of SRAC, the Shared Resource Access Constraint
+language (paper Definition 3.4)::
+
+    C ::= T | F | a | a1 ⊗ a2 | #(m, n, σ(A)) | C1 ∧ C2 | C1 ∨ C2 | ¬C
+
+with the defined connective ``C1 → C2 ::= ¬C1 ∨ C2`` (and ``↔`` for
+symmetry).  The concrete syntax writes ``⊗`` as ``>>``, ``∧`` as ``&``,
+``∨`` as ``|``, ``¬`` as ``~`` and ``#`` as ``count(m, n, σ)``.
+
+Nodes are frozen dataclasses: hashable, structurally comparable.
+:func:`desugar` eliminates ``→``/``↔``; :func:`constraint_size` is the
+*n* of Theorem 3.2; :func:`atomic_parts` enumerates the atomic
+sub-constraints that become runtime monitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConstraintError
+from repro.srac.selection import Selection
+from repro.traces.trace import AccessKey
+
+__all__ = [
+    "Constraint",
+    "Top",
+    "Bottom",
+    "Atom",
+    "Ordered",
+    "Count",
+    "And",
+    "Or",
+    "Not",
+    "Implies",
+    "Iff",
+    "conjunction",
+    "disjunction",
+    "desugar",
+    "constraint_size",
+    "atomic_parts",
+    "constraint_alphabet",
+]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Base class of SRAC constraints."""
+
+    def children(self) -> tuple["Constraint", ...]:
+        return ()
+
+    # Python-operator sugar for composing constraints.
+    def __and__(self, other: "Constraint") -> "Constraint":
+        return And(self, other)
+
+    def __or__(self, other: "Constraint") -> "Constraint":
+        return Or(self, other)
+
+    def __invert__(self) -> "Constraint":
+        return Not(self)
+
+    def implies(self, other: "Constraint") -> "Constraint":
+        return Implies(self, other)
+
+    def __str__(self) -> str:  # pragma: no cover - thin delegation
+        from repro.srac.printer import unparse_constraint
+
+        return unparse_constraint(self)
+
+
+@dataclass(frozen=True)
+class Top(Constraint):
+    """``T`` — satisfied by every trace."""
+
+
+@dataclass(frozen=True)
+class Bottom(Constraint):
+    """``F`` — satisfied by no trace."""
+
+
+@dataclass(frozen=True)
+class Atom(Constraint):
+    """``a`` — the access must be performed (with an execution proof)."""
+
+    access: AccessKey
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.access, AccessKey):
+            object.__setattr__(self, "access", AccessKey(*self.access))
+
+
+@dataclass(frozen=True)
+class Ordered(Constraint):
+    """``a1 ⊗ a2`` — ``a1`` must be performed strictly before ``a2``
+    (other accesses may happen in between)."""
+
+    first: AccessKey
+    second: AccessKey
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.first, AccessKey):
+            object.__setattr__(self, "first", AccessKey(*self.first))
+        if not isinstance(self.second, AccessKey):
+            object.__setattr__(self, "second", AccessKey(*self.second))
+
+
+@dataclass(frozen=True)
+class Count(Constraint):
+    """``#(m, n, σ(A))`` — the number of performed accesses selected by
+    σ must lie in ``[m, n]``; ``n = None`` means no upper bound.
+
+    Counting is by *occurrence*: accessing the same resource five times
+    contributes five, which is what "can not be accessed by more than 5
+    times" (Example 3.5) requires.
+    """
+
+    lo: int
+    hi: int | None
+    selection: Selection
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise ConstraintError(f"count lower bound must be >= 0, got {self.lo}")
+        if self.hi is not None and self.hi < self.lo:
+            raise ConstraintError(
+                f"count upper bound {self.hi} below lower bound {self.lo}"
+            )
+
+
+@dataclass(frozen=True)
+class And(Constraint):
+    """``C1 ∧ C2``."""
+
+    left: Constraint
+    right: Constraint
+
+    def children(self) -> tuple[Constraint, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Or(Constraint):
+    """``C1 ∨ C2``."""
+
+    left: Constraint
+    right: Constraint
+
+    def children(self) -> tuple[Constraint, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Not(Constraint):
+    """``¬C``."""
+
+    inner: Constraint
+
+    def children(self) -> tuple[Constraint, ...]:
+        return (self.inner,)
+
+
+@dataclass(frozen=True)
+class Implies(Constraint):
+    """``C1 → C2``, defined as ``¬C1 ∨ C2`` (Definition 3.4)."""
+
+    left: Constraint
+    right: Constraint
+
+    def children(self) -> tuple[Constraint, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Iff(Constraint):
+    """``C1 ↔ C2``, defined as ``(C1 → C2) ∧ (C2 → C1)``."""
+
+    left: Constraint
+    right: Constraint
+
+    def children(self) -> tuple[Constraint, ...]:
+        return (self.left, self.right)
+
+
+def conjunction(parts) -> Constraint:
+    """Balanced n-ary conjunction: ``conjunction([])`` is ``T``.
+
+    Builds a tree of depth ``O(log n)`` rather than a left spine, so
+    recursive traversals (checking, printing) stay within Python's
+    stack on constraints with thousands of atomic parts.
+    """
+    return _balanced(list(parts), And, Top())
+
+
+def disjunction(parts) -> Constraint:
+    """Balanced n-ary disjunction: ``disjunction([])`` is ``F``."""
+    return _balanced(list(parts), Or, Bottom())
+
+
+def _balanced(parts: list[Constraint], node, empty: Constraint) -> Constraint:
+    if not parts:
+        return empty
+    if len(parts) == 1:
+        return parts[0]
+    mid = len(parts) // 2
+    return node(_balanced(parts[:mid], node, empty), _balanced(parts[mid:], node, empty))
+
+
+def desugar(constraint: Constraint) -> Constraint:
+    """Eliminate ``Implies``/``Iff`` per their definitions."""
+    if isinstance(constraint, Implies):
+        return Or(Not(desugar(constraint.left)), desugar(constraint.right))
+    if isinstance(constraint, Iff):
+        left, right = desugar(constraint.left), desugar(constraint.right)
+        return And(Or(Not(left), right), Or(Not(right), left))
+    if isinstance(constraint, And):
+        return And(desugar(constraint.left), desugar(constraint.right))
+    if isinstance(constraint, Or):
+        return Or(desugar(constraint.left), desugar(constraint.right))
+    if isinstance(constraint, Not):
+        return Not(desugar(constraint.inner))
+    return constraint
+
+
+def constraint_size(constraint: Constraint) -> int:
+    """The size *n* of a constraint (number of AST nodes) — the *n*
+    in Theorem 3.2's ``O(m × n)``."""
+    return 1 + sum(constraint_size(c) for c in constraint.children())
+
+
+def atomic_parts(constraint: Constraint) -> Iterator[Constraint]:
+    """Yield the atomic sub-constraints (Atom, Ordered, Count) in
+    left-to-right order, duplicates included."""
+    if isinstance(constraint, (Atom, Ordered, Count)):
+        yield constraint
+        return
+    for child in constraint.children():
+        yield from atomic_parts(child)
+
+
+def constraint_alphabet(constraint: Constraint) -> frozenset[AccessKey]:
+    """Accesses explicitly named by the constraint (atoms and ordered
+    pairs; counting selections are predicates and contribute nothing)."""
+    out: set[AccessKey] = set()
+    for part in atomic_parts(constraint):
+        if isinstance(part, Atom):
+            out.add(part.access)
+        elif isinstance(part, Ordered):
+            out.add(part.first)
+            out.add(part.second)
+    return frozenset(out)

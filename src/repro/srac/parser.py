@@ -1,0 +1,225 @@
+"""Recursive-descent parser for SRAC concrete syntax.
+
+Grammar (loosest to tightest; ``->`` is right-associative)::
+
+    constraint := implied ('<->' implied)*
+    implied    := or_c ('->' implied)?
+    or_c       := and_c (('|' | 'or') and_c)*
+    and_c      := not_c (('&' | 'and') not_c)*
+    not_c      := ('~' | 'not') not_c | primary
+    primary    := 'T' | 'F'
+                | 'count' '(' INT ',' (INT | '*') ',' selector ')'
+                | '(' constraint ')'
+                | access ('>>' access)?
+    access     := IDENT IDENT '@' IDENT
+    selector   := '[' [clause (',' clause)*] ']'
+                | '{' access (',' access)* '}'
+    clause     := ('op' | 'res' | 'resource' | 'server') '=' values
+    values     := IDENT | '{' IDENT (',' IDENT)* '}'
+
+Examples::
+
+    read rsw @ s1 >> write log @ s2
+    count(0, 5, [res = rsw])                 -- the paper's #(0,5,σ_RSW(A))
+    exec m1 @ s1 -> (exec m2 @ s1 & exec m3 @ s2)
+"""
+
+from __future__ import annotations
+
+from repro.errors import SracSyntaxError
+from repro.sral.lexer import Token, tokenize
+from repro.sral.parser import Parser as _SralParser
+from repro.srac.ast import (
+    And,
+    Atom,
+    Bottom,
+    Constraint,
+    Count,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Ordered,
+    Top,
+)
+from repro.srac.selection import (
+    SelectAccesses,
+    SelectAll,
+    SelectAnd,
+    SelectField,
+    Selection,
+)
+from repro.traces.trace import AccessKey
+
+__all__ = ["parse_constraint", "parse_selection"]
+
+_CLAUSE_FIELDS = {"op": "op", "res": "resource", "resource": "resource", "server": "server"}
+
+
+def parse_constraint(source: str) -> Constraint:
+    """Parse SRAC source text into a :class:`~repro.srac.ast.Constraint`."""
+    parser = _ConstraintParser(tokenize(source))
+    constraint = parser.constraint()
+    parser.expect_eof()
+    return constraint
+
+
+def parse_selection(source: str) -> Selection:
+    """Parse a standalone selector (``[res = rsw]`` or ``{read r @ s}``)."""
+    parser = _ConstraintParser(tokenize(source))
+    selection = parser.selector()
+    parser.expect_eof()
+    return selection
+
+
+class _ConstraintParser(_SralParser):
+    """Extends the SRAL token plumbing with the SRAC grammar."""
+
+    def error(self, message: str, token: Token | None = None) -> SracSyntaxError:
+        token = token or self.peek()
+        shown = token.value or "<end of input>"
+        return SracSyntaxError(f"{message}, got {shown!r}", token.line, token.column)
+
+    # -- constraints ------------------------------------------------------
+
+    def constraint(self) -> Constraint:
+        left = self._implied()
+        while self.peek().is_punct("<->"):
+            self.advance()
+            left = Iff(left, self._implied())
+        return left
+
+    def _implied(self) -> Constraint:
+        left = self._or()
+        if self.peek().is_punct("->"):
+            self.advance()
+            return Implies(left, self._implied())
+        return left
+
+    def _or(self) -> Constraint:
+        left = self._and()
+        while self.peek().is_punct("|") or self.peek().is_keyword("or"):
+            self.advance()
+            left = Or(left, self._and())
+        return left
+
+    def _and(self) -> Constraint:
+        left = self._not()
+        while self.peek().is_punct("&") or self.peek().is_keyword("and"):
+            self.advance()
+            left = And(left, self._not())
+        return left
+
+    def _not(self) -> Constraint:
+        if self.peek().is_punct("~") or self.peek().is_keyword("not"):
+            self.advance()
+            return Not(self._not())
+        return self._primary()
+
+    def _primary(self) -> Constraint:
+        token = self.peek()
+        if token.is_keyword("T"):
+            self.advance()
+            return Top()
+        if token.is_keyword("F"):
+            self.advance()
+            return Bottom()
+        if token.is_keyword("count"):
+            return self._count()
+        if token.is_punct("("):
+            self.advance()
+            inner = self.constraint()
+            self.expect_punct(")")
+            return inner
+        if token.kind == "IDENT":
+            first = self._access()
+            if self.peek().is_punct(">>"):
+                self.advance()
+                second = self._access()
+                return Ordered(first, second)
+            return Atom(first)
+        raise self.error("expected a constraint")
+
+    def _access(self) -> AccessKey:
+        op = self.expect_ident("operation")
+        resource = self.expect_ident("resource")
+        self.expect_punct("@")
+        server = self.expect_ident("server name")
+        return AccessKey(op, resource, server)
+
+    def _count(self) -> Count:
+        self.expect_keyword("count")
+        self.expect_punct("(")
+        lo_token = self.peek()
+        if lo_token.kind != "INT":
+            raise self.error("expected count lower bound")
+        lo = int(self.advance().value)
+        self.expect_punct(",")
+        hi_token = self.peek()
+        if hi_token.is_punct("*"):
+            self.advance()
+            hi: int | None = None
+        elif hi_token.kind == "INT":
+            hi = int(self.advance().value)
+        else:
+            raise self.error("expected count upper bound or '*'")
+        self.expect_punct(",")
+        selection = self.selector()
+        self.expect_punct(")")
+        return Count(lo, hi, selection)
+
+    # -- selectors ----------------------------------------------------------
+
+    def selector(self) -> Selection:
+        token = self.peek()
+        if token.is_punct("["):
+            return self._field_selector()
+        if token.is_punct("{"):
+            return self._access_set_selector()
+        raise self.error("expected a selector ('[...]' or '{...}')")
+
+    def _field_selector(self) -> Selection:
+        self.expect_punct("[")
+        if self.peek().is_punct("]"):
+            self.advance()
+            return SelectAll()
+        clauses: list[SelectField] = []
+        seen: set[str] = set()
+        while True:
+            field_token = self.peek()
+            if field_token.kind != "IDENT" or field_token.value not in _CLAUSE_FIELDS:
+                raise self.error("expected selection field (op / res / server)")
+            field = _CLAUSE_FIELDS[self.advance().value]
+            if field in seen:
+                raise self.error(f"duplicate selection field {field!r}", field_token)
+            seen.add(field)
+            self.expect_punct("=")
+            clauses.append(SelectField(field, self._values()))
+            if self.peek().is_punct(","):
+                self.advance()
+                continue
+            break
+        self.expect_punct("]")
+        if len(clauses) == 1:
+            return clauses[0]
+        return SelectAnd(tuple(clauses))
+
+    def _values(self) -> frozenset[str]:
+        if self.peek().is_punct("{"):
+            self.advance()
+            values = {self.expect_ident("selection value")}
+            while self.peek().is_punct(","):
+                self.advance()
+                values.add(self.expect_ident("selection value"))
+            self.expect_punct("}")
+            return frozenset(values)
+        return frozenset({self.expect_ident("selection value")})
+
+    def _access_set_selector(self) -> SelectAccesses:
+        self.expect_punct("{")
+        accesses = {self._access()}
+        while self.peek().is_punct(","):
+            self.advance()
+            accesses.add(self._access())
+        self.expect_punct("}")
+        return SelectAccesses(frozenset(accesses))

@@ -1,0 +1,120 @@
+"""Pretty-printer for SRAC constraints.
+
+``parse_constraint(unparse_constraint(c)) == c`` holds for every
+constraint whose selections are expressible in the concrete syntax
+(``SelectAll``, ``SelectField``, conjunctions of distinct fields, and
+explicit access sets).  Programmatically built selections using
+``SelectOr``/``SelectNot`` have no concrete-syntax form and make the
+printer raise :class:`~repro.errors.ConstraintError`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConstraintError
+from repro.srac.ast import (
+    And,
+    Atom,
+    Bottom,
+    Constraint,
+    Count,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Ordered,
+    Top,
+)
+from repro.srac.selection import (
+    SelectAccesses,
+    SelectAll,
+    SelectAnd,
+    SelectField,
+    Selection,
+)
+from repro.traces.trace import AccessKey
+
+__all__ = ["unparse_constraint", "unparse_selection"]
+
+_IFF, _IMPLIES, _OR, _AND, _NOT, _PRIMARY = 1, 2, 3, 4, 5, 6
+
+_FIELD_SYNTAX = {"op": "op", "resource": "res", "server": "server"}
+
+
+def _access(a: AccessKey) -> str:
+    return f"{a.op} {a.resource} @ {a.server}"
+
+
+def unparse_selection(selection: Selection) -> str:
+    """Concrete syntax of a selection operator."""
+    if isinstance(selection, SelectAll):
+        return "[]"
+    if isinstance(selection, SelectField):
+        return f"[{_field_clause(selection)}]"
+    if isinstance(selection, SelectAnd):
+        clauses = []
+        seen_fields: set[str] = set()
+        for part in selection.parts:
+            if not isinstance(part, SelectField):
+                raise ConstraintError(
+                    "only conjunctions of field selections are expressible "
+                    f"in SRAC concrete syntax, got {part!r}"
+                )
+            if part.field_name in seen_fields:
+                raise ConstraintError(
+                    f"duplicate selection field {part.field_name!r} has no "
+                    "concrete-syntax form"
+                )
+            seen_fields.add(part.field_name)
+            clauses.append(_field_clause(part))
+        return f"[{', '.join(clauses)}]"
+    if isinstance(selection, SelectAccesses):
+        items = sorted(selection.accesses)
+        return "{" + ", ".join(_access(a) for a in items) + "}"
+    raise ConstraintError(
+        f"selection {selection!r} is not expressible in SRAC concrete syntax"
+    )
+
+
+def _field_clause(selection: SelectField) -> str:
+    name = _FIELD_SYNTAX[selection.field_name]
+    values = sorted(selection.values)
+    if len(values) == 1:
+        return f"{name} = {values[0]}"
+    return f"{name} = {{{', '.join(values)}}}"
+
+
+def unparse_constraint(constraint: Constraint) -> str:
+    """Render a constraint with minimal parentheses."""
+    return _render(constraint, 0)
+
+
+def _render(c: Constraint, parent_prec: int) -> str:
+    if isinstance(c, Top):
+        return "T"
+    if isinstance(c, Bottom):
+        return "F"
+    if isinstance(c, Atom):
+        return _access(c.access)
+    if isinstance(c, Ordered):
+        return f"{_access(c.first)} >> {_access(c.second)}"
+    if isinstance(c, Count):
+        hi = "*" if c.hi is None else str(c.hi)
+        return f"count({c.lo}, {hi}, {unparse_selection(c.selection)})"
+    if isinstance(c, Not):
+        text = f"~{_render(c.inner, _NOT)}"
+        return f"({text})" if _NOT < parent_prec else text
+    if isinstance(c, And):
+        text = f"{_render(c.left, _AND)} & {_render(c.right, _AND + 1)}"
+        return f"({text})" if _AND < parent_prec else text
+    if isinstance(c, Or):
+        text = f"{_render(c.left, _OR)} | {_render(c.right, _OR + 1)}"
+        return f"({text})" if _OR < parent_prec else text
+    if isinstance(c, Implies):
+        # Right-associative: the left operand needs parens if it is
+        # itself an implication.
+        text = f"{_render(c.left, _IMPLIES + 1)} -> {_render(c.right, _IMPLIES)}"
+        return f"({text})" if _IMPLIES < parent_prec else text
+    if isinstance(c, Iff):
+        text = f"{_render(c.left, _IFF)} <-> {_render(c.right, _IFF + 1)}"
+        return f"({text})" if _IFF < parent_prec else text
+    raise TypeError(f"not an SRAC constraint: {c!r}")

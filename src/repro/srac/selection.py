@@ -1,0 +1,171 @@
+"""Selection operators σ over access sets (used by SRAC counting
+constraints).
+
+The paper's Example 3.5 writes ``#(0, 5, σ_RSW(A))`` — "σ is a selection
+operation over set A and returns a subset of accesses that meet certain
+conditions".  We realise σ as an immutable, hashable predicate over
+:class:`~repro.traces.trace.AccessKey`, composable with and/or/not:
+
+* :class:`SelectAll` — every access;
+* :class:`SelectField` — accesses whose ``op``/``resource``/``server``
+  is in a given set (e.g. all accesses to the RSW package);
+* :class:`SelectAccesses` — an explicit access set;
+* :class:`SelectAnd` / :class:`SelectOr` / :class:`SelectNot` —
+  combinators.
+
+Every selection supports :meth:`Selection.matches` for single accesses
+and :meth:`Selection.restrict` to filter an alphabet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ConstraintError
+from repro.traces.trace import AccessKey
+
+__all__ = [
+    "Selection",
+    "SelectAll",
+    "SelectField",
+    "SelectAccesses",
+    "SelectAnd",
+    "SelectOr",
+    "SelectNot",
+    "select_op",
+    "select_resource",
+    "select_server",
+    "select_access",
+]
+
+_FIELDS = ("op", "resource", "server")
+
+
+@dataclass(frozen=True)
+class Selection:
+    """Base class of selection operators."""
+
+    def matches(self, access: AccessKey) -> bool:
+        raise NotImplementedError
+
+    def restrict(self, alphabet: Iterable[AccessKey]) -> frozenset[AccessKey]:
+        """σ(A): the subset of ``alphabet`` selected."""
+        return frozenset(a for a in alphabet if self.matches(AccessKey(*a)))
+
+    # Combinator sugar.
+    def __and__(self, other: "Selection") -> "Selection":
+        return SelectAnd((self, other))
+
+    def __or__(self, other: "Selection") -> "Selection":
+        return SelectOr((self, other))
+
+    def __invert__(self) -> "Selection":
+        return SelectNot(self)
+
+
+@dataclass(frozen=True)
+class SelectAll(Selection):
+    """Selects every access."""
+
+    def matches(self, access: AccessKey) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class SelectField(Selection):
+    """Selects accesses whose ``field`` value is in ``values``.
+
+    ``field`` is one of ``op``, ``resource``, ``server``.
+    """
+
+    field_name: str
+    values: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if self.field_name not in _FIELDS:
+            raise ConstraintError(
+                f"unknown selection field {self.field_name!r}; expected one of {_FIELDS}"
+            )
+        object.__setattr__(self, "values", frozenset(self.values))
+        if not self.values:
+            raise ConstraintError("selection value set must not be empty")
+
+    def matches(self, access: AccessKey) -> bool:
+        return getattr(access, self.field_name) in self.values
+
+
+@dataclass(frozen=True)
+class SelectAccesses(Selection):
+    """Selects exactly the accesses in an explicit set."""
+
+    accesses: frozenset[AccessKey]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "accesses", frozenset(AccessKey(*a) for a in self.accesses)
+        )
+
+    def matches(self, access: AccessKey) -> bool:
+        return access in self.accesses
+
+
+@dataclass(frozen=True)
+class SelectAnd(Selection):
+    """Conjunction of selections."""
+
+    parts: tuple[Selection, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+        if not self.parts:
+            raise ConstraintError("SelectAnd needs at least one part")
+
+    def matches(self, access: AccessKey) -> bool:
+        return all(p.matches(access) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class SelectOr(Selection):
+    """Disjunction of selections."""
+
+    parts: tuple[Selection, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+        if not self.parts:
+            raise ConstraintError("SelectOr needs at least one part")
+
+    def matches(self, access: AccessKey) -> bool:
+        return any(p.matches(access) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class SelectNot(Selection):
+    """Complement of a selection."""
+
+    inner: Selection
+
+    def matches(self, access: AccessKey) -> bool:
+        return not self.inner.matches(access)
+
+
+def select_op(*ops: str) -> SelectField:
+    """Accesses performing one of the given operations."""
+    return SelectField("op", frozenset(ops))
+
+
+def select_resource(*resources: str) -> SelectField:
+    """Accesses touching one of the given resources (e.g. the paper's
+    σ_RSW selecting the restricted-software package)."""
+    return SelectField("resource", frozenset(resources))
+
+
+def select_server(*servers: str) -> SelectField:
+    """Accesses at one of the given servers."""
+    return SelectField("server", frozenset(servers))
+
+
+def select_access(*accesses: AccessKey | tuple[str, str, str]) -> SelectAccesses:
+    """An explicit access set."""
+    return SelectAccesses(frozenset(AccessKey(*a) for a in accesses))

@@ -1,0 +1,119 @@
+"""Constraint simplification: boolean constant folding and trivial
+atomic reductions, preserving trace satisfaction exactly
+(``trace_satisfies(t, simplify_constraint(C)) == trace_satisfies(t, C)``
+for every trace ``t`` — property-tested).
+
+Rules: identity/absorbing elements of ∧/∨, double negation, negated
+constants, implication/iff with constant sides, and the trivially true
+count ``#(0, ∞, σ) → T``.
+"""
+
+from __future__ import annotations
+
+from repro.srac.ast import (
+    And,
+    Atom,
+    Bottom,
+    Constraint,
+    Count,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Ordered,
+    Top,
+)
+
+__all__ = ["simplify_constraint"]
+
+_T = Top()
+_F = Bottom()
+
+
+def simplify_constraint(constraint: Constraint) -> Constraint:
+    """Bottom-up simplification (iterative; safe on deep constraints)."""
+    done: dict[int, Constraint] = {}
+    stack: list[tuple[Constraint, bool]] = [(constraint, False)]
+    result = constraint
+    while stack:
+        node, expanded = stack.pop()
+        children = node.children()
+        if not children:
+            done[id(node)] = _leaf(node)
+            result = done[id(node)]
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for child in reversed(children):
+                stack.append((child, False))
+            continue
+        simplified = [done[id(child)] for child in children]
+        rebuilt = _rebuild(node, simplified)
+        done[id(node)] = rebuilt
+        result = rebuilt
+    return result
+
+
+def _leaf(node: Constraint) -> Constraint:
+    if isinstance(node, Count) and node.lo == 0 and node.hi is None:
+        return _T  # every count lies in [0, ∞)
+    return node
+
+
+def _rebuild(node: Constraint, children: list[Constraint]) -> Constraint:
+    if isinstance(node, And):
+        left, right = children
+        if left == _F or right == _F:
+            return _F
+        if left == _T:
+            return right
+        if right == _T:
+            return left
+        if left == right:
+            return left
+        return And(left, right)
+    if isinstance(node, Or):
+        left, right = children
+        if left == _T or right == _T:
+            return _T
+        if left == _F:
+            return right
+        if right == _F:
+            return left
+        if left == right:
+            return left
+        return Or(left, right)
+    if isinstance(node, Not):
+        (inner,) = children
+        if inner == _T:
+            return _F
+        if inner == _F:
+            return _T
+        if isinstance(inner, Not):
+            return inner.inner
+        return Not(inner)
+    if isinstance(node, Implies):
+        left, right = children
+        if left == _F or right == _T:
+            return _T
+        if left == _T:
+            return right
+        if right == _F:
+            return _rebuild(Not(left), [left])
+        if left == right:
+            return _T
+        return Implies(left, right)
+    if isinstance(node, Iff):
+        left, right = children
+        if left == right:
+            return _T
+        if left == _T:
+            return right
+        if right == _T:
+            return left
+        if left == _F:
+            return _rebuild(Not(right), [right])
+        if right == _F:
+            return _rebuild(Not(left), [left])
+        return Iff(left, right)
+    raise TypeError(f"unexpected constraint: {node!r}")  # pragma: no cover

@@ -1,0 +1,121 @@
+"""Trace satisfaction ``t ⊨ C`` (paper Definition 3.6).
+
+This is the *runtime* side of spatial constraint checking: the trace is
+the access history a mobile object has actually performed, and each
+access may carry an execution proof (``Pr_x``) issued by the server
+that executed it.  A missing or invalid proof makes the corresponding
+atom unsatisfied, exactly as in the paper's semantics "``a ∈ t`` and
+``Pr_x(a) = true``".
+
+Two implementations are provided:
+
+* :func:`trace_satisfies` — direct structural recursion following
+  Definition 3.6 case by case (the specification);
+* the monitor-based evaluation in
+  :class:`~repro.srac.monitors.CompiledConstraint` (the implementation
+  used at scale).
+
+Property tests assert they agree; benchmarks compare their speed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.srac.ast import (
+    And,
+    Atom,
+    Bottom,
+    Constraint,
+    Count,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Ordered,
+    Top,
+)
+from repro.traces.trace import AccessKey
+
+__all__ = ["trace_satisfies", "ProofPredicate"]
+
+#: Predicate deciding whether an access has a valid execution proof.
+#: ``None`` means "assume all proofs valid" (static checking mode).
+ProofPredicate = Callable[[AccessKey], bool]
+
+
+def trace_satisfies(
+    trace: Sequence[AccessKey],
+    constraint: Constraint,
+    proofs: ProofPredicate | None = None,
+) -> bool:
+    """Decide ``trace ⊨ constraint`` per Definition 3.6.
+
+    Parameters
+    ----------
+    trace:
+        The access history (sequence of ``(op, resource, server)``).
+    constraint:
+        An SRAC constraint.
+    proofs:
+        Optional execution-proof predicate ``Pr_x``.  When given, an
+        atom ``a`` holds only if ``a`` occurs in the trace *and*
+        ``proofs(a)`` is true; ordered constraints require proofs for
+        both accesses.  When ``None``, occurrence alone suffices.
+    """
+    trace = tuple(AccessKey(*a) for a in trace)
+    return _sat(trace, constraint, proofs)
+
+
+def _proved(access: AccessKey, proofs: ProofPredicate | None) -> bool:
+    return proofs is None or proofs(access)
+
+
+def _sat(
+    trace: tuple[AccessKey, ...],
+    constraint: Constraint,
+    proofs: ProofPredicate | None,
+) -> bool:
+    if isinstance(constraint, Top):
+        return True
+    if isinstance(constraint, Bottom):
+        return False
+    if isinstance(constraint, Atom):
+        access = constraint.access
+        return access in trace and _proved(access, proofs)
+    if isinstance(constraint, Ordered):
+        # ∃ t1, t2 with t1·t2 = t, a1 ∈ t1 (proved) and t2 ⊨ a2 (proved).
+        first, second = constraint.first, constraint.second
+        if not (_proved(first, proofs) and _proved(second, proofs)):
+            return False
+        for split, access in enumerate(trace):
+            if access == first:
+                return second in trace[split + 1 :]
+        return False
+    if isinstance(constraint, Count):
+        matches = constraint.selection.matches
+        count = sum(
+            1 for a in trace if matches(a) and _proved(a, proofs)
+        )
+        if count < constraint.lo:
+            return False
+        return constraint.hi is None or count <= constraint.hi
+    if isinstance(constraint, And):
+        return _sat(trace, constraint.left, proofs) and _sat(
+            trace, constraint.right, proofs
+        )
+    if isinstance(constraint, Or):
+        return _sat(trace, constraint.left, proofs) or _sat(
+            trace, constraint.right, proofs
+        )
+    if isinstance(constraint, Not):
+        return not _sat(trace, constraint.inner, proofs)
+    if isinstance(constraint, Implies):
+        return (not _sat(trace, constraint.left, proofs)) or _sat(
+            trace, constraint.right, proofs
+        )
+    if isinstance(constraint, Iff):
+        return _sat(trace, constraint.left, proofs) == _sat(
+            trace, constraint.right, proofs
+        )
+    raise TypeError(f"not an SRAC constraint: {constraint!r}")

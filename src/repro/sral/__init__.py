@@ -1,0 +1,73 @@
+"""SRAL — the Shared Resource Access Language (paper Definition 3.1).
+
+Public surface:
+
+* AST node classes (:class:`Access`, :class:`Seq`, :class:`If`,
+  :class:`While`, :class:`Par`, ...) from :mod:`repro.sral.ast`;
+* :func:`parse_program` / :func:`parse_expr` for concrete syntax;
+* :func:`unparse` / :func:`format_program` to print programs back;
+* builder helpers in :mod:`repro.sral.builder`;
+* static analyses in :mod:`repro.sral.analysis`.
+"""
+
+from repro.sral.ast import (
+    Access,
+    Assign,
+    BinOp,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Par,
+    Program,
+    Receive,
+    Send,
+    Seq,
+    Signal,
+    Skip,
+    StrLit,
+    UnaryOp,
+    Var,
+    Wait,
+    While,
+    par,
+    program_size,
+    seq,
+    walk,
+)
+from repro.sral.normalize import simplify_constants, simplify_traces
+from repro.sral.parser import parse_expr, parse_program
+from repro.sral.printer import format_program, unparse, unparse_expr
+
+__all__ = [
+    "Access",
+    "Assign",
+    "BinOp",
+    "BoolLit",
+    "Expr",
+    "If",
+    "IntLit",
+    "Par",
+    "Program",
+    "Receive",
+    "Send",
+    "Seq",
+    "Signal",
+    "Skip",
+    "StrLit",
+    "UnaryOp",
+    "Var",
+    "Wait",
+    "While",
+    "par",
+    "program_size",
+    "seq",
+    "walk",
+    "simplify_constants",
+    "simplify_traces",
+    "parse_expr",
+    "parse_program",
+    "format_program",
+    "unparse",
+    "unparse_expr",
+]

@@ -1,0 +1,170 @@
+"""Static analyses over SRAL programs.
+
+These are the building blocks the constraint checker and the agent
+layer use to reason about a program before running it:
+
+* :func:`alphabet` — the set of access triples a program can perform
+  (the trace alphabet of ``traces(P)``).
+* :func:`servers_visited`, :func:`resources_used` — itinerary and
+  footprint projections.
+* :func:`channels_used`, :func:`signals_used` — communication surface.
+* :func:`free_variables`, :func:`assigned_variables` — data-flow sets.
+* :func:`has_loops`, :func:`is_finite` — whether ``traces(P)`` is a
+  finite set.
+* :func:`max_trace_length` — length bound for loop-free programs.
+* :func:`count_nodes` — per-construct census used in benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import TraceModelError
+from repro.sral.ast import (
+    Access,
+    Assign,
+    Expr,
+    If,
+    Par,
+    Program,
+    Receive,
+    Send,
+    Seq,
+    Signal,
+    Skip,
+    Var,
+    Wait,
+    While,
+    walk,
+)
+
+__all__ = [
+    "alphabet",
+    "servers_visited",
+    "resources_used",
+    "operations_used",
+    "channels_used",
+    "signals_used",
+    "free_variables",
+    "assigned_variables",
+    "has_loops",
+    "has_parallelism",
+    "is_finite",
+    "max_trace_length",
+    "count_nodes",
+]
+
+
+def alphabet(program: Program) -> frozenset[tuple[str, str, str]]:
+    """All access triples ``(op, resource, server)`` occurring in
+    ``program``.  Every access appearing in any trace of the program is
+    drawn from this set."""
+    return frozenset(
+        node.key() for node in walk(program) if isinstance(node, Access)
+    )
+
+
+def servers_visited(program: Program) -> frozenset[str]:
+    """Servers named by any access of the program — the static
+    over-approximation of the mobile object's itinerary."""
+    return frozenset(
+        node.server for node in walk(program) if isinstance(node, Access)
+    )
+
+
+def resources_used(program: Program) -> frozenset[str]:
+    """Shared resources named by any access of the program."""
+    return frozenset(
+        node.resource for node in walk(program) if isinstance(node, Access)
+    )
+
+
+def operations_used(program: Program) -> frozenset[str]:
+    """Operations (read/write/exec/...) named by any access."""
+    return frozenset(node.op for node in walk(program) if isinstance(node, Access))
+
+
+def channels_used(program: Program) -> frozenset[str]:
+    """Channels the program sends on or receives from."""
+    return frozenset(
+        node.channel for node in walk(program) if isinstance(node, (Receive, Send))
+    )
+
+
+def signals_used(program: Program) -> frozenset[str]:
+    """Signals the program raises or waits for."""
+    return frozenset(
+        node.event for node in walk(program) if isinstance(node, (Signal, Wait))
+    )
+
+
+def free_variables(program: Program) -> frozenset[str]:
+    """Variables read anywhere in the program (in conditions and
+    payload expressions)."""
+    return frozenset(
+        node.name for node in walk(program) if isinstance(node, Var)
+    )
+
+
+def assigned_variables(program: Program) -> frozenset[str]:
+    """Variables written by ``:=`` or bound by channel receives."""
+    out: set[str] = set()
+    for node in walk(program):
+        if isinstance(node, Assign):
+            out.add(node.var)
+        elif isinstance(node, Receive):
+            out.add(node.var)
+    return frozenset(out)
+
+
+def has_loops(program: Program) -> bool:
+    """True iff the program contains a ``while`` construct."""
+    return any(isinstance(node, While) for node in walk(program))
+
+
+def has_parallelism(program: Program) -> bool:
+    """True iff the program contains a ``||`` composition."""
+    return any(isinstance(node, Par) for node in walk(program))
+
+
+def is_finite(program: Program) -> bool:
+    """True iff ``traces(program)`` is a finite set of finite traces.
+
+    By the trace-model rules (Definition 3.2) only ``while`` introduces
+    Kleene closure, so a program is trace-finite iff it is loop-free.
+    """
+    return not has_loops(program)
+
+
+def max_trace_length(program: Program) -> int:
+    """The maximum number of accesses in any trace of a loop-free
+    program.  Raises :class:`~repro.errors.TraceModelError` for programs
+    containing loops (their traces are unbounded)."""
+    return _max_len(program)
+
+
+def _max_len(program: Program) -> int:
+    if isinstance(program, Access):
+        return 1
+    if isinstance(program, (Skip, Receive, Send, Signal, Wait, Assign)):
+        return 0
+    if isinstance(program, Seq):
+        return _max_len(program.first) + _max_len(program.second)
+    if isinstance(program, Par):
+        return _max_len(program.left) + _max_len(program.right)
+    if isinstance(program, If):
+        return max(_max_len(program.then), _max_len(program.orelse))
+    if isinstance(program, While):
+        raise TraceModelError(
+            "max_trace_length is undefined for programs with loops"
+        )
+    raise TypeError(f"not an SRAL program: {program!r}")
+
+
+def count_nodes(program: Program) -> Counter:
+    """Census of AST node types (class name → count), programs and
+    expressions alike."""
+    counter: Counter = Counter()
+    for node in walk(program):
+        counter[type(node).__name__] += 1
+    return counter

@@ -1,0 +1,336 @@
+"""Abstract syntax of SRAL, the Shared Resource Access Language.
+
+SRAL (Definition 3.1 of the paper) describes the behaviour of a mobile
+object roaming over a coalition of servers::
+
+    a ::= op r @ s | ch ? x | ch ! e | signal(xi) | wait(xi)
+        | a1 ; a2 | if c then a1 else a2 | while c do a | a1 || a2
+
+Two pragmatic extensions, both justified by the paper itself:
+
+* ``skip`` — the empty program, the identity of sequential composition.
+  It arises naturally as the zero-iteration body of ``while`` and makes
+  the trace algebra a proper monoid.
+* ``x := e`` — assignment.  The paper's Naplet example mutates agent
+  state inside loops, and Section 3.2 notes that non-regular behaviour
+  "can be achieved in an ad hoc fashion based on the underlying
+  language"; assignment is that hook.  Assignments are invisible to the
+  trace model (they are not shared-resource accesses).
+
+All nodes are immutable (frozen dataclasses) and hashable, so programs
+can be used as dictionary keys and structurally compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+
+def _validate_identifier(name: str, what: str) -> None:
+    if not name or not isinstance(name, str):
+        raise ValueError(f"{what} must be a non-empty string, got {name!r}")
+
+__all__ = [
+    # expressions
+    "Expr",
+    "IntLit",
+    "BoolLit",
+    "StrLit",
+    "Var",
+    "UnaryOp",
+    "BinOp",
+    # statements / programs
+    "Program",
+    "Access",
+    "Receive",
+    "Send",
+    "Signal",
+    "Wait",
+    "Assign",
+    "Skip",
+    "Seq",
+    "If",
+    "While",
+    "Par",
+    # helpers
+    "walk",
+    "program_size",
+    "seq",
+    "par",
+    "COMPARISON_OPS",
+    "ARITHMETIC_OPS",
+    "BOOLEAN_OPS",
+]
+
+# ---------------------------------------------------------------------------
+# Expressions (conditions c and channel payloads e)
+# ---------------------------------------------------------------------------
+
+ARITHMETIC_OPS = ("+", "-", "*", "/", "%")
+COMPARISON_OPS = ("<", "<=", ">", ">=", "==", "!=")
+BOOLEAN_OPS = ("and", "or")
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of SRAL expressions."""
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    """Integer literal, e.g. ``42``."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    """Boolean literal ``true`` or ``false``."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class StrLit(Expr):
+    """String literal, e.g. ``"yellow-page"``."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Variable reference (ranges over the set *V* of the paper)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operation: ``not e`` or ``-e``."""
+
+    op: str  # "not" | "-"
+    operand: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation over arithmetic, comparison or boolean operators."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+
+# ---------------------------------------------------------------------------
+# Programs (statements)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Program:
+    """Base class of SRAL programs (the paper's *a*)."""
+
+    def children(self) -> tuple["Program", ...]:
+        """Direct sub-programs of this node."""
+        return ()
+
+    def exprs(self) -> tuple[Expr, ...]:
+        """Expressions referenced directly by this node."""
+        return ()
+
+    # The concrete syntax is produced by repro.sral.printer; __str__ is a
+    # convenience that defers to it (lazy import avoids a cycle).
+    def __str__(self) -> str:  # pragma: no cover - thin delegation
+        from repro.sral.printer import unparse
+
+        return unparse(self)
+
+
+@dataclass(frozen=True)
+class Access(Program):
+    """Primitive shared-resource access ``op r @ s``.
+
+    This is the only construct that appears in traces: an access tuple
+    *(o, op, r, s)* where the mobile object *o* is the program's owner.
+    """
+
+    op: str
+    resource: str
+    server: str
+
+    def __post_init__(self) -> None:
+        _validate_identifier(self.op, "operation")
+        _validate_identifier(self.resource, "resource")
+        _validate_identifier(self.server, "server")
+
+    def key(self) -> tuple[str, str, str]:
+        """The ``(op, resource, server)`` triple identifying this access
+        in the trace alphabet."""
+        return (self.op, self.resource, self.server)
+
+
+@dataclass(frozen=True)
+class Receive(Program):
+    """Channel receive ``ch ? x``: take a value from channel ``ch`` and
+    bind it to variable ``x``; blocks while the channel is empty."""
+
+    channel: str
+    var: str
+
+
+@dataclass(frozen=True)
+class Send(Program):
+    """Channel send ``ch ! e``: append the value of ``e`` to channel
+    ``ch``, waking any blocked receivers."""
+
+    channel: str
+    expr: Expr
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.expr,)
+
+
+@dataclass(frozen=True)
+class Signal(Program):
+    """Order synchronisation ``signal(xi)``: raise signal ``xi``.
+
+    ``signal(xi)`` must happen before a matching :class:`Wait` on the
+    same signal may proceed."""
+
+    event: str
+
+
+@dataclass(frozen=True)
+class Wait(Program):
+    """Order synchronisation ``wait(xi)``: block until ``xi`` is raised."""
+
+    event: str
+
+
+@dataclass(frozen=True)
+class Assign(Program):
+    """Assignment ``x := e`` (library extension; not a resource access)."""
+
+    var: str
+    expr: Expr
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.expr,)
+
+
+@dataclass(frozen=True)
+class Skip(Program):
+    """The empty program; identity of ``;`` and unit of the trace monoid."""
+
+
+@dataclass(frozen=True)
+class Seq(Program):
+    """Sequential composition ``a1 ; a2``."""
+
+    first: Program
+    second: Program
+
+    def children(self) -> tuple[Program, ...]:
+        return (self.first, self.second)
+
+
+@dataclass(frozen=True)
+class If(Program):
+    """Conditional composition ``if c then a1 else a2``."""
+
+    cond: Expr
+    then: Program
+    orelse: Program
+
+    def children(self) -> tuple[Program, ...]:
+        return (self.then, self.orelse)
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.cond,)
+
+
+@dataclass(frozen=True)
+class While(Program):
+    """Loop ``while c do a``: repeat ``a`` while ``c`` holds."""
+
+    cond: Expr
+    body: Program
+
+    def children(self) -> tuple[Program, ...]:
+        return (self.body,)
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.cond,)
+
+
+@dataclass(frozen=True)
+class Par(Program):
+    """Parallel composition ``a1 || a2``; traces interleave."""
+
+    left: Program
+    right: Program
+
+    def children(self) -> tuple[Program, ...]:
+        return (self.left, self.right)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+Node = Union[Program, Expr]
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield ``node`` and every descendant (programs and expressions),
+    in pre-order."""
+    stack: list[Node] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, Program):
+            stack.extend(reversed(current.children()))
+            stack.extend(reversed(current.exprs()))
+        else:
+            stack.extend(reversed(current.children()))
+
+
+def program_size(program: Program) -> int:
+    """The size *m* of a program: its number of AST nodes (programs and
+    expressions).  This is the *m* of Theorem 3.2."""
+    return sum(1 for _ in walk(program))
+
+
+def seq(*programs: Program) -> Program:
+    """Right-associated sequential composition of any number of programs.
+
+    ``seq()`` is :class:`Skip`; ``seq(p)`` is ``p``.
+    """
+    if not programs:
+        return Skip()
+    result = programs[-1]
+    for p in reversed(programs[:-1]):
+        result = Seq(p, result)
+    return result
+
+
+def par(*programs: Program) -> Program:
+    """Right-associated parallel composition of any number of programs."""
+    if not programs:
+        return Skip()
+    result = programs[-1]
+    for p in reversed(programs[:-1]):
+        result = Par(p, result)
+    return result
+
+

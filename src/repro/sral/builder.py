@@ -1,0 +1,227 @@
+"""Fluent construction helpers for SRAL programs.
+
+These helpers let applications build programs without spelling out AST
+constructors, and accept plain Python values where literals are meant::
+
+    from repro.sral.builder import access, while_, assign, var, lit, seq
+
+    prog = seq(
+        access("read", "manifest", "s1"),
+        assign("n", lit(0)),
+        while_(var("n") < lit(3),
+               seq(access("exec", "verifier", "s1"),
+                   assign("n", var("n") + lit(1)))),
+    )
+
+Expression builders support Python operator overloading through the
+:class:`E` wrapper returned by :func:`var` and :func:`lit`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.sral.ast import (
+    Access,
+    Assign,
+    BinOp,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Par,
+    Program,
+    Receive,
+    Send,
+    Signal,
+    Skip,
+    StrLit,
+    UnaryOp,
+    Var,
+    Wait,
+    While,
+    par,
+    seq,
+)
+
+__all__ = [
+    "E",
+    "var",
+    "lit",
+    "access",
+    "recv",
+    "send",
+    "signal",
+    "wait",
+    "assign",
+    "if_",
+    "while_",
+    "repeat",
+    "seq",
+    "par",
+    "skip",
+]
+
+Exprish = Union["E", Expr, int, bool, str]
+
+
+class E:
+    """Operator-overloading wrapper around an :class:`Expr`.
+
+    ``var("n") + 1`` builds ``BinOp('+', Var('n'), IntLit(1))``;
+    comparisons, arithmetic and ``&``/``|``/``~`` (for and/or/not) are
+    supported.
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: Expr):
+        self.node = node
+
+    def _bin(self, op: str, other: Exprish, reflected: bool = False) -> "E":
+        left, right = self.node, as_expr(other)
+        if reflected:
+            left, right = right, left
+        return E(BinOp(op, left, right))
+
+    def __add__(self, other: Exprish) -> "E":
+        return self._bin("+", other)
+
+    def __radd__(self, other: Exprish) -> "E":
+        return self._bin("+", other, reflected=True)
+
+    def __sub__(self, other: Exprish) -> "E":
+        return self._bin("-", other)
+
+    def __rsub__(self, other: Exprish) -> "E":
+        return self._bin("-", other, reflected=True)
+
+    def __mul__(self, other: Exprish) -> "E":
+        return self._bin("*", other)
+
+    def __rmul__(self, other: Exprish) -> "E":
+        return self._bin("*", other, reflected=True)
+
+    def __truediv__(self, other: Exprish) -> "E":
+        return self._bin("/", other)
+
+    def __mod__(self, other: Exprish) -> "E":
+        return self._bin("%", other)
+
+    def __lt__(self, other: Exprish) -> "E":
+        return self._bin("<", other)
+
+    def __le__(self, other: Exprish) -> "E":
+        return self._bin("<=", other)
+
+    def __gt__(self, other: Exprish) -> "E":
+        return self._bin(">", other)
+
+    def __ge__(self, other: Exprish) -> "E":
+        return self._bin(">=", other)
+
+    def eq(self, other: Exprish) -> "E":
+        """Equality comparison (``==`` is kept for Python identity)."""
+        return self._bin("==", other)
+
+    def ne(self, other: Exprish) -> "E":
+        return self._bin("!=", other)
+
+    def __and__(self, other: Exprish) -> "E":
+        return self._bin("and", other)
+
+    def __or__(self, other: Exprish) -> "E":
+        return self._bin("or", other)
+
+    def __invert__(self) -> "E":
+        return E(UnaryOp("not", self.node))
+
+    def __neg__(self) -> "E":
+        return E(UnaryOp("-", self.node))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"E({self.node!r})"
+
+
+def as_expr(value: Exprish) -> Expr:
+    """Coerce a Python value, :class:`E` wrapper or :class:`Expr` to an
+    :class:`Expr` node."""
+    if isinstance(value, E):
+        return value.node
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return BoolLit(value)
+    if isinstance(value, int):
+        return IntLit(value)
+    if isinstance(value, str):
+        return StrLit(value)
+    raise TypeError(f"cannot convert {value!r} to an SRAL expression")
+
+
+def var(name: str) -> E:
+    """A variable reference usable with Python operators."""
+    return E(Var(name))
+
+
+def lit(value: Union[int, bool, str]) -> E:
+    """A literal usable with Python operators."""
+    return E(as_expr(value))
+
+
+def access(op: str, resource: str, server: str) -> Access:
+    """Primitive access ``op resource @ server``."""
+    return Access(op, resource, server)
+
+
+def recv(channel: str, variable: str) -> Receive:
+    """Channel receive ``channel ? variable``."""
+    return Receive(channel, variable)
+
+
+def send(channel: str, payload: Exprish) -> Send:
+    """Channel send ``channel ! payload``."""
+    return Send(channel, as_expr(payload))
+
+
+def signal(event: str) -> Signal:
+    """Raise signal ``event``."""
+    return Signal(event)
+
+
+def wait(event: str) -> Wait:
+    """Block until signal ``event`` has been raised."""
+    return Wait(event)
+
+
+def assign(variable: str, value: Exprish) -> Assign:
+    """Assignment ``variable := value``."""
+    return Assign(variable, as_expr(value))
+
+
+def if_(cond: Exprish, then: Program, orelse: Program | None = None) -> If:
+    """Conditional; a missing else-branch defaults to ``skip``."""
+    return If(as_expr(cond), then, orelse if orelse is not None else Skip())
+
+
+def while_(cond: Exprish, body: Program) -> While:
+    """Loop ``while cond do body``."""
+    return While(as_expr(cond), body)
+
+
+def repeat(counter: str, times: int, body: Program) -> Program:
+    """A bounded loop: run ``body`` exactly ``times`` times, using
+    ``counter`` as the loop variable.  Expands to the SRAL idiom::
+
+        counter := 0 ; while counter < times do { body ; counter := counter + 1 }
+    """
+    loop = While(
+        BinOp("<", Var(counter), IntLit(times)),
+        seq(body, Assign(counter, BinOp("+", Var(counter), IntLit(1)))),
+    )
+    return seq(Assign(counter, IntLit(0)), loop)
+
+
+def skip() -> Skip:
+    """The empty program."""
+    return Skip()

@@ -1,0 +1,191 @@
+"""Tokenizer for the SRAL / SRAC concrete syntaxes.
+
+Both languages share one lexical structure, so a single lexer serves
+:mod:`repro.sral.parser` and :mod:`repro.srac.parser`.
+
+Lexical classes
+---------------
+
+``IDENT``
+    ``[A-Za-z_][A-Za-z0-9_.]*`` (not ending in ``.``) — dots are allowed
+    so principal names such as ``song.wayne.edu`` tokenize as single
+    identifiers.
+``INT``
+    decimal integer literals.
+``STRING``
+    double-quoted, with ``\\"`` and ``\\\\`` escapes.
+``punctuation``
+    ``; || ? ! @ := ( ) { } , # [ ] >> -> <-> & | ~`` and the
+    comparison/arithmetic operators.  ``>>`` is SRAC's ordered
+    composition (the paper's ``a1 (x) a2``).
+
+Comments run from ``//`` to end of line.  Whitespace separates tokens
+and is otherwise insignificant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SralSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+#: Reserved words of SRAL and SRAC.  ``then``/``else``/``do`` etc. may not
+#: be used as identifiers.
+KEYWORDS = frozenset(
+    {
+        "if",
+        "then",
+        "else",
+        "while",
+        "do",
+        "signal",
+        "wait",
+        "skip",
+        "true",
+        "false",
+        "and",
+        "or",
+        "not",
+        "T",
+        "F",
+        "count",
+        "in",
+    }
+)
+
+# Multi-character punctuation, longest first so maximal munch works.
+# ">>" is the SRAC ordered-composition operator (the paper's a1 (x) a2);
+# "->" / "<->" are SRAC implication and equivalence.
+_MULTI = (
+    "||",
+    ":=",
+    "<->",
+    "->",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+)
+_SINGLE = ";?!@(){}<>,#[]&|~+-*/%="
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is ``IDENT``, ``INT``, ``STRING``, ``KEYWORD``, ``PUNCT`` or
+    ``EOF``; ``value`` is the lexeme (decoded for strings); ``line`` and
+    ``column`` are 1-based source coordinates.
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def is_punct(self, value: str) -> bool:
+        return self.kind == "PUNCT" and self.value == value
+
+    def is_keyword(self, value: str) -> bool:
+        return self.kind == "KEYWORD" and self.value == value
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    # Dots allowed so principal names like "song.wayne.edu" are single
+    # tokens; dashes are NOT allowed (they would swallow "n-1").
+    return ch.isalnum() or ch in "_."
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``, returning a token list ending with an ``EOF``
+    token.  Raises :class:`~repro.errors.SralSyntaxError` on bad input.
+    """
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        # -- whitespace & comments -----------------------------------
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        col = i - line_start + 1
+        # -- identifiers & keywords -----------------------------------
+        if _is_ident_start(ch):
+            j = i + 1
+            while j < n and _is_ident_char(source[j]):
+                j += 1
+            # Identifiers may not end with '.', so "x." gives back the dot.
+            while j > i + 1 and source[j - 1] == ".":
+                j -= 1
+            word = source[i:j]
+            kind = "KEYWORD" if word in KEYWORDS else "IDENT"
+            yield Token(kind, word, line, col)
+            i = j
+            continue
+        # -- integers --------------------------------------------------
+        if ch.isdigit():
+            j = i + 1
+            while j < n and source[j].isdigit():
+                j += 1
+            yield Token("INT", source[i:j], line, col)
+            i = j
+            continue
+        # -- strings ---------------------------------------------------
+        if ch == '"':
+            j = i + 1
+            out: list[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\" and j + 1 < n:
+                    esc = source[j + 1]
+                    if esc not in '"\\':
+                        raise SralSyntaxError(
+                            f"unknown escape '\\{esc}' in string", line, col
+                        )
+                    out.append(esc)
+                    j += 2
+                elif source[j] == "\n":
+                    raise SralSyntaxError("unterminated string literal", line, col)
+                else:
+                    out.append(source[j])
+                    j += 1
+            if j >= n:
+                raise SralSyntaxError("unterminated string literal", line, col)
+            yield Token("STRING", "".join(out), line, col)
+            i = j + 1
+            continue
+        # -- punctuation ----------------------------------------------
+        for punct in _MULTI:
+            if source.startswith(punct, i):
+                yield Token("PUNCT", punct, line, col)
+                i += len(punct)
+                break
+        else:
+            if ch in _SINGLE:
+                yield Token("PUNCT", ch, line, col)
+                i += 1
+            else:
+                raise SralSyntaxError(f"unexpected character {ch!r}", line, col)
+    yield Token("EOF", "", line, n - line_start + 1)

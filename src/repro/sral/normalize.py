@@ -1,0 +1,114 @@
+"""Program normalisation passes.
+
+Two simplifiers with different preservation guarantees:
+
+* :func:`simplify_traces` — rewrites that preserve the **trace model**
+  exactly (Definition 3.2 semantics, conditions treated as opaque):
+  ``skip`` elimination in ``;``/``||``, branch merging
+  ``if c then p else p → p``, and flattening of nested no-ops.
+  Safe to apply before constraint checking: ``traces(P') = traces(P)``.
+* :func:`simplify_constants` — additionally folds *literal* conditions
+  (``if true then a else b → a``, ``while false do p → skip``).  This
+  preserves **execution behaviour** but may shrink the trace model
+  (the trace semantics considers both branches possible); apply it for
+  interpretation, not before a ∀-mode constraint check whose outcome
+  should reflect all syntactic branches.
+
+Both run bottom-up with an explicit stack, so arbitrarily deep
+programs normalise without recursion limits.
+"""
+
+from __future__ import annotations
+
+from repro.sral.ast import (
+    Access,
+    Assign,
+    BoolLit,
+    If,
+    Par,
+    Program,
+    Receive,
+    Send,
+    Seq,
+    Signal,
+    Skip,
+    Wait,
+    While,
+)
+
+__all__ = ["simplify_traces", "simplify_constants"]
+
+_SKIP = Skip()
+
+
+def _rebuild(node: Program, children: list[Program], fold_constants: bool) -> Program:
+    """Reassemble ``node`` with simplified ``children`` and apply local
+    rewrite rules."""
+    if isinstance(node, Seq):
+        first, second = children
+        if isinstance(first, Skip):
+            return second
+        if isinstance(second, Skip):
+            return first
+        return Seq(first, second)
+    if isinstance(node, Par):
+        left, right = children
+        if isinstance(left, Skip):
+            return right
+        if isinstance(right, Skip):
+            return left
+        return Par(left, right)
+    if isinstance(node, If):
+        then, orelse = children
+        if fold_constants and isinstance(node.cond, BoolLit):
+            return then if node.cond.value else orelse
+        if then == orelse:
+            # traces(if c then p else p) = traces(p) ∪ traces(p).
+            return then
+        return If(node.cond, then, orelse)
+    if isinstance(node, While):
+        (body,) = children
+        if fold_constants and node.cond == BoolLit(False):
+            return _SKIP
+        if isinstance(body, Skip):
+            # {ε}* = {ε}: trace-model-equal to skip.  Note this erases
+            # non-productive busy loops (divergence is not preserved).
+            return _SKIP
+        return While(node.cond, body)
+    raise TypeError(f"unexpected composite: {node!r}")  # pragma: no cover
+
+
+def _simplify(program: Program, fold_constants: bool) -> Program:
+    # Post-order traversal with explicit stacks.
+    done: dict[int, Program] = {}
+    stack: list[tuple[Program, bool]] = [(program, False)]
+    result: Program = program
+    while stack:
+        node, expanded = stack.pop()
+        if isinstance(node, (Skip, Access, Receive, Send, Signal, Wait, Assign)):
+            done[id(node)] = node
+            result = node
+            continue
+        children = node.children()
+        if not expanded:
+            stack.append((node, True))
+            for child in reversed(children):
+                stack.append((child, False))
+            continue
+        simplified_children = [done[id(child)] for child in children]
+        rebuilt = _rebuild(node, simplified_children, fold_constants)
+        done[id(node)] = rebuilt
+        result = rebuilt
+    return result
+
+
+def simplify_traces(program: Program) -> Program:
+    """Trace-model-preserving normalisation
+    (``program_traces(simplify_traces(P)) == program_traces(P)``)."""
+    return _simplify(program, fold_constants=False)
+
+
+def simplify_constants(program: Program) -> Program:
+    """Execution-preserving normalisation: everything
+    :func:`simplify_traces` does plus literal-condition folding."""
+    return _simplify(program, fold_constants=True)

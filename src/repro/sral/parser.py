@@ -1,0 +1,307 @@
+"""Recursive-descent parser for SRAL concrete syntax.
+
+Grammar (EBNF; ``||`` binds loosest, then ``;``, then single statements)::
+
+    program := seq ('||' seq)*
+    seq     := stmt (';' stmt)*
+    stmt    := 'skip'
+             | 'signal' '(' IDENT ')'
+             | 'wait' '(' IDENT ')'
+             | 'if' expr 'then' stmt 'else' stmt
+             | 'while' expr 'do' stmt
+             | '{' program '}'
+             | '(' program ')'
+             | IDENT '?' IDENT                 -- receive
+             | IDENT '!' expr                  -- send
+             | IDENT ':=' expr                 -- assignment (extension)
+             | IDENT IDENT '@' IDENT           -- access: op r @ s
+
+    expr    := or_e
+    or_e    := and_e ('or' and_e)*
+    and_e   := not_e ('and' not_e)*
+    not_e   := 'not' not_e | cmp
+    cmp     := add (('<'|'<='|'>'|'>='|'=='|'!=') add)?
+    add     := mul (('+'|'-') mul)*
+    mul     := unary (('*'|'/'|'%') unary)*
+    unary   := '-' unary | atom
+    atom    := INT | STRING | 'true' | 'false' | IDENT | '(' expr ')'
+
+Example::
+
+    read manifest @ s1 ;
+    while n < 3 do {
+        exec verifier @ s1 ;
+        n := n + 1
+    } ;
+    ( write report @ s2 || write report @ s3 )
+"""
+
+from __future__ import annotations
+
+from repro.errors import SralSyntaxError
+from repro.sral.ast import (
+    Access,
+    Assign,
+    BinOp,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Par,
+    Program,
+    Receive,
+    Send,
+    Seq,
+    Signal,
+    Skip,
+    StrLit,
+    UnaryOp,
+    Var,
+    Wait,
+    While,
+)
+from repro.sral.lexer import Token, tokenize
+
+__all__ = ["parse_program", "parse_expr", "Parser"]
+
+
+def parse_program(source: str) -> Program:
+    """Parse SRAL source text into a :class:`~repro.sral.ast.Program`.
+
+    Raises :class:`~repro.errors.SralSyntaxError` on malformed input.
+    """
+    parser = Parser(tokenize(source))
+    program = parser.program()
+    parser.expect_eof()
+    return program
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a standalone SRAL expression (a condition or payload)."""
+    parser = Parser(tokenize(source))
+    expr = parser.expr()
+    parser.expect_eof()
+    return expr
+
+
+class Parser:
+    """LL(2) recursive-descent parser over a token stream.
+
+    The two-token lookahead disambiguates the four statement forms that
+    begin with an identifier (access, receive, send, assign).
+    """
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def error(self, message: str, token: Token | None = None) -> SralSyntaxError:
+        token = token or self.peek()
+        shown = token.value or "<end of input>"
+        return SralSyntaxError(f"{message}, got {shown!r}", token.line, token.column)
+
+    def expect_punct(self, value: str) -> Token:
+        token = self.peek()
+        if not token.is_punct(value):
+            raise self.error(f"expected {value!r}")
+        return self.advance()
+
+    def expect_keyword(self, value: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(value):
+            raise self.error(f"expected keyword {value!r}")
+        return self.advance()
+
+    def expect_ident(self, what: str = "identifier") -> str:
+        token = self.peek()
+        if token.kind != "IDENT":
+            raise self.error(f"expected {what}")
+        return self.advance().value
+
+    def expect_eof(self) -> None:
+        token = self.peek()
+        if token.kind != "EOF":
+            raise self.error("expected end of input")
+
+    # -- programs -------------------------------------------------------
+
+    def program(self) -> Program:
+        left = self.seq()
+        while self.peek().is_punct("||"):
+            self.advance()
+            right = self.seq()
+            left = Par(left, right)
+        return left
+
+    def seq(self) -> Program:
+        left = self.stmt()
+        while self.peek().is_punct(";"):
+            self.advance()
+            right = self.stmt()
+            left = Seq(left, right)
+        return left
+
+    def stmt(self) -> Program:
+        token = self.peek()
+        if token.is_keyword("skip"):
+            self.advance()
+            return Skip()
+        if token.is_keyword("signal"):
+            self.advance()
+            self.expect_punct("(")
+            event = self.expect_ident("signal name")
+            self.expect_punct(")")
+            return Signal(event)
+        if token.is_keyword("wait"):
+            self.advance()
+            self.expect_punct("(")
+            event = self.expect_ident("signal name")
+            self.expect_punct(")")
+            return Wait(event)
+        if token.is_keyword("if"):
+            self.advance()
+            cond = self.expr()
+            self.expect_keyword("then")
+            then = self.stmt()
+            self.expect_keyword("else")
+            orelse = self.stmt()
+            return If(cond, then, orelse)
+        if token.is_keyword("while"):
+            self.advance()
+            cond = self.expr()
+            self.expect_keyword("do")
+            body = self.stmt()
+            return While(cond, body)
+        if token.is_punct("{"):
+            self.advance()
+            inner = self.program()
+            self.expect_punct("}")
+            return inner
+        if token.is_punct("("):
+            self.advance()
+            inner = self.program()
+            self.expect_punct(")")
+            return inner
+        if token.kind == "IDENT":
+            return self._ident_stmt()
+        raise self.error("expected a statement")
+
+    def _ident_stmt(self) -> Program:
+        """Disambiguate access / receive / send / assign by lookahead."""
+        first = self.advance().value
+        nxt = self.peek()
+        if nxt.is_punct("?"):
+            self.advance()
+            var = self.expect_ident("variable name")
+            return Receive(first, var)
+        if nxt.is_punct("!"):
+            self.advance()
+            return Send(first, self.expr())
+        if nxt.is_punct(":="):
+            self.advance()
+            return Assign(first, self.expr())
+        if nxt.kind == "IDENT":
+            resource = self.advance().value
+            self.expect_punct("@")
+            server = self.expect_ident("server name")
+            return Access(first, resource, server)
+        raise self.error("expected '?', '!', ':=' or a resource name", nxt)
+
+    # -- expressions ------------------------------------------------------
+
+    def expr(self) -> Expr:
+        return self._or()
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while self.peek().is_keyword("or"):
+            self.advance()
+            left = BinOp("or", left, self._and())
+        return left
+
+    def _and(self) -> Expr:
+        left = self._not()
+        while self.peek().is_keyword("and"):
+            self.advance()
+            left = BinOp("and", left, self._not())
+        return left
+
+    def _not(self) -> Expr:
+        if self.peek().is_keyword("not"):
+            self.advance()
+            return UnaryOp("not", self._not())
+        return self._cmp()
+
+    def _cmp(self) -> Expr:
+        left = self._add()
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value in ("<", "<=", ">", ">=", "==", "!="):
+            self.advance()
+            return BinOp(token.value, left, self._add())
+        return left
+
+    def _add(self) -> Expr:
+        left = self._mul()
+        while True:
+            token = self.peek()
+            if token.kind == "PUNCT" and token.value in ("+", "-"):
+                self.advance()
+                left = BinOp(token.value, left, self._mul())
+            else:
+                return left
+
+    def _mul(self) -> Expr:
+        left = self._unary()
+        while True:
+            token = self.peek()
+            if token.kind == "PUNCT" and token.value in ("*", "/", "%"):
+                self.advance()
+                left = BinOp(token.value, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        if self.peek().is_punct("-"):
+            self.advance()
+            # Fold "- INT" into a negative literal so that "-1" is
+            # IntLit(-1); "-(1)" stays UnaryOp('-', IntLit(1)).
+            if self.peek().kind == "INT":
+                return IntLit(-int(self.advance().value))
+            return UnaryOp("-", self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        token = self.peek()
+        if token.kind == "INT":
+            self.advance()
+            return IntLit(int(token.value))
+        if token.kind == "STRING":
+            self.advance()
+            return StrLit(token.value)
+        if token.is_keyword("true"):
+            self.advance()
+            return BoolLit(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return BoolLit(False)
+        if token.kind == "IDENT":
+            self.advance()
+            return Var(token.value)
+        if token.is_punct("("):
+            self.advance()
+            inner = self.expr()
+            self.expect_punct(")")
+            return inner
+        raise self.error("expected an expression")

@@ -1,0 +1,201 @@
+"""Pretty-printer for SRAL programs and expressions.
+
+:func:`unparse` produces concrete syntax that parses back to a
+structurally identical AST (``parse_program(unparse(p)) == p``); this
+round-trip is enforced by property tests.  :func:`format_program`
+produces an indented multi-line rendering for humans.
+"""
+
+from __future__ import annotations
+
+from repro.sral.ast import (
+    Access,
+    Assign,
+    BinOp,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Par,
+    Program,
+    Receive,
+    Send,
+    Seq,
+    Signal,
+    Skip,
+    StrLit,
+    UnaryOp,
+    Var,
+    Wait,
+    While,
+)
+
+__all__ = ["unparse", "unparse_expr", "format_program"]
+
+# Expression precedence; larger binds tighter.
+_PREC = {
+    "or": 1,
+    "and": 2,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "==": 4,
+    "!=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+_NOT_PREC = 3
+_NEG_PREC = 7
+_ATOM_PREC = 8
+_COMPARISONS = {"<", "<=", ">", ">=", "==", "!="}
+
+
+def unparse_expr(expr: Expr) -> str:
+    """Render an expression to concrete syntax with minimal parentheses."""
+    return _expr(expr, 0)
+
+
+def _expr(expr: Expr, parent_prec: int) -> str:
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, StrLit):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, UnaryOp):
+        prec = _NOT_PREC if expr.op == "not" else _NEG_PREC
+        sep = " " if expr.op == "not" else ""
+        # "-(1)" keeps an explicit negation node distinct from the
+        # negative literal IntLit(-1), which prints as "-1".
+        if expr.op == "-" and isinstance(expr.operand, IntLit):
+            text = f"-({_expr(expr.operand, 0)})"
+        else:
+            text = f"{expr.op}{sep}{_expr(expr.operand, prec)}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, BinOp):
+        prec = _PREC[expr.op]
+        # Comparisons are non-associative: parenthesize comparison
+        # operands of comparisons.  Other binary operators associate
+        # left, so the right child needs parens at equal precedence.
+        left = _expr(expr.left, prec + (1 if expr.op in _COMPARISONS else 0))
+        right = _expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"not an SRAL expression: {expr!r}")
+
+
+# Program "precedence": Par(1) < Seq(2) < single statement(3).
+_PAR_PREC = 1
+_SEQ_PREC = 2
+_STMT_PREC = 3
+
+
+def unparse(program: Program) -> str:
+    """Render a program to single-line concrete syntax."""
+    return _prog(program, 0)
+
+
+def _prog(program: Program, parent_prec: int) -> str:
+    if isinstance(program, Skip):
+        return "skip"
+    if isinstance(program, Access):
+        return f"{program.op} {program.resource} @ {program.server}"
+    if isinstance(program, Receive):
+        return f"{program.channel} ? {program.var}"
+    if isinstance(program, Send):
+        return f"{program.channel} ! {_expr(program.expr, _ATOM_PREC)}"
+    if isinstance(program, Signal):
+        return f"signal({program.event})"
+    if isinstance(program, Wait):
+        return f"wait({program.event})"
+    if isinstance(program, Assign):
+        return f"{program.var} := {_expr(program.expr, 0)}"
+    if isinstance(program, Seq):
+        # '; ' associates left in the grammar: the right child of a Seq
+        # must not itself be an unparenthesized Seq.
+        left = _prog(program.first, _SEQ_PREC)
+        right = _prog(program.second, _SEQ_PREC + 1)
+        text = f"{left} ; {right}"
+        return f"({text})" if _SEQ_PREC < parent_prec else text
+    if isinstance(program, Par):
+        left = _prog(program.left, _PAR_PREC)
+        right = _prog(program.right, _PAR_PREC + 1)
+        text = f"{left} || {right}"
+        return f"({text})" if _PAR_PREC < parent_prec else text
+    if isinstance(program, If):
+        cond = _expr(program.cond, 0)
+        then = _prog(program.then, _STMT_PREC)
+        orelse = _prog(program.orelse, _STMT_PREC)
+        return f"if {cond} then {then} else {orelse}"
+    if isinstance(program, While):
+        cond = _expr(program.cond, 0)
+        body = _prog(program.body, _STMT_PREC)
+        return f"while {cond} do {body}"
+    raise TypeError(f"not an SRAL program: {program!r}")
+
+
+def format_program(program: Program, indent: str = "    ") -> str:
+    """Render a program as indented multi-line source for humans.
+
+    The output still parses back to the same AST.
+    """
+    lines: list[str] = []
+    _format(program, 0, lines, indent, top=True)
+    return "\n".join(lines)
+
+
+def _format(
+    program: Program, depth: int, lines: list[str], indent: str, top: bool = False
+) -> None:
+    pad = indent * depth
+    if isinstance(program, Seq):
+        # Flatten the left spine so "a ; b ; c" prints one per line.
+        parts: list[Program] = []
+        node: Program = program
+        while isinstance(node, Seq):
+            parts.append(node.second)
+            node = node.first
+        parts.append(node)
+        parts.reverse()
+        for i, part in enumerate(parts):
+            _format_stmt(part, depth, lines, indent)
+            if i < len(parts) - 1:
+                lines[-1] += " ;"
+        return
+    _format_stmt(program, depth, lines, indent)
+
+
+def _format_stmt(program: Program, depth: int, lines: list[str], indent: str) -> None:
+    pad = indent * depth
+    if isinstance(program, If):
+        lines.append(f"{pad}if {_expr(program.cond, 0)} then {{")
+        _format(program.then, depth + 1, lines, indent)
+        lines.append(f"{pad}}} else {{")
+        _format(program.orelse, depth + 1, lines, indent)
+        lines.append(f"{pad}}}")
+        return
+    if isinstance(program, While):
+        lines.append(f"{pad}while {_expr(program.cond, 0)} do {{")
+        _format(program.body, depth + 1, lines, indent)
+        lines.append(f"{pad}}}")
+        return
+    if isinstance(program, Par):
+        lines.append(f"{pad}(")
+        _format(program.left, depth + 1, lines, indent)
+        lines.append(f"{pad}||")
+        _format(program.right, depth + 1, lines, indent)
+        lines.append(f"{pad})")
+        return
+    if isinstance(program, Seq):
+        lines.append(f"{pad}{{")
+        _format(program, depth + 1, lines, indent)
+        lines.append(f"{pad}}}")
+        return
+    lines.append(f"{pad}{_prog(program, _STMT_PREC)}")

@@ -1,0 +1,220 @@
+"""Static type checking for SRAL programs.
+
+SRAL's expression sublanguage is simply typed (``int``, ``bool``,
+``str``); the interpreter enforces the rules dynamically
+(:mod:`repro.agent.interpreter`), which means an ill-typed branch deep
+in a roaming agent's program fails *at some server mid-journey*.  This
+module checks the whole program *before dispatch* — the right moment,
+alongside the admission-time constraint check of Section 3.3.
+
+The system is a forward data-flow analysis:
+
+* every variable has a type once assigned; re-assignment at a different
+  type is an error (the underlying substrate the paper assumes — Java —
+  is statically typed);
+* ``ch ? x`` gives ``x`` the channel's type; channel types are inferred
+  from the sends/receives the program itself performs and must be
+  consistent;
+* conditions must be ``bool``; arithmetic needs ``int`` (with ``+``
+  overloaded for ``str``); comparisons need ``int``; ``==``/``!=``
+  need equal types;
+* both branches of ``if`` and the two sides of ``||`` are checked under
+  the same entry environment, and the environments are *merged* at the
+  join (a variable keeps its type only if both paths agree).
+
+:func:`typecheck_program` returns the inferred variable environment or
+raises :class:`SralTypeError` listing the offending construct.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.sral.ast import (
+    Access,
+    Assign,
+    BinOp,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Par,
+    Program,
+    Receive,
+    Send,
+    Seq,
+    Signal,
+    Skip,
+    StrLit,
+    UnaryOp,
+    Var,
+    Wait,
+    While,
+)
+from repro.sral.printer import unparse_expr
+
+__all__ = ["SralTypeError", "typecheck_program", "typecheck_expr", "INT", "BOOL", "STR"]
+
+INT, BOOL, STR = "int", "bool", "str"
+_COMPARISONS = {"<", "<=", ">", ">="}
+_EQUALITY = {"==", "!="}
+_ARITH = {"+", "-", "*", "/", "%"}
+
+
+class SralTypeError(ReproError):
+    """A program failed static type checking."""
+
+
+def typecheck_expr(expr: Expr, env: dict[str, str]) -> str:
+    """Infer the type of ``expr`` under ``env`` (variable → type)."""
+    if isinstance(expr, IntLit):
+        return INT
+    if isinstance(expr, BoolLit):
+        return BOOL
+    if isinstance(expr, StrLit):
+        return STR
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise SralTypeError(
+                f"variable {expr.name!r} may be used before assignment"
+            ) from None
+    if isinstance(expr, UnaryOp):
+        operand = typecheck_expr(expr.operand, env)
+        if expr.op == "not":
+            _require(BOOL, operand, expr)
+            return BOOL
+        _require(INT, operand, expr)
+        return INT
+    if isinstance(expr, BinOp):
+        left = typecheck_expr(expr.left, env)
+        right = typecheck_expr(expr.right, env)
+        op = expr.op
+        if op in ("and", "or"):
+            _require(BOOL, left, expr)
+            _require(BOOL, right, expr)
+            return BOOL
+        if op in _EQUALITY:
+            if left != right:
+                raise SralTypeError(
+                    f"'{op}' compares {left} with {right} in "
+                    f"'{unparse_expr(expr)}'"
+                )
+            return BOOL
+        if op in _COMPARISONS:
+            _require(INT, left, expr)
+            _require(INT, right, expr)
+            return BOOL
+        if op in _ARITH:
+            if op == "+" and left == STR and right == STR:
+                return STR
+            _require(INT, left, expr)
+            _require(INT, right, expr)
+            return INT
+        raise SralTypeError(f"unknown operator {op!r}")
+    raise TypeError(f"not an SRAL expression: {expr!r}")
+
+
+def _require(expected: str, actual: str, expr: Expr) -> None:
+    if actual != expected:
+        raise SralTypeError(
+            f"expected {expected}, got {actual} in '{unparse_expr(expr)}'"
+        )
+
+
+def typecheck_program(
+    program: Program,
+    env: dict[str, str] | None = None,
+) -> dict[str, str]:
+    """Check ``program``; returns the variable environment at exit.
+
+    ``env`` seeds the initial environment (types of variables the agent
+    is dispatched with, e.g. from ``Naplet(env=...)``).
+    """
+    channels: dict[str, str] = {}
+    exit_env = _check(program, dict(env or {}), channels)
+    return exit_env
+
+
+def _bind(env: dict[str, str], var: str, kind: str, where: str) -> None:
+    previous = env.get(var)
+    if previous is not None and previous != kind:
+        raise SralTypeError(
+            f"variable {var!r} was {previous}, re-bound as {kind} in {where}"
+        )
+    env[var] = kind
+
+
+def _bind_channel(channels: dict[str, str], name: str, kind: str) -> None:
+    previous = channels.get(name)
+    if previous is not None and previous != kind:
+        raise SralTypeError(
+            f"channel {name!r} carries {previous}, also used with {kind}"
+        )
+    channels[name] = kind
+
+
+def _check(
+    node: Program, env: dict[str, str], channels: dict[str, str]
+) -> dict[str, str]:
+    if isinstance(node, (Skip, Access, Signal, Wait)):
+        return env
+    if isinstance(node, Assign):
+        kind = typecheck_expr(node.expr, env)
+        _bind(env, node.var, kind, f"'{node.var} := {unparse_expr(node.expr)}'")
+        return env
+    if isinstance(node, Send):
+        kind = typecheck_expr(node.expr, env)
+        _bind_channel(channels, node.channel, kind)
+        return env
+    if isinstance(node, Receive):
+        # The channel's payload type, if known; otherwise the receive
+        # determines nothing and the variable becomes unusable until a
+        # later consistent assignment — model as the channel type or a
+        # fresh unknown resolved on first use.
+        kind = channels.get(node.channel)
+        if kind is None:
+            raise SralTypeError(
+                f"receive '{node.channel} ? {node.var}' from a channel whose "
+                "payload type is unknown; send on it first or seed the type"
+            )
+        _bind(env, node.var, kind, f"'{node.channel} ? {node.var}'")
+        return env
+    if isinstance(node, Seq):
+        return _check(node.second, _check(node.first, env, channels), channels)
+    if isinstance(node, If):
+        cond = typecheck_expr(node.cond, env)
+        if cond != BOOL:
+            raise SralTypeError(
+                f"if-condition '{unparse_expr(node.cond)}' has type {cond}, "
+                "expected bool"
+            )
+        then_env = _check(node.then, dict(env), channels)
+        else_env = _check(node.orelse, dict(env), channels)
+        return _merge(then_env, else_env)
+    if isinstance(node, While):
+        cond = typecheck_expr(node.cond, env)
+        if cond != BOOL:
+            raise SralTypeError(
+                f"while-condition '{unparse_expr(node.cond)}' has type {cond}, "
+                "expected bool"
+            )
+        body_env = _check(node.body, dict(env), channels)
+        # The loop may run zero times: only agreements survive; but the
+        # body must itself be consistent starting from the merged view
+        # (checked again to catch first-vs-later iteration mismatches).
+        merged = _merge(env, body_env)
+        _check(node.body, dict(merged), channels)
+        return merged
+    if isinstance(node, Par):
+        left_env = _check(node.left, dict(env), channels)
+        right_env = _check(node.right, dict(env), channels)
+        # Clones run on environment copies; the parent's env is
+        # unchanged (scheduler semantics), so the join returns the
+        # entry environment.
+        return env
+    raise TypeError(f"not an SRAL program: {node!r}")
+
+
+def _merge(a: dict[str, str], b: dict[str, str]) -> dict[str, str]:
+    return {var: kind for var, kind in a.items() if b.get(var) == kind}

@@ -1,0 +1,55 @@
+"""Temporal constraints over continuous time (paper Section 4).
+
+* :mod:`repro.temporal.timeline` — piecewise-constant boolean state
+  functions ``Time → {0, 1}`` with vectorised duration integrals;
+* :mod:`repro.temporal.duration` — the duration-calculus fragment the
+  paper relies on (Theorem 4.1's decidability);
+* :mod:`repro.temporal.validity` — the three permission states and the
+  two base-time schemes (Eq. 4.1);
+* :mod:`repro.temporal.checker` — the combined spatio-temporal
+  permission validity check.
+"""
+
+from repro.temporal.aggregation import (
+    AggregationStrategy,
+    PermissionClass,
+    PermissionClassifier,
+)
+from repro.temporal.checker import ValidityDecision, check_validity
+from repro.temporal.duration import (
+    Chop,
+    DCAnd,
+    DCFormula,
+    DCNot,
+    DCOr,
+    DurationAtLeast,
+    DurationAtMost,
+    Everywhere,
+    Somewhere,
+    evaluate,
+)
+from repro.temporal.timeline import BooleanTimeline, TimelineRecorder
+from repro.temporal.validity import PermissionState, Scheme, ValidityTracker
+
+__all__ = [
+    "AggregationStrategy",
+    "PermissionClass",
+    "PermissionClassifier",
+    "ValidityDecision",
+    "check_validity",
+    "Chop",
+    "DCAnd",
+    "DCFormula",
+    "DCNot",
+    "DCOr",
+    "DurationAtLeast",
+    "DurationAtMost",
+    "Everywhere",
+    "Somewhere",
+    "evaluate",
+    "BooleanTimeline",
+    "TimelineRecorder",
+    "PermissionState",
+    "Scheme",
+    "ValidityTracker",
+]

@@ -1,0 +1,80 @@
+"""Permission validity checking — Theorem 4.1.
+
+The paper's module "receives the specification of a mobile object's
+program P, the time interval [t_b, t], and the index of a permission in
+question", calls the spatial checker, compares the validity integral
+with the permission's duration, and returns a boolean.  This module is
+that procedure, decoupled from the RBAC engine so it can be tested and
+benchmarked in isolation (the engine wires it to live trackers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sral.ast import Program
+from repro.srac.ast import Constraint
+from repro.srac.checker import check_program
+from repro.temporal.timeline import BooleanTimeline
+from repro.traces.trace import AccessKey
+
+__all__ = ["ValidityDecision", "check_validity"]
+
+
+@dataclass(frozen=True)
+class ValidityDecision:
+    """Outcome of a spatio-temporal validity check.
+
+    ``holds`` — overall decision; ``spatial_ok`` / ``temporal_ok`` — the
+    two conjuncts of Eq. 4.1; ``accumulated`` — the value of
+    ``∫_{t_b}^{t} valid(perm, u) du``.
+    """
+
+    holds: bool
+    spatial_ok: bool
+    temporal_ok: bool
+    accumulated: float
+
+
+def check_validity(
+    program: Program,
+    constraint: Constraint,
+    valid_state: BooleanTimeline,
+    t_b: float,
+    t: float,
+    duration: float,
+    history: Sequence[AccessKey] = (),
+    mode: str = "exists",
+) -> ValidityDecision:
+    """Decide whether permission ``perm`` may be considered valid at
+    time ``t`` (Theorem 4.1).
+
+    Parameters
+    ----------
+    program, constraint, history:
+        Inputs to the spatial check ``check(P, C)`` of Eq. 3.1 — the
+        mobile object's remaining program, the permission's spatial
+        constraint and the proved access history.  ``mode="exists"``
+        asks "can the program still comply?" (the permissive reading
+        used at grant time); ``mode="forall"`` demands every completion
+        comply.
+    valid_state:
+        The recorded ``valid(perm, ·)`` boolean state function.
+    t_b, t:
+        The integral bounds: base time (per Scheme A/B) and query time.
+    duration:
+        ``dur(perm)``.
+
+    Returns a :class:`ValidityDecision`; ``holds`` is the conjunction
+    required by Eq. 4.1.
+    """
+    spatial_ok = check_program(program, constraint, history=history, mode=mode)
+    accumulated = valid_state.integrate(t_b, t)
+    temporal_ok = accumulated <= duration
+    return ValidityDecision(
+        holds=spatial_ok and temporal_ok,
+        spatial_ok=spatial_ok,
+        temporal_ok=temporal_ok,
+        accumulated=accumulated,
+    )

@@ -1,0 +1,152 @@
+"""A small duration-calculus layer over boolean timelines.
+
+The paper invokes Duration Calculus [11] for the decidability of
+temporal constraint checking (Theorem 4.1).  The fragment it actually
+uses is modest: state expressions built from boolean state functions,
+the duration operator ``∫ S`` over an observation interval, and
+comparisons of durations against constants.  That fragment is what we
+implement — evaluation over concrete piecewise-constant timelines is
+decidable by construction (finitely many breakpoints), which is the
+operational content of the decidability claim.
+
+Formulas
+--------
+
+* :class:`DurationAtLeast` / :class:`DurationAtMost` — ``∫S ⋈ c``;
+* :class:`Everywhere` — ``⌈S⌉``: the state holds almost everywhere on a
+  non-point interval;
+* :class:`Somewhere` — the state holds on some sub-interval of positive
+  length;
+* boolean combinations via :class:`DCAnd` / :class:`DCOr` / :class:`DCNot`;
+* :class:`Chop` — the DC chop ``φ1 ; φ2``: the interval splits into two
+  consecutive parts satisfying φ1 and φ2.  Chop-points are searched at
+  the interval ends and the state breakpoints, which is exhaustive for
+  the duration-threshold-free fragment and a documented approximation
+  otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TemporalError
+from repro.temporal.timeline import BooleanTimeline
+
+__all__ = [
+    "DCFormula",
+    "DurationAtLeast",
+    "DurationAtMost",
+    "Everywhere",
+    "Somewhere",
+    "DCAnd",
+    "DCOr",
+    "DCNot",
+    "Chop",
+    "evaluate",
+]
+
+
+@dataclass(frozen=True)
+class DCFormula:
+    """Base class of duration-calculus formulas."""
+
+
+@dataclass(frozen=True)
+class DurationAtLeast(DCFormula):
+    """``∫ state ≥ bound`` on the observation interval."""
+
+    state: BooleanTimeline
+    bound: float
+
+
+@dataclass(frozen=True)
+class DurationAtMost(DCFormula):
+    """``∫ state ≤ bound`` on the observation interval."""
+
+    state: BooleanTimeline
+    bound: float
+
+
+@dataclass(frozen=True)
+class Everywhere(DCFormula):
+    """``⌈state⌉``: the interval has positive length and the state is 1
+    almost everywhere on it (i.e. ``∫ state = e - b``)."""
+
+    state: BooleanTimeline
+
+
+@dataclass(frozen=True)
+class Somewhere(DCFormula):
+    """The state is 1 on some sub-interval of positive length."""
+
+    state: BooleanTimeline
+
+
+@dataclass(frozen=True)
+class DCAnd(DCFormula):
+    left: DCFormula
+    right: DCFormula
+
+
+@dataclass(frozen=True)
+class DCOr(DCFormula):
+    left: DCFormula
+    right: DCFormula
+
+
+@dataclass(frozen=True)
+class DCNot(DCFormula):
+    inner: DCFormula
+
+
+@dataclass(frozen=True)
+class Chop(DCFormula):
+    """``left ; right``: some chop point ``m ∈ [b, e]`` splits the
+    interval into ``[b, m]`` ⊨ left and ``[m, e]`` ⊨ right."""
+
+    left: DCFormula
+    right: DCFormula
+
+
+def _states_of(formula: DCFormula) -> list[BooleanTimeline]:
+    if isinstance(formula, (DurationAtLeast, DurationAtMost, Everywhere, Somewhere)):
+        return [formula.state]
+    if isinstance(formula, (DCAnd, DCOr, Chop)):
+        return _states_of(formula.left) + _states_of(formula.right)
+    if isinstance(formula, DCNot):
+        return _states_of(formula.inner)
+    raise TypeError(f"not a DC formula: {formula!r}")
+
+
+def evaluate(formula: DCFormula, b: float, e: float) -> bool:
+    """Decide ``[b, e] ⊨ formula``."""
+    if e < b:
+        raise TemporalError(f"bad interval [{b}, {e}]: end before begin")
+    if isinstance(formula, DurationAtLeast):
+        return formula.state.integrate(b, e) >= formula.bound - 1e-12
+    if isinstance(formula, DurationAtMost):
+        return formula.state.integrate(b, e) <= formula.bound + 1e-12
+    if isinstance(formula, Everywhere):
+        return e > b and formula.state.integrate(b, e) >= (e - b) - 1e-12
+    if isinstance(formula, Somewhere):
+        return formula.state.integrate(b, e) > 1e-12
+    if isinstance(formula, DCAnd):
+        return evaluate(formula.left, b, e) and evaluate(formula.right, b, e)
+    if isinstance(formula, DCOr):
+        return evaluate(formula.left, b, e) or evaluate(formula.right, b, e)
+    if isinstance(formula, DCNot):
+        return not evaluate(formula.inner, b, e)
+    if isinstance(formula, Chop):
+        # Candidate chop points: interval ends plus every breakpoint of
+        # every state mentioned, clipped to [b, e].
+        candidates = {b, e}
+        for state in _states_of(formula):
+            inner = state.switches[(state.switches >= b) & (state.switches <= e)]
+            candidates.update(float(t) for t in inner)
+        return any(
+            evaluate(formula.left, b, m) and evaluate(formula.right, m, e)
+            for m in sorted(candidates)
+        )
+    raise TypeError(f"not a DC formula: {formula!r}")

@@ -1,0 +1,228 @@
+"""Continuous-time boolean state functions.
+
+Section 4 of the paper models permission states as boolean-valued
+functions over continuous time (``Time → {0, 1}``, Time ≅ ℝ) and
+defines durations as integrals of those functions.  The state of a real
+system changes at finitely many instants, so the functions are
+piecewise constant; we represent them by a sorted breakpoint array — a
+numpy vector — plus the initial value, and integrate by vectorised
+segment sums (no per-segment Python loop on the hot path).
+
+Conventions: a timeline ``f`` with breakpoints ``t_0 < t_1 < …`` and
+initial value ``v`` has ``f(t) = v`` for ``t < t_0`` and flips at every
+breakpoint; segments are right-open ``[t_i, t_{i+1})``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import TemporalError
+
+__all__ = ["BooleanTimeline", "TimelineRecorder"]
+
+
+class BooleanTimeline:
+    """An immutable piecewise-constant function ``Time → {0, 1}``.
+
+    Build from explicit switch times (:meth:`from_switch_times`), from
+    the intervals where the function is 1 (:meth:`from_intervals`), or
+    incrementally with :class:`TimelineRecorder`.
+    """
+
+    __slots__ = ("switches", "initial")
+
+    def __init__(self, switches: Sequence[float] | np.ndarray, initial: bool):
+        array = np.asarray(switches, dtype=np.float64)
+        if array.ndim != 1:
+            raise TemporalError("switch times must be a 1-D sequence")
+        if array.size and not np.all(np.diff(array) > 0):
+            raise TemporalError("switch times must be strictly increasing")
+        if array.size and not np.all(np.isfinite(array)):
+            raise TemporalError("switch times must be finite")
+        self.switches = array
+        self.initial = bool(initial)
+
+    # -- constructors ----------------------------------------------------
+
+    @staticmethod
+    def constant(value: bool) -> "BooleanTimeline":
+        """The constant function 0 or 1."""
+        return BooleanTimeline(np.empty(0), value)
+
+    @staticmethod
+    def from_switch_times(
+        times: Iterable[float], initial: bool = False
+    ) -> "BooleanTimeline":
+        """A function starting at ``initial`` and flipping at each time."""
+        return BooleanTimeline(np.fromiter(times, dtype=np.float64), initial)
+
+    @staticmethod
+    def from_intervals(
+        intervals: Iterable[tuple[float, float]]
+    ) -> "BooleanTimeline":
+        """The indicator function of a union of disjoint intervals
+        ``[a, b)`` given in increasing order."""
+        switches: list[float] = []
+        last_end = -np.inf
+        for start, end in intervals:
+            if end < start:
+                raise TemporalError(f"interval [{start}, {end}) has negative length")
+            if start < last_end:
+                raise TemporalError("intervals must be disjoint and increasing")
+            if end == start:
+                continue  # empty interval contributes nothing
+            if switches and switches[-1] == start:
+                switches.pop()  # adjacent intervals merge
+            else:
+                switches.append(start)
+            switches.append(end)
+            last_end = end
+        return BooleanTimeline(np.asarray(switches), False)
+
+    # -- evaluation -------------------------------------------------------
+
+    def value_at(self, t: float) -> bool:
+        """``f(t)``."""
+        flips = int(np.searchsorted(self.switches, t, side="right"))
+        return bool(self.initial ^ (flips & 1))
+
+    def __call__(self, t: float) -> bool:
+        return self.value_at(t)
+
+    def integrate(self, b: float, e: float) -> float:
+        """``∫_b^e f(t) dt`` — the accumulated time the state is 1 in
+        ``[b, e]`` (the paper's duration of a state over an interval)."""
+        if e < b:
+            raise TemporalError(f"bad interval [{b}, {e}]: end before begin")
+        if e == b:
+            return 0.0
+        # Clip all breakpoints into [b, e] and add the interval ends, then
+        # sum the lengths of segments whose value is 1.
+        inner = self.switches[(self.switches > b) & (self.switches < e)]
+        points = np.concatenate(([b], inner, [e]))
+        lengths = np.diff(points)
+        # Segment values alternate starting from f(b).
+        parity = np.arange(lengths.size) & 1
+        values = (1 - parity) if self.value_at(b) else parity
+        return float(lengths @ values)
+
+    def first_time_accumulated(self, b: float, budget: float) -> float | None:
+        """The earliest time ``t ≥ b`` at which ``∫_b^t f du`` reaches
+        ``budget`` — i.e. when a validity duration is exhausted
+        (Eq. 4.1).  ``None`` if the total on-time after ``b`` never
+        reaches the budget.  ``budget`` must be positive."""
+        if budget <= 0:
+            raise TemporalError("budget must be positive")
+        inner = self.switches[self.switches > b]
+        points = np.concatenate(([b], inner))
+        value = self.value_at(b)
+        accumulated = 0.0
+        for index in range(points.size):
+            start = points[index]
+            end = points[index + 1] if index + 1 < points.size else np.inf
+            if value:
+                if accumulated + (end - start) >= budget:
+                    return float(start + (budget - accumulated))
+                accumulated += end - start
+            value = not value
+        return None
+
+    # -- algebra ------------------------------------------------------------
+
+    def _merge(self, other: "BooleanTimeline", op) -> "BooleanTimeline":
+        times = np.union1d(self.switches, other.switches)
+        initial = op(self.initial, other.initial)
+        switches: list[float] = []
+        previous = initial
+        for t in times:
+            current = op(self.value_at(t), other.value_at(t))
+            if current != previous:
+                switches.append(float(t))
+                previous = current
+        return BooleanTimeline(np.asarray(switches), initial)
+
+    def __and__(self, other: "BooleanTimeline") -> "BooleanTimeline":
+        return self._merge(other, lambda a, b: a and b)
+
+    def __or__(self, other: "BooleanTimeline") -> "BooleanTimeline":
+        return self._merge(other, lambda a, b: a or b)
+
+    def __invert__(self) -> "BooleanTimeline":
+        return BooleanTimeline(self.switches.copy(), not self.initial)
+
+    # -- misc -----------------------------------------------------------------
+
+    def intervals_on(self, b: float, e: float) -> list[tuple[float, float]]:
+        """The maximal sub-intervals of ``[b, e]`` where the state is 1."""
+        if e < b:
+            raise TemporalError(f"bad interval [{b}, {e}]: end before begin")
+        inner = self.switches[(self.switches > b) & (self.switches < e)]
+        points = np.concatenate(([b], inner, [e]))
+        out: list[tuple[float, float]] = []
+        value = self.value_at(b)
+        for index in range(points.size - 1):
+            if value and points[index + 1] > points[index]:
+                out.append((float(points[index]), float(points[index + 1])))
+            value = not value
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanTimeline):
+            return NotImplemented
+        return self.initial == other.initial and np.array_equal(
+            self.switches, other.switches
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.initial, self.switches.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"BooleanTimeline(initial={self.initial}, "
+            f"switches={self.switches.tolist()})"
+        )
+
+
+class TimelineRecorder:
+    """Incrementally records state changes in nondecreasing time order
+    and freezes into a :class:`BooleanTimeline`.
+
+    Used by the RBAC engine to record ``active``/``valid`` state
+    functions as simulation events occur.
+    """
+
+    def __init__(self, initial: bool = False):
+        self._initial = bool(initial)
+        self._current = bool(initial)
+        self._switches: list[float] = []
+        self._last_time = -np.inf
+
+    @property
+    def current(self) -> bool:
+        return self._current
+
+    def set(self, t: float, value: bool) -> None:
+        """Record that the state has value ``value`` from time ``t`` on.
+        Times must be nondecreasing; setting the same value is a no-op."""
+        if t < self._last_time:
+            raise TemporalError(
+                f"events must be recorded in time order ({t} < {self._last_time})"
+            )
+        value = bool(value)
+        if value == self._current:
+            self._last_time = max(self._last_time, t)
+            return
+        if self._switches and self._switches[-1] == t:
+            # Flipping twice at the same instant cancels out.
+            self._switches.pop()
+        else:
+            self._switches.append(float(t))
+        self._current = value
+        self._last_time = t
+
+    def freeze(self) -> BooleanTimeline:
+        """Snapshot the recording as an immutable timeline."""
+        return BooleanTimeline(np.asarray(self._switches), self._initial)

@@ -1,0 +1,186 @@
+"""Permission validity tracking (paper Section 4, Eq. 4.1).
+
+Each permission carries a *validity duration* ``dur(perm)`` — the total
+time it may spend in the *valid* state.  A permission is, for a given
+mobile object, in one of three states:
+
+* ``INACTIVE`` — not assigned to any active role of the subject;
+* ``VALID`` — active and with validity budget remaining;
+* ``ACTIVE_INVALID`` — active, but the accumulated valid time has
+  reached ``dur(perm)`` (Eq. 4.1's integral condition fails).
+
+Two base-time schemes choose where the integral's lower limit ``t_b``
+sits (Section 4):
+
+* :data:`Scheme.PER_SERVER` — ``t_b = t_i``, the arrival time at the
+  *current* server: the budget is per-visit and resets on migration;
+* :data:`Scheme.WHOLE_EXECUTION` — ``t_b = t_1``, the start of the
+  object's life-cycle: one budget across all servers.
+
+:class:`ValidityTracker` is the event-driven realisation: feed it
+``activate`` / ``deactivate`` / ``migrate`` events in time order and
+query the state at any time; it also exposes the exact expiry instant
+and records the ``valid`` state function as a
+:class:`~repro.temporal.timeline.BooleanTimeline` for audit and for
+cross-checking against the declarative integral (tests do both).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.errors import TemporalError
+from repro.temporal.timeline import BooleanTimeline, TimelineRecorder
+
+__all__ = ["PermissionState", "Scheme", "ValidityTracker"]
+
+
+class PermissionState(enum.Enum):
+    """The three permission states of Section 4."""
+
+    INACTIVE = "inactive"
+    ACTIVE_INVALID = "active-but-invalid"
+    VALID = "valid"
+
+
+class Scheme(enum.Enum):
+    """Base-time schemes for the validity integral."""
+
+    PER_SERVER = "per-server"  # t_b = arrival at current server
+    WHOLE_EXECUTION = "whole-execution"  # t_b = start of execution
+
+
+class ValidityTracker:
+    """Event-driven tracker of one permission's validity for one
+    mobile object.
+
+    Parameters
+    ----------
+    duration:
+        ``dur(perm)`` — the validity budget; ``math.inf`` makes the
+        permission time-insensitive (the paper allows "even infinity").
+    scheme:
+        Which base time the budget is metered from.
+    start_time:
+        ``t_1``, the start of the object's execution (arrival at the
+        first server).
+    """
+
+    def __init__(
+        self,
+        duration: float,
+        scheme: Scheme = Scheme.WHOLE_EXECUTION,
+        start_time: float = 0.0,
+    ):
+        if duration <= 0:
+            raise TemporalError(f"validity duration must be positive, got {duration}")
+        self.duration = float(duration)
+        self.scheme = scheme
+        self._now = float(start_time)
+        self._active = False
+        self._consumed = 0.0  # valid time accrued since the base time
+        self._valid_recorder = TimelineRecorder(initial=False)
+        self._active_recorder = TimelineRecorder(initial=False)
+
+    # -- internal clock ----------------------------------------------------
+
+    def _advance(self, t: float) -> None:
+        if t < self._now:
+            raise TemporalError(f"event at {t} is before current time {self._now}")
+        if self._active and self._consumed < self.duration:
+            # Accrue valid time; emit the expiry switch if the budget
+            # runs out before t.
+            remaining = self.duration - self._consumed
+            elapsed = t - self._now
+            if elapsed >= remaining:
+                self._valid_recorder.set(self._now + remaining, False)
+                self._consumed = self.duration
+            else:
+                self._consumed += elapsed
+        self._now = t
+
+    # -- events ------------------------------------------------------------
+
+    def activate(self, t: float) -> None:
+        """The permission's role was activated for the subject at ``t``."""
+        self._advance(t)
+        if self._active:
+            return
+        self._active = True
+        self._active_recorder.set(t, True)
+        if self._consumed < self.duration:
+            self._valid_recorder.set(t, True)
+
+    def deactivate(self, t: float) -> None:
+        """The role was deactivated (session ended) at ``t``."""
+        self._advance(t)
+        if not self._active:
+            return
+        self._active = False
+        self._active_recorder.set(t, False)
+        self._valid_recorder.set(t, False)
+
+    def migrate(self, t: float) -> None:
+        """The mobile object arrived at a new server at ``t``.
+
+        Under :data:`Scheme.PER_SERVER` the base time becomes ``t`` and
+        the consumed budget resets; under
+        :data:`Scheme.WHOLE_EXECUTION` migration is irrelevant to the
+        budget."""
+        self._advance(t)
+        if self.scheme is Scheme.PER_SERVER:
+            self._consumed = 0.0
+            if self._active:
+                self._valid_recorder.set(t, True)
+
+    # -- queries ------------------------------------------------------------
+
+    def state(self, t: float | None = None) -> PermissionState:
+        """The permission state at ``t`` (default: the current time).
+        Querying advances the internal clock."""
+        if t is not None:
+            self._advance(t)
+        if not self._active:
+            return PermissionState.INACTIVE
+        if self._consumed >= self.duration:
+            return PermissionState.ACTIVE_INVALID
+        return PermissionState.VALID
+
+    def is_valid(self, t: float | None = None) -> bool:
+        """``valid(perm, t)`` as a boolean."""
+        return self.state(t) is PermissionState.VALID
+
+    def remaining_budget(self, t: float | None = None) -> float:
+        """Validity time left before expiry (``inf`` for time-insensitive
+        permissions)."""
+        if t is not None:
+            self._advance(t)
+        if math.isinf(self.duration):
+            return math.inf
+        return max(0.0, self.duration - self._consumed)
+
+    def expiry_time(self) -> float | None:
+        """If the permission is currently valid, the instant its budget
+        will be exhausted (assuming it stays active); ``None`` when
+        inactive, already expired, or time-insensitive."""
+        if not self._active or self._consumed >= self.duration:
+            return None
+        if math.isinf(self.duration):
+            return None
+        return self._now + (self.duration - self._consumed)
+
+    # -- audit ---------------------------------------------------------------
+
+    def valid_timeline(self) -> BooleanTimeline:
+        """The recorded ``valid(perm, ·)`` state function up to the
+        current time."""
+        return self._valid_recorder.freeze()
+
+    def active_timeline(self) -> BooleanTimeline:
+        """The recorded ``active(perm, ·)`` state function."""
+        return self._active_recorder.freeze()
+
+    @property
+    def now(self) -> float:
+        return self._now

@@ -1,0 +1,64 @@
+"""Trace models of mobile-object programs (paper Section 3.2).
+
+* :mod:`repro.traces.trace` — traces as tuples of access triples and
+  the per-trace operators (concatenation, interleaving, ...).
+* :mod:`repro.traces.model` — :class:`TraceModel`, the symbolic set of
+  all traces of a program, with the Definition 3.2 algebra.
+* :mod:`repro.traces.regular` — regular trace models and the
+  constructive Theorem 3.1 (regular completeness).
+"""
+
+from repro.traces.model import TraceModel, program_traces
+from repro.traces.regular import (
+    Alt,
+    Cat,
+    Eps,
+    Regex,
+    Star,
+    Sym,
+    regex_size,
+    regex_to_program,
+    regex_traces,
+    verify_regular_completeness,
+)
+from repro.traces.trace import (
+    EMPTY_TRACE,
+    AccessKey,
+    Trace,
+    concat,
+    count_interleavings,
+    count_matching,
+    head,
+    interleavings,
+    is_subsequence,
+    make_trace,
+    occurs_before,
+    tail,
+)
+
+__all__ = [
+    "TraceModel",
+    "program_traces",
+    "Alt",
+    "Cat",
+    "Eps",
+    "Regex",
+    "Star",
+    "Sym",
+    "regex_size",
+    "regex_to_program",
+    "regex_traces",
+    "verify_regular_completeness",
+    "EMPTY_TRACE",
+    "AccessKey",
+    "Trace",
+    "concat",
+    "count_interleavings",
+    "count_matching",
+    "head",
+    "interleavings",
+    "is_subsequence",
+    "make_trace",
+    "occurs_before",
+    "tail",
+]

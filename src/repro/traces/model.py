@@ -1,0 +1,426 @@
+"""Trace models (Definition 3.2): the set of all traces a program can
+perform, represented symbolically as an NFA over access symbols.
+
+``traces(P)`` may be infinite (``while`` introduces Kleene closure), so
+an explicit set representation cannot work in general.  A
+:class:`TraceModel` wraps an NFA and offers the paper's algebra —
+concatenation ``·``, union, interleaving ``#`` and Kleene closure ``*``
+— plus decision procedures (membership, equality, inclusion, emptiness,
+finiteness) and bounded enumeration for tests.
+
+The translation from programs follows Definition 3.2 exactly:
+
+=====================  =======================================
+``traces(a)``          ``{<a>}`` for an access ``a``
+``traces(p1 ; p2)``    ``traces(p1) · traces(p2)``
+``traces(if…)``        ``traces(p1) ∪ traces(p2)``
+``traces(p1 || p2)``   ``traces(p1) # traces(p2)``
+``traces(while…)``     ``traces(p)*``
+=====================  =======================================
+
+Non-access primitives (channel I/O, signals, assignment, ``skip``) do
+not appear in traces; they contribute the empty trace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA, NFABuilder
+from repro.automata.ops import (
+    canonical_form,
+    determinize,
+    difference,
+    equivalent,
+    intersect,
+    minimize,
+)
+from repro.errors import TraceModelError
+from repro.sral.ast import Access, If, Par, Program, Seq, While
+from repro.traces.trace import AccessKey, Trace
+
+__all__ = ["TraceModel", "program_traces"]
+
+
+def _symbol_nfa(symbol: AccessKey) -> NFA:
+    builder = NFABuilder()
+    s0, s1 = builder.add_state(), builder.add_state()
+    builder.add_edge(s0, symbol, s1)
+    return builder.build(s0, [s1])
+
+
+def _epsilon_nfa() -> NFA:
+    builder = NFABuilder()
+    s0 = builder.add_state()
+    return builder.build(s0, [s0])
+
+
+def _concat_nfa(left: NFA, right: NFA) -> NFA:
+    builder = NFABuilder()
+    lmap = builder.embed(left)
+    rmap = builder.embed(right)
+    for acc in left.accepts:
+        builder.add_eps(lmap[acc], rmap[right.start])
+    return builder.build(lmap[left.start], [rmap[a] for a in right.accepts])
+
+
+def _union_nfa(left: NFA, right: NFA) -> NFA:
+    builder = NFABuilder()
+    start = builder.add_state()
+    lmap = builder.embed(left)
+    rmap = builder.embed(right)
+    builder.add_eps(start, lmap[left.start])
+    builder.add_eps(start, rmap[right.start])
+    accepts = [lmap[a] for a in left.accepts] + [rmap[a] for a in right.accepts]
+    return builder.build(start, accepts)
+
+
+def _star_nfa(inner: NFA) -> NFA:
+    builder = NFABuilder()
+    hub = builder.add_state()
+    imap = builder.embed(inner)
+    builder.add_eps(hub, imap[inner.start])
+    for acc in inner.accepts:
+        builder.add_eps(imap[acc], hub)
+    return builder.build(hub, [hub])
+
+
+def _shuffle_nfa(left: NFA, right: NFA) -> NFA:
+    """Shuffle (interleaving) product: either component may move."""
+    builder = NFABuilder()
+    index: dict[tuple[int, int], int] = {}
+
+    def state_of(pair: tuple[int, int]) -> int:
+        existing = index.get(pair)
+        if existing is not None:
+            return existing
+        fresh = builder.add_state()
+        index[pair] = fresh
+        return fresh
+
+    start = state_of((left.start, right.start))
+    # Materialise the full product lazily via worklist.
+    worklist = [(left.start, right.start)]
+    seen = {(left.start, right.start)}
+    while worklist:
+        li, ri = worklist.pop()
+        src = state_of((li, ri))
+        for symbol, dsts in left.edges[li].items():
+            for dst in dsts:
+                pair = (dst, ri)
+                builder.add_edge(src, symbol, state_of(pair))
+                if pair not in seen:
+                    seen.add(pair)
+                    worklist.append(pair)
+        for dst in left.eps[li]:
+            pair = (dst, ri)
+            builder.add_eps(src, state_of(pair))
+            if pair not in seen:
+                seen.add(pair)
+                worklist.append(pair)
+        for symbol, dsts in right.edges[ri].items():
+            for dst in dsts:
+                pair = (li, dst)
+                builder.add_edge(src, symbol, state_of(pair))
+                if pair not in seen:
+                    seen.add(pair)
+                    worklist.append(pair)
+        for dst in right.eps[ri]:
+            pair = (li, dst)
+            builder.add_eps(src, state_of(pair))
+            if pair not in seen:
+                seen.add(pair)
+                worklist.append(pair)
+    accepts = [
+        state
+        for (li, ri), state in index.items()
+        if li in left.accepts and ri in right.accepts
+    ]
+    return builder.build(start, accepts)
+
+
+def _dfa_to_nfa(dfa: DFA) -> NFA:
+    """View a DFA as an NFA (for wrapping boolean-operation results)."""
+    builder = NFABuilder()
+    states = builder.add_states(dfa.n_states)
+    for src in range(dfa.n_states):
+        for symbol, dst in dfa.delta[src].items():
+            builder.add_edge(states[src], symbol, states[dst])
+    return builder.build(states[dfa.start], [states[a] for a in dfa.accepts])
+
+
+class TraceModel:
+    """A (regular) set of traces, wrapped around an NFA.
+
+    Instances are immutable; the algebra returns new models.  The
+    deterministic form is computed lazily and cached for decision
+    procedures.
+    """
+
+    __slots__ = ("nfa", "_dfa", "_canon")
+
+    def __init__(self, nfa: NFA):
+        self.nfa = nfa
+        self._dfa: DFA | None = None
+        self._canon = None
+
+    # -- constructors ----------------------------------------------------
+
+    @staticmethod
+    def empty_trace() -> "TraceModel":
+        """The model ``{<>}`` containing only the empty trace."""
+        return TraceModel(_epsilon_nfa())
+
+    @staticmethod
+    def nothing() -> "TraceModel":
+        """The empty model ``{}`` (no trace at all).  Not expressible as
+        ``traces(P)`` — every program has at least one trace — but useful
+        as an algebraic zero."""
+        builder = NFABuilder()
+        s0 = builder.add_state()
+        return TraceModel(builder.build(s0, []))
+
+    @staticmethod
+    def single(access: AccessKey | tuple[str, str, str]) -> "TraceModel":
+        """The model ``{<a>}``."""
+        return TraceModel(_symbol_nfa(AccessKey(*access)))
+
+    @staticmethod
+    def of_traces(traces: Iterable[Trace]) -> "TraceModel":
+        """A finite model from explicit traces."""
+        builder = NFABuilder()
+        start = builder.add_state()
+        accepts = []
+        for trace in traces:
+            current = start
+            for symbol in trace:
+                nxt = builder.add_state()
+                builder.add_edge(current, AccessKey(*symbol), nxt)
+                current = nxt
+            accepts.append(current)
+        return TraceModel(builder.build(start, accepts))
+
+    # -- algebra (Definition 3.2 operators) --------------------------------
+
+    def concat(self, other: "TraceModel") -> "TraceModel":
+        """Concatenation ``self · other``."""
+        return TraceModel(_concat_nfa(self.nfa, other.nfa))
+
+    def union(self, other: "TraceModel") -> "TraceModel":
+        """Union ``self ∪ other``."""
+        return TraceModel(_union_nfa(self.nfa, other.nfa))
+
+    def interleave(self, other: "TraceModel") -> "TraceModel":
+        """Interleaving ``self # other`` (shuffle product)."""
+        return TraceModel(_shuffle_nfa(self.nfa, other.nfa))
+
+    def star(self) -> "TraceModel":
+        """Kleene closure ``self*``."""
+        return TraceModel(_star_nfa(self.nfa))
+
+    # Boolean operations (beyond the Definition 3.2 constructors; regular
+    # languages are closed under all of them, and the checker's theory
+    # relies on that closure).
+
+    def intersect(self, other: "TraceModel") -> "TraceModel":
+        """Traces in both models."""
+        return TraceModel(_dfa_to_nfa(intersect(self.dfa, other.dfa)))
+
+    def minus(self, other: "TraceModel") -> "TraceModel":
+        """Traces of self that are not traces of other."""
+        return TraceModel(_dfa_to_nfa(difference(self.dfa, other.dfa)))
+
+    def complement(self, alphabet: Iterable[AccessKey | tuple[str, str, str]]) -> "TraceModel":
+        """All traces over ``alphabet`` *not* in the model."""
+        keys = [AccessKey(*a) for a in alphabet]
+        return TraceModel(_dfa_to_nfa(self.dfa.complement(keys)))
+
+    # -- decision procedures ----------------------------------------------
+
+    @property
+    def dfa(self) -> DFA:
+        """Minimal DFA of the model (computed lazily, cached)."""
+        if self._dfa is None:
+            self._dfa = minimize(determinize(self.nfa))
+        return self._dfa
+
+    def contains(self, trace: Trace) -> bool:
+        """Membership: is ``trace`` in the model?"""
+        return self.nfa.accepts_word(tuple(AccessKey(*a) for a in trace))
+
+    def __contains__(self, trace: Trace) -> bool:
+        return self.contains(trace)
+
+    def equals(self, other: "TraceModel") -> bool:
+        """Language equality."""
+        return equivalent(self.dfa, other.dfa)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceModel):
+            return NotImplemented
+        return self.equals(other)
+
+    def __hash__(self) -> int:
+        if self._canon is None:
+            self._canon = canonical_form(self.dfa)
+        return hash(self._canon)
+
+    def included_in(self, other: "TraceModel") -> bool:
+        """Inclusion: every trace of self is a trace of other."""
+        return difference(self.dfa, other.dfa).is_empty()
+
+    def is_empty(self) -> bool:
+        """True iff the model contains no trace at all."""
+        return self.dfa.is_empty()
+
+    def is_finite(self) -> bool:
+        """True iff the model is a finite set of traces.
+
+        The minimal DFA is trimmed and useless-state-free, so the
+        language is infinite iff the graph has a cycle.
+        """
+        dfa = self.dfa
+        # Iterative DFS cycle detection (colors: 0 new, 1 open, 2 done).
+        color = [0] * dfa.n_states
+        for root in range(dfa.n_states):
+            if color[root]:
+                continue
+            stack: list[tuple[int, Iterator[int]]] = [
+                (root, iter(dfa.delta[root].values()))
+            ]
+            color[root] = 1
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if color[nxt] == 1:
+                        return False
+                    if color[nxt] == 0:
+                        color[nxt] = 1
+                        stack.append((nxt, iter(dfa.delta[nxt].values())))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = 2
+                    stack.pop()
+        return True
+
+    # -- enumeration --------------------------------------------------------
+
+    def enumerate(self, max_length: int) -> Iterator[Trace]:
+        """All traces of length ≤ ``max_length`` (shortest first)."""
+        yield from self.dfa.words_up_to(max_length)
+
+    def all_traces(self, limit: int = 100_000) -> frozenset[Trace]:
+        """Every trace of a *finite* model.  Raises
+        :class:`~repro.errors.TraceModelError` if the model is infinite
+        or larger than ``limit``."""
+        if not self.is_finite():
+            raise TraceModelError("cannot enumerate an infinite trace model")
+        out: set[Trace] = set()
+        # A finite trimmed DFA is acyclic: no trace is longer than n_states.
+        for trace in self.dfa.words_up_to(self.dfa.n_states):
+            out.add(trace)
+            if len(out) > limit:
+                raise TraceModelError(
+                    f"finite trace model exceeds enumeration limit {limit}"
+                )
+        return frozenset(out)
+
+    def shortest_trace(self) -> Trace | None:
+        """A shortest trace of the model (None if empty)."""
+        return self.nfa.shortest_word()
+
+    def sample(self, rng, max_length: int = 50) -> Trace | None:
+        """A random trace of the model (``None`` if the model is empty).
+
+        Walks the minimal DFA taking uniform random choices among
+        "useful" moves — stopping (if accepting) counts as one choice —
+        and restarts if ``max_length`` is exceeded.  Every trace of
+        length ≤ ``max_length`` has positive probability; the
+        distribution is *not* uniform over traces.
+
+        ``rng`` is a ``numpy.random.Generator`` (pass a seeded one for
+        reproducibility).
+        """
+        dfa = self.dfa
+        if dfa.is_empty():
+            return None
+        for _ in range(1000):  # restart budget; each attempt can stop early
+            state = dfa.start
+            word: list[AccessKey] = []
+            while len(word) <= max_length:
+                choices: list[AccessKey | None] = list(dfa.delta[state].keys())
+                if state in dfa.accepts:
+                    choices.append(None)  # stop here
+                if not choices:
+                    break  # dead end (cannot happen on minimized DFA)
+                pick = choices[int(rng.integers(len(choices)))]
+                if pick is None:
+                    return tuple(word)
+                word.append(pick)
+                state = dfa.delta[state][pick]
+        # Fall back to a shortest trace if sampling kept overrunning.
+        return self.shortest_trace()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TraceModel({self.nfa!r})"
+
+
+def program_traces(program: Program) -> TraceModel:
+    """``traces(P)`` per Definition 3.2.
+
+    Conditions on ``if``/``while`` are treated nondeterministically
+    (both branches / any iteration count are possible), which is exactly
+    the paper's trace semantics.
+
+    The construction is a single-builder Thompson translation — linear
+    in program size for ``;``/``if``/``while``; only ``||`` pays for a
+    shuffle product (which is inherently product-sized).
+    """
+    builder = NFABuilder()
+    start, accepts = _build_into(program, builder)
+    return TraceModel(builder.build(start, accepts))
+
+
+def _build_into(program: Program, builder: NFABuilder) -> tuple[int, list[int]]:
+    """Thompson-construct ``program`` inside ``builder``; returns the
+    fragment's start state and accepting states."""
+    if isinstance(program, Access):
+        s0, s1 = builder.add_state(), builder.add_state()
+        builder.add_edge(s0, AccessKey(*program.key()), s1)
+        return s0, [s1]
+    if isinstance(program, Seq):
+        first_start, first_accepts = _build_into(program.first, builder)
+        second_start, second_accepts = _build_into(program.second, builder)
+        for state in first_accepts:
+            builder.add_eps(state, second_start)
+        return first_start, second_accepts
+    if isinstance(program, If):
+        fork = builder.add_state()
+        then_start, then_accepts = _build_into(program.then, builder)
+        else_start, else_accepts = _build_into(program.orelse, builder)
+        builder.add_eps(fork, then_start)
+        builder.add_eps(fork, else_start)
+        return fork, then_accepts + else_accepts
+    if isinstance(program, While):
+        hub = builder.add_state()
+        body_start, body_accepts = _build_into(program.body, builder)
+        builder.add_eps(hub, body_start)
+        for state in body_accepts:
+            builder.add_eps(state, hub)
+        return hub, [hub]
+    if isinstance(program, Par):
+        # Shuffle the two sides' standalone automata, then splice the
+        # product in (one embed; the product size is unavoidable).
+        left = program_traces(program.left).nfa
+        right = program_traces(program.right).nfa
+        shuffled = _shuffle_nfa(left, right)
+        mapping = builder.embed(shuffled)
+        return mapping[shuffled.start], [mapping[a] for a in shuffled.accepts]
+    if isinstance(program, Program):
+        # skip, channel I/O, signals, assignment: no resource access.
+        state = builder.add_state()
+        return state, [state]
+    raise TypeError(f"not an SRAL program: {program!r}")

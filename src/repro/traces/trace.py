@@ -1,0 +1,132 @@
+"""Traces: finite sequences of shared-resource accesses.
+
+A *trace* (Section 3.2 of the paper) is the sequence of accesses a
+mobile object performs during one execution.  We represent a trace as a
+plain tuple of :class:`AccessKey` triples — cheap, hashable and directly
+usable as automaton symbols.  ``AccessKey`` is a ``NamedTuple``, so it
+compares equal to the bare ``(op, resource, server)`` tuples returned by
+:meth:`repro.sral.ast.Access.key`.
+
+The paper's trace operators (concatenation ``t·v``, interleaving
+``t # v``, head/tail) are provided as functions over tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, NamedTuple
+
+__all__ = [
+    "AccessKey",
+    "Trace",
+    "EMPTY_TRACE",
+    "make_trace",
+    "head",
+    "tail",
+    "concat",
+    "interleavings",
+    "count_interleavings",
+    "is_subsequence",
+    "count_matching",
+    "occurs_before",
+]
+
+
+class AccessKey(NamedTuple):
+    """The ``(op, resource, server)`` identity of an access.
+
+    The mobile object *o* of the paper's access tuple *(o, op, r, s)* is
+    implicit: a trace always belongs to one mobile object.
+    """
+
+    op: str
+    resource: str
+    server: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.op} {self.resource} @ {self.server}"
+
+
+Trace = tuple[AccessKey, ...]
+
+EMPTY_TRACE: Trace = ()
+
+
+def make_trace(*accesses: Iterable[str] | AccessKey) -> Trace:
+    """Build a trace from triples: ``make_trace(("read","r1","s1"), ...)``."""
+    return tuple(AccessKey(*a) for a in accesses)
+
+
+def head(trace: Trace) -> AccessKey:
+    """The first access of a non-empty trace (paper's ``head``)."""
+    return trace[0]
+
+
+def tail(trace: Trace) -> Trace:
+    """Everything after the first access (paper's ``tail``)."""
+    return trace[1:]
+
+
+def concat(t: Trace, v: Trace) -> Trace:
+    """Concatenation ``t · v``."""
+    return t + v
+
+
+def interleavings(t: Trace, v: Trace) -> Iterator[Trace]:
+    """All interleavings of ``t`` and ``v`` (the paper's ``t # v``),
+    defined recursively as in Section 3.2::
+
+        t # <>  = {t}
+        <> # v  = {v}
+        t # v   = {head(t)·x | x ∈ tail(t) # v}
+                ∪ {head(v)·x | x ∈ t # tail(v)}
+
+    Duplicates (which arise when ``t`` and ``v`` share symbols) are
+    emitted once.  The number of interleavings is C(|t|+|v|, |t|), so
+    call this only on short traces; trace-model interleaving at scale
+    goes through the shuffle product in :mod:`repro.traces.model`.
+    """
+    seen: set[Trace] = set()
+
+    def rec(a: Trace, b: Trace, prefix: list[AccessKey]) -> Iterator[Trace]:
+        if not a or not b:
+            candidate = tuple(prefix) + a + b
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+            return
+        prefix.append(a[0])
+        yield from rec(a[1:], b, prefix)
+        prefix.pop()
+        prefix.append(b[0])
+        yield from rec(a, b[1:], prefix)
+        prefix.pop()
+
+    return rec(t, v, [])
+
+
+def count_interleavings(t: Trace, v: Trace) -> int:
+    """The number of *distinct* interleavings of ``t`` and ``v``."""
+    return sum(1 for _ in interleavings(t, v))
+
+
+def is_subsequence(needle: Trace, haystack: Trace) -> bool:
+    """True iff ``needle``'s accesses occur in ``haystack`` in order
+    (not necessarily adjacently)."""
+    it = iter(haystack)
+    return all(any(x == y for y in it) for x in needle)
+
+
+def count_matching(trace: Trace, accesses: frozenset[AccessKey] | set) -> int:
+    """How many accesses of ``trace`` fall in the set ``accesses`` —
+    the ``#`` cardinality of SRAC's counting constraint."""
+    return sum(1 for a in trace if a in accesses)
+
+
+def occurs_before(trace: Trace, first: AccessKey, second: AccessKey) -> bool:
+    """True iff some occurrence of ``first`` strictly precedes some
+    occurrence of ``second`` in ``trace`` — the core of the ordered
+    constraint ``first ⊗ second`` (Definition 3.6)."""
+    for index, access in enumerate(trace):
+        if access == first:
+            return second in trace[index + 1 :]
+    return False

@@ -1,0 +1,147 @@
+"""Rendering helpers: regenerate the paper's Figure 1 and inspect the
+library's objects.
+
+All output is plain text (Graphviz DOT source or ASCII), so nothing
+here needs a display or external tool:
+
+* :func:`dependency_graph_to_dot` — Figure 1 as DOT, with the dotted
+  server clusters of the original drawing;
+* :func:`dependency_graph_to_ascii` — a terminal rendering of the same
+  digraph, modules grouped by server;
+* :func:`nfa_to_dot` / :func:`dfa_to_dot` — trace automata;
+* :func:`timeline_to_ascii` — a boolean state function as a bar;
+* :func:`audit_report_to_ascii` — an integrity audit summary.
+"""
+
+from __future__ import annotations
+
+from repro.apps.integrity import AuditReport, DependencyGraph
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.temporal.timeline import BooleanTimeline
+
+__all__ = [
+    "dependency_graph_to_dot",
+    "dependency_graph_to_ascii",
+    "nfa_to_dot",
+    "dfa_to_dot",
+    "timeline_to_ascii",
+    "audit_report_to_ascii",
+]
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '\\"') + '"'
+
+
+def dependency_graph_to_dot(graph: DependencyGraph, title: str = "Figure 1") -> str:
+    """Graphviz DOT for a module dependency digraph, one dotted cluster
+    per server — the layout of the paper's Figure 1."""
+    lines = [
+        "digraph dependency {",
+        f"  label={_quote(title)};",
+        "  rankdir=BT;",
+        "  node [shape=circle];",
+    ]
+    for index, server in enumerate(graph.servers()):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(server)};")
+        lines.append('    style=dotted;')
+        for module in graph.modules():
+            if module.server == server:
+                lines.append(f"    {_quote(module.name)};")
+        lines.append("  }")
+    for module in graph.modules():
+        for dep in module.depends_on:
+            # "A directed line from module A to D represents module A
+            # depends on D."
+            lines.append(f"  {_quote(module.name)} -> {_quote(dep)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dependency_graph_to_ascii(graph: DependencyGraph) -> str:
+    """Terminal rendering: modules grouped by server with their edges."""
+    lines: list[str] = []
+    for server in graph.servers():
+        members = [m for m in graph.modules() if m.server == server]
+        lines.append(f"[{server}] " + "." * max(1, 48 - len(server)))
+        for module in members:
+            arrow = (
+                " --> " + ", ".join(module.depends_on)
+                if module.depends_on
+                else "     (no dependencies)"
+            )
+            lines.append(f"   ({module.name}){arrow}")
+    return "\n".join(lines)
+
+
+def nfa_to_dot(nfa: NFA, title: str = "NFA") -> str:
+    """Graphviz DOT for an NFA (ε-edges dashed)."""
+    lines = [
+        "digraph nfa {",
+        f"  label={_quote(title)};",
+        "  rankdir=LR;",
+        '  node [shape=circle];',
+        '  __start [shape=point];',
+        f"  __start -> {nfa.start};",
+    ]
+    for state in nfa.accepts:
+        lines.append(f"  {state} [shape=doublecircle];")
+    for src in range(nfa.n_states):
+        for symbol, dsts in nfa.edges[src].items():
+            for dst in sorted(dsts):
+                lines.append(f"  {src} -> {dst} [label={_quote(str(symbol))}];")
+        for dst in sorted(nfa.eps[src]):
+            lines.append(f"  {src} -> {dst} [style=dashed, label=\"ε\"];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dfa_to_dot(dfa: DFA, title: str = "DFA") -> str:
+    """Graphviz DOT for a DFA."""
+    lines = [
+        "digraph dfa {",
+        f"  label={_quote(title)};",
+        "  rankdir=LR;",
+        '  node [shape=circle];',
+        '  __start [shape=point];',
+        f"  __start -> {dfa.start};",
+    ]
+    for state in sorted(dfa.accepts):
+        lines.append(f"  {state} [shape=doublecircle];")
+    for src in range(dfa.n_states):
+        for symbol, dst in sorted(dfa.delta[src].items(), key=lambda kv: repr(kv[0])):
+            lines.append(f"  {src} -> {dst} [label={_quote(str(symbol))}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def timeline_to_ascii(
+    timeline: BooleanTimeline, b: float, e: float, width: int = 60
+) -> str:
+    """Render a boolean state function over ``[b, e]`` as a bar:
+    ``█`` where the state is 1, ``·`` where it is 0."""
+    if e <= b or width < 1:
+        return ""
+    cells = []
+    step = (e - b) / width
+    for i in range(width):
+        midpoint = b + (i + 0.5) * step
+        cells.append("█" if timeline.value_at(midpoint) else "·")
+    bar = "".join(cells)
+    return f"{b:g} |{bar}| {e:g}"
+
+
+def audit_report_to_ascii(report: AuditReport) -> str:
+    """One-line-per-module audit summary."""
+    lines = [
+        f"audit: finished={report.finished} order_ok={report.order_constraint_ok} "
+        f"denied={report.denied_accesses} migrations={report.migrations} "
+        f"T={report.duration:g}"
+    ]
+    for name in sorted(report.verified):
+        verified = "VERIFIED " if report.verified[name] else "UNVERIFIED"
+        hash_note = "" if report.hash_ok.get(name) else "  (hash mismatch or unaudited)"
+        lines.append(f"  {name:<8} {verified}{hash_note}")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Synthetic workload generators for tests, examples and benchmarks.
+
+Reproducible (numpy ``Generator``-seeded) sources of random SRAL
+programs, regular trace models, SRAC constraints, module dependency
+digraphs and coalition topologies.
+"""
+
+from repro.workloads.constraints import random_constraint, random_selection
+from repro.workloads.digraphs import coalition_topology, random_module_graph
+from repro.workloads.programs import (
+    access_alphabet,
+    random_access,
+    random_program,
+    random_regex,
+)
+
+__all__ = [
+    "random_constraint",
+    "random_selection",
+    "coalition_topology",
+    "random_module_graph",
+    "access_alphabet",
+    "random_access",
+    "random_program",
+    "random_regex",
+]

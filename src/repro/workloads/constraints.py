@@ -1,0 +1,81 @@
+"""Random SRAC constraints, sized for the Theorem 3.2 scaling study.
+
+:func:`random_constraint` builds a constraint with a requested number
+of atomic leaves over a given access alphabet.  Leaves are drawn from
+the paper's atomic forms (atoms, ordered pairs, counting constraints
+over field selections); internal nodes from the boolean connectives.
+A ``positive_only`` switch omits negation/implication, giving the
+well-behaved fragment whose product configurations stay small.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.srac.ast import And, Atom, Constraint, Count, Implies, Not, Or, Ordered
+from repro.srac.selection import SelectField, Selection
+from repro.traces.trace import AccessKey
+from repro.workloads.programs import random_access
+
+__all__ = ["random_constraint", "random_selection"]
+
+
+def random_selection(
+    rng: np.random.Generator, alphabet: Sequence[AccessKey]
+) -> Selection:
+    """A random single-field selection drawn from the alphabet's values."""
+    field = ("op", "resource", "server")[int(rng.integers(3))]
+    values = sorted({getattr(a, field) for a in alphabet})
+    size = int(rng.integers(1, min(len(values), 3) + 1))
+    chosen = rng.choice(len(values), size=size, replace=False)
+    return SelectField(field, frozenset(values[i] for i in chosen))
+
+
+def random_constraint(
+    rng: np.random.Generator,
+    leaves: int,
+    alphabet: Sequence[AccessKey] | None = None,
+    max_count: int = 6,
+    positive_only: bool = True,
+) -> Constraint:
+    """A random constraint with ``leaves`` atomic parts.
+
+    Size in AST nodes is ``Θ(leaves)``, the *n* of Theorem 3.2.
+    """
+    if leaves < 1:
+        raise WorkloadError("constraint must have at least one leaf")
+    if alphabet is None:
+        from repro.workloads.programs import access_alphabet
+
+        alphabet = access_alphabet()
+
+    def leaf() -> Constraint:
+        roll = rng.random()
+        if roll < 0.4:
+            return Atom(random_access(rng, alphabet))
+        if roll < 0.7:
+            return Ordered(random_access(rng, alphabet), random_access(rng, alphabet))
+        lo = int(rng.integers(0, max_count))
+        hi = None if rng.random() < 0.3 else int(rng.integers(lo, max_count + 1))
+        return Count(lo, hi, random_selection(rng, alphabet))
+
+    def build(count: int) -> Constraint:
+        if count == 1:
+            return leaf()
+        split = int(rng.integers(1, count))
+        left, right = build(split), build(count - split)
+        roll = rng.random()
+        if positive_only:
+            return And(left, right) if roll < 0.6 else Or(left, right)
+        if roll < 0.4:
+            return And(left, right)
+        if roll < 0.7:
+            return Or(left, right)
+        if roll < 0.85:
+            return Implies(left, right)
+        return And(Not(left), right)
+
+    return build(leaves)

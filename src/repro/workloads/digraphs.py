@@ -1,0 +1,113 @@
+"""Random module-dependency digraphs and coalition topologies —
+scaled-up versions of the Figure 1 workload.
+
+:func:`random_module_graph` draws a random DAG (edges only point from
+later to earlier modules in a random order, so acyclicity is by
+construction), assigns modules to servers and synthesises deterministic
+module payloads.  :func:`coalition_topology` builds coalitions with
+star / ring / complete latency structures and optionally skewed clocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.integrity import DependencyGraph, ModuleSpec
+from repro.coalition.clock import make_clocks
+from repro.coalition.network import Coalition, uniform_latency
+from repro.coalition.resource import Resource
+from repro.coalition.server import CoalitionServer
+from repro.errors import WorkloadError
+
+__all__ = ["random_module_graph", "coalition_topology"]
+
+
+def random_module_graph(
+    n_modules: int,
+    n_servers: int,
+    edge_probability: float = 0.25,
+    seed: int | None = None,
+) -> DependencyGraph:
+    """A random DAG of ``n_modules`` modules over ``n_servers`` servers.
+
+    Module ``i`` may depend on any ``j < i`` with ``edge_probability``
+    (ensuring acyclicity); servers are assigned uniformly.
+    """
+    if n_modules < 1 or n_servers < 1:
+        raise WorkloadError("need at least one module and one server")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise WorkloadError("edge probability must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    servers = [f"s{i + 1}" for i in range(n_servers)]
+    modules: list[ModuleSpec] = []
+    for index in range(n_modules):
+        name = f"m{index + 1}"
+        deps: list[str] = []
+        if index:
+            mask = rng.random(index) < edge_probability
+            deps = [f"m{j + 1}" for j in np.nonzero(mask)[0]]
+        modules.append(
+            ModuleSpec(
+                name=name,
+                server=servers[int(rng.integers(n_servers))],
+                content=f"module {name} payload {index}".encode(),
+                depends_on=tuple(deps),
+            )
+        )
+    return DependencyGraph(modules)
+
+
+def coalition_topology(
+    n_servers: int,
+    shape: str = "complete",
+    base_latency: float = 1.0,
+    clock_skew: float = 0.0,
+    clock_drift: float = 0.0,
+    resources_per_server: int = 2,
+    seed: int | None = None,
+) -> Coalition:
+    """A coalition with a parameterised latency structure.
+
+    ``shape``:
+
+    * ``"complete"`` — all pairs at ``base_latency``;
+    * ``"star"`` — ``s1`` is the hub (spoke↔hub = ``base_latency``,
+      spoke↔spoke = ``2·base_latency``);
+    * ``"ring"`` — latency proportional to ring distance.
+    """
+    if n_servers < 1:
+        raise WorkloadError("need at least one server")
+    names = [f"s{i + 1}" for i in range(n_servers)]
+    clocks = (
+        make_clocks(n_servers, max_skew=clock_skew, max_drift=clock_drift, seed=seed)
+        if clock_skew or clock_drift
+        else [None] * n_servers
+    )
+    servers = [
+        CoalitionServer(
+            name,
+            resources=[
+                Resource(f"res{j + 1}") for j in range(resources_per_server)
+            ],
+            clock=clock,
+        )
+        for name, clock in zip(names, clocks)
+    ]
+
+    table: dict[tuple[str, str], float] = {}
+    if shape == "complete":
+        default = base_latency
+    elif shape == "star":
+        default = 2.0 * base_latency
+        for name in names[1:]:
+            table[(names[0], name)] = base_latency
+    elif shape == "ring":
+        default = base_latency  # overwritten for every pair below
+        for i, a in enumerate(names):
+            for j, b in enumerate(names):
+                if i < j:
+                    distance = min(j - i, n_servers - (j - i))
+                    table[(a, b)] = base_latency * distance
+    else:
+        raise WorkloadError(f"unknown topology shape {shape!r}")
+    return Coalition(servers, latency=uniform_latency(table, default=default))

@@ -1,0 +1,133 @@
+"""Random SRAL programs and regular trace models, sized for scaling
+studies.
+
+The benchmarks (Theorem 3.1 / 3.2 experiments) need programs of a
+*controllable size m*: :func:`random_program` builds a program with a
+requested number of AST leaves over a parameterised access alphabet;
+:func:`random_regex` does the same for regular trace models.
+All generation is driven by a ``numpy.random.Generator`` so runs are
+reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sral.ast import (
+    Access,
+    Assign,
+    BinOp,
+    If,
+    IntLit,
+    Par,
+    Program,
+    Seq,
+    Skip,
+    Var,
+    While,
+)
+from repro.traces.regular import Alt, Cat, Eps, Regex, Star, Sym
+from repro.traces.trace import AccessKey
+
+__all__ = ["access_alphabet", "random_access", "random_program", "random_regex"]
+
+
+def access_alphabet(
+    n_ops: int = 3, n_resources: int = 4, n_servers: int = 3
+) -> tuple[AccessKey, ...]:
+    """A deterministic access alphabet of the requested dimensions."""
+    if min(n_ops, n_resources, n_servers) < 1:
+        raise WorkloadError("alphabet dimensions must be positive")
+    ops = [f"op{i}" for i in range(n_ops)]
+    resources = [f"r{i}" for i in range(n_resources)]
+    servers = [f"s{i}" for i in range(n_servers)]
+    return tuple(
+        AccessKey(o, r, s) for o in ops for r in resources for s in servers
+    )
+
+
+def random_access(
+    rng: np.random.Generator, alphabet: Sequence[AccessKey]
+) -> AccessKey:
+    """One uniformly random access from the alphabet."""
+    return alphabet[int(rng.integers(len(alphabet)))]
+
+
+def random_program(
+    rng: np.random.Generator,
+    leaves: int,
+    alphabet: Sequence[AccessKey] | None = None,
+    p_par: float = 0.15,
+    p_if: float = 0.25,
+    p_while: float = 0.15,
+) -> Program:
+    """A random program with ``leaves`` access leaves.
+
+    Composition probabilities: with ``p_par``/``p_if``/``p_while`` the
+    split point becomes a ``||`` / ``if`` / ``while`` node, otherwise a
+    ``;``.  ``while`` wraps the whole left part (loops nest naturally).
+    Size in AST nodes is ``Θ(leaves)``, the *m* of Theorem 3.2.
+    """
+    if leaves < 1:
+        raise WorkloadError("program must have at least one leaf")
+    if alphabet is None:
+        alphabet = access_alphabet()
+
+    def leaf() -> Program:
+        key = random_access(rng, alphabet)
+        return Access(key.op, key.resource, key.server)
+
+    def build(count: int) -> Program:
+        if count == 1:
+            return leaf()
+        split = int(rng.integers(1, count))
+        roll = rng.random()
+        left, right = build(split), build(count - split)
+        if roll < p_par:
+            return Par(left, right)
+        if roll < p_par + p_if:
+            return If(_fresh_cond(rng), left, right)
+        if roll < p_par + p_if + p_while:
+            return Seq(While(_fresh_cond(rng), left), right)
+        return Seq(left, right)
+
+    return build(leaves)
+
+
+def _fresh_cond(rng: np.random.Generator) -> BinOp:
+    # Opaque conditions (trace semantics ignores them); vary the bound so
+    # structurally distinct programs don't collapse under hashing.
+    return BinOp("<", Var("x"), IntLit(int(rng.integers(0, 1000))))
+
+
+def random_regex(
+    rng: np.random.Generator,
+    leaves: int,
+    alphabet: Sequence[AccessKey] | None = None,
+    p_alt: float = 0.35,
+    p_star: float = 0.2,
+) -> Regex:
+    """A random regular trace model with ``leaves`` symbol leaves."""
+    if leaves < 1:
+        raise WorkloadError("regex must have at least one leaf")
+    if alphabet is None:
+        alphabet = access_alphabet()
+
+    def build(count: int) -> Regex:
+        if count == 1:
+            if rng.random() < 0.05:
+                return Eps()
+            return Sym(random_access(rng, alphabet))
+        split = int(rng.integers(1, count))
+        roll = rng.random()
+        left, right = build(split), build(count - split)
+        if roll < p_alt:
+            return Alt(left, right)
+        if roll < p_alt + p_star:
+            return Cat(Star(left), right)
+        return Cat(left, right)
+
+    return build(leaves)

@@ -1,0 +1,238 @@
+"""Shared hypothesis strategies for randomly generated SRAL/SRAC objects.
+
+Used by the property-based tests across the suite.  Alphabets are kept
+small so that interesting coincidences (same access appearing twice,
+constraints matching program accesses) actually occur.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.sral.ast import (
+    Access,
+    Assign,
+    BinOp,
+    BoolLit,
+    If,
+    IntLit,
+    Par,
+    Receive,
+    Send,
+    Seq,
+    Signal,
+    Skip,
+    StrLit,
+    UnaryOp,
+    Var,
+    Wait,
+    While,
+)
+
+OPS = ("read", "write", "exec")
+RESOURCES = ("r1", "r2", "r3")
+SERVERS = ("s1", "s2", "s3")
+CHANNELS = ("chA", "chB")
+EVENTS = ("evX", "evY")
+VARS = ("x", "y", "n")
+
+identifiers = st.sampled_from(VARS)
+
+
+def accesses():
+    """Random primitive accesses over the small shared alphabet."""
+    return st.builds(
+        Access,
+        st.sampled_from(OPS),
+        st.sampled_from(RESOURCES),
+        st.sampled_from(SERVERS),
+    )
+
+
+def exprs(max_depth: int = 3):
+    """Random SRAL expressions."""
+    leaves = st.one_of(
+        st.integers(-20, 20).map(IntLit),
+        st.booleans().map(BoolLit),
+        st.sampled_from(VARS).map(Var),
+        st.sampled_from(["a", "b c", 'quo"te', "back\\slash"]).map(StrLit),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(UnaryOp, st.sampled_from(["not", "-"]), children),
+            st.builds(
+                BinOp,
+                st.sampled_from(
+                    ["+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "and", "or"]
+                ),
+                children,
+                children,
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=2**max_depth)
+
+
+def programs(max_leaves: int = 12, with_par: bool = True, with_comm: bool = True):
+    """Random SRAL programs.
+
+    ``with_par=False`` produces sequential programs only (useful where
+    interleaving would blow up enumeration); ``with_comm=False`` omits
+    channel/signal statements (useful for single-agent interpretation).
+    """
+    leaf_options = [accesses(), st.just(Skip())]
+    if with_comm:
+        leaf_options += [
+            st.builds(Receive, st.sampled_from(CHANNELS), st.sampled_from(VARS)),
+            st.builds(Send, st.sampled_from(CHANNELS), exprs(2)),
+            st.builds(Signal, st.sampled_from(EVENTS)),
+            st.builds(Wait, st.sampled_from(EVENTS)),
+            st.builds(Assign, st.sampled_from(VARS), exprs(2)),
+        ]
+    leaves = st.one_of(*leaf_options)
+
+    def extend(children):
+        options = [
+            st.builds(Seq, children, children),
+            st.builds(If, exprs(2), children, children),
+            st.builds(While, exprs(2), children),
+        ]
+        if with_par:
+            options.append(st.builds(Par, children, children))
+        return st.one_of(*options)
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+def loop_free_programs(max_leaves: int = 8, with_par: bool = True):
+    """Random SRAL programs without while-loops (finite trace models)."""
+    leaves = st.one_of(accesses(), st.just(Skip()))
+
+    def extend(children):
+        options = [
+            st.builds(Seq, children, children),
+            st.builds(If, exprs(2), children, children),
+        ]
+        if with_par:
+            options.append(st.builds(Par, children, children))
+        return st.one_of(*options)
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+# ---------------------------------------------------------------------------
+# SRAC constraint strategies
+# ---------------------------------------------------------------------------
+
+def access_keys():
+    """Random AccessKey over the same alphabet as `accesses()`."""
+    from repro.traces.trace import AccessKey
+
+    return st.builds(
+        AccessKey,
+        st.sampled_from(OPS),
+        st.sampled_from(RESOURCES),
+        st.sampled_from(SERVERS),
+    )
+
+
+def selections(expressible_only: bool = True):
+    """Random σ selection operators.
+
+    ``expressible_only=True`` restricts to shapes the concrete syntax can
+    print (for parser/printer round-trips).
+    """
+    from repro.srac.selection import (
+        SelectAccesses,
+        SelectAll,
+        SelectAnd,
+        SelectField,
+        SelectNot,
+        SelectOr,
+    )
+
+    fields = st.one_of(
+        st.builds(
+            SelectField,
+            st.just("op"),
+            st.sets(st.sampled_from(OPS), min_size=1).map(frozenset),
+        ),
+        st.builds(
+            SelectField,
+            st.just("resource"),
+            st.sets(st.sampled_from(RESOURCES), min_size=1).map(frozenset),
+        ),
+        st.builds(
+            SelectField,
+            st.just("server"),
+            st.sets(st.sampled_from(SERVERS), min_size=1).map(frozenset),
+        ),
+    )
+
+    def distinct_field_and(draw_fields):
+        # conjunction of fields with distinct field names
+        return st.lists(draw_fields, min_size=2, max_size=3, unique_by=lambda f: f.field_name).map(
+            lambda fs: SelectAnd(tuple(fs))
+        )
+
+    base = st.one_of(
+        st.just(SelectAll()),
+        fields,
+        distinct_field_and(fields),
+        st.sets(access_keys(), min_size=1, max_size=3).map(
+            lambda s: SelectAccesses(frozenset(s))
+        ),
+    )
+    if expressible_only:
+        return base
+    return st.recursive(
+        base,
+        lambda children: st.one_of(
+            st.lists(children, min_size=1, max_size=3).map(lambda p: SelectAnd(tuple(p))),
+            st.lists(children, min_size=1, max_size=3).map(lambda p: SelectOr(tuple(p))),
+            st.builds(SelectNot, children),
+        ),
+        max_leaves=4,
+    )
+
+
+def counts(expressible_only: bool = True):
+    from repro.srac.ast import Count
+
+    @st.composite
+    def build(draw):
+        lo = draw(st.integers(0, 4))
+        hi = draw(st.one_of(st.none(), st.integers(lo, lo + 4)))
+        sel = draw(selections(expressible_only))
+        return Count(lo, hi, sel)
+
+    return build()
+
+
+def constraints(max_leaves: int = 8, expressible_only: bool = True):
+    """Random SRAC constraints."""
+    from repro.srac.ast import And, Atom, Bottom, Iff, Implies, Not, Or, Ordered, Top
+
+    leaves = st.one_of(
+        st.just(Top()),
+        st.just(Bottom()),
+        access_keys().map(Atom),
+        st.builds(Ordered, access_keys(), access_keys()),
+        counts(expressible_only),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Not, children),
+            st.builds(Implies, children, children),
+            st.builds(Iff, children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+def traces_over_alphabet(max_size: int = 8):
+    return st.lists(access_keys(), max_size=max_size).map(tuple)

@@ -1,0 +1,269 @@
+"""Tests for itineraries, access patterns, principals and the security
+manager glue."""
+
+import pytest
+
+from repro.agent.itinerary import (
+    AltItinerary,
+    LoopItinerary,
+    SeqItinerary,
+    plan_of_program,
+)
+from repro.agent.naplet import Naplet
+from repro.agent.patterns import (
+    LoopPattern,
+    ParPattern,
+    SeqPattern,
+    SingletonPattern,
+)
+from repro.agent.principal import (
+    NAPLET_PRINCIPAL,
+    Authority,
+    Certificate,
+)
+from repro.agent.security import NapletSecurityManager
+from repro.errors import AgentError, AuthenticationError
+from repro.rbac.engine import AccessControlEngine
+from repro.rbac.model import Permission
+from repro.rbac.policy import Policy
+from repro.sral.ast import Access, BoolLit, If, Par, Seq, While
+from repro.sral.builder import var
+from repro.sral.parser import parse_program
+from repro.traces.model import program_traces
+
+
+class TestItineraries:
+    def test_seq(self):
+        itinerary = SeqItinerary(("s1", "s2", "s3"))
+        assert list(itinerary) == ["s1", "s2", "s3"]
+        assert itinerary.servers() == {"s1", "s2", "s3"}
+
+    def test_seq_validation(self):
+        with pytest.raises(AgentError):
+            SeqItinerary(("s1", ""))
+
+    def test_loop(self):
+        loop = LoopItinerary(SeqItinerary(("a", "b")), times=3)
+        assert list(loop) == ["a", "b"] * 3
+        assert loop.servers() == {"a", "b"}
+        with pytest.raises(AgentError):
+            LoopItinerary(SeqItinerary(("a",)), times=-1)
+
+    def test_alt(self):
+        alt = AltItinerary(SeqItinerary(("a",)), SeqItinerary(("b", "c")))
+        assert list(alt) == ["a"]
+        assert alt.servers() == {"a", "b", "c"}
+
+    def test_plan_of_program(self):
+        program = parse_program(
+            "read r1 @ s1 ; read r2 @ s1 ; write r3 @ s2 ; exec r4 @ s1"
+        )
+        assert list(plan_of_program(program)) == ["s1", "s2", "s1"]
+
+    def test_plan_skips_non_access(self):
+        program = parse_program("ch ? x ; signal(e)")
+        assert list(plan_of_program(program)) == []
+
+
+class TestPatterns:
+    def test_singleton_unguarded(self):
+        p = SingletonPattern("read", "db", "s1")
+        assert p.to_program() == Access("read", "db", "s1")
+
+    def test_singleton_guarded(self):
+        p = SingletonPattern("read", "db", "s1", guard=var("ok").node)
+        program = p.to_program()
+        assert isinstance(program, If)
+
+    def test_seq_pattern(self):
+        p = SeqPattern(
+            SingletonPattern("read", "a", "s1"),
+            SingletonPattern("read", "b", "s1"),
+        )
+        assert isinstance(p.to_program(), Seq)
+
+    def test_seq_pattern_accepts_iterable(self):
+        parts = [SingletonPattern("read", r, "s1") for r in ("a", "b", "c")]
+        assert isinstance(SeqPattern(parts).to_program(), Seq)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(AgentError):
+            SeqPattern()
+        with pytest.raises(AgentError):
+            ParPattern()
+
+    def test_par_pattern(self):
+        p = ParPattern(
+            SingletonPattern("read", "a", "s1"),
+            SingletonPattern("read", "b", "s2"),
+        )
+        assert isinstance(p.to_program(), Par)
+
+    def test_loop_pattern(self):
+        p = LoopPattern(BoolLit(True), SingletonPattern("read", "a", "s1"))
+        assert isinstance(p.to_program(), While)
+
+    def test_paper_appl_agent_prog(self):
+        """The ApplAgentProg example: k cloned naplets, each a sequence
+        over its share of the servers, composed in parallel."""
+        servers = [f"s{i}" for i in range(1, 7)]
+        k = 3
+        share = len(servers) // k
+        clones = [
+            SeqPattern(
+                [
+                    SingletonPattern("exec", "verify", servers[i * share + j])
+                    for j in range(share)
+                ]
+            )
+            for i in range(k)
+        ]
+        program = ParPattern(clones).to_program()
+        model = program_traces(program)
+        # One valid trace: everything in declared order.
+        from repro.traces.trace import AccessKey
+
+        ordered = tuple(AccessKey("exec", "verify", s) for s in servers)
+        assert ordered in model
+
+    def test_pattern_program_feeds_checker(self):
+        from repro.srac.checker import check_program
+        from repro.srac.parser import parse_constraint
+
+        pattern = SeqPattern(
+            SingletonPattern("exec", "m1", "s1"),
+            SingletonPattern("exec", "m2", "s2"),
+        )
+        constraint = parse_constraint("exec m1 @ s1 >> exec m2 @ s2")
+        assert check_program(pattern.to_program(), constraint)
+
+
+class TestAuthority:
+    def test_register_and_authenticate(self):
+        authority = Authority()
+        certificate = authority.register("alice")
+        principals = authority.authenticate(certificate)
+        assert NAPLET_PRINCIPAL in principals
+        assert any("alice" in p for p in principals)
+
+    def test_unregistered_owner_rejected(self):
+        authority = Authority()
+        with pytest.raises(AuthenticationError):
+            authority.authenticate(Certificate("mallory", "f" * 64))
+
+    def test_bad_mac_rejected(self):
+        authority = Authority()
+        authority.register("alice")
+        with pytest.raises(AuthenticationError):
+            authority.authenticate(Certificate("alice", "f" * 64))
+
+    def test_different_authorities_do_not_trust(self):
+        a1, a2 = Authority(secret=b"one"), Authority(secret=b"two")
+        cert = a1.register("alice")
+        a2.register("alice")
+        with pytest.raises(AuthenticationError):
+            a2.authenticate(cert)
+
+    def test_empty_owner_rejected(self):
+        with pytest.raises(AuthenticationError):
+            Authority().register("")
+
+
+class TestAdmissionCheck:
+    def make_manager(self, admission_check):
+        policy = Policy()
+        policy.add_user("alice")
+        policy.add_role("auditor")
+        policy.add_permission(
+            Permission(
+                "p_rsw",
+                op="exec",
+                resource="rsw",
+                spatial_constraint=__import__("repro.srac.parser", fromlist=["parse_constraint"]).parse_constraint(
+                    "count(0, 2, [res = rsw])"
+                ),
+            )
+        )
+        policy.assign_user("alice", "auditor")
+        policy.assign_permission("auditor", "p_rsw")
+        engine = AccessControlEngine(policy)
+        return NapletSecurityManager(engine, admission_check=admission_check)
+
+    def test_over_budget_program_rejected_at_admission(self):
+        manager = self.make_manager(admission_check=True)
+        naplet = Naplet(
+            "alice",
+            parse_program("exec rsw @ s1 ; exec rsw @ s1 ; exec rsw @ s2"),
+            roles=("auditor",),
+        )
+        with pytest.raises(AuthenticationError):
+            manager.on_first_arrival(naplet, "s1", 0.0)
+
+    def test_compliant_program_admitted(self):
+        manager = self.make_manager(admission_check=True)
+        naplet = Naplet(
+            "alice",
+            parse_program("exec rsw @ s1 ; exec rsw @ s2"),
+            roles=("auditor",),
+        )
+        manager.on_first_arrival(naplet, "s1", 0.0)
+        assert manager.session_of(naplet) is not None
+
+    def test_no_admission_check_admits_anything(self):
+        manager = self.make_manager(admission_check=False)
+        naplet = Naplet(
+            "alice",
+            parse_program("exec rsw @ s1 ; exec rsw @ s1 ; exec rsw @ s2"),
+            roles=("auditor",),
+        )
+        manager.on_first_arrival(naplet, "s1", 0.0)
+
+    def test_session_of_unknown_agent(self):
+        manager = self.make_manager(admission_check=False)
+        with pytest.raises(AuthenticationError):
+            manager.session_of(Naplet("alice", parse_program("skip")))
+
+
+class TestTypecheckedAdmission:
+    def make_manager(self, typecheck):
+        policy = Policy()
+        policy.add_user("alice")
+        policy.add_role("r")
+        policy.add_permission(Permission("p"))
+        policy.assign_user("alice", "r")
+        policy.assign_permission("r", "p")
+        return NapletSecurityManager(AccessControlEngine(policy), typecheck=typecheck)
+
+    def test_ill_typed_program_rejected(self):
+        manager = self.make_manager(typecheck=True)
+        naplet = Naplet("alice", parse_program("x := 1 + true"), roles=("r",))
+        with pytest.raises(AuthenticationError) as err:
+            manager.on_first_arrival(naplet, "s1", 0.0)
+        assert "type" in str(err.value)
+
+    def test_well_typed_program_admitted(self):
+        manager = self.make_manager(typecheck=True)
+        naplet = Naplet(
+            "alice",
+            parse_program("n := 0 ; while n < 2 do n := n + 1"),
+            roles=("r",),
+        )
+        manager.on_first_arrival(naplet, "s1", 0.0)
+
+    def test_dispatch_env_seeds_types(self):
+        manager = self.make_manager(typecheck=True)
+        good = Naplet(
+            "alice", parse_program("y := x + 1"), env={"x": 5}, roles=("r",)
+        )
+        manager.on_first_arrival(good, "s1", 0.0)
+        bad = Naplet(
+            "alice", parse_program("y := x + 1"), env={"x": True}, roles=("r",),
+            name="bad-typed",
+        )
+        with pytest.raises(AuthenticationError):
+            manager.on_first_arrival(bad, "s1", 0.0)
+
+    def test_typecheck_off_admits_anything(self):
+        manager = self.make_manager(typecheck=False)
+        naplet = Naplet("alice", parse_program("x := 1 + true"), roles=("r",))
+        manager.on_first_arrival(naplet, "s1", 0.0)

@@ -1,0 +1,160 @@
+"""Tests for the SRAL interpreter and expression evaluator."""
+
+import pytest
+from hypothesis import given, settings
+
+import tests.strategies as strat
+from repro.agent.interpreter import (
+    DoAccess,
+    DoReceive,
+    DoSend,
+    DoSignal,
+    DoSpawn,
+    DoWait,
+    evaluate_expr,
+    interpret,
+)
+from repro.errors import AgentError
+from repro.sral.parser import parse_expr, parse_program
+
+
+def drive(program_source, env=None, replies=None):
+    """Run a program, feeding ``replies`` to requests in order; returns
+    the list of requests and the final environment."""
+    env = dict(env or {})
+    replies = list(replies or [])
+    requests = []
+    gen = interpret(parse_program(program_source), env)
+    try:
+        request = next(gen)
+        while True:
+            requests.append(request)
+            reply = replies.pop(0) if replies else None
+            request = gen.send(reply)
+    except StopIteration:
+        pass
+    return requests, env
+
+
+class TestExpressionEvaluation:
+    def test_literals_and_vars(self):
+        assert evaluate_expr(parse_expr("42"), {}) == 42
+        assert evaluate_expr(parse_expr("true"), {}) is True
+        assert evaluate_expr(parse_expr('"hi"'), {}) == "hi"
+        assert evaluate_expr(parse_expr("x"), {"x": 7}) == 7
+
+    def test_unbound_variable(self):
+        with pytest.raises(AgentError):
+            evaluate_expr(parse_expr("nope"), {})
+
+    def test_arithmetic(self):
+        env = {"x": 10, "y": 3}
+        assert evaluate_expr(parse_expr("x + y * 2"), env) == 16
+        assert evaluate_expr(parse_expr("x - y"), env) == 7
+        assert evaluate_expr(parse_expr("x / y"), env) == 3
+        assert evaluate_expr(parse_expr("x % y"), env) == 1
+        assert evaluate_expr(parse_expr("-x"), env) == -10
+
+    def test_java_style_division(self):
+        assert evaluate_expr(parse_expr("(0 - 7) / 2"), {}) == -3  # truncates
+        assert evaluate_expr(parse_expr("(0 - 7) % 2"), {}) == -1
+
+    def test_division_by_zero(self):
+        with pytest.raises(AgentError):
+            evaluate_expr(parse_expr("1 / 0"), {})
+        with pytest.raises(AgentError):
+            evaluate_expr(parse_expr("1 % 0"), {})
+
+    def test_comparisons(self):
+        assert evaluate_expr(parse_expr("2 < 3"), {}) is True
+        assert evaluate_expr(parse_expr("3 <= 2"), {}) is False
+        assert evaluate_expr(parse_expr("3 > 2"), {}) is True
+        assert evaluate_expr(parse_expr("2 >= 3"), {}) is False
+
+    def test_equality_is_type_strict(self):
+        assert evaluate_expr(parse_expr("1 == 1"), {}) is True
+        assert evaluate_expr(parse_expr("true == 1"), {}) is False
+        assert evaluate_expr(parse_expr("1 != 2"), {}) is True
+
+    def test_boolean_short_circuit(self):
+        # The right operand (division by zero) must not be evaluated.
+        assert evaluate_expr(parse_expr("false and 1 / 0 == 0"), {}) is False
+        assert evaluate_expr(parse_expr("true or 1 / 0 == 0"), {}) is True
+
+    def test_string_concatenation(self):
+        assert evaluate_expr(parse_expr('"a" + "b"'), {}) == "ab"
+
+    def test_type_errors(self):
+        with pytest.raises(AgentError):
+            evaluate_expr(parse_expr("1 + true"), {})
+        with pytest.raises(AgentError):
+            evaluate_expr(parse_expr('"a" < "b"'), {})
+        with pytest.raises(AgentError):
+            evaluate_expr(parse_expr("not 3"), {})
+
+
+class TestInterpretation:
+    def test_single_access(self):
+        requests, _ = drive("read r1 @ s1")
+        assert requests == [DoAccess("read", "r1", "s1")]
+
+    def test_sequence_order(self):
+        requests, _ = drive("read r1 @ s1 ; write r2 @ s2")
+        assert requests == [
+            DoAccess("read", "r1", "s1"),
+            DoAccess("write", "r2", "s2"),
+        ]
+
+    def test_assignment_and_conditional(self):
+        requests, env = drive("x := 5 ; if x > 3 then read big @ s1 else read small @ s1")
+        assert requests == [DoAccess("read", "big", "s1")]
+        assert env["x"] == 5
+
+    def test_while_loop_counts(self):
+        requests, env = drive(
+            "n := 0 ; while n < 3 do { exec tool @ s1 ; n := n + 1 }"
+        )
+        assert requests == [DoAccess("exec", "tool", "s1")] * 3
+        assert env["n"] == 3
+
+    def test_receive_binds_variable(self):
+        requests, env = drive("ch ? x ; ch2 ! x + 1", replies=[10])
+        assert requests == [DoReceive("ch"), DoSend("ch2", 11)]
+        assert env["x"] == 10
+
+    def test_signal_and_wait(self):
+        requests, _ = drive("signal(go) ; wait(done)")
+        assert requests == [DoSignal("go"), DoWait("done")]
+
+    def test_par_spawns(self):
+        requests, _ = drive("read r1 @ s1 || read r2 @ s2")
+        assert len(requests) == 1
+        assert isinstance(requests[0], DoSpawn)
+        assert len(requests[0].programs) == 2
+
+    def test_skip_produces_nothing(self):
+        requests, _ = drive("skip")
+        assert requests == []
+
+    def test_runaway_loop_guarded(self):
+        gen = interpret(parse_program("while true do x := 1"), {}, max_loop_iterations=10)
+        with pytest.raises(AgentError):
+            next(gen)
+
+    def test_condition_must_be_boolean(self):
+        with pytest.raises(AgentError):
+            drive("if 3 then skip else skip")
+        with pytest.raises(AgentError):
+            drive("while 3 do skip")
+
+    @given(strat.exprs(max_depth=3))
+    @settings(max_examples=200, deadline=None)
+    def test_evaluator_is_total_on_random_exprs(self, expr):
+        """Evaluation either returns a plain value or raises AgentError —
+        never any other exception."""
+        env = {"x": 1, "y": 2, "n": 0}
+        try:
+            value = evaluate_expr(expr, env)
+        except AgentError:
+            return
+        assert isinstance(value, (int, bool, str))

@@ -1,0 +1,414 @@
+"""Integration tests for the discrete-event mobile-agent simulation."""
+
+import pytest
+
+from repro.agent.naplet import LifecycleHooks, Naplet, NapletStatus
+from repro.agent.principal import Authority
+from repro.agent.scheduler import Simulation
+from repro.agent.security import NapletSecurityManager
+from repro.coalition.network import Coalition, constant_latency
+from repro.coalition.resource import Resource
+from repro.coalition.server import CoalitionServer
+from repro.errors import SimulationError
+from repro.rbac.engine import AccessControlEngine
+from repro.rbac.model import Permission
+from repro.rbac.policy import Policy
+from repro.sral.parser import parse_program
+from repro.srac.parser import parse_constraint
+from repro.traces.trace import AccessKey
+
+
+def make_coalition(n=3, latency=2.0):
+    servers = [
+        CoalitionServer(f"s{i}", resources=[Resource("db"), Resource("rsw"), Resource("doc")])
+        for i in range(1, n + 1)
+    ]
+    return Coalition(servers, latency=constant_latency(latency))
+
+
+class TestBasicRuns:
+    def test_single_access(self):
+        sim = Simulation(make_coalition())
+        naplet = Naplet("alice", parse_program("read db @ s1"))
+        sim.add_naplet(naplet, "s1")
+        report = sim.run()
+        assert report.all_finished()
+        assert naplet.history() == (AccessKey("read", "db", "s1"),)
+        assert naplet.registry.verify_chain()
+
+    def test_sequence_records_ordered_history(self):
+        sim = Simulation(make_coalition())
+        naplet = Naplet("alice", parse_program("read db @ s1 ; write db @ s1 ; exec rsw @ s1"))
+        sim.add_naplet(naplet, "s1")
+        sim.run()
+        assert [a.op for a in naplet.history()] == ["read", "write", "exec"]
+
+    def test_access_consumes_time(self):
+        sim = Simulation(make_coalition(), access_cost=3.0)
+        naplet = Naplet("alice", parse_program("read db @ s1 ; read db @ s1"))
+        sim.add_naplet(naplet, "s1")
+        report = sim.run()
+        assert naplet.finish_time == pytest.approx(6.0)
+
+    def test_callable_access_cost(self):
+        sim = Simulation(
+            make_coalition(),
+            access_cost=lambda access: 5.0 if access.op == "exec" else 1.0,
+        )
+        naplet = Naplet("alice", parse_program("read db @ s1 ; exec rsw @ s1"))
+        sim.add_naplet(naplet, "s1")
+        sim.run()
+        assert naplet.finish_time == pytest.approx(6.0)
+
+    def test_migration_latency(self):
+        sim = Simulation(make_coalition(latency=10.0), access_cost=1.0)
+        naplet = Naplet("alice", parse_program("read db @ s1 ; read db @ s2"))
+        sim.add_naplet(naplet, "s1")
+        sim.run()
+        # t=0 access at s1 (1), migrate (10), access at s2 (1) → 12
+        assert naplet.finish_time == pytest.approx(12.0)
+        assert naplet.location == "s2"
+
+    def test_no_migration_for_same_server(self):
+        coalition = make_coalition(latency=50.0)
+        sim = Simulation(coalition, access_cost=1.0)
+        naplet = Naplet("alice", parse_program("read db @ s1 ; write db @ s1"))
+        sim.add_naplet(naplet, "s1")
+        sim.run()
+        assert naplet.finish_time == pytest.approx(2.0)
+
+    def test_arrivals_counted(self):
+        coalition = make_coalition()
+        sim = Simulation(coalition)
+        naplet = Naplet("alice", parse_program("read db @ s1 ; read db @ s2 ; read db @ s1"))
+        sim.add_naplet(naplet, "s1")
+        sim.run()
+        assert coalition.server("s1").arrivals == 2
+        assert coalition.server("s2").arrivals == 1
+
+    def test_duplicate_naplet_rejected(self):
+        sim = Simulation(make_coalition())
+        naplet = Naplet("alice", parse_program("skip"))
+        sim.add_naplet(naplet, "s1")
+        with pytest.raises(SimulationError):
+            sim.add_naplet(naplet, "s1")
+
+    def test_unknown_start_server(self):
+        sim = Simulation(make_coalition())
+        with pytest.raises(SimulationError):
+            sim.add_naplet(Naplet("alice", parse_program("skip")), "nowhere")
+
+    def test_failed_program_reports_error(self):
+        sim = Simulation(make_coalition())
+        naplet = Naplet("alice", parse_program("x := 1 / 0"))
+        sim.add_naplet(naplet, "s1")
+        report = sim.run()
+        assert naplet.status is NapletStatus.FAILED
+        assert naplet.error is not None
+        assert not report.all_finished()
+
+
+class TestCommunication:
+    def test_channel_transfer_between_agents(self):
+        sim = Simulation(make_coalition())
+        producer = Naplet("alice", parse_program("read db @ s1 ; ch ! 42"), name="prod")
+        consumer = Naplet("bob", parse_program("ch ? x ; if x == 42 then read db @ s2 else skip"), name="cons")
+        sim.add_naplet(producer, "s1")
+        sim.add_naplet(consumer, "s2")
+        report = sim.run()
+        assert report.all_finished()
+        assert consumer.env["x"] == 42
+        assert consumer.history() == (AccessKey("read", "db", "s2"),)
+
+    def test_receive_blocks_until_send(self):
+        sim = Simulation(make_coalition(), access_cost=5.0)
+        consumer = Naplet("bob", parse_program("ch ? x"), name="cons")
+        producer = Naplet("alice", parse_program("read db @ s1 ; ch ! 1"), name="prod")
+        sim.add_naplet(consumer, "s2")
+        sim.add_naplet(producer, "s1")
+        report = sim.run()
+        assert report.all_finished()
+        # Consumer could only proceed after the producer's t=5 send.
+        assert consumer.finish_time == pytest.approx(5.0)
+
+    def test_signal_wait_ordering(self):
+        sim = Simulation(make_coalition(), access_cost=2.0)
+        waiter = Naplet("bob", parse_program("wait(go) ; read db @ s2"), name="w")
+        signaller = Naplet("alice", parse_program("read db @ s1 ; signal(go)"), name="sig")
+        sim.add_naplet(waiter, "s2")
+        sim.add_naplet(signaller, "s1")
+        report = sim.run()
+        assert report.all_finished()
+        assert waiter.finish_time >= 2.0
+
+    def test_wait_after_signal_passes_immediately(self):
+        sim = Simulation(make_coalition())
+        first = Naplet("alice", parse_program("signal(go)"), name="a")
+        second = Naplet("bob", parse_program("wait(go)"), name="b")
+        sim.add_naplet(first, "s1", at=0.0)
+        sim.add_naplet(second, "s1", at=1.0)
+        report = sim.run()
+        assert report.all_finished()
+
+    def test_deadlock_detected(self):
+        sim = Simulation(make_coalition())
+        stuck = Naplet("alice", parse_program("wait(never)"), name="stuck")
+        sim.add_naplet(stuck, "s1")
+        report = sim.run()
+        assert report.deadlocked == ("stuck",)
+        assert stuck.status is NapletStatus.BLOCKED
+
+    def test_two_receivers_race_one_value(self):
+        sim = Simulation(make_coalition())
+        r1 = Naplet("alice", parse_program("ch ? x"), name="r1")
+        r2 = Naplet("bob", parse_program("ch ? x"), name="r2")
+        sender = Naplet("carol", parse_program("ch ! 7"), name="snd")
+        sim.add_naplet(r1, "s1")
+        sim.add_naplet(r2, "s1")
+        sim.add_naplet(sender, "s2", at=1.0)
+        report = sim.run()
+        got = [n for n in (r1, r2) if n.env.get("x") == 7]
+        blocked = [n for n in (r1, r2) if n.status is NapletStatus.BLOCKED]
+        assert len(got) == 1
+        assert len(blocked) == 1
+        assert report.deadlocked == (blocked[0].naplet_id,)
+
+
+class TestCloning:
+    def test_par_spawns_clones(self):
+        sim = Simulation(make_coalition())
+        naplet = Naplet("alice", parse_program("read db @ s1 || read db @ s2"), name="par")
+        sim.add_naplet(naplet, "s1")
+        report = sim.run()
+        assert naplet.status is NapletStatus.FINISHED
+        clone_ids = {n.naplet_id for n in report.naplets} - {"par"}
+        assert clone_ids == {"par/clone0", "par/clone1"}
+        histories = {n.naplet_id: n.history() for n in report.naplets}
+        assert histories["par/clone0"] == (AccessKey("read", "db", "s1"),)
+        assert histories["par/clone1"] == (AccessKey("read", "db", "s2"),)
+
+    def test_parent_waits_for_clones(self):
+        sim = Simulation(make_coalition(latency=4.0), access_cost=1.0)
+        naplet = Naplet(
+            "alice",
+            parse_program("(read db @ s1 || read db @ s2) ; write db @ s1"),
+            name="par",
+        )
+        sim.add_naplet(naplet, "s1")
+        sim.run()
+        # Clone to s2: 4 (migration) + 1 (access) = 5; parent writes after.
+        assert naplet.finish_time == pytest.approx(6.0)
+        assert naplet.history() == (AccessKey("write", "db", "s1"),)
+
+    def test_clone_envs_are_isolated(self):
+        sim = Simulation(make_coalition())
+        naplet = Naplet(
+            "alice",
+            parse_program("x := 1 ; (x := 2 || x := 3) ; read db @ s1"),
+            name="par",
+        )
+        sim.add_naplet(naplet, "s1")
+        sim.run()
+        assert naplet.env["x"] == 1  # parent env untouched by clones
+
+    def test_nested_par(self):
+        sim = Simulation(make_coalition())
+        naplet = Naplet(
+            "alice",
+            parse_program("(read db @ s1 || (read db @ s2 || read db @ s3))"),
+            name="par",
+        )
+        sim.add_naplet(naplet, "s1")
+        report = sim.run()
+        assert naplet.status is NapletStatus.FINISHED
+        assert len(report.naplets) == 5  # parent + 2 + nested 2
+
+
+class TestHooks:
+    def test_lifecycle_hooks_fire(self):
+        events = []
+        hooks = LifecycleHooks(
+            on_arrival=lambda n, s, t: events.append(("arrive", s, t)),
+            on_departure=lambda n, s, t: events.append(("depart", s, t)),
+            on_finish=lambda n, t: events.append(("finish", t)),
+        )
+        sim = Simulation(make_coalition(latency=1.0), access_cost=1.0)
+        naplet = Naplet("alice", parse_program("read db @ s1 ; read db @ s2"), hooks=hooks)
+        sim.add_naplet(naplet, "s1")
+        sim.run()
+        kinds = [e[0] for e in events]
+        assert kinds == ["arrive", "depart", "arrive", "finish"]
+
+
+class TestSecuredSimulation:
+    def make_secured(self, on_denied="abort", scheme=None):
+        from repro.temporal.validity import Scheme
+
+        policy = Policy()
+        policy.add_user("alice")
+        policy.add_role("auditor")
+        policy.add_permission(
+            Permission(
+                "p_rsw",
+                op="exec",
+                resource="rsw",
+                spatial_constraint=parse_constraint("count(0, 2, [res = rsw])"),
+            )
+        )
+        policy.add_permission(Permission("p_rest", op="read"))
+        policy.assign_user("alice", "auditor")
+        policy.assign_permission("auditor", "p_rsw")
+        policy.assign_permission("auditor", "p_rest")
+        engine = AccessControlEngine(
+            policy, scheme=scheme or Scheme.WHOLE_EXECUTION
+        )
+        authority = Authority()
+        certificate = authority.register("alice")
+        manager = NapletSecurityManager(engine, authority=authority)
+        coalition = make_coalition()
+        sim = Simulation(coalition, security=manager, on_denied=on_denied)
+        return sim, certificate, engine
+
+    def test_grant_within_budget(self):
+        sim, certificate, engine = self.make_secured()
+        naplet = Naplet(
+            "alice",
+            parse_program("exec rsw @ s1 ; exec rsw @ s2"),
+            certificate=certificate,
+            roles=("auditor",),
+        )
+        sim.add_naplet(naplet, "s1")
+        report = sim.run()
+        assert report.all_finished()
+        assert len(naplet.history()) == 2
+
+    def test_coordinated_denial_on_third_access(self):
+        """Two rsw accesses at s1 exhaust the budget; the third — at a
+        different server — is denied (the paper's coordinated control)."""
+        sim, certificate, engine = self.make_secured()
+        naplet = Naplet(
+            "alice",
+            parse_program("exec rsw @ s1 ; exec rsw @ s1 ; exec rsw @ s2"),
+            certificate=certificate,
+            roles=("auditor",),
+        )
+        sim.add_naplet(naplet, "s1")
+        sim.run()
+        assert naplet.status is NapletStatus.DENIED
+        assert len(naplet.history()) == 2
+        assert len(naplet.denials) == 1
+        denied = engine.audit.denials()
+        assert len(denied) == 1
+        assert denied[0].access.server == "s2"
+
+    def test_skip_policy_continues_after_denial(self):
+        sim, certificate, engine = self.make_secured(on_denied="skip")
+        naplet = Naplet(
+            "alice",
+            parse_program("exec rsw @ s1 ; exec rsw @ s1 ; exec rsw @ s2 ; read db @ s2"),
+            certificate=certificate,
+            roles=("auditor",),
+        )
+        sim.add_naplet(naplet, "s1")
+        report = sim.run()
+        assert naplet.status is NapletStatus.FINISHED
+        ops = [a.op for a in naplet.history()]
+        assert ops == ["exec", "exec", "read"]  # denied access skipped
+
+    def test_unauthenticated_agent_rejected(self):
+        sim, certificate, engine = self.make_secured()
+        naplet = Naplet("alice", parse_program("read db @ s1"), certificate=None)
+        sim.add_naplet(naplet, "s1")
+        sim.run()
+        assert naplet.status is NapletStatus.FAILED
+
+    def test_forged_certificate_rejected(self):
+        from repro.agent.principal import Certificate
+
+        sim, certificate, engine = self.make_secured()
+        forged = Certificate("alice", "0" * 64)
+        naplet = Naplet("alice", parse_program("read db @ s1"), certificate=forged)
+        sim.add_naplet(naplet, "s1")
+        sim.run()
+        assert naplet.status is NapletStatus.FAILED
+
+
+class TestSchedulerRobustness:
+    def test_unknown_resource_fails_agent_not_simulation(self):
+        sim = Simulation(make_coalition())
+        bad = Naplet("alice", parse_program("read ghost_resource @ s1"), name="bad")
+        good = Naplet("bob", parse_program("read db @ s2"), name="good")
+        sim.add_naplet(bad, "s1")
+        sim.add_naplet(good, "s2")
+        report = sim.run()
+        assert report.by_id("bad").status is NapletStatus.FAILED
+        assert report.by_id("good").status is NapletStatus.FINISHED
+
+    def test_unsupported_operation_fails_agent(self):
+        from repro.coalition.resource import Resource
+        from repro.coalition.server import CoalitionServer
+        from repro.coalition.network import Coalition
+
+        coalition = Coalition(
+            [CoalitionServer("s1", [Resource("ro", operations=frozenset({"read"}))])]
+        )
+        sim = Simulation(coalition)
+        naplet = Naplet("alice", parse_program("write ro @ s1"))
+        sim.add_naplet(naplet, "s1")
+        report = sim.run()
+        assert naplet.status is NapletStatus.FAILED
+        assert naplet.error is not None
+
+    def test_migration_to_unknown_server_fails_agent(self):
+        sim = Simulation(make_coalition())
+        naplet = Naplet("alice", parse_program("read db @ s1 ; read db @ nowhere"))
+        sim.add_naplet(naplet, "s1")
+        report = sim.run()
+        assert naplet.status is NapletStatus.FAILED
+        assert len(naplet.history()) == 1  # first access succeeded
+
+    def test_run_until_pauses_and_resumes(self):
+        sim = Simulation(make_coalition(), access_cost=1.0)
+        naplet = Naplet("alice", parse_program(
+            "read db @ s1 ; read db @ s1 ; read db @ s1 ; read db @ s1"))
+        sim.add_naplet(naplet, "s1")
+        partial = sim.run(until=2.0)
+        assert len(naplet.history()) >= 2
+        assert naplet.status is not NapletStatus.FINISHED
+        final = sim.run()
+        assert naplet.status is NapletStatus.FINISHED
+        assert len(naplet.history()) == 4
+
+    def test_long_sequential_program_no_recursion_error(self):
+        from repro.sral.ast import seq
+        from repro.sral.builder import access
+
+        program = seq(*(access("read", "db", "s1") for _ in range(3000)))
+        sim = Simulation(make_coalition(), access_cost=0.0)
+        naplet = Naplet("alice", program)
+        sim.add_naplet(naplet, "s1")
+        report = sim.run()
+        assert naplet.status is NapletStatus.FINISHED
+        assert len(naplet.history()) == 3000
+
+    def test_deep_loop_program(self):
+        src = "n := 0 ; while n < 2000 do { read db @ s1 ; n := n + 1 }"
+        sim = Simulation(make_coalition(), access_cost=0.0)
+        naplet = Naplet("alice", parse_program(src))
+        sim.add_naplet(naplet, "s1")
+        sim.run()
+        assert naplet.status is NapletStatus.FINISHED
+        assert len(naplet.history()) == 2000
+
+    def test_unknown_policy_user_fails_agent_only(self):
+        """An agent whose owner the policy does not know fails at
+        authentication without killing other agents' runs."""
+        policy = Policy()
+        policy.add_user("known")
+        engine = AccessControlEngine(policy)
+        sim = Simulation(make_coalition(), security=NapletSecurityManager(engine))
+        ghost = Naplet("ghost-owner", parse_program("read db @ s1"), name="ghost")
+        sim.add_naplet(ghost, "s1")
+        report = sim.run()
+        assert ghost.status is NapletStatus.FAILED
+        assert ghost.error is not None

@@ -1,0 +1,152 @@
+"""Tests for permission classification and validity aggregation
+(the paper's future-work extension)."""
+
+import math
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.rbac.engine import AccessControlEngine
+from repro.rbac.model import Permission
+from repro.rbac.policy import Policy
+from repro.temporal.aggregation import (
+    AggregationStrategy,
+    PermissionClass,
+    PermissionClassifier,
+)
+
+
+class TestPermissionClass:
+    def test_validation(self):
+        with pytest.raises(TemporalError):
+            PermissionClass("", frozenset({"p"}))
+        with pytest.raises(TemporalError):
+            PermissionClass("c", frozenset())
+        with pytest.raises(TemporalError):
+            PermissionClass("c", frozenset({"p"}), duration=0.0)
+
+    def test_explicit_duration_overrides(self):
+        cls = PermissionClass("c", frozenset({"a", "b"}), duration=7.0)
+        assert cls.aggregate({"a": 1.0, "b": 2.0}) == 7.0
+
+    def test_sum_strategy(self):
+        cls = PermissionClass("c", frozenset({"a", "b"}), AggregationStrategy.SUM)
+        assert cls.aggregate({"a": 1.0, "b": 2.0}) == 3.0
+
+    def test_sum_with_infinite_member(self):
+        cls = PermissionClass("c", frozenset({"a", "b"}), AggregationStrategy.SUM)
+        assert math.isinf(cls.aggregate({"a": 1.0, "b": math.inf}))
+
+    def test_min_max_strategies(self):
+        durations = {"a": 1.0, "b": 5.0}
+        low = PermissionClass("c", frozenset({"a", "b"}), AggregationStrategy.MIN)
+        high = PermissionClass("d", frozenset({"a", "b"}), AggregationStrategy.MAX)
+        assert low.aggregate(durations) == 1.0
+        assert high.aggregate(durations) == 5.0
+
+    def test_no_member_durations(self):
+        cls = PermissionClass("c", frozenset({"ghost"}))
+        with pytest.raises(TemporalError):
+            cls.aggregate({})
+
+
+class TestClassifier:
+    def test_class_of(self):
+        classifier = PermissionClassifier(
+            [PermissionClass("sw", frozenset({"p1", "p2"}))]
+        )
+        assert classifier.class_of("p1").name == "sw"
+        assert classifier.class_of("other") is None
+        assert "p2" in classifier
+        assert "other" not in classifier
+
+    def test_duplicate_class_rejected(self):
+        classifier = PermissionClassifier([PermissionClass("c", frozenset({"p"}))])
+        with pytest.raises(TemporalError):
+            classifier.add(PermissionClass("c", frozenset({"q"})))
+
+    def test_overlapping_membership_rejected(self):
+        classifier = PermissionClassifier([PermissionClass("c", frozenset({"p"}))])
+        with pytest.raises(TemporalError):
+            classifier.add(PermissionClass("d", frozenset({"p", "q"})))
+
+
+class TestEngineIntegration:
+    def make_engine(self, classifier):
+        policy = Policy()
+        policy.add_user("u")
+        policy.add_role("r")
+        policy.add_permission(
+            Permission("p_word", op="exec", resource="word", validity_duration=4.0)
+        )
+        policy.add_permission(
+            Permission("p_excel", op="exec", resource="excel", validity_duration=4.0)
+        )
+        policy.add_permission(
+            Permission("p_other", op="read", resource="doc", validity_duration=4.0)
+        )
+        policy.assign_user("u", "r")
+        for name in ("p_word", "p_excel", "p_other"):
+            policy.assign_permission("r", name)
+        engine = AccessControlEngine(policy, classifier=classifier)
+        session = engine.authenticate("u", 0.0)
+        engine.activate_role(session, "r", 0.0)
+        return engine, session
+
+    def test_classified_permissions_share_budget(self):
+        """'Office suite' permissions share one MIN-aggregated budget:
+        time spent valid counts against both."""
+        classifier = PermissionClassifier(
+            [
+                PermissionClass(
+                    "office",
+                    frozenset({"p_word", "p_excel"}),
+                    AggregationStrategy.MIN,
+                )
+            ]
+        )
+        engine, session = self.make_engine(classifier)
+        # Shared 4-unit budget (MIN of 4, 4) runs from activation t=0.
+        assert engine.decide(session, ("exec", "word", "s1"), 3.0).granted
+        # At t=5 the *shared* budget is gone — excel denied too, even
+        # though excel alone was never used:
+        assert not engine.decide(session, ("exec", "excel", "s1"), 5.0).granted
+        # The unclassified permission has its own (also expired) budget:
+        assert not engine.decide(session, ("read", "doc", "s1"), 5.0).granted
+
+    def test_sum_strategy_pools_budgets(self):
+        classifier = PermissionClassifier(
+            [
+                PermissionClass(
+                    "office",
+                    frozenset({"p_word", "p_excel"}),
+                    AggregationStrategy.SUM,
+                )
+            ]
+        )
+        engine, session = self.make_engine(classifier)
+        # Pooled budget 4 + 4 = 8: valid at t=7, expired at t=9.
+        assert engine.decide(session, ("exec", "word", "s1"), 7.0).granted
+        assert not engine.decide(session, ("exec", "excel", "s1"), 9.0).granted
+
+    def test_without_classifier_budgets_are_independent(self):
+        engine, session = self.make_engine(classifier=None)
+        assert engine.decide(session, ("exec", "word", "s1"), 3.0).granted
+        assert not engine.decide(session, ("exec", "word", "s1"), 5.0).granted
+
+    def test_shared_tracker_key(self):
+        classifier = PermissionClassifier(
+            [PermissionClass("office", frozenset({"p_word", "p_excel"}))]
+        )
+        engine, session = self.make_engine(classifier)
+        assert "class:office" in session.trackers
+        assert "p_word" not in session.trackers
+        assert "p_other" in session.trackers
+
+    def test_deactivation_with_classes(self):
+        classifier = PermissionClassifier(
+            [PermissionClass("office", frozenset({"p_word", "p_excel"}))]
+        )
+        engine, session = self.make_engine(classifier)
+        engine.deactivate_role(session, "r", 1.0)
+        assert not engine.decide(session, ("exec", "word", "s1"), 2.0).granted

@@ -1,0 +1,188 @@
+"""Tests for the Section 6 / Figure 1 integrity-verification app."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.integrity import (
+    DependencyGraph,
+    ModuleSpec,
+    auditor_program,
+    build_coalition,
+    figure1_graph,
+    run_audit,
+    verification_constraint,
+)
+from repro.errors import WorkloadError
+from repro.srac.ast import And, Ordered, Top
+from repro.srac.checker import check_program
+from repro.traces.trace import AccessKey
+from repro.workloads.digraphs import random_module_graph
+
+
+def tiny_graph():
+    return DependencyGraph(
+        [
+            ModuleSpec("lib", "s1", b"lib bytes"),
+            ModuleSpec("app", "s2", b"app bytes", depends_on=("lib",)),
+        ]
+    )
+
+
+class TestDependencyGraph:
+    def test_duplicate_rejected(self):
+        with pytest.raises(WorkloadError):
+            DependencyGraph([ModuleSpec("a", "s1", b""), ModuleSpec("a", "s1", b"")])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(WorkloadError):
+            DependencyGraph([ModuleSpec("a", "s1", b"", depends_on=("ghost",))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(WorkloadError):
+            DependencyGraph(
+                [
+                    ModuleSpec("a", "s1", b"", depends_on=("b",)),
+                    ModuleSpec("b", "s1", b"", depends_on=("a",)),
+                ]
+            )
+
+    def test_topological_order_respects_deps(self):
+        graph = figure1_graph()
+        order = graph.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        for module in graph.modules():
+            for dep in module.depends_on:
+                assert position[dep] < position[module.name]
+
+    def test_locality_order_respects_deps(self):
+        graph = figure1_graph()
+        order = graph.locality_order()
+        position = {name: i for i, name in enumerate(order)}
+        for module in graph.modules():
+            for dep in module.depends_on:
+                assert position[dep] < position[module.name]
+
+    def test_locality_order_reduces_migrations(self):
+        graph = figure1_graph()
+
+        def migrations(order):
+            servers = [graph.module(n).server for n in order]
+            return sum(1 for a, b in zip(servers, servers[1:]) if a != b)
+
+        assert migrations(graph.locality_order()) <= migrations(
+            graph.topological_order()
+        )
+
+    def test_dependants_closure(self):
+        graph = figure1_graph()
+        closure = graph.dependants_closure({"m7"})
+        assert {"m7", "m8", "m10", "m11", "m12"} <= set(closure)
+        assert "mD" not in closure
+
+    def test_figure1_shape(self):
+        graph = figure1_graph()
+        assert len(graph) == 12
+        assert graph.servers() == ("s1", "s2", "s3", "s4")
+        # The paper's explicit example: A depends on D.
+        assert "mD" in graph.module("mA").depends_on
+
+
+class TestConstraintAndProgram:
+    def test_constraint_has_one_ordered_per_edge(self):
+        graph = figure1_graph()
+        constraint = verification_constraint(graph)
+        n_edges = sum(len(m.depends_on) for m in graph.modules())
+
+        def count_ordered(c):
+            if isinstance(c, Ordered):
+                return 1
+            if isinstance(c, And):
+                return count_ordered(c.left) + count_ordered(c.right)
+            return 0
+
+        assert count_ordered(constraint) == n_edges
+
+    def test_empty_graph_constraint_is_top(self):
+        graph = DependencyGraph([ModuleSpec("only", "s1", b"x")])
+        assert verification_constraint(graph) == Top()
+
+    def test_auditor_program_satisfies_constraint(self):
+        """The locality-ordered program provably satisfies the
+        dependency constraint (P |= C, Theorem 3.2 applied to Fig. 1)."""
+        graph = figure1_graph()
+        assert check_program(auditor_program(graph), verification_constraint(graph))
+
+    def test_wrong_order_violates_constraint(self):
+        graph = tiny_graph()
+        bad = auditor_program(graph, order=("app", "lib"))
+        assert not check_program(bad, verification_constraint(graph))
+
+    def test_build_coalition_hosts_modules(self):
+        coalition = build_coalition(figure1_graph())
+        assert "mA" in coalition.server("s2").resources
+        assert "m12" in coalition.server("s4").resources
+
+    def test_tampering_changes_stored_bytes(self):
+        graph = tiny_graph()
+        clean = build_coalition(graph)
+        dirty = build_coalition(graph, tamper={"lib"})
+        assert (
+            clean.server("s1").resources.get("lib").digest()
+            != dirty.server("s1").resources.get("lib").digest()
+        )
+
+
+class TestRunAudit:
+    def test_clean_audit_verifies_everything(self):
+        report = run_audit(figure1_graph())
+        assert report.finished
+        assert report.all_verified()
+        assert report.order_constraint_ok
+        assert report.denied_accesses == 0
+        assert len(report.audited) == 12
+
+    def test_tampered_module_poisons_dependants(self):
+        report = run_audit(figure1_graph(), tamper={"m7"})
+        assert not report.verified["m7"]
+        assert not report.verified["m8"]
+        assert not report.verified["m12"]
+        assert report.verified["mD"]  # unrelated modules stay verified
+        assert report.hash_ok["m8"]  # m8's own bytes are fine
+
+    def test_deadline_cuts_audit_short(self):
+        unlimited = run_audit(figure1_graph())
+        limited = run_audit(figure1_graph(), deadline=5.0)
+        assert limited.denied_accesses > 0
+        assert len(limited.unverified()) > 0
+        assert len(limited.audited) < len(unlimited.audited)
+
+    def test_generous_deadline_is_enough(self):
+        report = run_audit(figure1_graph(), deadline=1000.0)
+        assert report.all_verified()
+
+    def test_migrations_counted(self):
+        report = run_audit(figure1_graph(), latency=2.0)
+        assert report.migrations >= 3  # four servers to cover
+        assert report.duration > 12  # 12 accesses + migrations
+
+    @given(st.integers(2, 20), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_random_graphs_verify_clean(self, n_modules, n_servers):
+        graph = random_module_graph(n_modules, n_servers, seed=n_modules)
+        report = run_audit(graph)
+        assert report.all_verified()
+        assert report.order_constraint_ok
+
+    @given(st.integers(3, 15))
+    @settings(max_examples=15, deadline=None)
+    def test_random_tampering_detected_exactly(self, n_modules):
+        import numpy as np
+
+        graph = random_module_graph(n_modules, 3, seed=n_modules * 7)
+        rng = np.random.default_rng(n_modules)
+        victim = graph.names()[int(rng.integers(n_modules))]
+        report = run_audit(graph, tamper={victim})
+        poisoned = graph.dependants_closure({victim})
+        for name in graph.names():
+            assert report.verified[name] == (name not in poisoned)

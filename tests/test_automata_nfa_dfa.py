@@ -1,0 +1,176 @@
+"""Unit tests for the NFA/DFA substrate."""
+
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA, NFABuilder
+from repro.errors import AutomatonError
+
+
+def nfa_ab_star():
+    """NFA for (ab)* over {'a','b'}."""
+    b = NFABuilder()
+    s0, s1 = b.add_states(2)
+    b.add_edge(s0, "a", s1)
+    b.add_edge(s1, "b", s0)
+    return b.build(s0, [s0])
+
+
+def nfa_with_eps():
+    """ε-NFA for a? b  (optional a then b)."""
+    b = NFABuilder()
+    s0, s1, s2 = b.add_states(3)
+    b.add_edge(s0, "a", s1)
+    b.add_eps(s0, s1)
+    b.add_edge(s1, "b", s2)
+    return b.build(s0, [s2])
+
+
+class TestNFABuilder:
+    def test_add_state_indices_are_dense(self):
+        b = NFABuilder()
+        assert b.add_state() == 0
+        assert b.add_state() == 1
+        assert b.n_states == 2
+
+    def test_edge_to_unknown_state_rejected(self):
+        b = NFABuilder()
+        b.add_state()
+        with pytest.raises(AutomatonError):
+            b.add_edge(0, "a", 5)
+        with pytest.raises(AutomatonError):
+            b.add_eps(3, 0)
+
+    def test_build_validates_start_and_accepts(self):
+        b = NFABuilder()
+        b.add_state()
+        with pytest.raises(AutomatonError):
+            b.build(7, [0])
+        with pytest.raises(AutomatonError):
+            b.build(0, [9])
+
+    def test_embed_preserves_language(self):
+        inner = nfa_ab_star()
+        b = NFABuilder()
+        mapping = b.embed(inner)
+        nfa = b.build(mapping[inner.start], [mapping[a] for a in inner.accepts])
+        assert nfa.accepts_word(["a", "b", "a", "b"])
+        assert not nfa.accepts_word(["a"])
+
+
+class TestNFAExecution:
+    def test_accepts_and_rejects(self):
+        nfa = nfa_ab_star()
+        assert nfa.accepts_word([])
+        assert nfa.accepts_word(["a", "b"])
+        assert nfa.accepts_word(["a", "b", "a", "b"])
+        assert not nfa.accepts_word(["a"])
+        assert not nfa.accepts_word(["b", "a"])
+        assert not nfa.accepts_word(["a", "b", "c"])
+
+    def test_epsilon_closure(self):
+        nfa = nfa_with_eps()
+        assert nfa.epsilon_closure(0) == {0, 1}
+        assert nfa.epsilon_closure(2) == {2}
+
+    def test_epsilon_nfa_acceptance(self):
+        nfa = nfa_with_eps()
+        assert nfa.accepts_word(["b"])
+        assert nfa.accepts_word(["a", "b"])
+        assert not nfa.accepts_word(["a"])
+        assert not nfa.accepts_word(["a", "a", "b"])
+
+    def test_alphabet(self):
+        assert nfa_ab_star().alphabet() == {"a", "b"}
+
+    def test_shortest_word(self):
+        assert nfa_ab_star().shortest_word() == ()
+        assert nfa_with_eps().shortest_word() == ("b",)
+
+    def test_shortest_word_empty_language(self):
+        b = NFABuilder()
+        b.add_state()
+        nfa = b.build(0, [])
+        assert nfa.shortest_word() is None
+        assert nfa.is_empty()
+
+    def test_words_up_to(self):
+        words = set(nfa_ab_star().words_up_to(4))
+        assert words == {(), ("a", "b"), ("a", "b", "a", "b")}
+
+    def test_words_up_to_dedup(self):
+        # Two paths for the same word must yield it once.
+        b = NFABuilder()
+        s0, s1, s2, s3 = b.add_states(4)
+        b.add_edge(s0, "a", s1)
+        b.add_edge(s0, "a", s2)
+        b.add_edge(s1, "b", s3)
+        b.add_edge(s2, "b", s3)
+        nfa = b.build(s0, [s3])
+        assert list(nfa.words_up_to(3)) == [("a", "b")]
+
+
+class TestDFA:
+    def make_even_as(self):
+        """DFA accepting words over {a,b} with an even number of a's."""
+        return DFA([{"a": 1, "b": 0}, {"a": 0, "b": 1}], 0, [0])
+
+    def test_accepts(self):
+        dfa = self.make_even_as()
+        assert dfa.accepts_word([])
+        assert dfa.accepts_word(["a", "a"])
+        assert dfa.accepts_word(["b", "a", "b", "a"])
+        assert not dfa.accepts_word(["a"])
+
+    def test_partial_transitions_reject(self):
+        dfa = DFA([{"a": 1}, {}], 0, [1])
+        assert dfa.accepts_word(["a"])
+        assert not dfa.accepts_word(["b"])
+        assert not dfa.accepts_word(["a", "a"])
+
+    def test_validation(self):
+        with pytest.raises(AutomatonError):
+            DFA([{}], 5, [])
+        with pytest.raises(AutomatonError):
+            DFA([{}], 0, [3])
+        with pytest.raises(AutomatonError):
+            DFA([{"a": 9}], 0, [0])
+
+    def test_reachable_and_trim(self):
+        dfa = DFA([{"a": 1}, {}, {"a": 1}], 0, [1, 2])
+        assert dfa.reachable_states() == {0, 1}
+        trimmed = dfa.trim()
+        assert trimmed.n_states == 2
+        assert trimmed.accepts_word(["a"])
+
+    def test_completed_adds_dead_state(self):
+        dfa = DFA([{"a": 0}], 0, [0])
+        total = dfa.completed({"a", "b"})
+        assert total.n_states == 2
+        assert not total.accepts_word(["b"])
+        assert total.accepts_word(["a", "a"])
+
+    def test_completed_noop_when_total(self):
+        dfa = self.make_even_as()
+        assert dfa.completed({"a", "b"}) is dfa
+
+    def test_complement(self):
+        dfa = self.make_even_as()
+        comp = dfa.complement({"a", "b"})
+        for word in ([], ["a"], ["a", "b"], ["a", "a"], ["b", "b", "a"]):
+            assert dfa.accepts_word(word) != comp.accepts_word(word)
+
+    def test_is_empty(self):
+        assert DFA([{}], 0, []).is_empty()
+        assert not self.make_even_as().is_empty()
+
+    def test_shortest_word(self):
+        dfa = DFA([{"a": 1}, {"b": 2}, {}], 0, [2])
+        assert dfa.shortest_word() == ("a", "b")
+        assert DFA([{}], 0, [0]).shortest_word() == ()
+        assert DFA([{}], 0, []).shortest_word() is None
+
+    def test_words_up_to(self):
+        dfa = self.make_even_as()
+        words = set(dfa.words_up_to(2))
+        assert words == {(), ("b",), ("a", "a"), ("b", "b")}

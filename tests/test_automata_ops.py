@@ -1,0 +1,194 @@
+"""Tests for determinisation, minimisation, products and equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFABuilder
+from repro.automata.ops import (
+    canonical_form,
+    contains,
+    determinize,
+    difference,
+    equivalent,
+    intersect,
+    minimize,
+    union,
+)
+
+ALPHABET = ("a", "b")
+
+
+def random_dfas():
+    """Random small total DFAs over {a, b}."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(1, 5))
+        delta = [
+            {sym: draw(st.integers(0, n - 1)) for sym in ALPHABET} for _ in range(n)
+        ]
+        accepts = draw(st.sets(st.integers(0, n - 1)))
+        return DFA(delta, 0, accepts)
+
+    return build()
+
+
+def random_words():
+    return st.lists(st.sampled_from(ALPHABET), max_size=8).map(tuple)
+
+
+def nfa_contains_ab():
+    """NFA for Σ* a b Σ* — words containing 'ab'."""
+    b = NFABuilder()
+    s0, s1, s2 = b.add_states(3)
+    for sym in ALPHABET:
+        b.add_edge(s0, sym, s0)
+        b.add_edge(s2, sym, s2)
+    b.add_edge(s0, "a", s1)
+    b.add_edge(s1, "b", s2)
+    return b.build(s0, [s2])
+
+
+class TestDeterminize:
+    def test_language_preserved(self):
+        nfa = nfa_contains_ab()
+        dfa = determinize(nfa)
+        for word in (
+            (),
+            ("a",),
+            ("a", "b"),
+            ("b", "a", "b"),
+            ("a", "a", "b", "b"),
+            ("b", "b"),
+            ("a", "a"),
+        ):
+            assert dfa.accepts_word(word) == nfa.accepts_word(word), word
+
+    def test_result_is_deterministic(self):
+        dfa = determinize(nfa_contains_ab())
+        for edges in dfa.delta:
+            assert isinstance(edges, dict)  # one successor per symbol
+
+    def test_epsilon_handled(self):
+        b = NFABuilder()
+        s0, s1, s2 = b.add_states(3)
+        b.add_eps(s0, s1)
+        b.add_edge(s1, "b", s2)
+        nfa = b.build(s0, [s2])
+        dfa = determinize(nfa)
+        assert dfa.accepts_word(["b"])
+        assert not dfa.accepts_word([])
+
+
+class TestMinimize:
+    def test_collapses_equivalent_states(self):
+        # Two redundant accepting states accepting the same residual.
+        dfa = DFA(
+            [{"a": 1, "b": 2}, {"a": 1, "b": 1}, {"a": 2, "b": 2}],
+            0,
+            [1, 2],
+        )
+        minimal = minimize(dfa)
+        assert minimal.n_states == 2
+        assert equivalent(minimal, dfa)
+
+    def test_empty_language(self):
+        dfa = DFA([{"a": 0}], 0, [])
+        minimal = minimize(dfa)
+        assert minimal.is_empty()
+        assert minimal.n_states == 1
+
+    def test_minimize_drops_dead_states(self):
+        # State 2 is a trap that never accepts.
+        dfa = DFA([{"a": 1, "b": 2}, {}, {"a": 2, "b": 2}], 0, [1])
+        minimal = minimize(dfa)
+        assert minimal.n_states == 2
+        assert minimal.accepts_word(["a"])
+        assert not minimal.accepts_word(["b"])
+
+    @given(random_dfas(), random_words())
+    @settings(max_examples=300, deadline=None)
+    def test_minimize_preserves_language(self, dfa, word):
+        assert minimize(dfa).accepts_word(word) == dfa.accepts_word(word)
+
+    @given(random_dfas())
+    @settings(max_examples=150, deadline=None)
+    def test_minimize_is_no_larger(self, dfa):
+        assert minimize(dfa).n_states <= max(dfa.n_states, 1)
+
+    @given(random_dfas())
+    @settings(max_examples=150, deadline=None)
+    def test_minimize_idempotent(self, dfa):
+        once = minimize(dfa)
+        twice = minimize(once)
+        assert twice.n_states == once.n_states
+        assert equivalent(once, twice)
+
+
+class TestProducts:
+    @given(random_dfas(), random_dfas(), random_words())
+    @settings(max_examples=300, deadline=None)
+    def test_intersection_semantics(self, d1, d2, word):
+        assert intersect(d1, d2).accepts_word(word) == (
+            d1.accepts_word(word) and d2.accepts_word(word)
+        )
+
+    @given(random_dfas(), random_dfas(), random_words())
+    @settings(max_examples=300, deadline=None)
+    def test_union_semantics(self, d1, d2, word):
+        assert union(d1, d2).accepts_word(word) == (
+            d1.accepts_word(word) or d2.accepts_word(word)
+        )
+
+    @given(random_dfas(), random_dfas(), random_words())
+    @settings(max_examples=300, deadline=None)
+    def test_difference_semantics(self, d1, d2, word):
+        assert difference(d1, d2).accepts_word(word) == (
+            d1.accepts_word(word) and not d2.accepts_word(word)
+        )
+
+    def test_union_over_disjoint_alphabets(self):
+        d1 = DFA([{"a": 1}, {}], 0, [1])
+        d2 = DFA([{"b": 1}, {}], 0, [1])
+        u = union(d1, d2)
+        assert u.accepts_word(["a"])
+        assert u.accepts_word(["b"])
+        assert not u.accepts_word(["a", "b"])
+
+
+class TestEquivalence:
+    def test_equivalent_different_shapes(self):
+        # (ab)* as a 2-state DFA vs an inflated 4-state version.
+        d1 = DFA([{"a": 1}, {"b": 0}], 0, [0])
+        d2 = DFA([{"a": 1}, {"b": 2}, {"a": 3}, {"b": 0}], 0, [0, 2])
+        assert equivalent(d1, d2)
+
+    def test_inequivalent(self):
+        d1 = DFA([{"a": 1}, {"b": 0}], 0, [0])  # (ab)*
+        d2 = DFA([{"a": 1}, {"a": 0}], 0, [0])  # (aa)*
+        assert not equivalent(d1, d2)
+
+    @given(random_dfas())
+    @settings(max_examples=150, deadline=None)
+    def test_reflexive(self, dfa):
+        assert equivalent(dfa, dfa)
+        assert equivalent(dfa, minimize(dfa))
+
+    @given(random_dfas(), random_dfas())
+    @settings(max_examples=200, deadline=None)
+    def test_equivalence_matches_canonical_form(self, d1, d2):
+        assert equivalent(d1, d2) == (canonical_form(d1) == canonical_form(d2))
+
+    def test_contains(self):
+        everything = DFA([{"a": 0, "b": 0}], 0, [0])
+        only_ab = DFA([{"a": 1}, {"b": 2}, {}], 0, [2])
+        assert contains(everything, only_ab)
+        assert not contains(only_ab, everything)
+
+    @given(random_dfas(), random_dfas())
+    @settings(max_examples=150, deadline=None)
+    def test_mutual_containment_is_equivalence(self, d1, d2):
+        both = contains(d1, d2) and contains(d2, d1)
+        assert both == equivalent(d1, d2)

@@ -1,0 +1,172 @@
+"""Tests for the related-work baselines: interval-based TRBAC and
+local-history access control — including the failure modes the paper
+attributes to them."""
+
+import pytest
+
+from repro.coalition.clock import ServerClock
+from repro.errors import RbacError
+from repro.rbac.history_baseline import CoordinatedReference, LocalHistoryEngine
+from repro.rbac.trbac import PeriodicInterval, TRBACEngine, TRBACPolicy
+from repro.srac.parser import parse_constraint
+from repro.traces.trace import AccessKey
+
+RSW_S1 = AccessKey("exec", "rsw", "s1")
+RSW_S2 = AccessKey("exec", "rsw", "s2")
+
+
+class TestPeriodicInterval:
+    def test_daily_window(self):
+        night = PeriodicInterval(24.0, 0.0, 3.0)  # midnight to 3am
+        assert night.enabled_at(0.0)
+        assert night.enabled_at(2.9)
+        assert not night.enabled_at(3.0)
+        assert not night.enabled_at(12.0)
+        assert night.enabled_at(24.5)  # next day
+        assert night.window_length() == 3.0
+
+    def test_mid_period_window(self):
+        office = PeriodicInterval(24.0, 9.0, 17.0)
+        assert not office.enabled_at(8.9)
+        assert office.enabled_at(9.0)
+        assert office.enabled_at(16.99)
+        assert not office.enabled_at(17.0)
+
+    def test_validation(self):
+        with pytest.raises(RbacError):
+            PeriodicInterval(0.0, 0.0, 1.0)
+        with pytest.raises(RbacError):
+            PeriodicInterval(24.0, 25.0, 26.0)
+        with pytest.raises(RbacError):
+            PeriodicInterval(24.0, 3.0, 3.0)
+        with pytest.raises(RbacError):
+            PeriodicInterval(24.0, 3.0, 25.0)
+
+
+class TestTRBACPolicy:
+    def make(self):
+        policy = TRBACPolicy()
+        policy.add_role("editor", PeriodicInterval(24.0, 0.0, 3.0))
+        policy.add_role("reader")  # always enabled
+        policy.grant("editor", op="write", resource="issue")
+        policy.grant("reader", op="read")
+        return policy
+
+    def test_role_enabling(self):
+        policy = self.make()
+        assert policy.role_enabled("editor", 1.0)
+        assert not policy.role_enabled("editor", 5.0)
+        assert policy.role_enabled("reader", 5.0)
+
+    def test_role_matching(self):
+        policy = self.make()
+        assert policy.role_matches("editor", AccessKey("write", "issue", "s1"))
+        assert not policy.role_matches("editor", AccessKey("read", "issue", "s1"))
+        assert policy.role_matches("reader", AccessKey("read", "x", "s9"))
+
+    def test_duplicate_and_unknown_roles(self):
+        policy = self.make()
+        with pytest.raises(RbacError):
+            policy.add_role("editor")
+        with pytest.raises(RbacError):
+            policy.grant("ghost")
+        with pytest.raises(RbacError):
+            policy.role_enabled("ghost", 0.0)
+
+    def test_roles_required_quantifies_granularity(self):
+        """The paper's critique: one role per distinct window."""
+        w1 = PeriodicInterval(24.0, 0.0, 3.0)
+        w2 = PeriodicInterval(24.0, 9.0, 17.0)
+        assert TRBACPolicy.roles_required({"p1": w1, "p2": w1}) == 1
+        assert TRBACPolicy.roles_required({"p1": w1, "p2": w2, "p3": w2}) == 2
+
+
+class TestTRBACSkewFailure:
+    """The measurable failure the paper predicts: interval checks on a
+    skewed local clock err near window edges."""
+
+    def make_engine(self):
+        policy = TRBACPolicy()
+        policy.add_role("editor", PeriodicInterval(24.0, 0.0, 3.0))
+        policy.grant("editor", op="write", resource="issue")
+        return TRBACEngine(policy)
+
+    def test_correct_with_perfect_clock(self):
+        engine = self.make_engine()
+        access = ("write", "issue", "s1")
+        assert engine.decide(["editor"], access, 2.5)
+        assert not engine.decide(["editor"], access, 3.5)
+
+    def test_skew_causes_wrongful_grant(self):
+        engine = self.make_engine()
+        access = ("write", "issue", "s1")
+        slow_clock = ServerClock(skew=-1.0)  # server clock runs 1h behind
+        # Global 3.5 (past deadline) reads as local 2.5 (inside window):
+        assert engine.decide(["editor"], access, 3.5, slow_clock)
+
+    def test_skew_causes_wrongful_denial(self):
+        engine = self.make_engine()
+        access = ("write", "issue", "s1")
+        fast_clock = ServerClock(skew=+1.0)
+        # Global 2.5 (inside window) reads as local 3.5 (past it):
+        assert not engine.decide(["editor"], access, 2.5, fast_clock)
+
+    def test_duration_scheme_immune_to_skew(self):
+        """The paper's remedy: durations, not absolute intervals.  The
+        validity tracker meters elapsed time, which clock skew cannot
+        touch (only drift can, and only proportionally)."""
+        from repro.temporal.validity import ValidityTracker
+
+        tracker = ValidityTracker(duration=3.0)
+        tracker.activate(0.0)
+        # Whatever any server's clock *displays*, elapsed global time
+        # governs the state:
+        assert tracker.is_valid(2.5)
+        assert not tracker.is_valid(3.5)
+
+
+class TestLocalHistoryBaseline:
+    LIMIT = parse_constraint("count(0, 5, [res = rsw])")
+
+    def test_agrees_on_single_site(self):
+        local = LocalHistoryEngine()
+        coordinated = CoordinatedReference()
+        history = (RSW_S1,) * 5
+        # All history at s1, request at s1: both engines deny the 6th.
+        assert local.decide(self.LIMIT, history, RSW_S1) == \
+            coordinated.decide(self.LIMIT, history, RSW_S1) == False  # noqa: E712
+
+    def test_wrongful_grant_across_sites(self):
+        """The paper's critique, verbatim: the local mechanism 'can not
+        be applied … where the authorization decision depends on the
+        access actions on other related sites'."""
+        local = LocalHistoryEngine()
+        coordinated = CoordinatedReference()
+        history = (RSW_S1,) * 5  # budget exhausted — but all at s1
+        # Request at s2: the local engine sees an empty local history
+        # and wrongly grants; the coordinated engine correctly denies.
+        assert local.decide(self.LIMIT, history, RSW_S2) is True
+        assert coordinated.decide(self.LIMIT, history, RSW_S2) is False
+
+    def test_local_engine_is_sound_when_history_is_local(self):
+        local = LocalHistoryEngine()
+        history = (RSW_S2,) * 5
+        assert local.decide(self.LIMIT, history, RSW_S2) is False
+
+    def test_wrongful_grant_rate_grows_with_mobility(self):
+        """Quantified: the more servers the history spreads over, the
+        more the local baseline over-grants."""
+        local = LocalHistoryEngine()
+        coordinated = CoordinatedReference()
+
+        def wrongful(history, request):
+            return local.decide(self.LIMIT, history, request) and not \
+                coordinated.decide(self.LIMIT, history, request)
+
+        same_site = (AccessKey("exec", "rsw", "s1"),) * 6
+        # Request where the history lives: local sees everything, no error.
+        assert not wrongful(same_site, AccessKey("exec", "rsw", "s1"))
+        # Same history, roaming request: the local engine over-grants.
+        assert wrongful(same_site, AccessKey("exec", "rsw", "s9"))
+        spread = tuple(AccessKey("exec", "rsw", f"s{i % 3}") for i in range(6))
+        assert wrongful(spread, AccessKey("exec", "rsw", "s0"))

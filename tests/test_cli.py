@@ -1,0 +1,183 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = "exec rsw @ s1 ; exec rsw @ s1 ; exec rsw @ s2\n"
+POLICY = """
+user alice
+role trial
+permission p_rsw exec rsw @ * constraint "count(0, 2, [res = rsw])"
+assign alice trial
+grant trial p_rsw
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.sral"
+    path.write_text(PROGRAM)
+    return path
+
+
+@pytest.fixture
+def policy_file(tmp_path):
+    path = tmp_path / "policy.txt"
+    path.write_text(POLICY)
+    return path
+
+
+class TestCheck:
+    def test_holds(self, program_file, capsys):
+        rc = main(["check", str(program_file), "count(0, 5, [res = rsw])"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "True" in out
+
+    def test_violation_with_witness(self, program_file, capsys):
+        rc = main(["check", str(program_file), "count(0, 2, [res = rsw])"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "False" in out
+        assert "violating trace" in out
+
+    def test_exists_mode(self, program_file, capsys):
+        rc = main(
+            ["check", str(program_file), "exec rsw @ s2", "--mode", "exists"]
+        )
+        assert rc == 0
+        assert "satisfying trace" in capsys.readouterr().out
+
+    def test_syntax_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sral"
+        bad.write_text("read r1 @")
+        rc = main(["check", str(bad), "T"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        rc = main(["check", str(tmp_path / "nope.sral"), "T"])
+        assert rc == 2
+
+
+class TestTraces:
+    def test_enumerates(self, program_file, capsys):
+        rc = main(["traces", str(program_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "finite" in out
+        assert "exec rsw @ s1 -> exec rsw @ s1 -> exec rsw @ s2" in out
+
+    def test_infinite_model_flagged(self, tmp_path, capsys):
+        path = tmp_path / "loop.sral"
+        path.write_text("while c do read r1 @ s1")
+        rc = main(["traces", str(path), "--max-length", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "infinite" in out
+        assert "<empty trace>" in out
+
+    def test_limit(self, tmp_path, capsys):
+        path = tmp_path / "loop.sral"
+        path.write_text("while c do { read r1 @ s1 ; read r2 @ s1 }")
+        rc = main(["traces", str(path), "--max-length", "6", "--limit", "2"])
+        out = capsys.readouterr().out
+        assert "limit 2 reached" in out
+
+
+class TestFigure1:
+    def test_ascii(self, capsys):
+        rc = main(["figure1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[s1]" in out and "(mA) --> mB, mC, mD" in out
+
+    def test_dot_output(self, tmp_path, capsys):
+        dot = tmp_path / "fig1.dot"
+        rc = main(["figure1", "--dot", str(dot)])
+        assert rc == 0
+        assert dot.read_text().startswith("digraph dependency {")
+
+
+class TestAudit:
+    def test_clean_figure1(self, capsys):
+        rc = main(["audit"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "VERIFIED" in out and "UNVERIFIED" not in out
+
+    def test_tampered(self, capsys):
+        rc = main(["audit", "--tamper", "m7"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "UNVERIFIED" in out
+
+    def test_random_graph(self, capsys):
+        rc = main(["audit", "--modules", "10", "--servers", "3", "--seed", "1"])
+        assert rc == 0
+
+    def test_deadline(self, capsys):
+        rc = main(["audit", "--deadline", "4"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "denied=" in out
+
+
+class TestSimulate:
+    def test_denied_run(self, policy_file, program_file, capsys):
+        rc = main(
+            [
+                "simulate",
+                str(policy_file),
+                str(program_file),
+                "--owner",
+                "alice",
+                "--roles",
+                "trial",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "status: denied" in out
+        assert "proved history (2 accesses)" in out
+        assert "proof chain verifies: True" in out
+
+    def test_successful_run(self, policy_file, tmp_path, capsys):
+        path = tmp_path / "ok.sral"
+        path.write_text("exec rsw @ s1 ; exec rsw @ s2")
+        rc = main(
+            ["simulate", str(policy_file), str(path), "--owner", "alice",
+             "--roles", "trial"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "status: finished" in out
+
+    def test_no_access_program(self, policy_file, tmp_path, capsys):
+        path = tmp_path / "empty.sral"
+        path.write_text("skip")
+        rc = main(
+            ["simulate", str(policy_file), str(path), "--owner", "alice"]
+        )
+        assert rc == 1
+        assert "no shared-resource access" in capsys.readouterr().out
+
+    def test_skip_policy(self, policy_file, program_file, capsys):
+        rc = main(
+            ["simulate", str(policy_file), str(program_file), "--owner", "alice",
+             "--roles", "trial", "--on-denied", "skip"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "status: finished" in out
+        assert "denials:" in out
+
+    def test_unknown_owner_fails_agent(self, policy_file, program_file, capsys):
+        rc = main(
+            ["simulate", str(policy_file), str(program_file), "--owner", "mallory"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "status: failed" in out
+        assert "mallory" in out  # the authentication error is surfaced

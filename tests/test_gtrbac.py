@@ -1,0 +1,109 @@
+"""Tests for the GTRBAC baseline: the richer constructs work, and the
+two structural limitations the paper identifies remain."""
+
+import pytest
+
+from repro.coalition.clock import ServerClock
+from repro.errors import RbacError
+from repro.rbac.gtrbac import Activation, GTRBACEngine, GTRBACPolicy
+from repro.rbac.trbac import PeriodicInterval
+from repro.traces.trace import AccessKey
+
+DAY = 24.0
+NIGHT = PeriodicInterval(DAY, 0.0, 3.0)
+OFFICE = PeriodicInterval(DAY, 9.0, 17.0)
+EDIT = AccessKey("write", "issue", "s1")
+
+
+def make_policy():
+    policy = GTRBACPolicy()
+    policy.add_role("editor", enabling=NIGHT, max_activation=2.0)
+    policy.add_role("clerk")
+    policy.assign_user("alice", "editor")
+    policy.assign_user("bob", "clerk", window=OFFICE)
+    policy.grant("editor", op="write", resource="issue")
+    policy.grant("clerk", op="read", window=OFFICE)
+    policy.grant("clerk", op="exec", resource="tool")
+    return policy
+
+
+class TestPolicyConstructs:
+    def test_duplicate_and_unknown_roles(self):
+        policy = make_policy()
+        with pytest.raises(RbacError):
+            policy.add_role("editor")
+        with pytest.raises(RbacError):
+            policy.assign_user("x", "ghost")
+        with pytest.raises(RbacError):
+            policy.grant("ghost")
+        with pytest.raises(RbacError):
+            GTRBACPolicy().add_role("r", max_activation=0.0)
+
+    def test_role_enabling_window(self):
+        policy = make_policy()
+        assert policy.role_enabled("editor", 1.0)
+        assert not policy.role_enabled("editor", 12.0)
+        assert policy.role_enabled("clerk", 12.0)  # no window = always
+
+    def test_assignment_window(self):
+        policy = make_policy()
+        assert policy.assignment_valid("alice", "editor", 1.0)
+        assert policy.assignment_valid("bob", "clerk", 10.0)
+        assert not policy.assignment_valid("bob", "clerk", 20.0)  # after hours
+        assert not policy.assignment_valid("mallory", "clerk", 10.0)
+
+    def test_grant_window(self):
+        policy = make_policy()
+        read = AccessKey("read", "anything", "s1")
+        tool = AccessKey("exec", "tool", "s1")
+        assert policy.matching_grants("clerk", read, 10.0)
+        assert not policy.matching_grants("clerk", read, 20.0)  # windowed grant
+        assert policy.matching_grants("clerk", tool, 20.0)  # unwindowed grant
+
+    def test_activation_duration_cap(self):
+        policy = make_policy()
+        activation = Activation("alice", "editor", started_at=0.5)
+        assert policy.activation_alive(activation, 2.0)
+        assert not policy.activation_alive(activation, 2.6)
+        clerk = Activation("bob", "clerk", started_at=0.0)
+        assert policy.activation_alive(clerk, 1e6)  # no cap
+
+
+class TestEngine:
+    def test_all_dimensions_conjoined(self):
+        engine = GTRBACEngine(make_policy())
+        activation = Activation("alice", "editor", started_at=0.0)
+        assert engine.decide(activation, EDIT, 1.0)
+        # Past the role window:
+        assert not engine.decide(activation, EDIT, 5.0)
+        # Inside the window but past the activation cap:
+        assert not engine.decide(activation, EDIT, 2.5)
+        # Wrong user for the role:
+        assert not engine.decide(Activation("bob", "editor", 0.0), EDIT, 1.0)
+
+    def test_skew_sensitivity_remains(self):
+        """GTRBAC's richer constructs change nothing about the clock
+        problem the paper identifies: every dimension reads absolute
+        local time."""
+        engine = GTRBACEngine(make_policy())
+        activation = Activation("alice", "editor", started_at=0.0)
+        # Global 2.6 is past the 2h activation cap...
+        assert not engine.decide(activation, EDIT, 2.6)
+        # ...but a slow server clock (local 1.6) wrongly allows it:
+        assert engine.decide(activation, EDIT, 2.6, ServerClock(skew=-1.0))
+        # and a fast clock wrongly denies a legal access:
+        assert not engine.decide(activation, EDIT, 1.0, ServerClock(skew=+3.0))
+
+    def test_no_spatial_expressiveness(self):
+        """GTRBAC has no notion of cross-server access history: after 5
+        rsw runs at s1 it still grants the 6th at s2, where the paper's
+        coordinated engine denies (see test_rbac_engine)."""
+        policy = GTRBACPolicy()
+        policy.add_role("trial")
+        policy.assign_user("u", "trial")
+        policy.grant("trial", op="exec", resource="rsw")
+        engine = GTRBACEngine(policy)
+        activation = Activation("u", "trial", 0.0)
+        # GTRBAC takes no history input at all — every request passes.
+        for i in range(10):
+            assert engine.decide(activation, ("exec", "rsw", "s2"), float(i))

@@ -1,0 +1,277 @@
+"""End-to-end scenarios straight from the paper's narrative, exercised
+through the public API (`import repro`)."""
+
+import math
+
+import pytest
+
+import repro
+from repro import (
+    AccessControlEngine,
+    AccessKey,
+    Authority,
+    Coalition,
+    CoalitionServer,
+    Naplet,
+    NapletSecurityManager,
+    NapletStatus,
+    Permission,
+    Policy,
+    Resource,
+    Scheme,
+    Simulation,
+    check_program,
+    parse_constraint,
+    parse_program,
+    program_traces,
+    trace_satisfies,
+)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_figure1_via_top_level(self):
+        report = repro.run_audit(repro.figure1_graph())
+        assert report.all_verified()
+
+
+class TestPaperSection1Scenarios:
+    """The two motivating requirements from the introduction."""
+
+    def test_licensed_software_requirement(self):
+        """'if a mobile device accesses a resource r on site s1 for too
+        many times …, it is not allowed to access the resource on site
+        s2 forever'"""
+        limit = parse_constraint("count(0, 5, [res = rsw])")
+        history_at_s1 = (AccessKey("exec", "rsw", "s1"),) * 5
+        # Any future attempt, at any site, fails Definition 3.6 with one
+        # more access:
+        for site in ("s1", "s2", "s3"):
+            attempt = history_at_s1 + (AccessKey("exec", "rsw", site),)
+            assert not trace_satisfies(attempt, limit)
+        # Whereas the history itself is still compliant:
+        assert trace_satisfies(history_at_s1, limit)
+
+    def test_newspaper_deadline_requirement(self):
+        """'the editing deadline for an issue of a daily newspaper is
+        by 3am' — the permission's validity duration is the window."""
+        from repro.temporal.validity import ValidityTracker
+
+        tracker = ValidityTracker(duration=3.0, scheme=Scheme.WHOLE_EXECUTION)
+        tracker.activate(0.0)  # midnight
+        assert tracker.is_valid(2.5)
+        assert not tracker.is_valid(3.1)  # past 3am: invalid everywhere
+
+
+class TestSection2Semantics:
+    def test_execution_proof_semantics(self):
+        """Pr_x(a) = true iff access a has been successfully carried
+        out (Section 2)."""
+        from repro.coalition.proofs import ProofRegistry
+
+        registry = ProofRegistry("o")
+        a = AccessKey("read", "r", "s")
+        assert not registry.proved(a)
+        registry.record(a, 0.0)
+        assert registry.proved(a)
+
+
+class TestFullPipeline:
+    def test_disclosure_enables_better_decisions(self):
+        """An agent disclosing its remaining program can be denied
+        *early*: the engine sees the program cannot comply."""
+        limit = parse_constraint("count(0, 2, [res = rsw])")
+        policy = Policy()
+        policy.add_user("u")
+        policy.add_role("r")
+        policy.add_permission(
+            Permission("p", op="exec", resource="rsw", spatial_constraint=limit)
+        )
+        policy.assign_user("u", "r")
+        policy.assign_permission("r", "p")
+        engine = AccessControlEngine(policy)
+        session = engine.authenticate("u", 0.0)
+        engine.activate_role(session, "r", 0.0)
+
+        # Program that will perform 3 rsw accesses in total.
+        remaining = parse_program("exec rsw @ s2 ; exec rsw @ s3")
+        # Without disclosure, the first access looks fine:
+        blind = engine.decide(session, ("exec", "rsw", "s1"), 1.0, history=())
+        assert blind.granted
+        # With disclosure, the engine sees 1 + 2 = 3 > 2 and denies now:
+        informed = engine.decide(
+            session, ("exec", "rsw", "s1"), 1.0, history=(), program=remaining
+        )
+        assert not informed.granted
+
+    def test_proofs_carried_across_servers_convince_engine(self):
+        """A second engine (another organisation of the coalition) can
+        verify the carried chain and reuse the history."""
+        from repro.coalition.proofs import ProofRegistry
+
+        coalition = Coalition(
+            [
+                CoalitionServer("s1", resources=[Resource("rsw")]),
+                CoalitionServer("s2", resources=[Resource("rsw")]),
+            ]
+        )
+        sim = Simulation(coalition)
+        naplet = Naplet("u", parse_program("exec rsw @ s1 ; exec rsw @ s2"))
+        sim.add_naplet(naplet, "s1")
+        sim.run()
+
+        imported = ProofRegistry(naplet.naplet_id)
+        imported.extend_verified(naplet.registry.proofs())
+        assert imported.trace() == naplet.history()
+        assert imported.verify_chain()
+
+    def test_spatio_temporal_conjunction(self):
+        """Both dimensions must hold: a spatially fine access fails on
+        an expired permission, and vice versa."""
+        limit = parse_constraint("count(0, 5, [res = doc])")
+        policy = Policy()
+        policy.add_user("u")
+        policy.add_role("r")
+        policy.add_permission(
+            Permission(
+                "p",
+                op="write",
+                resource="doc",
+                spatial_constraint=limit,
+                validity_duration=10.0,
+            )
+        )
+        policy.assign_user("u", "r")
+        policy.assign_permission("r", "p")
+        engine = AccessControlEngine(policy)
+        session = engine.authenticate("u", 0.0)
+        engine.activate_role(session, "r", 0.0)
+        doc = ("write", "doc", "s1")
+
+        ok = engine.decide(session, doc, 5.0)
+        assert ok.granted
+        # Temporal violation (budget 10 exhausted), spatial still fine:
+        late = engine.decide(session, doc, 20.0)
+        assert not late.granted and late.spatial_ok and not late.temporal_ok
+        # Spatial violation in a fresh session (count exhausted),
+        # temporal fine:
+        session2 = engine.authenticate("u", 100.0)
+        engine.activate_role(session2, "r", 100.0)
+        history = (AccessKey("write", "doc", "s1"),) * 5
+        crowded = engine.decide(session2, doc, 101.0, history=history)
+        assert not crowded.granted and not crowded.spatial_ok
+
+    def test_agent_roaming_under_skewed_clocks(self):
+        """Proof timestamps are server-local (skewed); the simulation
+        still works and histories stay ordered by sequence number."""
+        from repro.coalition.clock import ServerClock
+
+        coalition = Coalition(
+            [
+                CoalitionServer("s1", [Resource("db")], clock=ServerClock(skew=100.0)),
+                CoalitionServer("s2", [Resource("db")], clock=ServerClock(skew=-50.0)),
+            ]
+        )
+        sim = Simulation(coalition)
+        naplet = Naplet("u", parse_program("read db @ s1 ; read db @ s2 ; read db @ s1"))
+        sim.add_naplet(naplet, "s1")
+        sim.run()
+        proofs = naplet.registry.proofs()
+        # Local times are NOT globally monotone (no global clock!) …
+        local_times = [p.local_time for p in proofs]
+        assert local_times != sorted(local_times)
+        # … but the hash chain still fixes the true order.
+        assert [p.seq for p in proofs] == [0, 1, 2]
+        assert naplet.registry.verify_chain()
+
+    def test_admission_plus_runtime_defense_in_depth(self):
+        """An over-budget program is caught at admission when enabled;
+        without admission checks it is caught at the offending access."""
+        from repro.agent.security import NapletSecurityManager
+
+        limit = parse_constraint("count(0, 1, [res = rsw])")
+        policy = Policy()
+        policy.add_user("u")
+        policy.add_role("r")
+        policy.add_permission(
+            Permission("p", op="exec", resource="rsw", spatial_constraint=limit)
+        )
+        policy.assign_user("u", "r")
+        policy.assign_permission("r", "p")
+
+        program = parse_program("exec rsw @ s1 ; exec rsw @ s2")
+        coalition = Coalition(
+            [
+                CoalitionServer("s1", resources=[Resource("rsw")]),
+                CoalitionServer("s2", resources=[Resource("rsw")]),
+            ]
+        )
+        # Runtime-only: first access granted, second denied.
+        engine = AccessControlEngine(policy)
+        sim = Simulation(coalition, security=NapletSecurityManager(engine))
+        runtime_agent = Naplet("u", program, roles=("r",), name="runtime")
+        sim.add_naplet(runtime_agent, "s1")
+        sim.run()
+        assert runtime_agent.status is NapletStatus.DENIED
+        assert len(runtime_agent.history()) == 1
+
+        # Admission check: rejected before any access happens.
+        engine2 = AccessControlEngine(policy)
+        sim2 = Simulation(
+            Coalition(
+                [
+                    CoalitionServer("s1", resources=[Resource("rsw")]),
+                    CoalitionServer("s2", resources=[Resource("rsw")]),
+                ]
+            ),
+            security=NapletSecurityManager(engine2, admission_check=True),
+        )
+        admitted_agent = Naplet("u", program, roles=("r",), name="admission")
+        sim2.add_naplet(admitted_agent, "s1")
+        sim2.run()
+        assert admitted_agent.status is NapletStatus.FAILED
+        assert len(admitted_agent.history()) == 0
+
+
+class TestTheoremCrossChecks:
+    def test_theorem_32_against_definition_36(self):
+        """For finite programs, the product checker and per-trace
+        Definition 3.6 agree — the paper's Definition 3.7 linkage."""
+        program = parse_program(
+            "read a @ s1 ; (write b @ s1 || exec c @ s2) ; read a @ s1"
+        )
+        constraint = parse_constraint(
+            "read a @ s1 >> exec c @ s2 & count(0, 2, [res = a])"
+        )
+        by_enumeration = all(
+            trace_satisfies(t, constraint)
+            for t in program_traces(program).all_traces()
+        )
+        assert check_program(program, constraint) == by_enumeration
+
+    def test_theorem_41_operational_vs_declarative(self):
+        """Tracker state (operational) matches Eq. 4.1's integral
+        condition (declarative) at every probe point."""
+        from repro.temporal.validity import PermissionState, ValidityTracker
+
+        duration = 4.0
+        events = [("activate", 1.0), ("deactivate", 3.0), ("activate", 6.0)]
+        tracker = ValidityTracker(duration=duration)
+        for kind, t in events:
+            getattr(tracker, kind)(t)
+        tracker.state(20.0)
+        valid = tracker.valid_timeline()
+        active = tracker.active_timeline()
+        for probe in (0.5, 2.0, 4.0, 6.5, 7.9, 8.1, 15.0):
+            declarative = (
+                active.value_at(probe)
+                and valid.integrate(0.0, probe) <= duration
+                and valid.value_at(probe)
+            )
+            assert valid.value_at(probe) == declarative

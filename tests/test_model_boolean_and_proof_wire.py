@@ -1,0 +1,143 @@
+"""Tests for TraceModel boolean operations and the proof wire format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coalition.proofs import ExecutionProof, ProofRegistry
+from repro.errors import CoalitionError
+from repro.traces.model import TraceModel
+from repro.traces.trace import AccessKey
+
+A = AccessKey("read", "r1", "s1")
+B = AccessKey("write", "r2", "s1")
+ALPHABET = (A, B)
+
+
+def models():
+    traces = st.lists(
+        st.lists(st.sampled_from([A, B]), max_size=3).map(tuple),
+        max_size=3,
+    )
+    return traces.map(TraceModel.of_traces)
+
+
+def words():
+    return st.lists(st.sampled_from([A, B]), max_size=5).map(tuple)
+
+
+class TestBooleanOperations:
+    def test_intersect(self):
+        x = TraceModel.of_traces([(A,), (A, B)])
+        y = TraceModel.of_traces([(A, B), (B,)])
+        assert x.intersect(y).all_traces() == {(A, B)}
+
+    def test_minus(self):
+        x = TraceModel.of_traces([(A,), (A, B)])
+        y = TraceModel.of_traces([(A, B)])
+        assert x.minus(y).all_traces() == {(A,)}
+
+    def test_complement(self):
+        x = TraceModel.of_traces([(A,)])
+        comp = x.complement(ALPHABET)
+        assert (A,) not in comp
+        assert () in comp
+        assert (B,) in comp
+        assert (A, A) in comp
+        assert not comp.is_finite()
+
+    @given(models(), models(), words())
+    @settings(max_examples=150, deadline=None)
+    def test_intersect_semantics(self, x, y, w):
+        assert (w in x.intersect(y)) == (w in x and w in y)
+
+    @given(models(), models(), words())
+    @settings(max_examples=150, deadline=None)
+    def test_minus_semantics(self, x, y, w):
+        assert (w in x.minus(y)) == (w in x and w not in y)
+
+    @given(models(), words())
+    @settings(max_examples=150, deadline=None)
+    def test_complement_semantics(self, x, w):
+        assert (w in x.complement(ALPHABET)) == (w not in x)
+
+    @given(models(), models())
+    @settings(max_examples=80, deadline=None)
+    def test_de_morgan(self, x, y):
+        lhs = x.union(y).complement(ALPHABET)
+        rhs = x.complement(ALPHABET).intersect(y.complement(ALPHABET))
+        assert lhs.equals(rhs)
+
+    @given(models())
+    @settings(max_examples=60, deadline=None)
+    def test_double_complement(self, x):
+        assert x.complement(ALPHABET).complement(ALPHABET).equals(x)
+
+
+class TestProofWireFormat:
+    def make_registry(self):
+        registry = ProofRegistry("naplet-42")
+        registry.record(A, 1.5)
+        registry.record(B, 2.5)
+        registry.record(A, 3.5)
+        return registry
+
+    def test_round_trip(self):
+        original = self.make_registry()
+        restored = ProofRegistry.from_json(original.to_json())
+        assert restored.object_id == original.object_id
+        assert restored.trace() == original.trace()
+        assert restored.verify_chain()
+        assert restored.proofs() == original.proofs()
+
+    def test_proof_dict_round_trip(self):
+        proof = self.make_registry().proofs()[1]
+        assert ExecutionProof.from_dict(proof.to_dict()) == proof
+
+    def test_tampered_json_rejected(self):
+        import json
+
+        data = json.loads(self.make_registry().to_json())
+        data["proofs"][1]["access"] = ["exec", "evil", "s9"]
+        with pytest.raises(CoalitionError):
+            ProofRegistry.from_json(json.dumps(data))
+
+    def test_reordered_json_rejected(self):
+        import json
+
+        data = json.loads(self.make_registry().to_json())
+        data["proofs"].reverse()
+        with pytest.raises(CoalitionError):
+            ProofRegistry.from_json(json.dumps(data))
+
+    def test_truncated_prefix_rejected(self):
+        import json
+
+        data = json.loads(self.make_registry().to_json())
+        data["proofs"] = data["proofs"][1:]
+        with pytest.raises(CoalitionError):
+            ProofRegistry.from_json(json.dumps(data))
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(CoalitionError):
+            ProofRegistry.from_json("not json at all {")
+        with pytest.raises(CoalitionError):
+            ProofRegistry.from_json('{"missing": "keys"}')
+        with pytest.raises(CoalitionError):
+            ExecutionProof.from_dict({"object_id": "x"})
+
+    def test_empty_chain_round_trips(self):
+        empty = ProofRegistry("fresh")
+        restored = ProofRegistry.from_json(empty.to_json())
+        assert len(restored) == 0
+        assert restored.verify_chain()
+
+    @given(st.lists(st.sampled_from([A, B]), max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, accesses):
+        registry = ProofRegistry("n")
+        for index, access in enumerate(accesses):
+            registry.record(access, float(index))
+        restored = ProofRegistry.from_json(registry.to_json())
+        assert restored.trace() == tuple(accesses)
+        assert restored.verify_chain()

@@ -1,0 +1,140 @@
+"""Tests for owner-scope coordination: companion agents of one owner
+share constraint budgets (paper Section 1: decisions depend on "the
+previous access actions of the device and even of its companions")."""
+
+import pytest
+
+from repro.agent.naplet import Naplet, NapletStatus
+from repro.agent.scheduler import Simulation
+from repro.agent.security import NapletSecurityManager
+from repro.coalition.network import Coalition
+from repro.coalition.resource import Resource
+from repro.coalition.server import CoalitionServer
+from repro.errors import RbacError
+from repro.rbac.engine import AccessControlEngine
+from repro.rbac.model import Permission
+from repro.rbac.policy import Policy
+from repro.sral.parser import parse_program
+from repro.srac.parser import parse_constraint
+from repro.traces.trace import AccessKey
+
+RSW = AccessKey("exec", "rsw", "s1")
+
+
+def make_engine(scope):
+    policy = Policy()
+    policy.add_user("team-owner")
+    policy.add_user("other-owner")
+    policy.add_role("trial")
+    policy.add_permission(
+        Permission(
+            "p_rsw",
+            op="exec",
+            resource="rsw",
+            spatial_constraint=parse_constraint("count(0, 5, [res = rsw])"),
+        )
+    )
+    for user in ("team-owner", "other-owner"):
+        policy.assign_user(user, "trial")
+    policy.assign_permission("trial", "p_rsw")
+    return AccessControlEngine(policy, coordination_scope=scope)
+
+
+def session_for(engine, user="team-owner"):
+    session = engine.authenticate(user, 0.0)
+    engine.activate_role(session, "trial", 0.0)
+    return session
+
+
+class TestEngineOwnerScope:
+    def test_invalid_scope_rejected(self):
+        with pytest.raises(RbacError):
+            make_engine("galaxy")
+
+    def test_companions_share_budget(self):
+        engine = make_engine("owner")
+        companion_a = session_for(engine)
+        companion_b = session_for(engine)
+        # Companion A runs the trial software three times...
+        for i in range(3):
+            assert engine.decide(companion_a, RSW, float(i), history=None).granted
+            engine.observe(companion_a, RSW)
+        # ... companion B gets only the remaining two.
+        assert engine.decide(companion_b, RSW, 4.0, history=None).granted
+        engine.observe(companion_b, RSW)
+        assert engine.decide(companion_b, RSW, 5.0, history=None).granted
+        engine.observe(companion_b, RSW)
+        denied_b = engine.decide(companion_b, RSW, 6.0, history=None)
+        assert not denied_b.granted
+        # And A is now denied as well — the budget is the owner's.
+        assert not engine.decide(companion_a, RSW, 7.0, history=None).granted
+
+    def test_subject_scope_keeps_budgets_separate(self):
+        engine = make_engine("subject")
+        companion_a = session_for(engine)
+        companion_b = session_for(engine)
+        for i in range(5):
+            engine.observe(companion_a, RSW)
+        # A exhausted ITS budget; B is untouched.
+        assert not engine.decide(companion_a, RSW, 1.0, history=None).granted
+        assert engine.decide(companion_b, RSW, 1.0, history=None).granted
+
+    def test_different_owners_do_not_interfere(self):
+        engine = make_engine("owner")
+        team = session_for(engine, "team-owner")
+        other = session_for(engine, "other-owner")
+        for _ in range(5):
+            engine.observe(team, RSW)
+        assert not engine.decide(team, RSW, 1.0, history=None).granted
+        assert engine.decide(other, RSW, 1.0, history=None).granted
+
+    def test_cache_created_after_history_sees_prior_accesses(self):
+        engine = make_engine("owner")
+        early = session_for(engine)
+        for _ in range(5):
+            engine.observe(early, RSW)
+        late = session_for(engine)  # fresh session, cache built lazily
+        assert not engine.decide(late, RSW, 1.0, history=None).granted
+
+
+class TestClonedNapletsShareOwnerBudget:
+    def test_par_clones_count_against_one_owner(self):
+        """The ApplAgentProg pattern under owner scope: k clones share
+        the RSW quota even though each clone is its own subject."""
+        engine = make_engine("owner")
+        coalition = Coalition(
+            [CoalitionServer("s1", resources=[Resource("rsw")])]
+        )
+        manager = NapletSecurityManager(engine, incremental=True)
+        sim = Simulation(coalition, security=manager, on_denied="skip")
+        # Three clones, each attempting 2 runs: 6 attempts vs quota 5.
+        program = parse_program(
+            "{ exec rsw @ s1 ; exec rsw @ s1 } || "
+            "{ exec rsw @ s1 ; exec rsw @ s1 } || "
+            "{ exec rsw @ s1 ; exec rsw @ s1 }"
+        )
+        naplet = Naplet("team-owner", program, roles=("trial",), name="team")
+        sim.add_naplet(naplet, "s1")
+        report = sim.run()
+        clones = [n for n in report.naplets if "/" in n.naplet_id]
+        executed = sum(len(n.history()) for n in clones)
+        denied = sum(len(n.denials) for n in clones)
+        assert executed == 5  # exactly the owner-wide quota
+        assert denied == 1
+
+    def test_subject_scope_lets_each_clone_use_full_quota(self):
+        engine = make_engine("subject")
+        coalition = Coalition(
+            [CoalitionServer("s1", resources=[Resource("rsw")])]
+        )
+        manager = NapletSecurityManager(engine, incremental=True)
+        sim = Simulation(coalition, security=manager, on_denied="skip")
+        program = parse_program(
+            "{ exec rsw @ s1 ; exec rsw @ s1 } || "
+            "{ exec rsw @ s1 ; exec rsw @ s1 }"
+        )
+        naplet = Naplet("team-owner", program, roles=("trial",), name="team")
+        sim.add_naplet(naplet, "s1")
+        report = sim.run()
+        clones = [n for n in report.naplets if "/" in n.naplet_id]
+        assert sum(len(n.history()) for n in clones) == 4  # nothing denied

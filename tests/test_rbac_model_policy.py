@@ -1,0 +1,231 @@
+"""Tests for RBAC entities, hierarchy, separation of duty and policy."""
+
+import math
+
+import pytest
+
+from repro.errors import PolicyError, RbacError
+from repro.rbac.hierarchy import RoleHierarchy
+from repro.rbac.model import Permission, Role, Subject, User
+from repro.rbac.policy import Policy
+from repro.rbac.separation import DSDConstraint, SSDConstraint
+from repro.srac.ast import Count
+from repro.srac.selection import select_resource
+from repro.traces.trace import AccessKey
+
+
+class TestEntities:
+    def test_user_role_validation(self):
+        with pytest.raises(RbacError):
+            User("")
+        with pytest.raises(RbacError):
+            Role("")
+
+    def test_permission_matching(self):
+        p = Permission("p", op="read", resource="*", server="s1")
+        assert p.matches(AccessKey("read", "anything", "s1"))
+        assert not p.matches(AccessKey("write", "anything", "s1"))
+        assert not p.matches(AccessKey("read", "anything", "s2"))
+        assert p.matches(("read", "r", "s1"))  # plain tuple accepted
+
+    def test_full_wildcard(self):
+        p = Permission("any")
+        assert p.matches(AccessKey("x", "y", "z"))
+
+    def test_permission_validation(self):
+        with pytest.raises(RbacError):
+            Permission("")
+        with pytest.raises(RbacError):
+            Permission("p", validity_duration=0.0)
+
+    def test_time_sensitivity(self):
+        assert not Permission("p").time_sensitive
+        assert Permission("p", validity_duration=5.0).time_sensitive
+
+    def test_subject_ids_unique(self):
+        u = User("alice")
+        s1, s2 = Subject(u), Subject(u)
+        assert s1.subject_id != s2.subject_id
+
+    def test_subject_principals(self):
+        s = Subject(User("alice"), frozenset({"NapletPrincipal"}))
+        assert s.has_principal("NapletPrincipal")
+        assert not s.has_principal("Admin")
+
+
+class TestHierarchy:
+    def make(self):
+        h = RoleHierarchy()
+        admin, auditor, clerk = Role("admin"), Role("auditor"), Role("clerk")
+        h.add_inheritance(admin, auditor)
+        h.add_inheritance(auditor, clerk)
+        return h, admin, auditor, clerk
+
+    def test_transitive_juniors(self):
+        h, admin, auditor, clerk = self.make()
+        assert h.juniors_of(admin) == {auditor, clerk}
+        assert h.juniors_of(auditor) == {clerk}
+        assert h.juniors_of(clerk) == frozenset()
+
+    def test_closure(self):
+        h, admin, auditor, clerk = self.make()
+        assert h.closure([admin]) == {admin, auditor, clerk}
+        assert h.closure([clerk]) == {clerk}
+
+    def test_seniors(self):
+        h, admin, auditor, clerk = self.make()
+        assert h.seniors_of(clerk) == {auditor, admin}
+        assert h.seniors_of(admin) == frozenset()
+
+    def test_cycle_rejected(self):
+        h, admin, auditor, clerk = self.make()
+        with pytest.raises(RbacError):
+            h.add_inheritance(clerk, admin)
+        with pytest.raises(RbacError):
+            h.add_inheritance(admin, admin)
+
+    def test_diamond(self):
+        h = RoleHierarchy()
+        top, l1, l2, bottom = (Role(n) for n in "top l1 l2 bottom".split())
+        h.add_inheritance(top, l1)
+        h.add_inheritance(top, l2)
+        h.add_inheritance(l1, bottom)
+        h.add_inheritance(l2, bottom)
+        assert h.juniors_of(top) == {l1, l2, bottom}
+        assert h.roles() == {top, l1, l2, bottom}
+
+
+class TestSeparation:
+    def test_validation(self):
+        r1, r2 = Role("a"), Role("b")
+        with pytest.raises(RbacError):
+            SSDConstraint("", frozenset({r1, r2}))
+        with pytest.raises(RbacError):
+            SSDConstraint("x", frozenset({r1, r2}), cardinality=1)
+        with pytest.raises(RbacError):
+            SSDConstraint("x", frozenset({r1}), cardinality=2)
+
+    def test_violation(self):
+        r1, r2, r3 = Role("a"), Role("b"), Role("c")
+        c = DSDConstraint("x", frozenset({r1, r2, r3}), cardinality=2)
+        assert not c.violated_by([r1])
+        assert c.violated_by([r1, r2])
+        assert not c.violated_by([Role("other")])
+
+
+class TestPolicy:
+    def make_policy(self):
+        policy = Policy()
+        policy.add_user("alice")
+        policy.add_role("auditor")
+        policy.add_role("clerk")
+        policy.add_permission(Permission("p_read", op="read"))
+        policy.add_permission(
+            Permission(
+                "p_rsw",
+                op="exec",
+                resource="rsw",
+                spatial_constraint=Count(0, 5, select_resource("rsw")),
+                validity_duration=30.0,
+            )
+        )
+        policy.add_inheritance("auditor", "clerk")
+        policy.assign_user("alice", "auditor")
+        policy.assign_permission("clerk", "p_read")
+        policy.assign_permission("auditor", "p_rsw")
+        return policy
+
+    def test_duplicates_rejected(self):
+        policy = self.make_policy()
+        with pytest.raises(PolicyError):
+            policy.add_user("alice")
+        with pytest.raises(PolicyError):
+            policy.add_role("clerk")
+        with pytest.raises(PolicyError):
+            policy.add_permission(Permission("p_read"))
+
+    def test_unknown_lookups(self):
+        policy = self.make_policy()
+        with pytest.raises(PolicyError):
+            policy.user("bob")
+        with pytest.raises(PolicyError):
+            policy.role("nothing")
+        with pytest.raises(PolicyError):
+            policy.permission("zzz")
+
+    def test_inheritance_collects_permissions(self):
+        policy = self.make_policy()
+        auditor = policy.role("auditor")
+        names = {p.name for p in policy.permissions_of_role(auditor)}
+        assert names == {"p_read", "p_rsw"}
+        clerk_names = {p.name for p in policy.permissions_of_role(policy.role("clerk"))}
+        assert clerk_names == {"p_read"}
+
+    def test_ssd_blocks_assignment(self):
+        policy = self.make_policy()
+        policy.add_role("payer")
+        policy.add_ssd(
+            SSDConstraint(
+                "sep", frozenset({policy.role("auditor"), policy.role("payer")})
+            )
+        )
+        with pytest.raises(PolicyError):
+            policy.assign_user("alice", "payer")
+
+    def test_ssd_checks_inherited_roles(self):
+        policy = self.make_policy()
+        policy.add_role("payer")
+        # Conflict is between clerk (inherited via auditor) and payer.
+        policy.add_ssd(
+            SSDConstraint(
+                "sep", frozenset({policy.role("clerk"), policy.role("payer")})
+            )
+        )
+        with pytest.raises(PolicyError):
+            policy.assign_user("alice", "payer")
+
+    def test_retroactive_ssd_rejected(self):
+        policy = self.make_policy()
+        policy.add_role("payer")
+        policy.assign_user("alice", "payer")
+        with pytest.raises(PolicyError):
+            policy.add_ssd(
+                SSDConstraint(
+                    "sep",
+                    frozenset({policy.role("auditor"), policy.role("payer")}),
+                )
+            )
+
+    def test_from_dict(self):
+        policy = Policy.from_dict(
+            {
+                "users": ["alice"],
+                "roles": ["auditor", "clerk"],
+                "permissions": [
+                    {
+                        "name": "p_rsw",
+                        "op": "exec",
+                        "resource": "rsw",
+                        "constraint": "count(0, 5, [res = rsw])",
+                        "duration": 30.0,
+                    },
+                    {"name": "p_read", "op": "read"},
+                ],
+                "hierarchy": [["auditor", "clerk"]],
+                "user_roles": [["alice", "auditor"]],
+                "role_permissions": [["clerk", "p_read"], ["auditor", "p_rsw"]],
+            }
+        )
+        auditor = policy.role("auditor")
+        assert {p.name for p in policy.permissions_of_role(auditor)} == {
+            "p_read",
+            "p_rsw",
+        }
+        p = policy.permission("p_rsw")
+        assert p.spatial_constraint is not None
+        assert p.validity_duration == 30.0
+        assert math.isinf(policy.permission("p_read").validity_duration)
+
+    def test_from_dict_missing_key(self):
+        with pytest.raises(PolicyError):
+            Policy.from_dict({"permissions": [{"op": "read"}]})

@@ -1,0 +1,171 @@
+"""Tests for trace-model sampling, DFA minimality (Myhill–Nerode) and
+the engine's explain API."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import tests.strategies as strat
+from repro.automata.dfa import DFA
+from repro.automata.ops import minimize
+from repro.rbac.engine import AccessControlEngine
+from repro.rbac.model import Permission
+from repro.rbac.policy import Policy
+from repro.sral.parser import parse_program
+from repro.srac.parser import parse_constraint
+from repro.traces.model import TraceModel, program_traces
+from repro.traces.trace import AccessKey
+
+A = AccessKey("read", "r1", "s1")
+B = AccessKey("write", "r2", "s1")
+
+
+class TestSampling:
+    def test_sample_of_empty_model(self):
+        rng = np.random.default_rng(0)
+        assert TraceModel.nothing().sample(rng) is None
+
+    def test_sample_member_of_finite_model(self):
+        model = TraceModel.of_traces([(A,), (A, B), (B, B)])
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            trace = model.sample(rng)
+            assert trace in model
+
+    def test_sample_covers_all_traces_eventually(self):
+        model = TraceModel.of_traces([(A,), (B,), (A, B)])
+        rng = np.random.default_rng(2)
+        seen = {model.sample(rng) for _ in range(200)}
+        assert seen == {(A,), (B,), (A, B)}
+
+    def test_sample_infinite_model(self):
+        model = TraceModel.single(A).star()
+        rng = np.random.default_rng(3)
+        lengths = {len(model.sample(rng, max_length=10)) for _ in range(100)}
+        assert 0 in lengths
+        assert any(length >= 2 for length in lengths)
+
+    def test_sample_deterministic_under_seed(self):
+        model = program_traces(
+            parse_program("while c do { read r1 @ s1 ; write r2 @ s1 }")
+        )
+        t1 = [model.sample(np.random.default_rng(9)) for _ in range(5)]
+        t2 = [model.sample(np.random.default_rng(9)) for _ in range(5)]
+        assert t1 == t2
+
+    @given(strat.loop_free_programs(max_leaves=6))
+    @settings(max_examples=60, deadline=None)
+    def test_sampled_trace_always_in_model(self, program):
+        model = program_traces(program)
+        trace = model.sample(np.random.default_rng(4))
+        assert trace is not None
+        assert trace in model
+
+
+class TestMinimality:
+    """Hopcroft output has exactly one state per Myhill–Nerode class of
+    reachable, useful residuals (checked by brute-force residual
+    comparison on small DFAs)."""
+
+    @staticmethod
+    def residual_signature(dfa, state, alphabet, depth=6):
+        """The set of accepted words of length ≤ depth from `state`."""
+        out = set()
+        for length in range(depth + 1):
+            for word in itertools.product(alphabet, repeat=length):
+                current = state
+                for symbol in word:
+                    current = dfa.delta[current].get(symbol)
+                    if current is None:
+                        break
+                else:
+                    if current in dfa.accepts:
+                        out.add(word)
+        return frozenset(out)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)),
+            min_size=1,
+            max_size=4,
+        ),
+        st.sets(st.integers(0, 3)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_minimize_reaches_nerode_bound(self, rows, accepts):
+        n = len(rows)
+        delta = [
+            {"a": min(a, n - 1), "b": min(b, n - 1)} for a, b in rows
+        ]
+        dfa = DFA(delta, 0, {s for s in accepts if s < n})
+        minimal = minimize(dfa)
+        # All states of the minimal DFA have pairwise distinct residuals.
+        signatures = [
+            self.residual_signature(minimal, s, ("a", "b"))
+            for s in range(minimal.n_states)
+        ]
+        assert len(set(signatures)) == minimal.n_states
+
+
+class TestExplain:
+    def make(self):
+        policy = Policy()
+        policy.add_user("u")
+        policy.add_role("r")
+        policy.add_permission(
+            Permission(
+                "p_quota",
+                op="exec",
+                resource="rsw",
+                spatial_constraint=parse_constraint("count(0, 2, [res = rsw])"),
+            )
+        )
+        policy.add_permission(
+            Permission("p_timed", op="exec", resource="rsw", validity_duration=5.0)
+        )
+        policy.assign_user("u", "r")
+        policy.assign_permission("r", "p_quota")
+        policy.assign_permission("r", "p_timed")
+        engine = AccessControlEngine(policy)
+        session = engine.authenticate("u", 0.0)
+        engine.activate_role(session, "r", 0.0)
+        return engine, session
+
+    def test_explain_lists_all_candidates(self):
+        engine, session = self.make()
+        rows = engine.explain(session, ("exec", "rsw", "s1"), 1.0)
+        assert {r["permission"] for r in rows} == {"p_quota", "p_timed"}
+        assert all(r["role"] == "r" for r in rows)
+
+    def test_explain_shows_split_verdicts(self):
+        engine, session = self.make()
+        history = (AccessKey("exec", "rsw", "s1"),) * 2
+        rows = engine.explain(session, ("exec", "rsw", "s2"), 10.0, history=history)
+        by_name = {r["permission"]: r for r in rows}
+        # quota permission: spatially dead, temporally fine
+        assert by_name["p_quota"]["spatial_ok"] is False
+        assert by_name["p_quota"]["temporal_ok"] is True
+        # timed permission: spatially fine, budget expired at t=10
+        assert by_name["p_timed"]["spatial_ok"] is True
+        assert by_name["p_timed"]["temporal_ok"] is False
+        assert by_name["p_timed"]["state"] == "active-but-invalid"
+
+    def test_explain_does_not_audit(self):
+        engine, session = self.make()
+        engine.explain(session, ("exec", "rsw", "s1"), 1.0)
+        assert len(engine.audit) == 0
+
+    def test_explain_matches_decide(self):
+        engine, session = self.make()
+        history = (AccessKey("exec", "rsw", "s1"),) * 2
+        rows = engine.explain(session, ("exec", "rsw", "s2"), 1.0, history=history)
+        decision = engine.decide(session, ("exec", "rsw", "s2"), 1.0, history=history)
+        any_pass = any(r["spatial_ok"] and r["temporal_ok"] for r in rows)
+        assert decision.granted == any_pass
+
+    def test_explain_empty_for_unmatched_access(self):
+        engine, session = self.make()
+        assert engine.explain(session, ("read", "other", "s1"), 1.0) == []

@@ -1,0 +1,173 @@
+"""Tests for the program normaliser and constraint simplifier."""
+
+import pytest
+from hypothesis import given, settings
+
+import tests.strategies as strat
+from repro.sral.ast import (
+    Access,
+    BoolLit,
+    If,
+    Par,
+    Seq,
+    Skip,
+    Var,
+    While,
+    program_size,
+)
+from repro.sral.normalize import simplify_constants, simplify_traces
+from repro.sral.parser import parse_program
+from repro.srac.ast import And, Atom, Bottom, Count, Iff, Implies, Not, Or, Top, constraint_size
+from repro.srac.selection import SelectAll
+from repro.srac.simplify import simplify_constraint
+from repro.srac.trace_check import trace_satisfies
+from repro.traces.model import program_traces
+from repro.traces.trace import AccessKey
+
+A = Access("read", "r1", "s1")
+KEY = AccessKey("read", "r1", "s1")
+
+
+class TestSimplifyTraces:
+    def test_skip_elimination_in_seq(self):
+        assert simplify_traces(Seq(Skip(), A)) == A
+        assert simplify_traces(Seq(A, Skip())) == A
+        assert simplify_traces(Seq(Skip(), Skip())) == Skip()
+
+    def test_skip_elimination_in_par(self):
+        assert simplify_traces(Par(Skip(), A)) == A
+        assert simplify_traces(Par(A, Skip())) == A
+
+    def test_identical_branches_merge(self):
+        assert simplify_traces(If(Var("c"), A, A)) == A
+
+    def test_empty_loop_collapses(self):
+        assert simplify_traces(While(Var("c"), Skip())) == Skip()
+
+    def test_nested_cleanup(self):
+        p = parse_program("skip ; { skip ; read r1 @ s1 } ; skip")
+        assert simplify_traces(p) == A
+
+    def test_literal_conditions_not_folded(self):
+        p = If(BoolLit(True), A, Access("write", "r2", "s1"))
+        assert simplify_traces(p) == p  # both branches stay
+
+    def test_deep_program_no_recursion_error(self):
+        from repro.sral.ast import seq
+
+        deep = seq(*([Skip()] * 5000 + [A]))
+        assert simplify_traces(deep) == A
+
+    @given(strat.programs(max_leaves=12))
+    @settings(max_examples=150, deadline=None)
+    def test_preserves_trace_model(self, program):
+        simplified = simplify_traces(program)
+        assert program_traces(simplified).equals(program_traces(program))
+        assert program_size(simplified) <= program_size(program)
+
+    @given(strat.programs(max_leaves=10))
+    @settings(max_examples=80, deadline=None)
+    def test_idempotent(self, program):
+        once = simplify_traces(program)
+        assert simplify_traces(once) == once
+
+
+class TestSimplifyConstants:
+    def test_true_condition_folds(self):
+        b = Access("write", "r2", "s1")
+        assert simplify_constants(If(BoolLit(True), A, b)) == A
+        assert simplify_constants(If(BoolLit(False), A, b)) == b
+
+    def test_false_loop_folds(self):
+        assert simplify_constants(While(BoolLit(False), A)) == Skip()
+
+    def test_true_loop_kept(self):
+        p = While(BoolLit(True), A)
+        assert simplify_constants(p) == p
+
+    def test_opaque_conditions_kept(self):
+        p = If(Var("c"), A, Access("write", "r2", "s1"))
+        assert simplify_constants(p) == p
+
+    def test_execution_equivalence_on_closed_programs(self):
+        """Constant folding must not change the request stream."""
+        from repro.agent.interpreter import interpret
+
+        source = (
+            "if true then read r1 @ s1 else write r2 @ s1 ; "
+            "while false do exec r3 @ s2 ; "
+            "skip ; write r2 @ s1"
+        )
+        program = parse_program(source)
+        folded = simplify_constants(program)
+
+        def stream(p):
+            out = []
+            gen = interpret(p, {})
+            try:
+                req = next(gen)
+                while True:
+                    out.append(req)
+                    req = gen.send(None)
+            except StopIteration:
+                return out
+
+        assert stream(program) == stream(folded)
+        assert program_size(folded) < program_size(program)
+
+
+class TestSimplifyConstraint:
+    def test_boolean_identities(self):
+        a = Atom(KEY)
+        assert simplify_constraint(And(Top(), a)) == a
+        assert simplify_constraint(And(a, Bottom())) == Bottom()
+        assert simplify_constraint(Or(a, Top())) == Top()
+        assert simplify_constraint(Or(Bottom(), a)) == a
+        assert simplify_constraint(And(a, a)) == a
+        assert simplify_constraint(Or(a, a)) == a
+
+    def test_negation_rules(self):
+        a = Atom(KEY)
+        assert simplify_constraint(Not(Top())) == Bottom()
+        assert simplify_constraint(Not(Bottom())) == Top()
+        assert simplify_constraint(Not(Not(a))) == a
+
+    def test_implication_rules(self):
+        a = Atom(KEY)
+        assert simplify_constraint(Implies(Bottom(), a)) == Top()
+        assert simplify_constraint(Implies(Top(), a)) == a
+        assert simplify_constraint(Implies(a, Top())) == Top()
+        assert simplify_constraint(Implies(a, Bottom())) == Not(a)
+        assert simplify_constraint(Implies(a, a)) == Top()
+
+    def test_iff_rules(self):
+        a = Atom(KEY)
+        assert simplify_constraint(Iff(a, a)) == Top()
+        assert simplify_constraint(Iff(Top(), a)) == a
+        assert simplify_constraint(Iff(a, Bottom())) == Not(a)
+
+    def test_trivial_count(self):
+        assert simplify_constraint(Count(0, None, SelectAll())) == Top()
+        c = Count(1, None, SelectAll())
+        assert simplify_constraint(c) == c
+
+    def test_nested_collapse(self):
+        a = Atom(KEY)
+        nested = And(Top(), Or(Bottom(), And(a, Top())))
+        assert simplify_constraint(nested) == a
+
+    @given(
+        strat.constraints(max_leaves=8, expressible_only=False),
+        strat.traces_over_alphabet(6),
+    )
+    @settings(max_examples=250, deadline=None)
+    def test_preserves_satisfaction(self, constraint, trace):
+        simplified = simplify_constraint(constraint)
+        assert trace_satisfies(trace, simplified) == trace_satisfies(trace, constraint)
+        assert constraint_size(simplified) <= constraint_size(constraint)
+
+    @given(strat.constraints(max_leaves=8, expressible_only=False))
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, constraint):
+        once = simplify_constraint(constraint)
+        assert simplify_constraint(once) == once

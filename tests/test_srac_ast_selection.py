@@ -1,0 +1,153 @@
+"""Tests for SRAC AST helpers and selection operators."""
+
+import pytest
+from hypothesis import given, settings
+
+import tests.strategies as strat
+from repro.errors import ConstraintError
+from repro.srac.ast import (
+    And,
+    Atom,
+    Bottom,
+    Count,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Ordered,
+    Top,
+    atomic_parts,
+    constraint_alphabet,
+    constraint_size,
+    desugar,
+)
+from repro.srac.selection import (
+    SelectAccesses,
+    SelectAll,
+    SelectAnd,
+    SelectField,
+    SelectNot,
+    SelectOr,
+    select_access,
+    select_op,
+    select_resource,
+    select_server,
+)
+from repro.srac.trace_check import trace_satisfies
+from repro.traces.trace import AccessKey
+
+A = AccessKey("read", "r1", "s1")
+B = AccessKey("write", "r2", "s1")
+C = AccessKey("exec", "r3", "s2")
+
+
+class TestSelections:
+    def test_select_all(self):
+        assert SelectAll().matches(A)
+        assert SelectAll().restrict([A, B]) == {A, B}
+
+    def test_select_field_op(self):
+        sel = select_op("read")
+        assert sel.matches(A)
+        assert not sel.matches(B)
+
+    def test_select_field_resource(self):
+        sel = select_resource("r1", "r2")
+        assert sel.matches(A)
+        assert sel.matches(B)
+        assert not sel.matches(C)
+
+    def test_select_field_server(self):
+        sel = select_server("s2")
+        assert sel.matches(C)
+        assert not sel.matches(A)
+
+    def test_select_field_validation(self):
+        with pytest.raises(ConstraintError):
+            SelectField("bogus", frozenset({"x"}))
+        with pytest.raises(ConstraintError):
+            SelectField("op", frozenset())
+
+    def test_select_accesses(self):
+        sel = select_access(A, ("write", "r2", "s1"))
+        assert sel.matches(A)
+        assert sel.matches(B)
+        assert not sel.matches(C)
+
+    def test_combinators(self):
+        sel = select_op("read") & select_server("s1")
+        assert sel.matches(A)
+        assert not sel.matches(C)
+        sel2 = select_op("exec") | select_op("write")
+        assert sel2.matches(B)
+        assert sel2.matches(C)
+        assert not sel2.matches(A)
+        assert (~select_op("read")).matches(B)
+        assert not (~select_op("read")).matches(A)
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(ConstraintError):
+            SelectAnd(())
+        with pytest.raises(ConstraintError):
+            SelectOr(())
+
+    def test_selections_hashable(self):
+        assert hash(select_op("read")) == hash(select_op("read"))
+        assert select_op("read") == select_op("read")
+
+    @given(strat.selections(expressible_only=False), strat.access_keys())
+    @settings(max_examples=150, deadline=None)
+    def test_not_is_complement(self, sel, access):
+        assert SelectNot(sel).matches(access) != sel.matches(access)
+
+
+class TestConstraintAst:
+    def test_count_validation(self):
+        with pytest.raises(ConstraintError):
+            Count(-1, 2, SelectAll())
+        with pytest.raises(ConstraintError):
+            Count(3, 2, SelectAll())
+        Count(3, None, SelectAll())  # unbounded is fine
+
+    def test_atom_normalises_tuple(self):
+        atom = Atom(("read", "r1", "s1"))
+        assert isinstance(atom.access, AccessKey)
+
+    def test_ordered_normalises_tuples(self):
+        o = Ordered(("read", "r1", "s1"), ("write", "r2", "s1"))
+        assert o.first == A and o.second == B
+
+    def test_operator_sugar(self):
+        c = Atom(A) & ~Atom(B) | Top()
+        assert isinstance(c, Or)
+        assert isinstance(c.left, And)
+        assert isinstance(c.left.right, Not)
+        assert Atom(A).implies(Atom(B)) == Implies(Atom(A), Atom(B))
+
+    def test_constraint_size(self):
+        assert constraint_size(Top()) == 1
+        assert constraint_size(And(Atom(A), Not(Atom(B)))) == 4
+
+    def test_atomic_parts(self):
+        c = And(Atom(A), Or(Ordered(A, B), Count(0, 5, SelectAll())))
+        parts = list(atomic_parts(c))
+        assert parts == [Atom(A), Ordered(A, B), Count(0, 5, SelectAll())]
+
+    def test_constraint_alphabet(self):
+        c = And(Atom(A), Ordered(B, C))
+        assert constraint_alphabet(c) == {A, B, C}
+
+    def test_desugar_implies(self):
+        d = desugar(Implies(Atom(A), Atom(B)))
+        assert d == Or(Not(Atom(A)), Atom(B))
+
+    def test_desugar_iff(self):
+        d = desugar(Iff(Atom(A), Atom(B)))
+        assert isinstance(d, And)
+
+    @given(strat.constraints(max_leaves=6, expressible_only=False), strat.traces_over_alphabet(6))
+    @settings(max_examples=200, deadline=None)
+    def test_desugar_preserves_semantics(self, constraint, trace):
+        assert trace_satisfies(trace, constraint) == trace_satisfies(
+            trace, desugar(constraint)
+        )

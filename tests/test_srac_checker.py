@@ -1,0 +1,177 @@
+"""Tests for program satisfaction P |= C (Definition 3.7 / Theorem 3.2)."""
+
+import pytest
+from hypothesis import given, settings
+
+import tests.strategies as strat
+from repro.errors import ConstraintError
+from repro.sral.parser import parse_program
+from repro.srac.ast import Atom, Bottom, Count, Not, Ordered, Top
+from repro.srac.checker import check_program, check_program_stats
+from repro.srac.parser import parse_constraint
+from repro.srac.selection import SelectAll
+from repro.srac.trace_check import trace_satisfies
+from repro.traces.model import program_traces
+from repro.traces.trace import AccessKey
+
+A = AccessKey("read", "r1", "s1")
+B = AccessKey("write", "r2", "s1")
+C = AccessKey("exec", "r3", "s2")
+
+
+class TestForallMode:
+    def test_simple_atom_holds(self):
+        p = parse_program("read r1 @ s1 ; write r2 @ s1")
+        assert check_program(p, Atom(A))
+        assert check_program(p, Atom(B))
+        assert not check_program(p, Atom(C))
+
+    def test_branch_can_violate(self):
+        p = parse_program("if c then read r1 @ s1 else write r2 @ s1")
+        # Only one branch performs A, so not every trace satisfies it.
+        assert not check_program(p, Atom(A))
+        assert check_program(p, parse_constraint("read r1 @ s1 | write r2 @ s1"))
+
+    def test_ordered_holds_for_seq(self):
+        p = parse_program("read r1 @ s1 ; write r2 @ s1")
+        assert check_program(p, Ordered(A, B))
+        assert not check_program(p, Ordered(B, A))
+
+    def test_ordered_violated_by_par(self):
+        p = parse_program("read r1 @ s1 || write r2 @ s1")
+        # Some interleaving performs B first.
+        assert not check_program(p, Ordered(A, B))
+
+    def test_loop_can_exceed_count(self):
+        p = parse_program("while c do read r1 @ s1")
+        limit = Count(0, 5, SelectAll())
+        assert not check_program(p, limit)
+        result = check_program_stats(p, limit)
+        assert result.witness is not None
+        assert len(result.witness) == 6  # shortest violating trace
+
+    def test_loop_free_program_within_count(self):
+        p = parse_program("read r1 @ s1 ; read r1 @ s1")
+        assert check_program(p, Count(0, 5, SelectAll()))
+        assert not check_program(p, Count(3, None, SelectAll()))
+
+    def test_top_bottom(self):
+        p = parse_program("read r1 @ s1")
+        assert check_program(p, Top())
+        assert not check_program(p, Bottom())
+
+    def test_skip_program_and_empty_trace(self):
+        p = parse_program("skip")
+        assert check_program(p, Top())
+        assert not check_program(p, Atom(A))
+        assert check_program(p, Not(Atom(A)))
+
+    def test_witness_is_violating_trace(self):
+        p = parse_program("if c then read r1 @ s1 else write r2 @ s1")
+        result = check_program_stats(p, Atom(A))
+        assert result.holds is False
+        assert result.witness == (B,)
+        assert not trace_satisfies(result.witness, Atom(A))
+
+
+class TestExistsMode:
+    def test_exists_finds_satisfying_branch(self):
+        p = parse_program("if c then read r1 @ s1 else write r2 @ s1")
+        assert check_program(p, Atom(A), mode="exists")
+        assert check_program(p, Atom(B), mode="exists")
+        assert not check_program(p, Atom(C), mode="exists")
+
+    def test_exists_with_loop(self):
+        p = parse_program("while c do read r1 @ s1")
+        assert check_program(p, Count(3, None, SelectAll()), mode="exists")
+
+    def test_exists_witness_satisfies(self):
+        p = parse_program("while c do read r1 @ s1")
+        result = check_program_stats(p, Count(3, None, SelectAll()), mode="exists")
+        assert result.holds
+        assert result.witness is not None
+        assert trace_satisfies(result.witness, Count(3, None, SelectAll()))
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConstraintError):
+            check_program(parse_program("skip"), Top(), mode="sometimes")
+
+
+class TestHistory:
+    def test_history_advances_monitors(self):
+        # Program performs one more RSW access; history already has 5.
+        rsw = AccessKey("exec", "rsw", "s2")
+        p = parse_program("exec rsw @ s2")
+        limit = parse_constraint("count(0, 5, [res = rsw])")
+        history5 = (AccessKey("exec", "rsw", "s1"),) * 5
+        assert check_program(p, limit, history=history5) is False
+        assert check_program(p, limit, history=history5[:4]) is True
+
+    def test_history_satisfies_ordered_prefix(self):
+        p = parse_program("write r2 @ s1")
+        assert check_program(p, Ordered(A, B), history=(A,))
+        assert not check_program(p, Ordered(A, B), history=())
+
+    def test_coordinated_denial_across_servers(self):
+        """The paper's motivating requirement: too many accesses at s1
+        deny the access at s2 forever."""
+        rsw_s1 = AccessKey("exec", "rsw", "s1")
+        limit = parse_constraint("count(0, 5, [res = rsw])")
+        request_at_s2 = parse_program("exec rsw @ s2")
+        # 5 previous accesses at s1: the 6th (at a different server!) fails.
+        assert not check_program(request_at_s2, limit, history=(rsw_s1,) * 5)
+
+
+class TestAgainstEnumeration:
+    @given(
+        strat.loop_free_programs(max_leaves=5),
+        strat.constraints(max_leaves=6, expressible_only=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_forall_matches_explicit_enumeration(self, program, constraint):
+        expected = all(
+            trace_satisfies(t, constraint)
+            for t in program_traces(program).all_traces()
+        )
+        assert check_program(program, constraint) == expected
+
+    @given(
+        strat.loop_free_programs(max_leaves=5),
+        strat.constraints(max_leaves=6, expressible_only=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_exists_matches_explicit_enumeration(self, program, constraint):
+        expected = any(
+            trace_satisfies(t, constraint)
+            for t in program_traces(program).all_traces()
+        )
+        assert check_program(program, constraint, mode="exists") == expected
+
+    @given(strat.programs(max_leaves=6), strat.constraints(max_leaves=5))
+    @settings(max_examples=100, deadline=None)
+    def test_forall_implies_exists_on_programs(self, program, constraint):
+        # traces(P) is never empty, so forall-satisfaction implies
+        # exists-satisfaction.
+        if check_program(program, constraint):
+            assert check_program(program, constraint, mode="exists")
+
+    @given(strat.loop_free_programs(max_leaves=5), strat.constraints(max_leaves=5))
+    @settings(max_examples=100, deadline=None)
+    def test_negation_duality(self, program, constraint):
+        # forall t: t |= C  <=>  not exists t: t |= ~C
+        forall_c = check_program(program, constraint)
+        exists_not_c = check_program(program, Not(constraint), mode="exists")
+        assert forall_c == (not exists_not_c)
+
+
+class TestComplexityGuard:
+    def test_max_configurations_enforced(self):
+        p = parse_program("while c do { read r1 @ s1 ; write r2 @ s1 ; exec r3 @ s2 }")
+        big = parse_constraint("count(0, 500, []) & count(0, 499, []) ")
+        with pytest.raises(ConstraintError):
+            check_program(p, big, max_configurations=10)
+
+    def test_stats_report_configurations(self):
+        p = parse_program("read r1 @ s1 ; write r2 @ s1")
+        result = check_program_stats(p, Atom(A))
+        assert result.configurations >= 3

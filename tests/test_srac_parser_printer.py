@@ -1,0 +1,163 @@
+"""Parser and printer tests for SRAC concrete syntax."""
+
+import pytest
+from hypothesis import given, settings
+
+import tests.strategies as strat
+from repro.errors import ConstraintError, SracSyntaxError
+from repro.srac.ast import (
+    And,
+    Atom,
+    Bottom,
+    Count,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Ordered,
+    Top,
+)
+from repro.srac.parser import parse_constraint, parse_selection
+from repro.srac.printer import unparse_constraint, unparse_selection
+from repro.srac.selection import (
+    SelectAccesses,
+    SelectAll,
+    SelectAnd,
+    SelectField,
+    SelectNot,
+    SelectOr,
+)
+from repro.traces.trace import AccessKey
+
+A = AccessKey("read", "r1", "s1")
+B = AccessKey("write", "r2", "s1")
+
+
+class TestParsePrimary:
+    def test_top_bottom(self):
+        assert parse_constraint("T") == Top()
+        assert parse_constraint("F") == Bottom()
+
+    def test_atom(self):
+        assert parse_constraint("read r1 @ s1") == Atom(A)
+
+    def test_ordered(self):
+        assert parse_constraint("read r1 @ s1 >> write r2 @ s1") == Ordered(A, B)
+
+    def test_count_bounded(self):
+        c = parse_constraint("count(0, 5, [res = rsw])")
+        assert c == Count(0, 5, SelectField("resource", frozenset({"rsw"})))
+
+    def test_count_unbounded(self):
+        c = parse_constraint("count(2, *, [])")
+        assert c == Count(2, None, SelectAll())
+
+    def test_count_access_set(self):
+        c = parse_constraint("count(0, 1, {read r1 @ s1, write r2 @ s1})")
+        assert c == Count(0, 1, SelectAccesses(frozenset({A, B})))
+
+    def test_selector_multi_field(self):
+        sel = parse_selection("[op = {read, write}, server = s1]")
+        assert sel == SelectAnd(
+            (
+                SelectField("op", frozenset({"read", "write"})),
+                SelectField("server", frozenset({"s1"})),
+            )
+        )
+
+    def test_selector_resource_alias(self):
+        assert parse_selection("[res = r1]") == parse_selection("[resource = r1]")
+
+
+class TestConnectives:
+    def test_precedence_not_and_or(self):
+        c = parse_constraint("~read r1 @ s1 & T | F")
+        assert c == Or(And(Not(Atom(A)), Top()), Bottom())
+
+    def test_keyword_connectives(self):
+        assert parse_constraint("T and F") == And(Top(), Bottom())
+        assert parse_constraint("T or F") == Or(Top(), Bottom())
+        assert parse_constraint("not T") == Not(Top())
+
+    def test_implies_right_associative(self):
+        c = parse_constraint("T -> F -> T")
+        assert c == Implies(Top(), Implies(Bottom(), Top()))
+
+    def test_iff(self):
+        assert parse_constraint("T <-> F") == Iff(Top(), Bottom())
+
+    def test_or_binds_tighter_than_implies(self):
+        c = parse_constraint("T | F -> F")
+        assert c == Implies(Or(Top(), Bottom()), Bottom())
+
+    def test_parentheses(self):
+        c = parse_constraint("~(T | F)")
+        assert c == Not(Or(Top(), Bottom()))
+
+    def test_paper_example_rsw(self):
+        # Example 3.5: #(0, 5, σ_RSW(A))
+        c = parse_constraint("count(0, 5, [res = rsw])")
+        assert isinstance(c, Count)
+        assert c.lo == 0 and c.hi == 5
+
+    def test_paper_example_dependency(self):
+        # "module is correct iff its dependencies are verified first":
+        # verify dependencies before the module.
+        source = "exec m4 @ s2 >> exec m1 @ s1 & exec m5 @ s2 >> exec m1 @ s1"
+        c = parse_constraint(source)
+        assert isinstance(c, And)
+        assert isinstance(c.left, Ordered)
+        assert isinstance(c.right, Ordered)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "count(5, 2, [])",  # hi < lo
+            "count(0, 5, )",
+            "count(0, 5, [unknown = x])",
+            "count(0, 5, [op = read, op = write])",  # duplicate field
+            "count(-1, 5, [])",  # negative literal not allowed here
+            "read r1 @",  # malformed access
+            "read r1 @ s1 >>",  # dangling ordered
+            "T &",
+            "(T",
+            "T T",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises((SracSyntaxError, ConstraintError)):
+            parse_constraint(bad)
+
+
+class TestRoundTrip:
+    def test_examples(self):
+        for source in [
+            "T",
+            "read r1 @ s1 >> write r2 @ s1",
+            "count(0, 5, [res = rsw])",
+            "~(T | F) & read r1 @ s1",
+            "T -> F -> T",
+            "(T -> F) -> T",
+            "T <-> F <-> T",
+        ]:
+            constraint = parse_constraint(source)
+            assert parse_constraint(unparse_constraint(constraint)) == constraint
+
+    @given(strat.constraints(max_leaves=10, expressible_only=True))
+    @settings(max_examples=300, deadline=None)
+    def test_round_trip_property(self, constraint):
+        assert parse_constraint(unparse_constraint(constraint)) == constraint
+
+    @given(strat.selections(expressible_only=True))
+    @settings(max_examples=200, deadline=None)
+    def test_selection_round_trip(self, selection):
+        assert parse_selection(unparse_selection(selection)) == selection
+
+    def test_inexpressible_selection_raises(self):
+        with pytest.raises(ConstraintError):
+            unparse_selection(SelectOr((SelectAll(), SelectAll())))
+        with pytest.raises(ConstraintError):
+            unparse_selection(SelectNot(SelectAll()))

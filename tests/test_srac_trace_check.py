@@ -1,0 +1,165 @@
+"""Tests for trace satisfaction (Definition 3.6) and the monitor
+compilation, including their agreement on random inputs."""
+
+from hypothesis import given, settings
+
+import tests.strategies as strat
+from repro.srac.ast import (
+    And,
+    Atom,
+    Bottom,
+    Count,
+    Implies,
+    Not,
+    Or,
+    Ordered,
+    Top,
+)
+from repro.srac.monitors import (
+    AtomMonitor,
+    CountMonitor,
+    OrderedMonitor,
+    compile_constraint,
+)
+from repro.srac.parser import parse_constraint
+from repro.srac.selection import SelectAll, select_resource
+from repro.srac.trace_check import trace_satisfies
+from repro.traces.trace import AccessKey
+
+A = AccessKey("read", "r1", "s1")
+B = AccessKey("write", "r2", "s1")
+C = AccessKey("exec", "r3", "s2")
+
+
+class TestDefinition36:
+    """Each case of Definition 3.6, directly."""
+
+    def test_top_and_bottom(self):
+        assert trace_satisfies((), Top())
+        assert not trace_satisfies((), Bottom())
+        assert trace_satisfies((A,), Top())
+
+    def test_atom_membership(self):
+        assert trace_satisfies((A, B), Atom(A))
+        assert not trace_satisfies((B,), Atom(A))
+        assert not trace_satisfies((), Atom(A))
+
+    def test_atom_requires_proof(self):
+        proved = {B}
+        assert not trace_satisfies((A, B), Atom(A), proofs=lambda a: a in proved)
+        assert trace_satisfies((A, B), Atom(B), proofs=lambda a: a in proved)
+
+    def test_ordered(self):
+        assert trace_satisfies((A, B), Ordered(A, B))
+        assert trace_satisfies((A, C, B), Ordered(A, B))
+        assert not trace_satisfies((B, A), Ordered(A, B))
+        assert not trace_satisfies((A,), Ordered(A, B))
+
+    def test_ordered_requires_both_proofs(self):
+        assert not trace_satisfies((A, B), Ordered(A, B), proofs=lambda a: a == A)
+        assert trace_satisfies((A, B), Ordered(A, B), proofs=lambda a: True)
+
+    def test_count_window(self):
+        c = Count(1, 2, select_resource("r1"))
+        assert not trace_satisfies((), c)
+        assert trace_satisfies((A,), c)
+        assert trace_satisfies((A, A), c)
+        assert not trace_satisfies((A, A, A), c)
+
+    def test_count_unbounded(self):
+        c = Count(2, None, SelectAll())
+        assert not trace_satisfies((A,), c)
+        assert trace_satisfies((A, B), c)
+        assert trace_satisfies((A, B, C, A), c)
+
+    def test_count_zero_lower_bound_on_empty(self):
+        assert trace_satisfies((), Count(0, 5, SelectAll()))
+
+    def test_boolean_connectives(self):
+        assert trace_satisfies((A, B), And(Atom(A), Atom(B)))
+        assert not trace_satisfies((A,), And(Atom(A), Atom(B)))
+        assert trace_satisfies((A,), Or(Atom(A), Atom(B)))
+        assert trace_satisfies((B,), Not(Atom(A)))
+        assert trace_satisfies((B,), Implies(Atom(A), Atom(C)))  # vacuous
+        assert trace_satisfies((A, C), Implies(Atom(A), Atom(C)))
+        assert not trace_satisfies((A,), Implies(Atom(A), Atom(C)))
+
+    def test_example_35_rsw(self):
+        """Example 3.5: RSW accessed at most 5 times, anywhere."""
+        constraint = parse_constraint("count(0, 5, [res = rsw])")
+        rsw_s1 = AccessKey("exec", "rsw", "s1")
+        rsw_s2 = AccessKey("exec", "rsw", "s2")
+        assert trace_satisfies((rsw_s1,) * 3 + (rsw_s2,) * 2, constraint)
+        # 6 accesses spread over two servers violate it: the constraint
+        # is *coordinated* — it does not matter where the object runs.
+        assert not trace_satisfies((rsw_s1,) * 3 + (rsw_s2,) * 3, constraint)
+
+    def test_proof_filtering_equivalence(self):
+        """Checking with proofs equals checking the proved sub-trace."""
+        trace = (A, B, C, A)
+        proved = {A, C}
+        constraint = parse_constraint(
+            "read r1 @ s1 & count(0, 1, [res = r2]) | exec r3 @ s2 >> read r1 @ s1"
+        )
+        filtered = tuple(a for a in trace if a in proved)
+        assert trace_satisfies(trace, constraint, proofs=lambda a: a in proved) == \
+            trace_satisfies(filtered, constraint)
+
+
+class TestMonitors:
+    def test_atom_monitor(self):
+        m = AtomMonitor(A)
+        assert not m.accepting(m.initial())
+        state = m.step(m.initial(), B)
+        assert not m.accepting(state)
+        state = m.step(state, A)
+        assert m.accepting(state)
+        assert m.accepting(m.step(state, B))  # latched
+        assert m.size() == 2
+
+    def test_ordered_monitor(self):
+        m = OrderedMonitor(A, B)
+        s = m.run((B, A))  # wrong order
+        assert not m.accepting(s)
+        s = m.run((A, C, B))
+        assert m.accepting(s)
+        assert m.size() == 3
+
+    def test_ordered_monitor_same_access(self):
+        m = OrderedMonitor(A, A)
+        assert not m.accepting(m.run((A,)))
+        assert m.accepting(m.run((A, A)))
+
+    def test_count_monitor_saturation(self):
+        m = CountMonitor(0, 2, SelectAll().matches)
+        state = m.run((A, A, A, A, A))
+        assert state == 3  # saturated at hi+1
+        assert not m.accepting(state)
+        assert m.size() == 4
+
+    def test_count_monitor_unbounded_saturation(self):
+        m = CountMonitor(2, None, SelectAll().matches)
+        assert m.run((A,) * 100) == 2
+        assert m.accepting(2)
+        assert not m.accepting(1)
+
+    def test_compiled_shares_duplicate_monitors(self):
+        c = And(Atom(A), Or(Atom(A), Atom(B)))
+        compiled = compile_constraint(c)
+        assert len(compiled.monitors) == 2
+
+    def test_state_space(self):
+        c = And(Atom(A), Count(0, 2, SelectAll()))
+        compiled = compile_constraint(c)
+        assert compiled.state_space() == 2 * 4
+
+    @given(
+        strat.constraints(max_leaves=8, expressible_only=False),
+        strat.traces_over_alphabet(8),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_monitor_semantics_matches_definition(self, constraint, trace):
+        """The compiled monitor evaluation agrees with the direct
+        recursive Definition 3.6 evaluation on every trace."""
+        compiled = compile_constraint(constraint)
+        assert compiled.satisfied_by(trace) == trace_satisfies(trace, constraint)

@@ -1,0 +1,128 @@
+"""Tests for static analyses over SRAL programs."""
+
+import pytest
+from hypothesis import given, settings
+
+import tests.strategies as strat
+from repro.errors import TraceModelError
+from repro.sral.analysis import (
+    alphabet,
+    assigned_variables,
+    channels_used,
+    count_nodes,
+    free_variables,
+    has_loops,
+    has_parallelism,
+    is_finite,
+    max_trace_length,
+    operations_used,
+    resources_used,
+    servers_visited,
+    signals_used,
+)
+from repro.sral.ast import Access, walk
+from repro.sral.parser import parse_program
+
+PROG = parse_program(
+    """
+    read manifest @ s1 ;
+    ch ? x ;
+    if x > 0 then write report @ s2 else exec tool @ s1 ;
+    ch2 ! x + y ;
+    signal(done) ;
+    wait(ready) ;
+    n := n + 1 ;
+    while n < 3 do read extra @ s3
+    """
+)
+
+
+class TestProjections:
+    def test_alphabet(self):
+        assert alphabet(PROG) == {
+            ("read", "manifest", "s1"),
+            ("write", "report", "s2"),
+            ("exec", "tool", "s1"),
+            ("read", "extra", "s3"),
+        }
+
+    def test_servers_visited(self):
+        assert servers_visited(PROG) == {"s1", "s2", "s3"}
+
+    def test_resources_used(self):
+        assert resources_used(PROG) == {"manifest", "report", "tool", "extra"}
+
+    def test_operations_used(self):
+        assert operations_used(PROG) == {"read", "write", "exec"}
+
+    def test_channels_used(self):
+        assert channels_used(PROG) == {"ch", "ch2"}
+
+    def test_signals_used(self):
+        assert signals_used(PROG) == {"done", "ready"}
+
+    def test_free_variables(self):
+        assert free_variables(PROG) == {"x", "y", "n"}
+
+    def test_assigned_variables(self):
+        assert assigned_variables(PROG) == {"x", "n"}
+
+
+class TestShape:
+    def test_has_loops(self):
+        assert has_loops(PROG)
+        assert not has_loops(parse_program("read r1 @ s1"))
+
+    def test_has_parallelism(self):
+        assert not has_parallelism(PROG)
+        assert has_parallelism(parse_program("read r1 @ s1 || read r2 @ s2"))
+
+    def test_is_finite_iff_loop_free(self):
+        assert not is_finite(PROG)
+        assert is_finite(parse_program("read r1 @ s1 ; read r2 @ s2"))
+
+    def test_max_trace_length_seq(self):
+        p = parse_program("read r1 @ s1 ; read r2 @ s2 ; skip")
+        assert max_trace_length(p) == 2
+
+    def test_max_trace_length_if_takes_max(self):
+        p = parse_program(
+            "if c then { read r1 @ s1 ; read r2 @ s2 } else read r3 @ s3"
+        )
+        assert max_trace_length(p) == 2
+
+    def test_max_trace_length_par_adds(self):
+        p = parse_program("read r1 @ s1 || { read r2 @ s2 ; read r3 @ s3 }")
+        assert max_trace_length(p) == 3
+
+    def test_max_trace_length_ignores_non_accesses(self):
+        p = parse_program("ch ? x ; signal(e) ; x := 1")
+        assert max_trace_length(p) == 0
+
+    def test_max_trace_length_rejects_loops(self):
+        with pytest.raises(TraceModelError):
+            max_trace_length(PROG)
+
+    def test_count_nodes(self):
+        census = count_nodes(parse_program("read r1 @ s1 ; read r2 @ s1"))
+        assert census["Access"] == 2
+        assert census["Seq"] == 1
+
+
+class TestProperties:
+    @given(strat.programs(max_leaves=14))
+    @settings(max_examples=150, deadline=None)
+    def test_alphabet_matches_walk(self, program):
+        expected = {n.key() for n in walk(program) if isinstance(n, Access)}
+        assert alphabet(program) == expected
+
+    @given(strat.loop_free_programs(max_leaves=10))
+    @settings(max_examples=150, deadline=None)
+    def test_loop_free_programs_are_finite(self, program):
+        assert is_finite(program)
+        assert max_trace_length(program) >= 0
+
+    @given(strat.programs(max_leaves=12))
+    @settings(max_examples=150, deadline=None)
+    def test_servers_subset_alphabet(self, program):
+        assert servers_visited(program) == {s for (_, _, s) in alphabet(program)}

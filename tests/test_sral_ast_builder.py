@@ -1,0 +1,142 @@
+"""Tests for SRAL AST helpers and the fluent builder."""
+
+import pytest
+
+from repro.sral.ast import (
+    Access,
+    Assign,
+    BinOp,
+    IntLit,
+    Par,
+    Seq,
+    Skip,
+    Var,
+    While,
+    par,
+    program_size,
+    seq,
+    walk,
+)
+from repro.sral.builder import (
+    E,
+    access,
+    as_expr,
+    assign,
+    if_,
+    lit,
+    recv,
+    repeat,
+    send,
+    signal,
+    skip,
+    var,
+    wait,
+    while_,
+)
+from repro.sral.parser import parse_program
+from repro.sral.printer import unparse
+
+
+class TestAstHelpers:
+    def test_seq_empty_is_skip(self):
+        assert seq() == Skip()
+
+    def test_seq_single_is_identity(self):
+        a = Access("read", "r1", "s1")
+        assert seq(a) is a
+
+    def test_seq_right_associates(self):
+        a, b, c = (Access("read", r, "s1") for r in ("r1", "r2", "r3"))
+        assert seq(a, b, c) == Seq(a, Seq(b, c))
+
+    def test_par_right_associates(self):
+        a, b, c = (Access("read", r, "s1") for r in ("r1", "r2", "r3"))
+        assert par(a, b, c) == Par(a, Par(b, c))
+
+    def test_walk_visits_all_nodes(self):
+        p = parse_program("if x > 0 then read r1 @ s1 else skip")
+        names = {type(n).__name__ for n in walk(p)}
+        assert {"If", "BinOp", "Var", "IntLit", "Access", "Skip"} <= names
+
+    def test_program_size_counts_exprs(self):
+        p = parse_program("x := 1 + 2")
+        # Assign, BinOp, IntLit, IntLit
+        assert program_size(p) == 4
+
+    def test_access_validates_identifiers(self):
+        with pytest.raises(ValueError):
+            Access("", "r1", "s1")
+        with pytest.raises(ValueError):
+            Access("read", "", "s1")
+        with pytest.raises(ValueError):
+            Access("read", "r1", "")
+
+    def test_nodes_are_hashable_and_comparable(self):
+        a1 = Access("read", "r1", "s1")
+        a2 = Access("read", "r1", "s1")
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+        assert len({a1, a2}) == 1
+
+    def test_str_is_concrete_syntax(self):
+        assert str(Access("read", "r1", "s1")) == "read r1 @ s1"
+
+
+class TestBuilder:
+    def test_expression_operators(self):
+        e = (var("n") + 1) * 2 < var("m")
+        assert isinstance(e, E)
+        assert e.node == BinOp(
+            "<",
+            BinOp("*", BinOp("+", Var("n"), IntLit(1)), IntLit(2)),
+            Var("m"),
+        )
+
+    def test_reflected_operators(self):
+        assert (1 + var("x")).node == BinOp("+", IntLit(1), Var("x"))
+        assert (3 - var("x")).node == BinOp("-", IntLit(3), Var("x"))
+        assert (2 * var("x")).node == BinOp("*", IntLit(2), Var("x"))
+
+    def test_boolean_operators(self):
+        e = (var("a") < 1) & ~(var("b") > 2) | lit(True)
+        src = unparse(assign("t", e))
+        assert parse_program(src) == assign("t", e)
+
+    def test_eq_ne_methods(self):
+        assert var("x").eq(3).node == BinOp("==", Var("x"), IntLit(3))
+        assert var("x").ne(3).node == BinOp("!=", Var("x"), IntLit(3))
+
+    def test_as_expr_coercions(self):
+        assert as_expr(5) == IntLit(5)
+        assert as_expr(True).value is True
+        assert as_expr("s").value == "s"
+        with pytest.raises(TypeError):
+            as_expr(3.14)
+
+    def test_if_without_else_defaults_to_skip(self):
+        node = if_(var("x") > 0, access("read", "r1", "s1"))
+        assert node.orelse == Skip()
+
+    def test_statement_builders_round_trip(self):
+        prog = seq(
+            access("read", "manifest", "s1"),
+            recv("ch", "x"),
+            send("ch", var("x") + 1),
+            signal("done"),
+            wait("ready"),
+            assign("n", 0),
+            while_(var("n") < 3, assign("n", var("n") + 1)),
+            skip(),
+        )
+        assert parse_program(unparse(prog)) == prog
+
+    def test_repeat_expands_to_counted_while(self):
+        body = access("exec", "tool", "s1")
+        prog = repeat("i", 3, body)
+        assert isinstance(prog, Seq)
+        assert prog.first == Assign("i", IntLit(0))
+        assert isinstance(prog.second, While)
+
+    def test_repeat_round_trips(self):
+        prog = repeat("i", 5, access("read", "r1", "s2"))
+        assert parse_program(unparse(prog)) == prog

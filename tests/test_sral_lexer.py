@@ -1,0 +1,130 @@
+"""Unit tests for the SRAL/SRAC lexer."""
+
+import pytest
+
+from repro.errors import SralSyntaxError
+from repro.sral.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "EOF"
+
+    def test_identifier(self):
+        assert values("hello") == ["hello"]
+        assert kinds("hello") == ["IDENT", "EOF"]
+
+    def test_identifier_with_dots_and_underscores(self):
+        assert values("song.wayne.edu my_res") == ["song.wayne.edu", "my_res"]
+
+    def test_identifier_does_not_end_with_dot(self):
+        # trailing dot is pushed back as punctuation-like; there is no '.'
+        # punct, so this must fail loudly rather than mis-lex
+        with pytest.raises(SralSyntaxError):
+            tokenize("abc.")
+
+    def test_keywords_are_distinguished(self):
+        toks = tokenize("if then else while do signal wait skip true false and or not")
+        assert all(t.kind == "KEYWORD" for t in toks[:-1])
+
+    def test_integer(self):
+        toks = tokenize("042 7")
+        assert (toks[0].kind, toks[0].value) == ("INT", "042")
+        assert (toks[1].kind, toks[1].value) == ("INT", "7")
+
+    def test_string_literal(self):
+        toks = tokenize('"yellow page"')
+        assert toks[0].kind == "STRING"
+        assert toks[0].value == "yellow page"
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\"b\\c"')
+        assert toks[0].value == 'a"b\\c'
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(SralSyntaxError):
+            tokenize(r'"a\nb"')
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(SralSyntaxError):
+            tokenize('"oops')
+
+    def test_unterminated_string_at_newline_rejected(self):
+        with pytest.raises(SralSyntaxError):
+            tokenize('"oops\n"')
+
+
+class TestPunctuation:
+    def test_access_syntax(self):
+        assert values("read r1 @ s1") == ["read", "r1", "@", "s1"]
+
+    def test_multichar_operators_maximal_munch(self):
+        assert values("|| := -> <-> >> <= >= == !=") == [
+            "||",
+            ":=",
+            "->",
+            "<->",
+            ">>",
+            "<=",
+            ">=",
+            "==",
+            "!=",
+        ]
+
+    def test_single_less_than_vs_arrow(self):
+        assert values("a < b") == ["a", "<", "b"]
+        assert values("a <- b") == ["a", "<", "-", "b"]
+
+    def test_channel_operators(self):
+        assert values("ch ? x ; ch ! 3") == ["ch", "?", "x", ";", "ch", "!", "3"]
+
+    def test_srac_operators(self):
+        assert values("~ a & b | c") == ["~", "a", "&", "b", "|", "c"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SralSyntaxError) as err:
+            tokenize("a $ b")
+        assert "$" in str(err.value)
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert values("a // comment here\nb") == ["a", "b"]
+
+    def test_comment_at_end_of_input(self):
+        assert values("a // trailing") == ["a"]
+
+    def test_division_is_not_comment(self):
+        assert values("a / b") == ["a", "/", "b"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("ab\n  cd")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(SralSyntaxError) as err:
+            tokenize("x\n  $")
+        assert err.value.line == 2
+        assert err.value.column == 3
+
+    def test_token_helpers(self):
+        t = Token("PUNCT", ";", 1, 1)
+        assert t.is_punct(";")
+        assert not t.is_punct(",")
+        assert not t.is_keyword(";")
+        k = Token("KEYWORD", "if", 1, 1)
+        assert k.is_keyword("if")
+        assert not k.is_punct("if")

@@ -1,0 +1,200 @@
+"""Unit tests for the SRAL parser."""
+
+import pytest
+
+from repro.errors import SralSyntaxError
+from repro.sral.ast import (
+    Access,
+    Assign,
+    BinOp,
+    BoolLit,
+    If,
+    IntLit,
+    Par,
+    Receive,
+    Send,
+    Seq,
+    Signal,
+    Skip,
+    StrLit,
+    UnaryOp,
+    Var,
+    Wait,
+    While,
+)
+from repro.sral.parser import parse_expr, parse_program
+
+
+class TestPrimitives:
+    def test_access(self):
+        assert parse_program("read r1 @ s1") == Access("read", "r1", "s1")
+
+    def test_receive(self):
+        assert parse_program("ch ? x") == Receive("ch", "x")
+
+    def test_send(self):
+        assert parse_program("ch ! 5") == Send("ch", IntLit(5))
+
+    def test_send_expression_payload(self):
+        assert parse_program("ch ! x + 1") == Send(
+            "ch", BinOp("+", Var("x"), IntLit(1))
+        )
+
+    def test_signal_and_wait(self):
+        assert parse_program("signal(done)") == Signal("done")
+        assert parse_program("wait(ready)") == Wait("ready")
+
+    def test_skip(self):
+        assert parse_program("skip") == Skip()
+
+    def test_assign(self):
+        assert parse_program("x := 3 * y") == Assign(
+            "x", BinOp("*", IntLit(3), Var("y"))
+        )
+
+
+class TestComposition:
+    def test_seq_left_associates(self):
+        p = parse_program("read r1 @ s1 ; read r2 @ s1 ; read r3 @ s2")
+        assert p == Seq(
+            Seq(Access("read", "r1", "s1"), Access("read", "r2", "s1")),
+            Access("read", "r3", "s2"),
+        )
+
+    def test_par_binds_looser_than_seq(self):
+        p = parse_program("read r1 @ s1 ; read r2 @ s1 || read r3 @ s2")
+        assert isinstance(p, Par)
+        assert isinstance(p.left, Seq)
+        assert p.right == Access("read", "r3", "s2")
+
+    def test_parenthesized_par_inside_seq(self):
+        p = parse_program("(read r1 @ s1 || read r2 @ s2) ; read r3 @ s3")
+        assert isinstance(p, Seq)
+        assert isinstance(p.first, Par)
+
+    def test_braces_group(self):
+        p = parse_program("{ read r1 @ s1 ; read r2 @ s2 }")
+        assert isinstance(p, Seq)
+
+    def test_if_then_else(self):
+        p = parse_program("if x > 0 then write r2 @ s2 else write r3 @ s3")
+        assert p == If(
+            BinOp(">", Var("x"), IntLit(0)),
+            Access("write", "r2", "s2"),
+            Access("write", "r3", "s3"),
+        )
+
+    def test_dangling_else_binds_inner(self):
+        p = parse_program(
+            "if x > 0 then if y > 0 then read r1 @ s1 else read r2 @ s2 else read r3 @ s3"
+        )
+        assert isinstance(p, If)
+        assert isinstance(p.then, If)
+        assert p.orelse == Access("read", "r3", "s3")
+
+    def test_while(self):
+        p = parse_program("while n < 3 do { exec tool @ s1 ; n := n + 1 }")
+        assert isinstance(p, While)
+        assert p.cond == BinOp("<", Var("n"), IntLit(3))
+        assert isinstance(p.body, Seq)
+
+    def test_while_single_statement_body(self):
+        p = parse_program("while true do read r1 @ s1 ; read r2 @ s2")
+        # ';' continues the outer sequence: body is the single access
+        assert isinstance(p, Seq)
+        assert isinstance(p.first, While)
+        assert p.first.body == Access("read", "r1", "s1")
+
+    def test_paper_style_program(self):
+        source = """
+        // auditor roams s1..s2 verifying modules
+        read manifest @ s1 ;
+        if x > 0 then write r2 @ s2 else write r3 @ s2 ;
+        while n < 2 do {
+            exec hashtool @ s1 ;
+            n := n + 1
+        } ;
+        signal(done)
+        """
+        p = parse_program(source)
+        assert isinstance(p, Seq)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        assert parse_expr("1 + 2 * 3") == BinOp(
+            "+", IntLit(1), BinOp("*", IntLit(2), IntLit(3))
+        )
+
+    def test_precedence_add_over_cmp(self):
+        assert parse_expr("x + 1 < y") == BinOp(
+            "<", BinOp("+", Var("x"), IntLit(1)), Var("y")
+        )
+
+    def test_precedence_cmp_over_and_over_or(self):
+        e = parse_expr("a < b and c or d")
+        assert e == BinOp(
+            "or", BinOp("and", BinOp("<", Var("a"), Var("b")), Var("c")), Var("d")
+        )
+
+    def test_not_binds_tighter_than_and(self):
+        assert parse_expr("not a and b") == BinOp(
+            "and", UnaryOp("not", Var("a")), Var("b")
+        )
+
+    def test_unary_minus(self):
+        assert parse_expr("-x * 2") == BinOp("*", UnaryOp("-", Var("x")), IntLit(2))
+
+    def test_parentheses_override(self):
+        assert parse_expr("(1 + 2) * 3") == BinOp(
+            "*", BinOp("+", IntLit(1), IntLit(2)), IntLit(3)
+        )
+
+    def test_literals(self):
+        assert parse_expr("true") == BoolLit(True)
+        assert parse_expr("false") == BoolLit(False)
+        assert parse_expr('"hi"') == StrLit("hi")
+
+    def test_left_associativity_of_add(self):
+        assert parse_expr("1 - 2 - 3") == BinOp(
+            "-", BinOp("-", IntLit(1), IntLit(2)), IntLit(3)
+        )
+
+    def test_comparison_non_associative(self):
+        with pytest.raises(SralSyntaxError):
+            parse_expr("a < b < c")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "read r1",  # missing @ server
+            "read r1 @",  # missing server
+            "read @ s1",  # missing resource
+            "if x then read r1 @ s1",  # missing else
+            "while do read r1 @ s1",  # missing condition
+            "read r1 @ s1 ;",  # trailing separator
+            "( read r1 @ s1",  # unbalanced paren
+            "{ read r1 @ s1",  # unbalanced brace
+            "ch ?",  # missing variable
+            "ch ? 3",  # non-identifier variable
+            "signal()",  # empty signal
+            "x :=",  # missing rhs
+            "|| read r1 @ s1",  # leading operator
+            "read r1 @ s1 extra tokens @ s2 trailing",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(SralSyntaxError):
+            parse_program(bad)
+
+    def test_error_has_location(self):
+        with pytest.raises(SralSyntaxError) as err:
+            parse_program("read r1 @\n@")
+        assert err.value.line == 2
+
+    def test_keyword_cannot_be_resource(self):
+        with pytest.raises(SralSyntaxError):
+            parse_program("read while @ s1")

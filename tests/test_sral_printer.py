@@ -1,0 +1,80 @@
+"""Round-trip and formatting tests for the SRAL pretty-printer."""
+
+from hypothesis import given, settings
+
+import tests.strategies as strat
+from repro.sral.ast import Access, BinOp, IntLit, Par, Seq, Skip, Var
+from repro.sral.parser import parse_expr, parse_program
+from repro.sral.printer import format_program, unparse, unparse_expr
+
+
+class TestUnparseExamples:
+    def test_access(self):
+        assert unparse(Access("read", "r1", "s1")) == "read r1 @ s1"
+
+    def test_seq_flat(self):
+        p = parse_program("read r1 @ s1 ; read r2 @ s2 ; read r3 @ s3")
+        assert unparse(p) == "read r1 @ s1 ; read r2 @ s2 ; read r3 @ s3"
+
+    def test_right_nested_seq_parenthesized(self):
+        p = Seq(Access("read", "r1", "s1"), Seq(Access("read", "r2", "s2"), Access("read", "r3", "s3")))
+        assert unparse(p) == "read r1 @ s1 ; (read r2 @ s2 ; read r3 @ s3)"
+        assert parse_program(unparse(p)) == p
+
+    def test_par_in_seq_needs_parens(self):
+        p = Seq(Par(Access("read", "r1", "s1"), Access("read", "r2", "s2")), Skip())
+        assert unparse(p) == "(read r1 @ s1 || read r2 @ s2) ; skip"
+        assert parse_program(unparse(p)) == p
+
+    def test_expr_minimal_parens(self):
+        e = BinOp("*", BinOp("+", IntLit(1), IntLit(2)), IntLit(3))
+        assert unparse_expr(e) == "(1 + 2) * 3"
+        e2 = BinOp("+", IntLit(1), BinOp("*", IntLit(2), IntLit(3)))
+        assert unparse_expr(e2) == "1 + 2 * 3"
+
+    def test_cmp_operand_parens(self):
+        e = BinOp("<", BinOp("<", Var("a"), Var("b")), Var("c"))
+        assert unparse_expr(e) == "(a < b) < c"
+        assert parse_expr(unparse_expr(e)) == e
+
+    def test_string_escaping(self):
+        e = parse_expr(r'"a\"b\\c"')
+        assert parse_expr(unparse_expr(e)) == e
+
+
+class TestRoundTripProperties:
+    @given(strat.exprs(max_depth=4))
+    @settings(max_examples=300, deadline=None)
+    def test_expr_round_trip(self, expr):
+        assert parse_expr(unparse_expr(expr)) == expr
+
+    @given(strat.programs(max_leaves=16))
+    @settings(max_examples=300, deadline=None)
+    def test_program_round_trip(self, program):
+        assert parse_program(unparse(program)) == program
+
+    @given(strat.programs(max_leaves=12))
+    @settings(max_examples=150, deadline=None)
+    def test_format_program_round_trip(self, program):
+        assert parse_program(format_program(program)) == program
+
+
+class TestFormatProgram:
+    def test_multiline_while(self):
+        p = parse_program("while n < 3 do { exec tool @ s1 ; n := n + 1 }")
+        text = format_program(p)
+        assert "while n < 3 do {" in text
+        assert text.count("\n") >= 2
+        assert parse_program(text) == p
+
+    def test_multiline_if(self):
+        p = parse_program("if x > 0 then read r1 @ s1 else read r2 @ s2")
+        text = format_program(p)
+        assert "} else {" in text
+        assert parse_program(text) == p
+
+    def test_multiline_par(self):
+        p = parse_program("read r1 @ s1 || read r2 @ s2")
+        text = format_program(p)
+        assert "||" in text
+        assert parse_program(text) == p

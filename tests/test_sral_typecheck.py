@@ -1,0 +1,156 @@
+"""Tests for the SRAL static type checker."""
+
+import pytest
+from hypothesis import given, settings
+
+import tests.strategies as strat
+from repro.agent.interpreter import evaluate_expr, interpret
+from repro.errors import AgentError
+from repro.sral.parser import parse_expr, parse_program
+from repro.sral.typecheck import (
+    BOOL,
+    INT,
+    STR,
+    SralTypeError,
+    typecheck_expr,
+    typecheck_program,
+)
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert typecheck_expr(parse_expr("3"), {}) == INT
+        assert typecheck_expr(parse_expr("true"), {}) == BOOL
+        assert typecheck_expr(parse_expr('"s"'), {}) == STR
+
+    def test_variables(self):
+        assert typecheck_expr(parse_expr("x"), {"x": INT}) == INT
+        with pytest.raises(SralTypeError):
+            typecheck_expr(parse_expr("nope"), {})
+
+    def test_arithmetic(self):
+        assert typecheck_expr(parse_expr("1 + 2 * 3"), {}) == INT
+        assert typecheck_expr(parse_expr('"a" + "b"'), {}) == STR
+        with pytest.raises(SralTypeError):
+            typecheck_expr(parse_expr('1 + "a"'), {})
+        with pytest.raises(SralTypeError):
+            typecheck_expr(parse_expr("true + 1"), {})
+
+    def test_comparisons(self):
+        assert typecheck_expr(parse_expr("1 < 2"), {}) == BOOL
+        with pytest.raises(SralTypeError):
+            typecheck_expr(parse_expr('"a" < "b"'), {})
+
+    def test_equality_requires_same_type(self):
+        assert typecheck_expr(parse_expr("1 == 2"), {}) == BOOL
+        assert typecheck_expr(parse_expr('"a" != "b"'), {}) == BOOL
+        with pytest.raises(SralTypeError):
+            typecheck_expr(parse_expr("1 == true"), {})
+
+    def test_boolean_ops(self):
+        assert typecheck_expr(parse_expr("true and not false"), {}) == BOOL
+        with pytest.raises(SralTypeError):
+            typecheck_expr(parse_expr("1 and true"), {})
+        with pytest.raises(SralTypeError):
+            typecheck_expr(parse_expr("not 1"), {})
+
+    def test_unary_minus(self):
+        assert typecheck_expr(parse_expr("-3"), {}) == INT
+        assert typecheck_expr(parse_expr("-(1)"), {}) == INT
+        with pytest.raises(SralTypeError):
+            typecheck_expr(parse_expr("-true"), {})
+
+
+class TestPrograms:
+    def test_well_typed_program(self):
+        env = typecheck_program(
+            parse_program(
+                "n := 0 ; while n < 3 do { read r1 @ s1 ; n := n + 1 } ; "
+                "done := n == 3"
+            )
+        )
+        assert env == {"n": INT, "done": BOOL}
+
+    def test_rebinding_at_other_type_rejected(self):
+        with pytest.raises(SralTypeError):
+            typecheck_program(parse_program("x := 1 ; x := true"))
+
+    def test_condition_must_be_bool(self):
+        with pytest.raises(SralTypeError):
+            typecheck_program(parse_program("if 3 then skip else skip"))
+        with pytest.raises(SralTypeError):
+            typecheck_program(parse_program("while 3 do skip"))
+
+    def test_use_before_assignment(self):
+        with pytest.raises(SralTypeError):
+            typecheck_program(parse_program("y := x + 1"))
+
+    def test_seed_environment(self):
+        env = typecheck_program(parse_program("y := x + 1"), env={"x": INT})
+        assert env["y"] == INT
+
+    def test_branch_join_keeps_agreements_only(self):
+        env = typecheck_program(
+            parse_program(
+                'if c then { a := 1 ; b := 1 } else { a := 2 ; b := "s" }'
+            ),
+            env={"c": BOOL},
+        )
+        assert env.get("a") == INT
+        assert "b" not in env  # branches disagree
+
+    def test_channel_type_inference(self):
+        env = typecheck_program(
+            parse_program("ch ! 41 ; ch ? x ; y := x + 1")
+        )
+        assert env == {"x": INT, "y": INT}
+
+    def test_channel_type_conflict(self):
+        with pytest.raises(SralTypeError):
+            typecheck_program(parse_program('ch ! 1 ; ch ! "s"'))
+
+    def test_receive_from_unknown_channel(self):
+        with pytest.raises(SralTypeError):
+            typecheck_program(parse_program("ch ? x"))
+
+    def test_loop_second_iteration_mismatch(self):
+        # First iteration sees x:int from outside; the body re-binds it
+        # as bool, breaking iteration two.
+        with pytest.raises(SralTypeError):
+            typecheck_program(
+                parse_program("x := 1 ; while c do x := x == 1"),
+                env={"c": BOOL},
+            )
+
+    def test_par_does_not_leak_clone_bindings(self):
+        env = typecheck_program(parse_program("(x := 1 || y := 2) ; skip"))
+        assert "x" not in env and "y" not in env
+
+    def test_par_branches_still_checked(self):
+        with pytest.raises(SralTypeError):
+            typecheck_program(parse_program("(x := 1 + true || skip)"))
+
+
+class TestSoundness:
+    """If the checker accepts, the interpreter never raises a type
+    error on communication-free programs (loops bounded)."""
+
+    @given(strat.programs(max_leaves=10, with_par=False, with_comm=False))
+    @settings(max_examples=200, deadline=None)
+    def test_accepted_programs_run_clean(self, program):
+        try:
+            typecheck_program(program)
+        except SralTypeError:
+            return  # rejected: no guarantee claimed
+        gen = interpret(program, {}, max_loop_iterations=50)
+        try:
+            request = next(gen)
+            while True:
+                request = gen.send(None)
+        except StopIteration:
+            pass
+        except AgentError as error:
+            # The only permitted dynamic failures are value errors the
+            # type system does not track (division by zero, loop bound).
+            message = str(error)
+            assert "division by zero" in message or "loop iterations" in message

@@ -1,0 +1,215 @@
+"""Tests for BooleanTimeline and TimelineRecorder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TemporalError
+from repro.temporal.timeline import BooleanTimeline, TimelineRecorder
+
+
+def timelines():
+    @st.composite
+    def build(draw):
+        times = draw(
+            st.lists(
+                st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+                max_size=8,
+                unique=True,
+            )
+        )
+        initial = draw(st.booleans())
+        return BooleanTimeline(np.asarray(sorted(times)), initial)
+
+    return build()
+
+
+def brute_force_integral(tl: BooleanTimeline, b: float, e: float, steps=20000):
+    """Midpoint Riemann sum reference for the duration integral."""
+    ts = np.linspace(b, e, steps, endpoint=False) + (e - b) / (2 * steps)
+    return sum(tl.value_at(t) for t in ts) * (e - b) / steps
+
+
+class TestConstruction:
+    def test_constant(self):
+        one = BooleanTimeline.constant(True)
+        assert one.value_at(-100) and one.value_at(100)
+        zero = BooleanTimeline.constant(False)
+        assert not zero.value_at(0)
+
+    def test_from_switch_times(self):
+        tl = BooleanTimeline.from_switch_times([1.0, 3.0], initial=False)
+        assert not tl.value_at(0.5)
+        assert tl.value_at(1.0)  # right-open segments: flips at t
+        assert tl.value_at(2.9)
+        assert not tl.value_at(3.0)
+
+    def test_from_intervals(self):
+        tl = BooleanTimeline.from_intervals([(1, 2), (4, 6)])
+        assert not tl.value_at(0)
+        assert tl.value_at(1.5)
+        assert not tl.value_at(3)
+        assert tl.value_at(5)
+        assert not tl.value_at(6)
+
+    def test_from_intervals_merges_adjacent(self):
+        tl = BooleanTimeline.from_intervals([(1, 2), (2, 3)])
+        assert tl == BooleanTimeline.from_intervals([(1, 3)])
+
+    def test_from_intervals_skips_empty(self):
+        tl = BooleanTimeline.from_intervals([(1, 1), (2, 3)])
+        assert tl == BooleanTimeline.from_intervals([(2, 3)])
+
+    def test_validation(self):
+        with pytest.raises(TemporalError):
+            BooleanTimeline([2.0, 1.0], False)  # not increasing
+        with pytest.raises(TemporalError):
+            BooleanTimeline([1.0, 1.0], False)  # not strict
+        with pytest.raises(TemporalError):
+            BooleanTimeline([np.inf], False)
+        with pytest.raises(TemporalError):
+            BooleanTimeline.from_intervals([(3, 2)])
+        with pytest.raises(TemporalError):
+            BooleanTimeline.from_intervals([(1, 3), (2, 4)])  # overlap
+
+
+class TestIntegration:
+    def test_simple_interval(self):
+        tl = BooleanTimeline.from_intervals([(1, 4)])
+        assert tl.integrate(0, 5) == pytest.approx(3.0)
+        assert tl.integrate(2, 3) == pytest.approx(1.0)
+        assert tl.integrate(0, 1) == pytest.approx(0.0)
+        assert tl.integrate(4, 10) == pytest.approx(0.0)
+
+    def test_partial_overlap(self):
+        tl = BooleanTimeline.from_intervals([(1, 4)])
+        assert tl.integrate(2, 6) == pytest.approx(2.0)
+        assert tl.integrate(0, 2) == pytest.approx(1.0)
+
+    def test_degenerate_interval(self):
+        tl = BooleanTimeline.from_intervals([(1, 4)])
+        assert tl.integrate(2, 2) == 0.0
+
+    def test_bad_interval(self):
+        with pytest.raises(TemporalError):
+            BooleanTimeline.constant(True).integrate(3, 1)
+
+    @given(timelines(), st.floats(-60, 60), st.floats(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_riemann_reference(self, tl, b, width):
+        e = b + width
+        if width == 0:
+            assert tl.integrate(b, e) == 0.0
+            return
+        assert tl.integrate(b, e) == pytest.approx(
+            brute_force_integral(tl, b, e), abs=0.05 * max(1.0, width)
+        )
+
+    @given(timelines(), st.floats(-60, 60), st.floats(0, 15), st.floats(0, 15))
+    @settings(max_examples=80, deadline=None)
+    def test_additive_over_adjacent_intervals(self, tl, b, w1, w2):
+        m, e = b + w1, b + w1 + w2
+        assert tl.integrate(b, e) == pytest.approx(
+            tl.integrate(b, m) + tl.integrate(m, e)
+        )
+
+    @given(timelines(), st.floats(-60, 60), st.floats(0, 30))
+    @settings(max_examples=80, deadline=None)
+    def test_complement_integral(self, tl, b, width):
+        e = b + width
+        assert tl.integrate(b, e) + (~tl).integrate(b, e) == pytest.approx(width)
+
+
+class TestFirstTimeAccumulated:
+    def test_within_first_segment(self):
+        tl = BooleanTimeline.from_intervals([(1, 10)])
+        assert tl.first_time_accumulated(0, 3) == pytest.approx(4.0)
+
+    def test_across_gaps(self):
+        tl = BooleanTimeline.from_intervals([(0, 2), (5, 8)])
+        # 2s on, gap, then 1 more second at t=6.
+        assert tl.first_time_accumulated(0, 3) == pytest.approx(6.0)
+
+    def test_starting_mid_segment(self):
+        tl = BooleanTimeline.from_intervals([(0, 10)])
+        assert tl.first_time_accumulated(4, 2) == pytest.approx(6.0)
+
+    def test_never_reaches(self):
+        tl = BooleanTimeline.from_intervals([(0, 2)])
+        assert tl.first_time_accumulated(0, 5) is None
+
+    def test_always_on_reaches(self):
+        tl = BooleanTimeline.constant(True)
+        assert tl.first_time_accumulated(7, 3) == pytest.approx(10.0)
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(TemporalError):
+            BooleanTimeline.constant(True).first_time_accumulated(0, 0)
+
+    @given(timelines(), st.floats(-40, 40), st.floats(0.1, 20))
+    @settings(max_examples=80, deadline=None)
+    def test_consistent_with_integral(self, tl, b, budget):
+        hit = tl.first_time_accumulated(b, budget)
+        if hit is not None:
+            assert tl.integrate(b, hit) == pytest.approx(budget, abs=1e-9)
+            assert tl.integrate(b, max(b, hit - 0.01)) < budget
+
+
+class TestAlgebra:
+    def test_and_or_invert(self):
+        t1 = BooleanTimeline.from_intervals([(0, 4)])
+        t2 = BooleanTimeline.from_intervals([(2, 6)])
+        both = t1 & t2
+        either = t1 | t2
+        assert both.intervals_on(-1, 10) == [(2.0, 4.0)]
+        assert either.intervals_on(-1, 10) == [(0.0, 6.0)]
+        assert (~t1).value_at(-1) and not (~t1).value_at(1)
+
+    @given(timelines(), timelines(), st.floats(-60, 60))
+    @settings(max_examples=100, deadline=None)
+    def test_pointwise_semantics(self, t1, t2, t):
+        assert (t1 & t2).value_at(t) == (t1.value_at(t) and t2.value_at(t))
+        assert (t1 | t2).value_at(t) == (t1.value_at(t) or t2.value_at(t))
+        assert (~t1).value_at(t) == (not t1.value_at(t))
+
+    def test_intervals_on(self):
+        tl = BooleanTimeline.from_intervals([(1, 2), (3, 5)])
+        assert tl.intervals_on(0, 10) == [(1.0, 2.0), (3.0, 5.0)]
+        assert tl.intervals_on(1.5, 4) == [(1.5, 2.0), (3.0, 4.0)]
+        assert tl.intervals_on(2, 3) == []
+
+
+class TestRecorder:
+    def test_records_switches(self):
+        rec = TimelineRecorder(initial=False)
+        rec.set(1.0, True)
+        rec.set(4.0, False)
+        tl = rec.freeze()
+        assert tl == BooleanTimeline.from_intervals([(1, 4)])
+
+    def test_idempotent_sets_ignored(self):
+        rec = TimelineRecorder(initial=False)
+        rec.set(1.0, True)
+        rec.set(2.0, True)
+        rec.set(3.0, False)
+        assert rec.freeze() == BooleanTimeline.from_intervals([(1, 3)])
+
+    def test_same_instant_flip_cancels(self):
+        rec = TimelineRecorder(initial=False)
+        rec.set(1.0, True)
+        rec.set(1.0, False)
+        tl = rec.freeze()
+        assert tl == BooleanTimeline.constant(False)
+
+    def test_out_of_order_rejected(self):
+        rec = TimelineRecorder()
+        rec.set(5.0, True)
+        with pytest.raises(TemporalError):
+            rec.set(4.0, False)
+
+    def test_current_tracks_state(self):
+        rec = TimelineRecorder(initial=True)
+        assert rec.current
+        rec.set(0.0, False)
+        assert not rec.current

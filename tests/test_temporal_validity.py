@@ -1,0 +1,233 @@
+"""Tests for permission validity tracking (Eq. 4.1, Theorem 4.1)."""
+
+import math
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.sral.parser import parse_program
+from repro.srac.ast import Top
+from repro.srac.parser import parse_constraint
+from repro.temporal.checker import check_validity
+from repro.temporal.duration import (
+    Chop,
+    DCAnd,
+    DCNot,
+    DCOr,
+    DurationAtLeast,
+    DurationAtMost,
+    Everywhere,
+    Somewhere,
+    evaluate,
+)
+from repro.temporal.timeline import BooleanTimeline
+from repro.temporal.validity import PermissionState, Scheme, ValidityTracker
+
+
+class TestStates:
+    def test_initially_inactive(self):
+        tracker = ValidityTracker(duration=10.0)
+        assert tracker.state(0.0) is PermissionState.INACTIVE
+        assert not tracker.is_valid(1.0)
+
+    def test_activation_makes_valid(self):
+        tracker = ValidityTracker(duration=10.0)
+        tracker.activate(2.0)
+        assert tracker.state(3.0) is PermissionState.VALID
+
+    def test_expiry_makes_active_invalid(self):
+        tracker = ValidityTracker(duration=5.0)
+        tracker.activate(0.0)
+        assert tracker.state(4.999) is PermissionState.VALID
+        assert tracker.state(5.0) is PermissionState.ACTIVE_INVALID
+        assert tracker.state(100.0) is PermissionState.ACTIVE_INVALID
+
+    def test_deactivate_returns_to_inactive(self):
+        tracker = ValidityTracker(duration=10.0)
+        tracker.activate(0.0)
+        tracker.deactivate(3.0)
+        assert tracker.state(4.0) is PermissionState.INACTIVE
+
+    def test_budget_not_consumed_while_inactive(self):
+        tracker = ValidityTracker(duration=5.0)
+        tracker.activate(0.0)
+        tracker.deactivate(2.0)  # consumed 2
+        tracker.activate(50.0)
+        assert tracker.state(52.9) is PermissionState.VALID
+        assert tracker.state(53.0) is PermissionState.ACTIVE_INVALID
+
+    def test_infinite_duration_never_expires(self):
+        tracker = ValidityTracker(duration=math.inf)
+        tracker.activate(0.0)
+        assert tracker.state(1e12) is PermissionState.VALID
+        assert tracker.expiry_time() is None
+        assert tracker.remaining_budget() == math.inf
+
+    def test_double_activate_is_idempotent(self):
+        tracker = ValidityTracker(duration=5.0)
+        tracker.activate(0.0)
+        tracker.activate(1.0)
+        assert tracker.state(4.9) is PermissionState.VALID
+
+    def test_validation(self):
+        with pytest.raises(TemporalError):
+            ValidityTracker(duration=0.0)
+        with pytest.raises(TemporalError):
+            ValidityTracker(duration=-1.0)
+        tracker = ValidityTracker(duration=1.0)
+        tracker.activate(5.0)
+        with pytest.raises(TemporalError):
+            tracker.deactivate(4.0)  # time went backwards
+
+
+class TestExpiryAndBudget:
+    def test_expiry_time(self):
+        tracker = ValidityTracker(duration=5.0)
+        tracker.activate(2.0)
+        assert tracker.expiry_time() == pytest.approx(7.0)
+
+    def test_expiry_time_accounts_for_consumption(self):
+        tracker = ValidityTracker(duration=5.0)
+        tracker.activate(0.0)
+        tracker.deactivate(2.0)
+        tracker.activate(10.0)
+        assert tracker.expiry_time() == pytest.approx(13.0)
+
+    def test_expiry_none_when_inactive_or_expired(self):
+        tracker = ValidityTracker(duration=5.0)
+        assert tracker.expiry_time() is None
+        tracker.activate(0.0)
+        tracker.state(10.0)
+        assert tracker.expiry_time() is None
+
+    def test_remaining_budget(self):
+        tracker = ValidityTracker(duration=5.0)
+        tracker.activate(0.0)
+        assert tracker.remaining_budget(3.0) == pytest.approx(2.0)
+        assert tracker.remaining_budget(9.0) == 0.0
+
+
+class TestSchemes:
+    def test_scheme_a_resets_on_migration(self):
+        """t_b = t_i: per-server budget (Section 4, first scheme)."""
+        tracker = ValidityTracker(duration=5.0, scheme=Scheme.PER_SERVER)
+        tracker.activate(0.0)
+        assert tracker.state(4.9) is PermissionState.VALID
+        tracker.migrate(6.0)  # budget was exhausted at t=5...
+        assert tracker.state(6.5) is PermissionState.VALID  # ...but resets
+        assert tracker.state(11.0) is PermissionState.ACTIVE_INVALID
+
+    def test_scheme_b_spans_migrations(self):
+        """t_b = t_1: whole-execution budget (Section 4, second scheme)."""
+        tracker = ValidityTracker(duration=5.0, scheme=Scheme.WHOLE_EXECUTION)
+        tracker.activate(0.0)
+        tracker.migrate(3.0)
+        assert tracker.state(4.9) is PermissionState.VALID
+        assert tracker.state(5.0) is PermissionState.ACTIVE_INVALID
+        tracker.migrate(6.0)
+        assert tracker.state(7.0) is PermissionState.ACTIVE_INVALID
+
+    def test_migration_while_inactive(self):
+        tracker = ValidityTracker(duration=5.0, scheme=Scheme.PER_SERVER)
+        tracker.activate(0.0)
+        tracker.deactivate(4.99)
+        tracker.migrate(10.0)
+        tracker.activate(11.0)
+        assert tracker.state(15.9) is PermissionState.VALID
+
+
+class TestTimelineConsistency:
+    def test_recorded_valid_matches_integral_semantics(self):
+        """Eq. 4.1: valid(perm,t)=1 exactly while active with budget,
+        and the accumulated integral never exceeds dur(perm)."""
+        tracker = ValidityTracker(duration=5.0)
+        tracker.activate(1.0)
+        tracker.deactivate(3.0)  # 2 consumed
+        tracker.activate(4.0)
+        tracker.state(20.0)  # expiry at t=7
+        timeline = tracker.valid_timeline()
+        assert timeline == BooleanTimeline.from_intervals([(1, 3), (4, 7)])
+        assert timeline.integrate(0, 20) == pytest.approx(5.0)
+
+    def test_valid_implies_active(self):
+        tracker = ValidityTracker(duration=3.0)
+        tracker.activate(1.0)
+        tracker.deactivate(2.0)
+        tracker.activate(5.0)
+        tracker.state(30.0)
+        valid = tracker.valid_timeline()
+        active = tracker.active_timeline()
+        for t in (0.5, 1.5, 3.0, 5.5, 7.5, 20.0):
+            if valid.value_at(t):
+                assert active.value_at(t)
+
+
+class TestDurationCalculus:
+    STATE = BooleanTimeline.from_intervals([(0, 2), (5, 8)])
+
+    def test_duration_bounds(self):
+        assert evaluate(DurationAtLeast(self.STATE, 5.0), 0, 10)
+        assert not evaluate(DurationAtLeast(self.STATE, 5.1), 0, 10)
+        assert evaluate(DurationAtMost(self.STATE, 5.0), 0, 10)
+        assert not evaluate(DurationAtMost(self.STATE, 4.9), 0, 10)
+
+    def test_everywhere(self):
+        assert evaluate(Everywhere(self.STATE), 0, 2)
+        assert evaluate(Everywhere(self.STATE), 5.5, 7.5)
+        assert not evaluate(Everywhere(self.STATE), 1, 3)
+        assert not evaluate(Everywhere(self.STATE), 2, 2)  # point interval
+
+    def test_somewhere(self):
+        assert evaluate(Somewhere(self.STATE), 1.9, 4)
+        assert not evaluate(Somewhere(self.STATE), 2.5, 4.5)
+
+    def test_boolean_connectives(self):
+        f = DCAnd(Somewhere(self.STATE), DCNot(Everywhere(self.STATE)))
+        assert evaluate(f, 1, 3)
+        g = DCOr(Everywhere(self.STATE), Somewhere(self.STATE))
+        assert evaluate(g, 0, 1)
+
+    def test_chop(self):
+        # [0,8] splits at 2: everywhere-on ; then at most 1s on in [2,?]..
+        f = Chop(Everywhere(self.STATE), DurationAtMost(self.STATE, 3.0))
+        assert evaluate(f, 0, 8)
+        g = Chop(Everywhere(self.STATE), DurationAtLeast(self.STATE, 3.1))
+        assert not evaluate(g, 0, 8)
+
+    def test_bad_interval(self):
+        with pytest.raises(TemporalError):
+            evaluate(Somewhere(self.STATE), 5, 3)
+
+
+class TestCheckValidity:
+    def test_combined_decision(self):
+        program = parse_program("exec rsw @ s2")
+        constraint = parse_constraint("count(0, 5, [res = rsw])")
+        valid = BooleanTimeline.from_intervals([(0, 4)])
+        decision = check_validity(
+            program, constraint, valid, t_b=0.0, t=10.0, duration=5.0
+        )
+        assert decision.holds
+        assert decision.accumulated == pytest.approx(4.0)
+
+    def test_temporal_violation(self):
+        program = parse_program("exec rsw @ s2")
+        valid = BooleanTimeline.from_intervals([(0, 7)])
+        decision = check_validity(program, Top(), valid, 0.0, 10.0, duration=5.0)
+        assert not decision.holds
+        assert decision.spatial_ok
+        assert not decision.temporal_ok
+
+    def test_spatial_violation(self):
+        from repro.traces.trace import AccessKey
+
+        program = parse_program("exec rsw @ s2")
+        constraint = parse_constraint("count(0, 5, [res = rsw])")
+        history = (AccessKey("exec", "rsw", "s1"),) * 5
+        valid = BooleanTimeline.from_intervals([(0, 1)])
+        decision = check_validity(
+            program, constraint, valid, 0.0, 10.0, duration=5.0, history=history
+        )
+        assert not decision.holds
+        assert not decision.spatial_ok
+        assert decision.temporal_ok

@@ -1,0 +1,143 @@
+"""Algebraic laws of the trace-model operators (Definition 3.2/3.3).
+
+Trace models under (∪, ·) form an idempotent semiring with {ε} as the
+multiplicative unit and ∅ as the additive unit/annihilator; interleaving
+(#) is commutative, associative and distributes over union; Kleene
+closure satisfies the standard unrolling identities.  These laws are
+what make the constraint checker's automaton constructions valid, so we
+machine-check them on random small models.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.model import TraceModel
+from repro.traces.trace import AccessKey
+
+A = AccessKey("read", "r1", "s1")
+B = AccessKey("write", "r2", "s1")
+C = AccessKey("exec", "r3", "s2")
+
+
+def models(max_traces=3, max_len=3):
+    """Random finite trace models over a 3-symbol alphabet."""
+    traces = st.lists(
+        st.lists(st.sampled_from([A, B, C]), max_size=max_len).map(tuple),
+        min_size=0,
+        max_size=max_traces,
+    )
+    return traces.map(TraceModel.of_traces)
+
+
+EPSILON = TraceModel.empty_trace()
+ZERO = TraceModel.nothing()
+
+
+class TestSemiringLaws:
+    @given(models(), models())
+    @settings(max_examples=80, deadline=None)
+    def test_union_commutative(self, x, y):
+        assert x.union(y).equals(y.union(x))
+
+    @given(models(), models(), models())
+    @settings(max_examples=60, deadline=None)
+    def test_union_associative(self, x, y, z):
+        assert x.union(y).union(z).equals(x.union(y.union(z)))
+
+    @given(models())
+    @settings(max_examples=60, deadline=None)
+    def test_union_idempotent_and_identity(self, x):
+        assert x.union(x).equals(x)
+        assert x.union(ZERO).equals(x)
+
+    @given(models(), models(), models())
+    @settings(max_examples=60, deadline=None)
+    def test_concat_associative(self, x, y, z):
+        assert x.concat(y).concat(z).equals(x.concat(y.concat(z)))
+
+    @given(models())
+    @settings(max_examples=60, deadline=None)
+    def test_concat_identity_and_annihilator(self, x):
+        assert x.concat(EPSILON).equals(x)
+        assert EPSILON.concat(x).equals(x)
+        assert x.concat(ZERO).equals(ZERO)
+        assert ZERO.concat(x).equals(ZERO)
+
+    @given(models(), models(), models())
+    @settings(max_examples=60, deadline=None)
+    def test_concat_distributes_over_union(self, x, y, z):
+        left = x.concat(y.union(z))
+        right = x.concat(y).union(x.concat(z))
+        assert left.equals(right)
+        left2 = y.union(z).concat(x)
+        right2 = y.concat(x).union(z.concat(x))
+        assert left2.equals(right2)
+
+
+class TestInterleavingLaws:
+    @given(models(2, 2), models(2, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_commutative(self, x, y):
+        assert x.interleave(y).equals(y.interleave(x))
+
+    @given(models(2, 2), models(2, 2), models(2, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_associative(self, x, y, z):
+        left = x.interleave(y).interleave(z)
+        right = x.interleave(y.interleave(z))
+        assert left.equals(right)
+
+    @given(models(2, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_epsilon_identity(self, x):
+        assert x.interleave(EPSILON).equals(x)
+
+    @given(models(2, 2), models(2, 2), models(2, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_distributes_over_union(self, x, y, z):
+        left = x.interleave(y.union(z))
+        right = x.interleave(y).union(x.interleave(z))
+        assert left.equals(right)
+
+    @given(models(2, 2), models(2, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_contains_both_concatenations(self, x, y):
+        shuffled = x.interleave(y)
+        assert x.concat(y).included_in(shuffled)
+        assert y.concat(x).included_in(shuffled)
+
+
+class TestStarLaws:
+    @given(models(2, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_unrolling(self, x):
+        """x* = ε ∪ x·x*"""
+        star = x.star()
+        unrolled = EPSILON.union(x.concat(star))
+        assert star.equals(unrolled)
+
+    @given(models(2, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_star_of_star(self, x):
+        star = x.star()
+        assert star.star().equals(star)
+
+    @given(models(2, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_star_contains_powers(self, x):
+        star = x.star()
+        assert EPSILON.included_in(star)
+        assert x.included_in(star)
+        assert x.concat(x).included_in(star)
+
+    def test_empty_star_is_epsilon(self):
+        assert ZERO.star().equals(EPSILON)
+        assert EPSILON.star().equals(EPSILON)
+
+    @given(models(2, 2), models(2, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_denesting(self, x, y):
+        """(x ∪ y)* = (x* · y*)*"""
+        left = x.union(y).star()
+        right = x.star().concat(y.star()).star()
+        assert left.equals(right)

@@ -1,0 +1,204 @@
+"""Tests for TraceModel and program_traces (Definition 3.2)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+import tests.strategies as strat
+from repro.errors import TraceModelError
+from repro.sral.parser import parse_program
+from repro.traces.model import TraceModel, program_traces
+from repro.traces.trace import AccessKey, interleavings
+
+A = AccessKey("read", "r1", "s1")
+B = AccessKey("write", "r2", "s1")
+C = AccessKey("exec", "r3", "s2")
+
+
+class TestConstructors:
+    def test_single(self):
+        m = TraceModel.single(A)
+        assert (A,) in m
+        assert () not in m
+        assert (A, A) not in m
+
+    def test_empty_trace_model(self):
+        m = TraceModel.empty_trace()
+        assert () in m
+        assert (A,) not in m
+
+    def test_nothing(self):
+        m = TraceModel.nothing()
+        assert m.is_empty()
+        assert () not in m
+
+    def test_of_traces(self):
+        m = TraceModel.of_traces([(A, B), (C,)])
+        assert (A, B) in m
+        assert (C,) in m
+        assert (A,) not in m
+        assert m.all_traces() == {(A, B), (C,)}
+
+
+class TestAlgebra:
+    def test_concat(self):
+        m = TraceModel.single(A).concat(TraceModel.single(B))
+        assert m.all_traces() == {(A, B)}
+
+    def test_union(self):
+        m = TraceModel.single(A).union(TraceModel.single(B))
+        assert m.all_traces() == {(A,), (B,)}
+
+    def test_star_contains_all_powers(self):
+        m = TraceModel.single(A).star()
+        for k in range(5):
+            assert (A,) * k in m
+        assert not m.is_finite()
+
+    def test_interleave_matches_paper_example(self):
+        # traces(a1 ; a2) interleaved with {<b>}
+        left = TraceModel.of_traces([(A, B)])
+        right = TraceModel.single(C)
+        m = left.interleave(right)
+        assert m.all_traces() == set(interleavings((A, B), (C,)))
+
+    def test_interleave_with_empty_trace_is_identity(self):
+        left = TraceModel.of_traces([(A, B), (C,)])
+        m = left.interleave(TraceModel.empty_trace())
+        assert m.equals(left)
+
+    def test_concat_identity(self):
+        left = TraceModel.of_traces([(A,), (B, C)])
+        assert left.concat(TraceModel.empty_trace()).equals(left)
+        assert TraceModel.empty_trace().concat(left).equals(left)
+
+    def test_union_idempotent(self):
+        m = TraceModel.of_traces([(A,), (B,)])
+        assert m.union(m).equals(m)
+
+    def test_star_idempotent(self):
+        m = TraceModel.single(A).star()
+        assert m.star().equals(m)
+
+
+class TestDecisionProcedures:
+    def test_equality_is_by_language(self):
+        # a ; (b|c) == (a;b) | (a;c)
+        m1 = TraceModel.single(A).concat(
+            TraceModel.single(B).union(TraceModel.single(C))
+        )
+        m2 = TraceModel.of_traces([(A, B)]).union(TraceModel.of_traces([(A, C)]))
+        assert m1 == m2
+        assert hash(m1) == hash(m2)
+
+    def test_inclusion(self):
+        small = TraceModel.of_traces([(A,)])
+        big = TraceModel.single(A).star()
+        assert small.included_in(big)
+        assert not big.included_in(small)
+
+    def test_is_finite(self):
+        assert TraceModel.of_traces([(A, B), ()]).is_finite()
+        assert not TraceModel.single(A).star().is_finite()
+
+    def test_all_traces_rejects_infinite(self):
+        with pytest.raises(TraceModelError):
+            TraceModel.single(A).star().all_traces()
+
+    def test_enumerate_ordered_by_length(self):
+        m = TraceModel.single(A).star()
+        words = list(m.enumerate(3))
+        assert words == [(), (A,), (A, A), (A, A, A)]
+
+    def test_shortest_trace(self):
+        m = TraceModel.of_traces([(A, B), (C,)])
+        assert m.shortest_trace() == (C,)
+        assert TraceModel.nothing().shortest_trace() is None
+
+
+class TestProgramTraces:
+    def test_single_access(self):
+        m = program_traces(parse_program("read r1 @ s1"))
+        assert m.all_traces() == {(A,)}
+
+    def test_seq(self):
+        m = program_traces(parse_program("read r1 @ s1 ; write r2 @ s1"))
+        assert m.all_traces() == {(A, B)}
+
+    def test_if_is_union(self):
+        m = program_traces(
+            parse_program("if x > 0 then read r1 @ s1 else write r2 @ s1")
+        )
+        assert m.all_traces() == {(A,), (B,)}
+
+    def test_while_is_star(self):
+        m = program_traces(parse_program("while c do read r1 @ s1"))
+        assert not m.is_finite()
+        assert () in m
+        assert (A, A, A) in m
+
+    def test_par_is_interleaving(self):
+        m = program_traces(parse_program("read r1 @ s1 || write r2 @ s1"))
+        assert m.all_traces() == {(A, B), (B, A)}
+
+    def test_non_access_statements_are_invisible(self):
+        m = program_traces(
+            parse_program("ch ? x ; ch ! 1 ; signal(e) ; wait(e) ; n := 2 ; skip")
+        )
+        assert m.all_traces() == {()}
+
+    def test_paper_example_traces_a1_a2(self):
+        # "traces(a1 ; a2) = {<a1, a2>}" from Section 3.2
+        m = program_traces(parse_program("read r1 @ s1 ; write r2 @ s1"))
+        assert m.all_traces() == {(A, B)}
+
+    def test_nested_loop_and_choice(self):
+        p = parse_program("while c do { if d then read r1 @ s1 else write r2 @ s1 }")
+        m = program_traces(p)
+        # Any word over {A, B} is a trace.
+        for word in itertools.product([A, B], repeat=3):
+            assert word in m
+
+    @given(strat.loop_free_programs(max_leaves=6))
+    @settings(max_examples=80, deadline=None)
+    def test_loop_free_models_are_finite(self, program):
+        model = program_traces(program)
+        assert model.is_finite()
+        traces = model.all_traces()
+        assert traces  # every program has at least one trace
+
+    @given(strat.programs(max_leaves=8))
+    @settings(max_examples=80, deadline=None)
+    def test_trace_model_never_empty(self, program):
+        # traces(P) always contains at least one trace (possibly <>).
+        assert not program_traces(program).is_empty()
+
+    @given(strat.loop_free_programs(max_leaves=5, with_par=True))
+    @settings(max_examples=60, deadline=None)
+    def test_model_matches_explicit_enumeration(self, program):
+        """Cross-validate the automaton semantics against a direct
+        set-based evaluation of Definition 3.2 on small programs."""
+        from repro.sral.ast import Access, If, Par, Seq
+        from repro.traces.trace import interleavings as ilv
+
+        def explicit(p):
+            if isinstance(p, Access):
+                return {(AccessKey(*p.key()),)}
+            if isinstance(p, Seq):
+                return {
+                    t + v
+                    for t in explicit(p.first)
+                    for v in explicit(p.second)
+                }
+            if isinstance(p, If):
+                return explicit(p.then) | explicit(p.orelse)
+            if isinstance(p, Par):
+                out = set()
+                for t in explicit(p.left):
+                    for v in explicit(p.right):
+                        out |= set(ilv(t, v))
+                return out
+            return {()}
+
+        assert program_traces(program).all_traces() == explicit(program)

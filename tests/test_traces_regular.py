@@ -1,0 +1,119 @@
+"""Tests for regular trace models and Theorem 3.1 (regular completeness)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sral.analysis import has_loops
+from repro.sral.ast import If, Seq, Skip, While
+from repro.sral.ast import Access as AccessNode
+from repro.traces.model import program_traces
+from repro.traces.regular import (
+    Alt,
+    Cat,
+    Eps,
+    Star,
+    Sym,
+    regex_size,
+    regex_to_program,
+    regex_traces,
+    verify_regular_completeness,
+)
+from repro.traces.trace import AccessKey
+
+A = AccessKey("read", "r1", "s1")
+B = AccessKey("write", "r2", "s1")
+C = AccessKey("exec", "r3", "s2")
+
+
+def regexes(max_leaves: int = 10):
+    leaves = st.one_of(
+        st.sampled_from([A, B, C]).map(Sym),
+        st.just(Eps()),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(Alt, children, children),
+            st.builds(Cat, children, children),
+            st.builds(Star, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+class TestRegexTraces:
+    def test_sym(self):
+        assert regex_traces(Sym(A)).all_traces() == {(A,)}
+
+    def test_sym_accepts_plain_tuple(self):
+        r = Sym(("read", "r1", "s1"))
+        assert isinstance(r.access, AccessKey)
+        assert regex_traces(r).all_traces() == {(A,)}
+
+    def test_eps(self):
+        assert regex_traces(Eps()).all_traces() == {()}
+
+    def test_alt_cat_star(self):
+        r = Cat(Sym(A), Star(Alt(Sym(B), Sym(C))))
+        m = regex_traces(r)
+        assert (A,) in m
+        assert (A, B, C, B) in m
+        assert (B,) not in m
+
+    def test_regex_size(self):
+        assert regex_size(Sym(A)) == 1
+        assert regex_size(Cat(Sym(A), Star(Sym(B)))) == 4
+
+
+class TestTheorem31:
+    def test_sym_becomes_access(self):
+        p = regex_to_program(Sym(A))
+        assert isinstance(p, AccessNode)
+        assert p.key() == A
+
+    def test_eps_becomes_skip(self):
+        assert regex_to_program(Eps()) == Skip()
+
+    def test_alt_becomes_if(self):
+        p = regex_to_program(Alt(Sym(A), Sym(B)))
+        assert isinstance(p, If)
+
+    def test_cat_becomes_seq(self):
+        p = regex_to_program(Cat(Sym(A), Sym(B)))
+        assert isinstance(p, Seq)
+
+    def test_star_becomes_while(self):
+        p = regex_to_program(Star(Sym(A)))
+        assert isinstance(p, While)
+        assert has_loops(p)
+
+    def test_fresh_conditions_are_distinct(self):
+        p = regex_to_program(Alt(Alt(Sym(A), Sym(B)), Star(Sym(C))))
+        conds = set()
+
+        def collect(node):
+            if isinstance(node, (If, While)):
+                conds.add(node.cond)
+            for child in node.children():
+                collect(child)
+
+        collect(p)
+        assert len(conds) == 3
+
+    def test_paper_proof_example(self):
+        # T ∪ V, T · V and T* all synthesise correctly for T={<A>}, V={<B>}.
+        for regex in (Alt(Sym(A), Sym(B)), Cat(Sym(A), Sym(B)), Star(Sym(A))):
+            assert verify_regular_completeness(regex)
+
+    @given(regexes(max_leaves=12))
+    @settings(max_examples=150, deadline=None)
+    def test_regular_completeness_property(self, regex):
+        """Theorem 3.1, machine-checked: for every regular trace model m
+        there is a program P with traces(P) = m."""
+        assert verify_regular_completeness(regex)
+
+    @given(regexes(max_leaves=8))
+    @settings(max_examples=80, deadline=None)
+    def test_synthesised_program_traces_equal_regex_model(self, regex):
+        program = regex_to_program(regex)
+        assert program_traces(program).equals(regex_traces(regex))

@@ -1,0 +1,119 @@
+"""Tests for trace-level operators (repro.traces.trace)."""
+
+from math import comb
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sral.ast import Access
+from repro.traces.trace import (
+    EMPTY_TRACE,
+    AccessKey,
+    concat,
+    count_interleavings,
+    count_matching,
+    head,
+    interleavings,
+    is_subsequence,
+    make_trace,
+    occurs_before,
+    tail,
+)
+
+A = AccessKey("read", "r1", "s1")
+B = AccessKey("write", "r2", "s1")
+C = AccessKey("exec", "r3", "s2")
+
+
+def short_traces(max_size=4):
+    return st.lists(st.sampled_from([A, B, C]), max_size=max_size).map(tuple)
+
+
+class TestBasics:
+    def test_access_key_equals_plain_tuple(self):
+        assert A == ("read", "r1", "s1")
+        assert hash(A) == hash(("read", "r1", "s1"))
+
+    def test_access_key_matches_ast_access_key(self):
+        node = Access("read", "r1", "s1")
+        assert node.key() == A
+
+    def test_make_trace(self):
+        t = make_trace(("read", "r1", "s1"), B)
+        assert t == (A, B)
+        assert all(isinstance(a, AccessKey) for a in t)
+
+    def test_head_tail(self):
+        t = (A, B, C)
+        assert head(t) == A
+        assert tail(t) == (B, C)
+        assert tail((A,)) == EMPTY_TRACE
+
+    def test_concat(self):
+        assert concat((A,), (B, C)) == (A, B, C)
+        assert concat(EMPTY_TRACE, (A,)) == (A,)
+
+
+class TestInterleavings:
+    def test_empty_cases(self):
+        assert set(interleavings((), ())) == {()}
+        assert set(interleavings((A,), ())) == {(A,)}
+        assert set(interleavings((), (B,))) == {(B,)}
+
+    def test_two_singletons(self):
+        assert set(interleavings((A,), (B,))) == {(A, B), (B, A)}
+
+    def test_order_preserved_within_components(self):
+        result = set(interleavings((A, B), (C,)))
+        assert result == {(A, B, C), (A, C, B), (C, A, B)}
+        for trace in result:
+            assert trace.index(A) < trace.index(B)
+
+    def test_duplicate_symbols_deduplicated(self):
+        # (A) # (A) has only one distinct interleaving: (A, A).
+        assert set(interleavings((A,), (A,))) == {(A, A)}
+
+    def test_count_matches_binomial_for_distinct_symbols(self):
+        t, v = (A, A), (B, B, B)
+        assert count_interleavings(t, v) == comb(5, 2)
+
+    @given(short_traces(3), short_traces(3))
+    @settings(max_examples=100, deadline=None)
+    def test_every_interleaving_preserves_subsequences(self, t, v):
+        for mixed in interleavings(t, v):
+            assert len(mixed) == len(t) + len(v)
+            assert is_subsequence(t, mixed)
+            assert is_subsequence(v, mixed)
+
+    @given(short_traces(3), short_traces(3))
+    @settings(max_examples=100, deadline=None)
+    def test_interleaving_symmetric(self, t, v):
+        assert set(interleavings(t, v)) == set(interleavings(v, t))
+
+
+class TestPredicates:
+    def test_is_subsequence(self):
+        assert is_subsequence((A, C), (A, B, C))
+        assert is_subsequence((), (A,))
+        assert not is_subsequence((C, A), (A, B, C))
+        assert not is_subsequence((A, A), (A, B, C))
+
+    def test_count_matching(self):
+        assert count_matching((A, B, A, C), {A}) == 2
+        assert count_matching((A, B), {C}) == 0
+        assert count_matching((), {A}) == 0
+
+    def test_occurs_before(self):
+        assert occurs_before((A, B), A, B)
+        assert occurs_before((A, C, B), A, B)
+        assert not occurs_before((B, A), A, B)
+        assert not occurs_before((A,), A, B)
+        assert not occurs_before((), A, B)
+
+    def test_occurs_before_same_access_needs_two(self):
+        assert occurs_before((A, A), A, A)
+        assert not occurs_before((A,), A, A)
+
+    def test_occurs_before_uses_earliest_occurrence(self):
+        # first=A occurs at 0 and 2; B only after index 0.
+        assert occurs_before((A, B, A), A, B)

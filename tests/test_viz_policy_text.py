@@ -1,0 +1,171 @@
+"""Tests for the rendering helpers and the policy text DSL."""
+
+import math
+
+import pytest
+
+from repro.apps.integrity import figure1_graph, run_audit
+from repro.automata.ops import determinize
+from repro.errors import PolicyError
+from repro.rbac.policy import Policy
+from repro.sral.parser import parse_program
+from repro.temporal.timeline import BooleanTimeline
+from repro.traces.model import program_traces
+from repro.viz import (
+    audit_report_to_ascii,
+    dependency_graph_to_ascii,
+    dependency_graph_to_dot,
+    dfa_to_dot,
+    nfa_to_dot,
+    timeline_to_ascii,
+)
+
+
+class TestFigureRegeneration:
+    def test_figure1_dot_structure(self):
+        dot = dependency_graph_to_dot(figure1_graph())
+        assert dot.startswith("digraph dependency {")
+        assert dot.rstrip().endswith("}")
+        # Four dotted server clusters, as drawn.
+        assert dot.count("subgraph cluster_") == 4
+        assert "style=dotted" in dot
+        # "A directed line from module A to D represents A depends on D".
+        assert '"mA" -> "mD";' in dot
+
+    def test_figure1_dot_has_all_modules_and_edges(self):
+        graph = figure1_graph()
+        dot = dependency_graph_to_dot(graph)
+        for module in graph.modules():
+            assert f'"{module.name}"' in dot
+        n_edges = sum(len(m.depends_on) for m in graph.modules())
+        assert dot.count(" -> ") == n_edges
+
+    def test_figure1_ascii(self):
+        text = dependency_graph_to_ascii(figure1_graph())
+        assert "[s1]" in text and "[s4]" in text
+        assert "(mA) --> mB, mC, mD" in text
+        assert "(mD)     (no dependencies)" in text
+
+    def test_audit_report_ascii(self):
+        report = run_audit(figure1_graph(), tamper={"m7"})
+        text = audit_report_to_ascii(report)
+        assert "m7       UNVERIFIED  (hash mismatch or unaudited)" in text
+        assert "mD       VERIFIED" in text
+
+
+class TestAutomatonDot:
+    def test_nfa_dot(self):
+        nfa = program_traces(parse_program("read r1 @ s1 ; read r2 @ s1")).nfa
+        dot = nfa_to_dot(nfa)
+        assert dot.startswith("digraph nfa {")
+        assert "__start ->" in dot
+        assert "doublecircle" in dot
+        assert "read r1 @ s1" in dot
+
+    def test_nfa_dot_marks_epsilon(self):
+        nfa = program_traces(parse_program("while c do read r1 @ s1")).nfa
+        assert "style=dashed" in nfa_to_dot(nfa)
+
+    def test_dfa_dot(self):
+        dfa = determinize(
+            program_traces(parse_program("read r1 @ s1 ; read r2 @ s1")).nfa
+        )
+        dot = dfa_to_dot(dfa)
+        assert dot.startswith("digraph dfa {")
+        assert dot.count("doublecircle") == len(dfa.accepts)
+
+
+class TestTimelineAscii:
+    def test_bar_rendering(self):
+        tl = BooleanTimeline.from_intervals([(0, 5)])
+        bar = timeline_to_ascii(tl, 0, 10, width=10)
+        assert bar == "0 |█████·····| 10"
+
+    def test_empty_interval(self):
+        assert timeline_to_ascii(BooleanTimeline.constant(True), 5, 5) == ""
+
+
+class TestPolicyText:
+    SOURCE = """
+    # the security officer's declarations
+    user alice
+    role auditor
+    role clerk
+    permission p_rsw exec rsw @ * constraint "count(0, 5, [res = rsw])" duration 30
+    permission p_read read * @ *
+    inherit auditor clerk          # auditor inherits clerk
+    assign alice auditor
+    grant auditor p_rsw
+    grant clerk p_read
+    dsd no_simultaneous auditor clerk
+    """
+
+    def test_loads_full_policy(self):
+        policy = Policy.from_text(self.SOURCE)
+        auditor = policy.role("auditor")
+        names = {p.name for p in policy.permissions_of_role(auditor)}
+        assert names == {"p_rsw", "p_read"}
+        p = policy.permission("p_rsw")
+        assert p.spatial_constraint is not None
+        assert p.validity_duration == 30.0
+        assert math.isinf(policy.permission("p_read").validity_duration)
+        assert policy.roles_of_user(policy.user("alice")) == {auditor}
+        assert len(policy.dsd_constraints) == 1
+
+    def test_text_policy_drives_engine(self):
+        from repro.rbac.engine import AccessControlEngine
+        from repro.traces.trace import AccessKey
+
+        engine = AccessControlEngine(Policy.from_text(self.SOURCE))
+        session = engine.authenticate("alice", 0.0)
+        engine.activate_role(session, "auditor", 0.0)
+        history = (AccessKey("exec", "rsw", "s1"),) * 5
+        assert not engine.decide(session, ("exec", "rsw", "s2"), 1.0, history).granted
+
+    def test_ssd_with_cardinality(self):
+        source = """
+        user u
+        role a
+        role b
+        role c
+        ssd spread a b c cardinality 3
+        assign u a
+        assign u b
+        """
+        policy = Policy.from_text(source)
+        # Two of three conflicting roles are fine at cardinality 3 …
+        with pytest.raises(PolicyError):
+            policy.assign_user("u", "c")  # … but the third violates.
+
+    def test_duration_inf(self):
+        policy = Policy.from_text(
+            "user u\nrole r\npermission p read x @ s1 duration inf\n"
+        )
+        assert math.isinf(policy.permission("p").validity_duration)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate x",  # unknown keyword
+            "user",  # missing argument
+            "user a b",  # extra argument
+            "permission p read x",  # bad shape
+            "permission p read x @ s1 constraint",  # dangling option
+            "permission p read x @ s1 wibble 3",  # unknown option
+            "assign ghost r",  # unknown user
+            'permission p read x @ s1 constraint "count(("',  # bad SRAC
+            "ssd only_one_role r",  # too few roles
+            'user "unterminated',  # shlex error
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        prelude = "user u\nrole r\n"
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            Policy.from_text(prelude + bad)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(PolicyError) as err:
+            Policy.from_text("user a\nuser a\n")
+        assert "line 2" in str(err.value)
