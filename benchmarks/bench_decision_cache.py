@@ -1,0 +1,201 @@
+"""EXP-CACHE — the compiled-constraint cache + coreachability layer.
+
+A coalition server replays the same kind of request over and over
+against one policy, so per-decision compilation and BFS satisfiability
+searches are pure waste: the policy is constant.  This benchmark
+measures the repeated-decision workload three ways:
+
+* **baseline** — the pre-change hot path: explicit history replay with
+  a fresh constraint compilation and an explicit BFS per decision
+  (``use_srac_caches=False``);
+* **cold** — the cached engine's very first decision, which pays the
+  one-off compile + live-set precomputation;
+* **warm** — the cached engine in incremental mode: one monitor step
+  plus an O(1) live-set membership per decision.
+
+Decisions are verified bit-identical between baseline and warm before
+any number is reported, and the engine's cache hit-rates are printed.
+
+Run:  pytest benchmarks/bench_decision_cache.py --benchmark-only
+  or: python benchmarks/bench_decision_cache.py [--quick]
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.rbac.engine import AccessControlEngine
+from repro.rbac.model import Permission
+from repro.rbac.policy import Policy
+from repro.srac import reachability
+from repro.srac.parser import parse_constraint
+from repro.traces.trace import AccessKey
+
+#: A counting bound + an ordering obligation.  The bound is generous
+#: enough never to deny this workload, yet keeps the monitor product
+#: (1002 × 3 states) well inside the reachability budget, so the warm
+#: path is a pure live-set membership test.
+CONSTRAINT_SRC = (
+    "count(0, 1000, [res = rsw]) & (exec rsw @ s0 >> exec rsw @ s1)"
+)
+
+SERVERS = 5
+HISTORY_LEN = 200
+HISTORY = tuple(
+    AccessKey("exec", "rsw", f"s{i % SERVERS}") for i in range(HISTORY_LEN)
+)
+
+
+def _engine(use_srac_caches: bool):
+    policy = Policy()
+    policy.add_user("u")
+    policy.add_role("r")
+    policy.add_permission(
+        Permission(
+            "p",
+            op="exec",
+            resource="rsw",
+            spatial_constraint=parse_constraint(CONSTRAINT_SRC),
+        )
+    )
+    policy.assign_user("u", "r")
+    policy.assign_permission("r", "p")
+    engine = AccessControlEngine(policy, use_srac_caches=use_srac_caches)
+    session = engine.authenticate("u", 0.0)
+    engine.activate_role(session, "r", 0.0)
+    return engine, session
+
+
+def _request(i: int) -> tuple[str, str, str]:
+    return ("exec", "rsw", f"s{i % SERVERS}")
+
+
+def decide_baseline(engine, session, n: int) -> list[bool]:
+    """Pre-change hot path: explicit history replay, fresh compile and
+    BFS per decision."""
+    clock = getattr(engine, "_bench_clock", 0.0)
+    verdicts = []
+    for i in range(n):
+        clock += 1.0
+        verdicts.append(
+            engine.decide(session, _request(i), clock, HISTORY).granted
+        )
+    engine._bench_clock = clock
+    return verdicts
+
+
+def decide_warm(engine, session, n: int) -> list[bool]:
+    """Cached incremental mode over the same effective history."""
+    clock = getattr(engine, "_bench_clock", 0.0)
+    verdicts = []
+    for i in range(n):
+        clock += 1.0
+        verdicts.append(
+            engine.decide(session, _request(i), clock, history=None).granted
+        )
+    engine._bench_clock = clock
+    return verdicts
+
+
+def verify_identical(n: int = 50) -> None:
+    """Warm cached decisions must equal the uncached baseline's."""
+    baseline_engine, baseline_session = _engine(use_srac_caches=False)
+    warm_engine, warm_session = _engine(use_srac_caches=True)
+    warm_session.observed = HISTORY
+    expected = decide_baseline(baseline_engine, baseline_session, n)
+    actual = decide_warm(warm_engine, warm_session, n)
+    if expected != actual:
+        raise AssertionError(
+            f"cached decisions diverge from the uncached path: "
+            f"{expected} != {actual}"
+        )
+
+
+def measure(n: int = 2000) -> dict:
+    """Cold/warm/baseline timings plus hit-rates, as one report dict."""
+    verify_identical()
+    reachability.clear_caches()
+
+    engine, session = _engine(use_srac_caches=False)
+    start = time.perf_counter()
+    decide_baseline(engine, session, n)
+    baseline_wall = time.perf_counter() - start
+
+    engine, session = _engine(use_srac_caches=True)
+    session.observed = HISTORY
+    start = time.perf_counter()
+    decide_warm(engine, session, 1)
+    cold_wall = time.perf_counter() - start
+    # Warm the remaining (constraint, access) entries the way a real
+    # server would: from its request alphabet, before traffic arrives.
+    engine.prewarm([_request(i) for i in range(SERVERS)])
+    start = time.perf_counter()
+    decide_warm(engine, session, n)
+    warm_wall = time.perf_counter() - start
+
+    stats = engine.cache_stats()
+    spatial_checks = stats.live_hits + stats.live_fallbacks
+    return {
+        "n": n,
+        "baseline_rate": n / baseline_wall,
+        "cold_first_ms": cold_wall * 1e3,
+        "warm_rate": n / warm_wall,
+        "speedup": (n / warm_wall) / (n / baseline_wall),
+        "live_hit_rate": stats.live_hits / max(1, spatial_checks),
+        "fallbacks": stats.live_fallbacks,
+        "stats": stats.as_dict(),
+    }
+
+
+def print_report(report: dict) -> None:
+    print(f"repeated-decision workload: n={report['n']}, "
+          f"history={HISTORY_LEN}, servers={SERVERS}")
+    print(f"{'config':<26}{'decisions/s':>13}")
+    print(f"{'baseline (pre-cache)':<26}{report['baseline_rate']:>13.0f}")
+    print(f"{'warm (cached)':<26}{report['warm_rate']:>13.0f}")
+    print(f"cold first decision: {report['cold_first_ms']:.2f} ms "
+          f"(compile + live-set build)")
+    print(f"warm speedup over baseline: {report['speedup']:.1f}x")
+    print(f"live-set hit rate: {report['live_hit_rate']:.1%} "
+          f"({report['fallbacks']} BFS fallbacks)")
+    print("counters:", report["stats"])
+
+
+# -- pytest-benchmark entry points ----------------------------------------
+
+
+def bench_decision_baseline(benchmark):
+    engine, session = _engine(use_srac_caches=False)
+    benchmark(decide_baseline, engine, session, 100)
+
+
+def bench_decision_cached_warm(benchmark):
+    engine, session = _engine(use_srac_caches=True)
+    session.observed = HISTORY
+    decide_warm(engine, session, 1)  # warm the caches once
+    benchmark(decide_warm, engine, session, 100)
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: small workload, assert the cached path wins",
+    )
+    args = parser.parse_args()
+    n = 300 if args.quick else 2000
+    report = measure(n)
+    print_report(report)
+    if args.quick:
+        assert report["speedup"] > 1.5, (
+            f"cached path should beat the baseline, got {report['speedup']:.2f}x"
+        )
+        assert report["fallbacks"] == 0
+        print("quick-mode assertions passed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -236,6 +236,23 @@ def exp_rbac() -> None:
     print(f"{'spatial (incremental)':<22}{rate:>13.0f}   ({baseline / rate:.2f}x plain cost)")
 
 
+def exp_cache() -> None:
+    header("EXP-CACHE  compiled-constraint cache + coreachability layer")
+    from bench_decision_cache import HISTORY_LEN, SERVERS, measure
+
+    report = measure(n=1000)
+    print(f"repeated-decision workload: n={report['n']}, "
+          f"history={HISTORY_LEN}, servers={SERVERS}")
+    print(f"{'config':<26}{'decisions/s':>13}")
+    print(f"{'baseline (pre-cache)':<26}{report['baseline_rate']:>13.0f}")
+    print(f"{'warm (cached)':<26}{report['warm_rate']:>13.0f}")
+    print(f"cold first decision: {report['cold_first_ms']:.2f} ms "
+          f"(compile + live-set build)")
+    print(f"warm speedup over baseline: {report['speedup']:.1f}x")
+    print(f"live-set hit rate: {report['live_hit_rate']:.1%} "
+          f"({report['fallbacks']} BFS fallbacks)")
+
+
 def exp_naplet() -> None:
     header("EXP-NAPLET  agent emulation: cloned fan-out makespan")
     from repro.agent.naplet import Naplet
@@ -307,6 +324,7 @@ def main() -> None:
     exp_e35()
     exp_deadline()
     exp_rbac()
+    exp_cache()
     exp_naplet()
     exp_baselines()
     print("\nall experiments completed.")

@@ -55,6 +55,19 @@ class CoalitionServer:
         """Book-keeping: a mobile object arrived here."""
         self.arrivals += 1
 
+    def access_alphabet(self) -> tuple[AccessKey, ...]:
+        """Every access this server can execute — one
+        ``(op, resource, server)`` key per supported operation of each
+        hosted resource, in deterministic order.  Feed this to
+        :meth:`~repro.rbac.engine.AccessControlEngine.prewarm` so the
+        compile and live-set caches are hot before the first request
+        arrives."""
+        return tuple(
+            AccessKey(op, resource.name, self.name)
+            for resource in sorted(self.resources, key=lambda r: r.name)
+            for op in sorted(resource.operations)
+        )
+
     # -- execution ------------------------------------------------------------
 
     def execute_access(

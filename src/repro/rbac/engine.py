@@ -27,18 +27,15 @@ from repro.rbac.audit import AuditLog, Decision
 from repro.rbac.model import Permission, Role, Subject
 from repro.rbac.policy import Policy
 from repro.sral.ast import Program
-from repro.srac.ast import constraint_alphabet
-from repro.srac.checker import (
-    check_program,
-    satisfiable_extension,
-    satisfiable_extension_states,
-)
+from repro.srac.ast import Constraint, constraint_alphabet
+from repro.srac.checker import check_program, satisfiable_extension_states
 from repro.srac.monitors import CompiledConstraint, compile_constraint
+from repro.srac.reachability import CacheStats, cache_stats, live_set
 from repro.temporal.aggregation import PermissionClassifier
 from repro.temporal.validity import PermissionState, Scheme, ValidityTracker
 from repro.traces.trace import AccessKey, Trace
 
-__all__ = ["Session", "AccessControlEngine"]
+__all__ = ["Session", "AccessControlEngine", "EngineCacheStats"]
 
 _session_counter = itertools.count(1)
 
@@ -53,16 +50,69 @@ class Session:
     session_id: str = field(default="")
     active_roles: set[Role] = field(default_factory=set)
     trackers: dict[str, ValidityTracker] = field(default_factory=dict)
-    #: Accesses the engine has observed for this session (fed by
-    #: :meth:`AccessControlEngine.observe`) — the basis of incremental
-    #: spatial checking.
-    observed: tuple[AccessKey, ...] = ()
     #: Per-constraint compiled monitors advanced over ``observed``.
     monitor_cache: dict = field(default_factory=dict)
+    # List-backed observation log: appends are O(1) (tuple
+    # concatenation was quadratic over a session lifetime); the
+    # ``observed`` property memoises a tuple view for external readers.
+    _observed: list[AccessKey] = field(default_factory=list, repr=False)
+    _observed_view: tuple[AccessKey, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.session_id:
             self.session_id = f"session-{next(_session_counter)}"
+
+    @property
+    def observed(self) -> tuple[AccessKey, ...]:
+        """Accesses the engine has observed for this session (fed by
+        :meth:`AccessControlEngine.observe`) — the basis of incremental
+        spatial checking."""
+        if self._observed_view is None:
+            self._observed_view = tuple(self._observed)
+        return self._observed_view
+
+    @observed.setter
+    def observed(self, value: Iterable[AccessKey | tuple[str, str, str]]) -> None:
+        self._observed = [AccessKey(*a) for a in value]
+        self._observed_view = None
+        # Cached monitor states were advanced over the old history.
+        self.monitor_cache.clear()
+
+    def record_observation(self, access: AccessKey) -> None:
+        """Append one access to the observation log (O(1) amortised)."""
+        self._observed.append(access)
+        self._observed_view = None
+
+
+@dataclass(frozen=True)
+class EngineCacheStats:
+    """Snapshot of the engine's caching layers for one report:
+    candidate-permission lookups (hits/misses of the per
+    (policy-version, role-set, access) cache) plus the process-level
+    SRAC compile/reachability counters
+    (:class:`repro.srac.reachability.CacheStats`)."""
+
+    candidate_hits: int
+    candidate_misses: int
+    extension_entries: int
+    #: Spatial checks answered by an O(1) live-set membership lookup.
+    live_hits: int
+    #: Spatial checks that fell back to the BFS (product over budget).
+    live_fallbacks: int
+    srac: CacheStats
+
+    def as_dict(self) -> dict[str, int]:
+        out = {
+            "candidate_hits": self.candidate_hits,
+            "candidate_misses": self.candidate_misses,
+            "extension_entries": self.extension_entries,
+            "live_hits": self.live_hits,
+            "live_fallbacks": self.live_fallbacks,
+        }
+        out.update(self.srac.as_dict())
+        return out
 
 
 class AccessControlEngine:
@@ -96,6 +146,13 @@ class AccessControlEngine:
         (Section 1).  Owner scope applies to incremental decisions
         (``history=None``), where the engine is the history's source of
         truth; explicit histories are always taken as given.
+    use_srac_caches:
+        Enable the shared compile cache and precomputed live sets on
+        the spatial hot path (the default).  ``False`` forces a fresh
+        compilation and explicit BFS per decision — the pre-cache
+        behaviour, kept for equivalence testing and as the baseline of
+        ``benchmarks/bench_decision_cache.py``.  Decisions are
+        bit-identical either way (property-tested).
     """
 
     def __init__(
@@ -105,6 +162,7 @@ class AccessControlEngine:
         extension_alphabet: Iterable[AccessKey | tuple[str, str, str]] = (),
         classifier: PermissionClassifier | None = None,
         coordination_scope: str = "subject",
+        use_srac_caches: bool = True,
     ):
         if coordination_scope not in ("subject", "owner"):
             raise RbacError(
@@ -117,12 +175,34 @@ class AccessControlEngine:
         )
         self.classifier = classifier
         self.coordination_scope = coordination_scope
+        self.use_srac_caches = use_srac_caches
         self.audit = AuditLog()
         self._sessions: dict[str, Session] = {}
-        # Owner-scope state: combined histories and monitor caches keyed
-        # by user name.
-        self._owner_observed: dict[str, tuple[AccessKey, ...]] = {}
+        # Owner-scope state: combined histories (list-backed, O(1)
+        # append) and monitor caches keyed by user name.
+        self._owner_observed: dict[str, list[AccessKey]] = {}
         self._owner_monitors: dict[tuple[str, object], tuple] = {}
+        # Decision-path caches.  Candidates: (policy version, active
+        # role set, access) -> matching (role, permission) pairs; the
+        # version in the key makes policy mutations invalidate lazily.
+        # Extension entries: (constraint, access) -> (compiled
+        # constraint, canonical request universe).
+        self._candidates_cache: dict[
+            tuple[int, frozenset[Role], AccessKey],
+            tuple[tuple[Role, Permission], ...],
+        ] = {}
+        self._extension_cache: dict[
+            tuple[Constraint, AccessKey],
+            tuple[
+                CompiledConstraint,
+                tuple[AccessKey, ...],
+                frozenset[tuple[int, ...]] | None,
+            ],
+        ] = {}
+        self._candidate_hits = 0
+        self._candidate_misses = 0
+        self._live_hits = 0
+        self._live_fallbacks = 0
 
     # -- session management --------------------------------------------------
 
@@ -232,7 +312,7 @@ class AccessControlEngine:
         O(1) in history length.  Under owner scope the observation also
         counts against every companion session of the same user."""
         access = AccessKey(*access)
-        session.observed += (access,)
+        session.record_observation(access)
         for constraint, (compiled, states) in list(session.monitor_cache.items()):
             session.monitor_cache[constraint] = (
                 compiled,
@@ -240,9 +320,7 @@ class AccessControlEngine:
             )
         if self.coordination_scope == "owner":
             owner = session.subject.user.name
-            self._owner_observed[owner] = self._owner_observed.get(owner, ()) + (
-                access,
-            )
+            self._owner_observed.setdefault(owner, []).append(access)
             for key, (compiled, states) in list(self._owner_monitors.items()):
                 if key[0] == owner:
                     self._owner_monitors[key] = (
@@ -258,13 +336,15 @@ class AccessControlEngine:
             key = (owner, constraint)
             entry = self._owner_monitors.get(key)
             if entry is None:
-                compiled = compile_constraint(constraint)
+                compiled = compile_constraint(
+                    constraint, cache=self.use_srac_caches
+                )
                 entry = (compiled, compiled.run(self._owner_observed.get(owner, ())))
                 self._owner_monitors[key] = entry
             return entry
         entry = session.monitor_cache.get(constraint)
         if entry is None:
-            compiled = compile_constraint(constraint)
+            compiled = compile_constraint(constraint, cache=self.use_srac_caches)
             entry = (compiled, compiled.run(session.observed))
             session.monitor_cache[constraint] = entry
         return entry
@@ -371,6 +451,38 @@ class AccessControlEngine:
             )
         return decision
 
+    def decide_batch(
+        self,
+        session: Session,
+        accesses: Iterable[AccessKey | tuple[str, str, str]],
+        t: float,
+        dt: float = 0.0,
+        history: Trace | None = None,
+        program: Program | None = None,
+        observe_granted: bool = False,
+    ) -> list[Decision]:
+        """Replay a request stream through :meth:`decide`.
+
+        Each access is decided at ``t``, ``t + dt``, ``t + 2·dt``, …
+        (validity trackers require monotone time).  The default
+        ``history=None`` uses incremental mode — the intended use for
+        server-side stream replay, where each decision is a cached
+        monitor step plus a live-set lookup.  With ``observe_granted``
+        every granted access is fed back via :meth:`observe` before the
+        next request is decided, modelling a client that performs each
+        access it is granted.
+        """
+        decisions: list[Decision] = []
+        clock = t
+        for access in accesses:
+            access = AccessKey(*access)
+            decision = self.decide(session, access, clock, history, program)
+            if observe_granted and decision.granted:
+                self.observe(session, access)
+            decisions.append(decision)
+            clock += dt
+        return decisions
+
     def explain(
         self,
         session: Session,
@@ -407,13 +519,91 @@ class AccessControlEngine:
             )
         return rows
 
+    # -- cache management --------------------------------------------------------
+
+    def prewarm(
+        self,
+        alphabet: Iterable[AccessKey | tuple[str, str, str]] = (),
+    ) -> int:
+        """Compile every policy constraint and precompute the live sets
+        for the given request alphabet (e.g. a
+        :meth:`~repro.coalition.server.CoalitionServer.access_alphabet`),
+        so the first real decision already takes the O(1) path.
+        Returns the number of (constraint, access) entries warmed.
+        """
+        accesses = tuple(dict.fromkeys(AccessKey(*a) for a in alphabet))
+        warmed = 0
+        for permission in self.policy.permissions.values():
+            constraint = permission.spatial_constraint
+            if constraint is None:
+                continue
+            targets = [a for a in accesses if permission.matches(a)]
+            if not targets:
+                # No request alphabet: still intern the compilation and
+                # the constraint's own-universe live set.
+                compiled = compile_constraint(
+                    constraint, cache=self.use_srac_caches
+                )
+                if self.use_srac_caches:
+                    live_set(
+                        compiled,
+                        tuple(
+                            dict.fromkeys(
+                                (
+                                    *constraint_alphabet(constraint),
+                                    *self.extension_alphabet,
+                                )
+                            )
+                        ),
+                    )
+                warmed += 1
+                continue
+            for access in targets:
+                self._extension_entry(constraint, access)
+                warmed += 1
+        return warmed
+
+    def cache_stats(self) -> EngineCacheStats:
+        """Counters of the decision-path caches — the engine-level
+        analogue of :func:`repro.srac.checker.check_program_stats`'s
+        configuration report."""
+        return EngineCacheStats(
+            candidate_hits=self._candidate_hits,
+            candidate_misses=self._candidate_misses,
+            extension_entries=len(self._extension_cache),
+            live_hits=self._live_hits,
+            live_fallbacks=self._live_fallbacks,
+            srac=cache_stats(),
+        )
+
+    def invalidate_caches(self) -> None:
+        """Drop the engine's derived caches (candidates, compiled
+        universes, owner monitors, per-session monitor states).  Policy
+        mutations through :class:`~repro.rbac.policy.Policy` methods
+        invalidate the candidate cache automatically via the version
+        counter; this is the explicit hammer for out-of-band changes."""
+        self._candidates_cache.clear()
+        self._extension_cache.clear()
+        self._owner_monitors.clear()
+        for session in self._sessions.values():
+            session.monitor_cache.clear()
+
     # -- internals -------------------------------------------------------------
 
     def _candidates(
         self, session: Session, access: AccessKey
-    ) -> list[tuple[Role, Permission]]:
+    ) -> tuple[tuple[Role, Permission], ...]:
         """(role, permission) pairs from active roles matching the
-        access, deterministic order."""
+        access, deterministic order.  Cached per (policy version,
+        active-role set, access): role activation changes the key, and
+        policy mutations bump the version, so stale entries are never
+        served."""
+        key = (self.policy.version, frozenset(session.active_roles), access)
+        cached = self._candidates_cache.get(key)
+        if cached is not None:
+            self._candidate_hits += 1
+            return cached
+        self._candidate_misses += 1
         out: list[tuple[Role, Permission]] = []
         seen: set[str] = set()
         for role in sorted(session.active_roles, key=lambda r: r.name):
@@ -425,7 +615,63 @@ class AccessControlEngine:
                 if permission.matches(access):
                     seen.add(permission.name)
                     out.append((role, permission))
-        return out
+        result = tuple(out)
+        self._candidates_cache[key] = result
+        return result
+
+    def _extension_entry(
+        self, constraint: Constraint, access: AccessKey
+    ) -> tuple[
+        CompiledConstraint,
+        tuple[AccessKey, ...],
+        frozenset[tuple[int, ...]] | None,
+    ]:
+        """Compiled constraint, canonical request universe and
+        precomputed live set for one (constraint, access) pair —
+        computed once per engine, so a warm decision reduces the
+        spatial check to a set-membership lookup.  With
+        ``use_srac_caches=False`` the entry is rebuilt on every call —
+        the pre-cache behaviour the benchmarks use as their baseline."""
+        key = (constraint, access)
+        entry = self._extension_cache.get(key)
+        if entry is None:
+            compiled = compile_constraint(constraint, cache=self.use_srac_caches)
+            universe = tuple(
+                dict.fromkeys(
+                    (
+                        *constraint_alphabet(constraint),
+                        *self.extension_alphabet,
+                        access,
+                    )
+                )
+            )
+            live = (
+                live_set(compiled, universe) if self.use_srac_caches else None
+            )
+            entry = (compiled, universe, live)
+            if self.use_srac_caches:
+                self._extension_cache[key] = entry
+        return entry
+
+    def _extendable(
+        self,
+        compiled: CompiledConstraint,
+        states: tuple[int, ...],
+        universe: Sequence[AccessKey],
+        live: frozenset[tuple[int, ...]] | None,
+    ) -> bool:
+        """Can any word over ``universe`` drive ``states`` to
+        acceptance?  Fast path: membership in the precomputed live set
+        (O(1)); falls back to the bounded BFS when the monitor product
+        exceeds the reachability state budget or caching is disabled."""
+        if live is not None:
+            self._live_hits += 1
+            return states in live
+        if self.use_srac_caches:
+            self._live_fallbacks += 1
+        return satisfiable_extension_states(
+            compiled, states, universe, use_cache=False
+        )
 
     def _spatial_ok(
         self,
@@ -438,22 +684,18 @@ class AccessControlEngine:
         constraint = permission.spatial_constraint
         if constraint is None:
             return True
-        universe: Sequence[AccessKey] = tuple(
-            dict.fromkeys(
-                (*constraint_alphabet(constraint), *self.extension_alphabet, access)
-            )
-        )
+        compiled, universe, live = self._extension_entry(constraint, access)
         if history is None and program is None:
             # Incremental mode: one monitor step instead of replaying
-            # the whole history.
-            compiled, states = self._cached_monitors(session, constraint)
-            return satisfiable_extension_states(
-                compiled, compiled.step(states, access), universe
+            # the whole history, then a live-set membership test.
+            _, states = self._cached_monitors(session, constraint)
+            return self._extendable(
+                compiled, compiled.step(states, access), universe, live
             )
         if history is None:
             if self.coordination_scope == "owner":
-                effective: Trace = self._owner_observed.get(
-                    session.subject.user.name, ()
+                effective: Trace = tuple(
+                    self._owner_observed.get(session.subject.user.name, ())
                 )
             else:
                 effective = session.observed
@@ -464,4 +706,6 @@ class AccessControlEngine:
             return check_program(
                 program, constraint, history=hypothetical, mode="exists"
             )
-        return satisfiable_extension(constraint, hypothetical, universe)
+        return self._extendable(
+            compiled, compiled.run(hypothetical), universe, live
+        )

@@ -36,6 +36,14 @@ class Policy:
         self.hierarchy = RoleHierarchy()
         self.ssd_constraints: list[SSDConstraint] = []
         self.dsd_constraints: list[DSDConstraint] = []
+        #: Monotone mutation counter.  Every declaration bumps it; the
+        #: engine keys its derived caches (candidate permissions per
+        #: role set, compiled-constraint universes) on this version so
+        #: they invalidate automatically when the policy changes.
+        self.version = 0
+
+    def _bump(self) -> None:
+        self.version += 1
 
     # -- declarations ------------------------------------------------------
 
@@ -44,6 +52,7 @@ class Policy:
             raise PolicyError(f"duplicate user {name!r}")
         user = User(name)
         self.users[name] = user
+        self._bump()
         return user
 
     def add_role(self, name: str) -> Role:
@@ -51,17 +60,20 @@ class Policy:
             raise PolicyError(f"duplicate role {name!r}")
         role = Role(name)
         self.roles[name] = role
+        self._bump()
         return role
 
     def add_permission(self, permission: Permission) -> Permission:
         if permission.name in self.permissions:
             raise PolicyError(f"duplicate permission {permission.name!r}")
         self.permissions[permission.name] = permission
+        self._bump()
         return permission
 
     def add_inheritance(self, senior: str, junior: str) -> None:
         """``senior`` inherits ``junior``'s permissions."""
         self.hierarchy.add_inheritance(self.role(senior), self.role(junior))
+        self._bump()
 
     def assign_user(self, user_name: str, role_name: str) -> None:
         """Add ``(user, role)`` to UA, enforcing SSD against the
@@ -77,12 +89,29 @@ class Policy:
                     f"SSD constraint {constraint.name!r}"
                 )
         self._user_roles.setdefault(user, set()).add(role)
+        self._bump()
 
     def assign_permission(self, role_name: str, permission_name: str) -> None:
         """Add ``(role, permission)`` to PA."""
         role = self.role(role_name)
         permission = self.permission(permission_name)
         self._role_permissions.setdefault(role, set()).add(permission)
+        self._bump()
+
+    def replace_permission(self, permission: Permission) -> Permission:
+        """Swap an existing permission for a new declaration with the
+        same name (typically a revised spatial constraint or duration).
+        Role grants follow the name: every role granted the old
+        permission is granted the replacement instead.  Bumps
+        :attr:`version`, invalidating engine-derived caches."""
+        old = self.permission(permission.name)
+        self.permissions[permission.name] = permission
+        for granted in self._role_permissions.values():
+            if old in granted:
+                granted.discard(old)
+                granted.add(permission)
+        self._bump()
+        return permission
 
     def add_ssd(self, constraint: SSDConstraint) -> None:
         # Retroactive check: existing assignments must already comply.
@@ -93,9 +122,11 @@ class Policy:
                     f"existing assignments of user {user.name!r}"
                 )
         self.ssd_constraints.append(constraint)
+        self._bump()
 
     def add_dsd(self, constraint: DSDConstraint) -> None:
         self.dsd_constraints.append(constraint)
+        self._bump()
 
     # -- lookups -----------------------------------------------------------
 

@@ -30,14 +30,30 @@ from repro.srac.ast import (
     desugar,
     disjunction,
 )
-from repro.srac.checker import CheckResult, check_program, check_program_stats
+from repro.srac.checker import (
+    CheckResult,
+    check_program,
+    check_program_stats,
+    satisfiable_extension,
+    satisfiable_extension_states,
+)
 from repro.srac.monitors import (
     AtomMonitor,
     CompiledConstraint,
     CountMonitor,
     Monitor,
     OrderedMonitor,
+    clear_compile_cache,
+    compile_cache_counters,
     compile_constraint,
+)
+from repro.srac.reachability import (
+    CacheStats,
+    cache_stats,
+    clear_caches,
+    live_set,
+    reset_cache_stats,
+    satisfiable_states,
 )
 from repro.srac.parser import parse_constraint, parse_selection
 from repro.srac.printer import unparse_constraint, unparse_selection
@@ -78,6 +94,16 @@ __all__ = [
     "CheckResult",
     "check_program",
     "check_program_stats",
+    "satisfiable_extension",
+    "satisfiable_extension_states",
+    "CacheStats",
+    "cache_stats",
+    "clear_caches",
+    "clear_compile_cache",
+    "compile_cache_counters",
+    "live_set",
+    "reset_cache_stats",
+    "satisfiable_states",
     "AtomMonitor",
     "CompiledConstraint",
     "CountMonitor",

@@ -41,6 +41,7 @@ from repro.errors import ConstraintError
 from repro.sral.ast import Program
 from repro.srac.ast import Constraint
 from repro.srac.monitors import CompiledConstraint, compile_constraint
+from repro.srac.reachability import satisfiable_states
 from repro.traces.model import program_traces
 from repro.traces.trace import AccessKey
 
@@ -210,6 +211,7 @@ def satisfiable_extension_states(
     states: tuple[int, ...],
     alphabet: Sequence[AccessKey | tuple[str, str, str]],
     max_configurations: int = 1_000_000,
+    use_cache: bool = True,
 ) -> bool:
     """Monitor-state-level core of :func:`satisfiable_extension`:
     can any word over ``alphabet`` drive ``states`` to acceptance?
@@ -217,7 +219,16 @@ def satisfiable_extension_states(
     Exposed separately so callers that maintain *incremental* monitor
     states (e.g. the engine's per-session cache) skip the history
     replay entirely.
+
+    With ``use_cache`` (the default) the answer is a membership lookup
+    in the precomputed coreachable set of the monitor product
+    (:mod:`repro.srac.reachability`); products beyond the state budget
+    — and calls with ``use_cache=False`` — run the explicit BFS below.
     """
+    if use_cache:
+        verdict = satisfiable_states(compiled, states, alphabet)
+        if verdict is not None:
+            return verdict
     symbols = tuple(dict.fromkeys(AccessKey(*a) for a in alphabet))
     seen = {states}
     queue: deque[tuple[int, ...]] = deque([states])
@@ -245,6 +256,7 @@ def satisfiable_extension(
     history: Sequence[AccessKey],
     alphabet: Sequence[AccessKey | tuple[str, str, str]],
     max_configurations: int = 1_000_000,
+    use_cache: bool = True,
 ) -> bool:
     """Can the history still be extended — by *any* future accesses
     drawn from ``alphabet`` — into a trace satisfying ``constraint``?
@@ -259,9 +271,14 @@ def satisfiable_extension(
     Equivalent to ``check_program(while c do (a1|…|ak), constraint,
     history, mode="exists")`` for the given alphabet, but implemented
     directly on the monitor product (no program automaton needed).
+
+    Compilation goes through the process-level interned cache, so
+    repeated calls for one policy constraint compile it exactly once;
+    ``use_cache=False`` bypasses both the compile cache and the
+    precomputed live set (fresh compile + explicit BFS).
     """
-    compiled = compile_constraint(constraint)
+    compiled = compile_constraint(constraint, cache=use_cache)
     start = compiled.run(tuple(AccessKey(*a) for a in history))
     return satisfiable_extension_states(
-        compiled, start, alphabet, max_configurations
+        compiled, start, alphabet, max_configurations, use_cache=use_cache
     )

@@ -46,6 +46,8 @@ __all__ = [
     "CountMonitor",
     "CompiledConstraint",
     "compile_constraint",
+    "clear_compile_cache",
+    "compile_cache_counters",
 ]
 
 
@@ -268,6 +270,52 @@ class CompiledConstraint:
         return total
 
 
-def compile_constraint(constraint: Constraint) -> CompiledConstraint:
-    """Compile ``constraint`` into a monitor vector + boolean skeleton."""
-    return CompiledConstraint(constraint)
+# Process-level interned compile cache.  Constraint ASTs are frozen
+# (hashable, structurally compared) and a CompiledConstraint is
+# immutable after __init__, so one compiled artifact per distinct
+# constraint can be shared by every session, engine and checker call
+# in the process.  The cache is cleared wholesale when it exceeds
+# _COMPILE_CACHE_MAX (correctness is unaffected — only the interning).
+_COMPILE_CACHE_MAX = 4096
+_compile_cache: dict[Constraint, CompiledConstraint] = {}
+_compile_hits = 0
+_compile_misses = 0
+
+
+def compile_constraint(
+    constraint: Constraint, cache: bool = True
+) -> CompiledConstraint:
+    """Compile ``constraint`` into a monitor vector + boolean skeleton.
+
+    With ``cache`` (the default) structurally identical constraints
+    return one shared, interned :class:`CompiledConstraint` — compile
+    once per policy, not once per session or per call.  Pass
+    ``cache=False`` to force a fresh compilation (used by the
+    equivalence tests that compare cached against uncached behaviour).
+    """
+    global _compile_hits, _compile_misses
+    if not cache:
+        return CompiledConstraint(constraint)
+    compiled = _compile_cache.get(constraint)
+    if compiled is not None:
+        _compile_hits += 1
+        return compiled
+    _compile_misses += 1
+    if len(_compile_cache) >= _COMPILE_CACHE_MAX:
+        _compile_cache.clear()
+    compiled = CompiledConstraint(constraint)
+    _compile_cache[constraint] = compiled
+    return compiled
+
+
+def clear_compile_cache() -> None:
+    """Drop every interned compilation and reset the hit/miss counters."""
+    global _compile_hits, _compile_misses
+    _compile_cache.clear()
+    _compile_hits = 0
+    _compile_misses = 0
+
+
+def compile_cache_counters() -> tuple[int, int, int]:
+    """``(hits, misses, entries)`` of the process-level compile cache."""
+    return _compile_hits, _compile_misses, len(_compile_cache)
