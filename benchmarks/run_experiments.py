@@ -253,6 +253,25 @@ def exp_cache() -> None:
           f"({report['fallbacks']} BFS fallbacks)")
 
 
+def exp_service() -> None:
+    header("EXP-SERVICE  sharded concurrent decision service")
+    from bench_concurrent_service import (
+        ARTIFACT,
+        check_acceptance,
+        measure,
+        print_report,
+    )
+
+    report = measure(n=1000, baseline_n=200, latency_ms=2.0)
+    print_report(report)
+    ARTIFACT.parent.mkdir(exist_ok=True)
+    import json as _json
+
+    ARTIFACT.write_text(_json.dumps(report, indent=2))
+    print(f"wrote {ARTIFACT}")
+    check_acceptance(report)
+
+
 def exp_naplet() -> None:
     header("EXP-NAPLET  agent emulation: cloned fan-out makespan")
     from repro.agent.naplet import Naplet
@@ -325,6 +344,7 @@ def main() -> None:
     exp_deadline()
     exp_rbac()
     exp_cache()
+    exp_service()
     exp_naplet()
     exp_baselines()
     print("\nall experiments completed.")

@@ -119,6 +119,19 @@ class Simulation:
         ``DENIED`` (the paper's ``SecurityException``); ``"skip"`` — the
         denial is recorded and the program continues (the access is not
         performed).
+    proof_propagation:
+        ``None`` (default) — proofs live only in each object's carried
+        registry, the paper's baseline.  ``"eager"`` — every executed
+        access is announced to every other server immediately (one
+        delivery call per access per destination).  ``"batched"`` —
+        announcements coalesce in a
+        :class:`~repro.service.batching.ProofBatch` and flush when
+        their migration-latency window elapses (or on overflow /
+        end-of-run), modelling the service's batched propagation.
+        Either mode freezes the coalition's membership.  The batcher is
+        exposed as :attr:`proof_batch` for stats and explicit flushes.
+    proof_batch_size:
+        Overflow threshold of the batched mode.
     """
 
     def __init__(
@@ -128,6 +141,8 @@ class Simulation:
         access_cost: float | Callable[[AccessKey], float] = 1.0,
         on_denied: DeniedPolicy = "abort",
         max_loop_iterations: int = 100_000,
+        proof_propagation: Literal["eager", "batched"] | None = None,
+        proof_batch_size: int = 32,
     ):
         if on_denied not in ("abort", "skip"):
             raise SimulationError(f"unknown on_denied policy {on_denied!r}")
@@ -136,6 +151,18 @@ class Simulation:
         self._access_cost = access_cost
         self.on_denied: DeniedPolicy = on_denied
         self.max_loop_iterations = max_loop_iterations
+        if proof_propagation not in (None, "eager", "batched"):
+            raise SimulationError(
+                f"unknown proof_propagation mode {proof_propagation!r}"
+            )
+        self.proof_propagation = proof_propagation
+        self.proof_batch = None
+        if proof_propagation is not None:
+            # Imported here so the agent layer has no hard dependency
+            # on the service layer when propagation is not requested.
+            from repro.service.batching import ProofBatch
+
+            self.proof_batch = ProofBatch(coalition, max_batch=proof_batch_size)
 
         self._tasks: dict[str, _Task] = {}
         self._heap: list[tuple[float, int, str]] = []
@@ -192,6 +219,9 @@ class Simulation:
             ):
                 continue
             self._resume(task, t)
+        if self.proof_batch is not None:
+            # End of run: everything still coalescing is delivered.
+            self.proof_batch.flush()
         deadlocked = tuple(
             sorted(
                 task_id
@@ -335,6 +365,12 @@ class Simulation:
             self._notify_parent(task, t)
             return False
         naplet.observations.append((access, outcome.value))
+        if self.proof_batch is not None:
+            self.proof_batch.enqueue(request.server, outcome.proof, now=t)
+            if self.proof_propagation == "eager":
+                self.proof_batch.flush()
+            else:
+                self.proof_batch.flush_due(t)
         self.security.on_access_executed(naplet, access, t)
         task.inbox = outcome.value
         # The access consumes virtual time: resume after its cost.

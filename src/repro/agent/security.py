@@ -22,6 +22,8 @@ tests and un-secured simulations).
 
 from __future__ import annotations
 
+import threading
+
 from repro.agent.naplet import Naplet
 from repro.agent.principal import Authority
 from repro.errors import AuthenticationError
@@ -72,7 +74,13 @@ class NapletSecurityManager(SecurityManager):
     Parameters
     ----------
     engine:
-        The coordinated access-control engine.
+        The coordinated access-control engine — either a plain
+        :class:`~repro.rbac.engine.AccessControlEngine` or a
+        :class:`~repro.service.sharding.ShardedEngine` (the sharded
+        engine mirrors the decision API, so the manager is agnostic;
+        with sharding, each agent's session routes to its owner's
+        shard).  The agent-id → session map is lock-guarded so one
+        manager instance can serve concurrent arrivals in service mode.
     authority:
         Certificate authority for owner authentication.  ``None``
         disables certificate checks (a priori registration assumed).
@@ -106,16 +114,18 @@ class NapletSecurityManager(SecurityManager):
         self.incremental = incremental
         self.typecheck = typecheck
         self._sessions: dict[str, Session] = {}
+        self._sessions_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
 
     def session_of(self, naplet: Naplet) -> Session:
-        try:
-            return self._sessions[naplet.naplet_id]
-        except KeyError:
+        with self._sessions_lock:
+            session = self._sessions.get(naplet.naplet_id)
+        if session is None:
             raise AuthenticationError(
                 f"agent {naplet.naplet_id!r} has no established session"
-            ) from None
+            )
+        return session
 
     def on_first_arrival(self, naplet: Naplet, server: str, t: float) -> None:
         principals: frozenset[str] = frozenset()
@@ -128,7 +138,8 @@ class NapletSecurityManager(SecurityManager):
         if self.typecheck:
             self._typecheck(naplet)
         session = self.engine.authenticate(naplet.owner, t, principals)
-        self._sessions[naplet.naplet_id] = session
+        with self._sessions_lock:
+            self._sessions[naplet.naplet_id] = session
         for role in naplet.roles:
             self.engine.activate_role(session, role, t)
         if self.admission_check:

@@ -11,13 +11,23 @@ either returns a value or registers the caller as a waiter; a send
 returns the list of waiters to wake.  This mirrors the message-passing
 substrate style of MPI-like systems (explicit send/recv with wake-up on
 message arrival) without threads.
+
+Thread safety: each :class:`Channel` guards its queue + waiter state
+with its own lock, and the coalition-wide tables stripe their
+namespace locks by key (:class:`repro.concurrency.LockStripe`), so
+concurrent agents on *different* channels or signals never contend on
+one global lock — only same-key operations serialise.  The
+single-threaded scheduler pays one uncontended lock acquisition per
+operation, which is noise next to the event-heap work.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Any, Hashable
 
+from repro.concurrency import DEFAULT_STRIPES, LockStripe
 from repro.errors import ChannelError
 
 __all__ = ["Channel", "ChannelTable", "SignalTable", "EMPTY"]
@@ -48,6 +58,7 @@ class Channel:
         if not name:
             raise ChannelError("channel name must be non-empty")
         self.name = name
+        self._lock = threading.Lock()
         self._queue: deque[Any] = deque()
         self._waiters: deque[Hashable] = deque()
 
@@ -55,31 +66,38 @@ class Channel:
 
     def try_receive(self) -> Any:
         """Pop the oldest value, or return :data:`EMPTY` if none."""
-        if self._queue:
-            return self._queue.popleft()
-        return EMPTY
+        with self._lock:
+            if self._queue:
+                return self._queue.popleft()
+            return EMPTY
 
     def send(self, value: Any) -> list[Hashable]:
         """Append ``value``; return the waiters to wake (cleared here —
         the scheduler re-runs them and they re-attempt the receive)."""
-        self._queue.append(value)
-        woken = list(self._waiters)
-        self._waiters.clear()
+        with self._lock:
+            self._queue.append(value)
+            woken = list(self._waiters)
+            self._waiters.clear()
         return woken
 
     # -- blocking bookkeeping -------------------------------------------------
 
     def add_waiter(self, agent_id: Hashable) -> None:
         """Register an agent blocked on an empty receive."""
-        if agent_id in self._waiters:
-            raise ChannelError(f"agent {agent_id!r} already waiting on {self.name!r}")
-        self._waiters.append(agent_id)
+        with self._lock:
+            if agent_id in self._waiters:
+                raise ChannelError(
+                    f"agent {agent_id!r} already waiting on {self.name!r}"
+                )
+            self._waiters.append(agent_id)
 
     def waiters(self) -> tuple[Hashable, ...]:
-        return tuple(self._waiters)
+        with self._lock:
+            return tuple(self._waiters)
 
     def __len__(self) -> int:
-        return len(self._queue)
+        with self._lock:
+            return len(self._queue)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Channel({self.name!r}, queued={len(self._queue)}, waiters={len(self._waiters)})"
@@ -87,17 +105,27 @@ class Channel:
 
 class ChannelTable:
     """Coalition-wide channel namespace (channels are shared; mobile
-    objects on different servers may communicate through them)."""
+    objects on different servers may communicate through them).
 
-    def __init__(self) -> None:
+    Creation is lock-striped by channel name: the fast path is a plain
+    dict read (atomic in CPython), and a miss takes only the stripe
+    lock for that name, so first-use creation of unrelated channels
+    does not serialise.
+    """
+
+    def __init__(self, stripes: int = DEFAULT_STRIPES) -> None:
         self._channels: dict[str, Channel] = {}
+        self._stripes = LockStripe(stripes)
 
     def get(self, name: str) -> Channel:
         """Fetch (creating on first use) the channel ``name``."""
         channel = self._channels.get(name)
         if channel is None:
-            channel = Channel(name)
-            self._channels[name] = channel
+            with self._stripes.lock_for(name):
+                channel = self._channels.get(name)
+                if channel is None:
+                    channel = Channel(name)
+                    self._channels[name] = channel
         return channel
 
     def __contains__(self, name: str) -> bool:
@@ -111,16 +139,25 @@ class SignalTable:
     """Order-synchronisation signals: ``wait(ξ)`` proceeds only after
     ``signal(ξ)`` has been performed.  Signals are sticky (once raised,
     every later wait passes), matching the paper's one-directional
-    ordering semantics."""
+    ordering semantics.
 
-    def __init__(self) -> None:
+    Raise/wait races are the classic lost-wake-up hazard: a waiter that
+    registers just after the signal fires must not block forever.  Both
+    :meth:`raise_signal` and :meth:`add_waiter` therefore take the
+    stripe lock of the event, making "check raised + register" and
+    "mark raised + collect waiters" atomic per event while unrelated
+    events proceed in parallel."""
+
+    def __init__(self, stripes: int = DEFAULT_STRIPES) -> None:
         self._raised: set[str] = set()
         self._waiters: dict[str, deque[Hashable]] = {}
+        self._stripes = LockStripe(stripes)
 
     def raise_signal(self, event: str) -> list[Hashable]:
         """Raise ``event``; returns the blocked waiters to wake."""
-        self._raised.add(event)
-        woken = list(self._waiters.pop(event, ()))
+        with self._stripes.lock_for(event):
+            self._raised.add(event)
+            woken = list(self._waiters.pop(event, ()))
         return woken
 
     def is_raised(self, event: str) -> bool:
@@ -128,15 +165,19 @@ class SignalTable:
 
     def add_waiter(self, event: str, agent_id: Hashable) -> None:
         """Register an agent blocked on an un-raised signal."""
-        if event in self._raised:
-            raise ChannelError(f"signal {event!r} already raised; nothing to wait for")
-        queue = self._waiters.setdefault(event, deque())
-        if agent_id in queue:
-            raise ChannelError(f"agent {agent_id!r} already waiting on {event!r}")
-        queue.append(agent_id)
+        with self._stripes.lock_for(event):
+            if event in self._raised:
+                raise ChannelError(
+                    f"signal {event!r} already raised; nothing to wait for"
+                )
+            queue = self._waiters.setdefault(event, deque())
+            if agent_id in queue:
+                raise ChannelError(f"agent {agent_id!r} already waiting on {event!r}")
+            queue.append(agent_id)
 
     def waiters(self, event: str) -> tuple[Hashable, ...]:
-        return tuple(self._waiters.get(event, ()))
+        with self._stripes.lock_for(event):
+            return tuple(self._waiters.get(event, ()))
 
     def pending_events(self) -> list[str]:
         """Events with blocked waiters (deadlock diagnostics)."""

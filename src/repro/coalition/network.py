@@ -34,6 +34,8 @@ def constant_latency(value: float = 1.0) -> LatencyModel:
 
 def uniform_latency(table: dict[tuple[str, str], float], default: float = 1.0) -> LatencyModel:
     """Latencies from an explicit symmetric table with a default."""
+    if default < 0:
+        raise CoalitionError(f"default latency must be non-negative, got {default}")
     for (a, b), value in table.items():
         if value < 0:
             raise CoalitionError(f"latency {a}->{b} must be non-negative")
@@ -55,6 +57,7 @@ class Coalition:
         latency: LatencyModel | None = None,
     ):
         self._servers: dict[str, CoalitionServer] = {}
+        self._frozen = False
         for server in servers:
             self.add_server(server)
         self.latency_model = latency if latency is not None else constant_latency()
@@ -64,9 +67,24 @@ class Coalition:
     # -- membership -----------------------------------------------------------
 
     def add_server(self, server: CoalitionServer) -> None:
+        if self._frozen:
+            raise CoalitionError(
+                f"coalition membership is frozen; cannot add {server.name!r}"
+            )
         if server.name in self._servers:
             raise CoalitionError(f"duplicate server {server.name!r}")
         self._servers[server.name] = server
+
+    def freeze(self) -> None:
+        """Make the membership immutable.  Service mode requires a
+        fixed topology: shard routing and the proof-propagation layer
+        cache the server list, which is only safe once no further
+        :meth:`add_server` can occur.  Idempotent."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
 
     def server(self, name: str) -> CoalitionServer:
         try:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -116,10 +117,17 @@ class ExecutionProof:
 
 
 class ProofRegistry:
-    """Append-only, hash-chained access history of one mobile object."""
+    """Append-only, hash-chained access history of one mobile object.
+
+    Thread-safe: issuing a proof reads the chain tail and appends in
+    one step, so concurrent recorders (engine shards, batched
+    propagation) can never fork the chain.  Queries take the same lock
+    and return immutable snapshots.
+    """
 
     def __init__(self, object_id: str):
         self.object_id = object_id
+        self._lock = threading.Lock()
         self._proofs: list[ExecutionProof] = []
 
     # -- recording ---------------------------------------------------------
@@ -128,52 +136,58 @@ class ProofRegistry:
         self, access: AccessKey | tuple[str, str, str], local_time: float
     ) -> ExecutionProof:
         """Issue and append the proof for a freshly executed access."""
-        prev = self._proofs[-1].digest if self._proofs else GENESIS_DIGEST
-        proof = ExecutionProof.issue(
-            self.object_id, access, local_time, len(self._proofs), prev
-        )
-        self._proofs.append(proof)
+        with self._lock:
+            prev = self._proofs[-1].digest if self._proofs else GENESIS_DIGEST
+            proof = ExecutionProof.issue(
+                self.object_id, access, local_time, len(self._proofs), prev
+            )
+            self._proofs.append(proof)
         return proof
 
     def extend_verified(self, proofs: Iterable[ExecutionProof]) -> None:
         """Adopt an externally presented proof sequence after verifying
         it chains onto the current history (used when a server imports
         the history a roaming object carries)."""
-        for proof in proofs:
-            prev = self._proofs[-1].digest if self._proofs else GENESIS_DIGEST
-            if proof.object_id != self.object_id:
-                raise CoalitionError(
-                    f"proof belongs to {proof.object_id!r}, not {self.object_id!r}"
-                )
-            if proof.seq != len(self._proofs):
-                raise CoalitionError(
-                    f"proof sequence gap: expected {len(self._proofs)}, got {proof.seq}"
-                )
-            if proof.prev_digest != prev:
-                raise CoalitionError("proof chain broken: prev digest mismatch")
-            if not proof.is_consistent():
-                raise CoalitionError("proof digest does not match its contents")
-            self._proofs.append(proof)
+        with self._lock:
+            for proof in proofs:
+                prev = self._proofs[-1].digest if self._proofs else GENESIS_DIGEST
+                if proof.object_id != self.object_id:
+                    raise CoalitionError(
+                        f"proof belongs to {proof.object_id!r}, not {self.object_id!r}"
+                    )
+                if proof.seq != len(self._proofs):
+                    raise CoalitionError(
+                        f"proof sequence gap: expected {len(self._proofs)}, "
+                        f"got {proof.seq}"
+                    )
+                if proof.prev_digest != prev:
+                    raise CoalitionError("proof chain broken: prev digest mismatch")
+                if not proof.is_consistent():
+                    raise CoalitionError("proof digest does not match its contents")
+                self._proofs.append(proof)
 
     # -- queries -------------------------------------------------------------
 
     def proved(self, access: AccessKey | tuple[str, str, str]) -> bool:
         """``Pr_x(a)``: has ``a`` been successfully carried out?"""
         access = AccessKey(*access)
-        return any(p.access == access for p in self._proofs)
+        with self._lock:
+            return any(p.access == access for p in self._proofs)
 
     def trace(self) -> Trace:
         """The proved access history as a trace (Definition 3.6 input)."""
-        return tuple(p.access for p in self._proofs)
+        with self._lock:
+            return tuple(p.access for p in self._proofs)
 
     def proofs(self) -> tuple[ExecutionProof, ...]:
-        return tuple(self._proofs)
+        with self._lock:
+            return tuple(self._proofs)
 
     def verify_chain(self) -> bool:
         """Check the whole chain: digests consistent, sequence dense,
         links connected."""
         prev = GENESIS_DIGEST
-        for index, proof in enumerate(self._proofs):
+        for index, proof in enumerate(self.proofs()):
             if (
                 proof.seq != index
                 or proof.prev_digest != prev
@@ -185,10 +199,11 @@ class ProofRegistry:
         return True
 
     def __len__(self) -> int:
-        return len(self._proofs)
+        with self._lock:
+            return len(self._proofs)
 
     def __iter__(self) -> Iterator[ExecutionProof]:
-        return iter(self._proofs)
+        return iter(self.proofs())
 
     # -- wire format ---------------------------------------------------------
 
@@ -197,7 +212,7 @@ class ProofRegistry:
         return json.dumps(
             {
                 "object_id": self.object_id,
-                "proofs": [p.to_dict() for p in self._proofs],
+                "proofs": [p.to_dict() for p in self.proofs()],
             }
         )
 

@@ -11,6 +11,7 @@ call and the server merely executes it.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -33,7 +34,14 @@ class AccessOutcome:
 
 
 class CoalitionServer:
-    """One cooperating server of the coalition environment."""
+    """One cooperating server of the coalition environment.
+
+    Thread-safe: the per-server lock guards the execution counters,
+    resource touch accounting and the announced-proof ledger, so
+    concurrent agents executing on *different* servers never contend —
+    each server is its own lock stripe of the coalition.  (The clock is
+    an immutable ``ServerClock`` and needs no guarding.)
+    """
 
     def __init__(
         self,
@@ -48,12 +56,18 @@ class CoalitionServer:
         self.resources = ResourceRegistry(resources)
         self.executed_accesses = 0
         self.arrivals = 0
+        self._lock = threading.Lock()
+        # Proofs announced by *other* servers (the batched propagation
+        # layer's destination): object_id -> set of proof digests.
+        self._announced: dict[str, set[str]] = {}
+        self.announced_batches = 0
 
     # -- hosting -----------------------------------------------------------
 
     def note_arrival(self) -> None:
         """Book-keeping: a mobile object arrived here."""
-        self.arrivals += 1
+        with self._lock:
+            self.arrivals += 1
 
     def access_alphabet(self) -> tuple[AccessKey, ...]:
         """Every access this server can execute — one
@@ -91,14 +105,44 @@ class CoalitionServer:
             )
         access = AccessKey(op, resource_name, self.name)
         proof = registry.record(access, self.clock.local_time(global_time))
-        resource.touch()
-        self.executed_accesses += 1
+        with self._lock:
+            resource.touch()
+            self.executed_accesses += 1
         value: object = None
         if op in ("read", "exec") and resource.content:
             # Reading returns the content; executing a content-bearing
             # module returns its digest (what the integrity auditor needs).
             value = resource.content if op == "read" else resource.digest()
         return AccessOutcome(proof=proof, value=value)
+
+    # -- proof propagation ------------------------------------------------------
+
+    def receive_proofs(self, proofs: Iterable[ExecutionProof]) -> int:
+        """Adopt a batch of execution proofs announced by other
+        coalition servers (:class:`repro.service.ProofBatch` delivery).
+        The ledger lets this server answer ``Pr_x(a)`` for roaming
+        objects without replaying their full carried chain.  Returns
+        the number of proofs newly learned.
+        """
+        learned = 0
+        with self._lock:
+            self.announced_batches += 1
+            for proof in proofs:
+                digests = self._announced.setdefault(proof.object_id, set())
+                if proof.digest not in digests:
+                    digests.add(proof.digest)
+                    learned += 1
+        return learned
+
+    def knows_proof(self, proof: ExecutionProof) -> bool:
+        """Has this server learned ``proof`` through propagation?"""
+        with self._lock:
+            return proof.digest in self._announced.get(proof.object_id, ())
+
+    def announced_proof_count(self) -> int:
+        """Total proofs learned from other servers."""
+        with self._lock:
+            return sum(len(d) for d in self._announced.values())
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -1,0 +1,62 @@
+"""Small concurrency primitives shared by the coalition substrate and
+the decision service (:mod:`repro.service`).
+
+Two deliberate choices:
+
+* **Stable hashing** — shard routing and lock striping must agree
+  across processes and runs, so keys are hashed with CRC-32 rather than
+  :func:`hash` (randomised per process by ``PYTHONHASHSEED``).
+* **Striping, not one global lock** — coalition-wide tables
+  (:class:`~repro.coalition.channels.ChannelTable`,
+  :class:`~repro.coalition.channels.SignalTable`) are touched by every
+  concurrent agent; a :class:`LockStripe` spreads that contention over
+  a fixed array of locks indexed by the key, so agents working on
+  different channels/signals/servers never serialise on each other.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+
+__all__ = ["stable_hash", "stripe_index", "LockStripe", "DEFAULT_STRIPES"]
+
+#: Default stripe count — enough to make collisions rare at the
+#: concurrency levels a single process can realise, small enough that
+#: the lock array is cache-friendly.
+DEFAULT_STRIPES = 16
+
+
+def stable_hash(key: str) -> int:
+    """A non-negative hash of ``key`` that is identical across
+    processes and Python versions (CRC-32 of the UTF-8 bytes)."""
+    return zlib.crc32(key.encode("utf-8"))
+
+
+def stripe_index(key: str, stripes: int) -> int:
+    """Which of ``stripes`` buckets ``key`` routes to."""
+    if stripes < 1:
+        raise ValueError("stripes must be >= 1")
+    return stable_hash(key) % stripes
+
+
+class LockStripe:
+    """A fixed array of locks indexed by the stable hash of a key.
+
+    ``stripe.lock_for(key)`` returns the same lock for the same key
+    every time; distinct keys usually get distinct locks, so guarded
+    operations on unrelated keys proceed in parallel.
+    """
+
+    __slots__ = ("_locks",)
+
+    def __init__(self, stripes: int = DEFAULT_STRIPES):
+        if stripes < 1:
+            raise ValueError("stripes must be >= 1")
+        self._locks = tuple(threading.Lock() for _ in range(stripes))
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+    def lock_for(self, key: str) -> threading.Lock:
+        return self._locks[stable_hash(key) % len(self._locks)]

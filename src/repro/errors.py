@@ -25,6 +25,7 @@ __all__ = [
     "AgentError",
     "SimulationError",
     "WorkloadError",
+    "ServiceError",
 ]
 
 
@@ -114,3 +115,9 @@ class SimulationError(AgentError):
 
 class WorkloadError(ReproError):
     """Invalid workload-generator parameters."""
+
+
+class ServiceError(ReproError):
+    """Misuse of the concurrent decision service (unknown shard,
+    submission after shutdown, bounded-queue overflow with
+    ``block=False``, ...)."""

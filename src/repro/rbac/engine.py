@@ -576,6 +576,17 @@ class AccessControlEngine:
             srac=cache_stats(),
         )
 
+    def reset_stats(self) -> None:
+        """Zero the engine's hit/miss counters without touching cache
+        *contents* — so benchmarks can measure warm steady-state
+        hit-rates without a process restart.  Process-level SRAC
+        counters are shared and reset separately
+        (:func:`repro.srac.reachability.reset_cache_stats`)."""
+        self._candidate_hits = 0
+        self._candidate_misses = 0
+        self._live_hits = 0
+        self._live_fallbacks = 0
+
     def invalidate_caches(self) -> None:
         """Drop the engine's derived caches (candidates, compiled
         universes, owner monitors, per-session monitor states).  Policy

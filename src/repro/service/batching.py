@@ -1,0 +1,170 @@
+"""Batched cross-server execution-proof propagation.
+
+"When an access request to a shared resource is executed by a
+coalition server, a execution proof will be issued to the mobile
+object" (Section 2) — and authorization at the *next* server depends on
+proofs of what the agent did elsewhere.  The naive realisation
+announces every proof to every other server with one synchronous call
+per access; under heavy traffic that is O(accesses × servers) delivery
+calls on the hot path.
+
+:class:`ProofBatch` coalesces announcements per destination server and
+flushes them **latency-model-aware**: a batch destined for server *d*
+becomes deliverable only once the coalition's migration latency from
+its earliest entry's source has elapsed — proofs cannot outrun the
+network that carries them — and until then further proofs pile into
+the same batch for free.  A full batch (``max_batch``) flushes
+immediately; an explicit :meth:`flush` delivers everything outstanding
+(tests and simulation shutdown).
+
+Deliveries land in each server's announced-proof ledger
+(:meth:`repro.coalition.server.CoalitionServer.receive_proofs`).  The
+batcher requires a **frozen** coalition topology so the destination
+list can be cached once (``Coalition.freeze``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.coalition.network import Coalition
+from repro.coalition.proofs import ExecutionProof
+from repro.errors import ServiceError
+
+__all__ = ["ProofBatch"]
+
+
+class ProofBatch:
+    """Coalesced, latency-aware proof announcement for one coalition.
+
+    Parameters
+    ----------
+    coalition:
+        Its membership is frozen here (shard routing and the cached
+        destination list require an immutable topology).
+    max_batch:
+        A destination's pending batch flushes as soon as it reaches
+        this many proofs, regardless of latency.
+    """
+
+    def __init__(self, coalition: Coalition, max_batch: int = 32):
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        coalition.freeze()
+        self.coalition = coalition
+        self.max_batch = max_batch
+        self._servers = tuple(coalition.server_names())
+        self._lock = threading.Lock()
+        self._pending: dict[str, list[ExecutionProof]] = {
+            name: [] for name in self._servers
+        }
+        #: Virtual time at which a destination's batch becomes
+        #: deliverable (earliest entry's enqueue time + its latency).
+        self._due: dict[str, float] = {}
+        self.enqueued = 0
+        self.delivered = 0
+        self.delivery_calls = 0
+        self.overflow_flushes = 0
+
+    # -- producing -------------------------------------------------------------
+
+    def enqueue(self, source: str, proof: ExecutionProof, now: float = 0.0) -> int:
+        """Announce ``proof`` (executed at ``source`` at virtual time
+        ``now``) to every other coalition server.  Returns the number
+        of proofs delivered by overflow flushes triggered here."""
+        if source not in self.coalition:
+            raise ServiceError(f"unknown source server {source!r}")
+        overflowing: list[str] = []
+        with self._lock:
+            for destination in self._servers:
+                if destination == source:
+                    continue
+                batch = self._pending[destination]
+                batch.append(proof)
+                self.enqueued += 1
+                deliverable_at = now + self.coalition.migration_latency(
+                    source, destination
+                )
+                if destination not in self._due:
+                    self._due[destination] = deliverable_at
+                else:
+                    self._due[destination] = min(
+                        self._due[destination], deliverable_at
+                    )
+                if len(batch) >= self.max_batch:
+                    overflowing.append(destination)
+                    self.overflow_flushes += 1
+        delivered = 0
+        for destination in overflowing:
+            delivered += self.flush(destination)
+        return delivered
+
+    # -- flushing -------------------------------------------------------------
+
+    def _take(self, destination: str) -> list[ExecutionProof]:
+        with self._lock:
+            batch = self._pending[destination]
+            if not batch:
+                return []
+            self._pending[destination] = []
+            self._due.pop(destination, None)
+            return batch
+
+    def _deliver(self, destination: str, batch: list[ExecutionProof]) -> int:
+        self.coalition.server(destination).receive_proofs(batch)
+        with self._lock:
+            self.delivery_calls += 1
+            self.delivered += len(batch)
+        return len(batch)
+
+    def flush(self, destination: str | None = None) -> int:
+        """Deliver everything pending (for ``destination``, or for all
+        destinations) regardless of due times.  Returns the number of
+        proofs delivered.  This is the explicit synchronisation point
+        for tests and shutdown."""
+        targets = (destination,) if destination is not None else self._servers
+        delivered = 0
+        for target in targets:
+            batch = self._take(target)
+            if batch:
+                delivered += self._deliver(target, batch)
+        return delivered
+
+    def flush_due(self, now: float) -> int:
+        """Deliver every batch whose latency window has elapsed at
+        virtual time ``now``; later batches keep coalescing."""
+        with self._lock:
+            ready = [d for d, due in self._due.items() if due <= now]
+        delivered = 0
+        for destination in ready:
+            batch = self._take(destination)
+            if batch:
+                delivered += self._deliver(destination, batch)
+        return delivered
+
+    # -- introspection -----------------------------------------------------------
+
+    def pending_count(self, destination: str | None = None) -> int:
+        with self._lock:
+            if destination is not None:
+                return len(self._pending[destination])
+            return sum(len(b) for b in self._pending.values())
+
+    def stats(self) -> dict[str, int | float]:
+        """Counters for reports: enqueued/delivered proof entries, how
+        many delivery calls carried them (the batching win is
+        ``delivered / delivery_calls``) and overflow flushes."""
+        with self._lock:
+            pending = sum(len(b) for b in self._pending.values())
+            return {
+                "enqueued": self.enqueued,
+                "delivered": self.delivered,
+                "pending": pending,
+                "delivery_calls": self.delivery_calls,
+                "overflow_flushes": self.overflow_flushes,
+                "mean_batch_size": (
+                    self.delivered / self.delivery_calls
+                    if self.delivery_calls
+                    else 0.0
+                ),
+            }

@@ -1,0 +1,324 @@
+"""The concurrent decision service front door.
+
+:class:`DecisionService` turns a :class:`~repro.service.sharding.ShardedEngine`
+into a throughput-oriented authorization service:
+
+* a ``ThreadPoolExecutor`` worker pool serves requests;
+* each shard has a **bounded FIFO queue** — submission applies
+  backpressure when a shard falls behind (or rejects immediately with
+  ``block=False``), so a hot shard cannot grow unbounded memory;
+* a worker drains a shard by popping the queue **under the shard
+  lock** and deciding in the same critical section, which preserves
+  per-session request order exactly — the concurrency property test
+  relies on this to reproduce single-threaded outcomes;
+* throughput and latency counters are exposed as a
+  :meth:`~DecisionService.service_stats` snapshot, resettable for
+  warm steady-state benchmarking.
+
+An optional ``post_decision_hook`` runs *outside* the shard lock after
+each decision — the integration point for downstream effects such as
+handing granted proofs to a :class:`~repro.service.batching.ProofBatch`
+or emulating the network round trip that delivers the grant (the
+concurrent-service benchmark uses it for its latency model).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ServiceError
+from repro.rbac.audit import Decision
+from repro.rbac.engine import Session
+from repro.service.sharding import ShardedEngine
+from repro.sral.ast import Program
+from repro.traces.trace import AccessKey, Trace
+
+__all__ = ["DecisionService", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Snapshot of the service counters (one benchmark report row)."""
+
+    submitted: int
+    completed: int
+    granted: int
+    denied: int
+    errors: int
+    rejected: int
+    total_latency_s: float
+    max_latency_s: float
+    queue_depths: tuple[int, ...]
+    shard_decisions: tuple[int, ...]
+    workers: int
+    shards: int
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self.total_latency_s / self.completed if self.completed else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "granted": self.granted,
+            "denied": self.denied,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "mean_latency_ms": self.mean_latency_s * 1e3,
+            "max_latency_ms": self.max_latency_s * 1e3,
+            "queue_depths": list(self.queue_depths),
+            "shard_decisions": list(self.shard_decisions),
+            "workers": self.workers,
+            "shards": self.shards,
+        }
+
+
+class DecisionService:
+    """Worker pool + per-shard bounded queues over a sharded engine.
+
+    Parameters
+    ----------
+    engine:
+        The sharded engine (or a plain policy is *not* accepted — build
+        the :class:`ShardedEngine` explicitly so its shard count and
+        engine configuration are visible at the call site).
+    workers:
+        Thread-pool size.  Useful values are ≤ the shard count for
+        CPU-bound decision mixes (the GIL serialises pure-Python
+        compute anyway) and larger when the post-decision hook blocks
+        on I/O or emulated network latency.
+    queue_depth:
+        Bound of each shard's request queue (backpressure threshold).
+    post_decision_hook:
+        ``Callable[[Decision], None]`` run outside the shard lock after
+        every decision, before the future resolves.
+    """
+
+    def __init__(
+        self,
+        engine: ShardedEngine,
+        workers: int = 4,
+        queue_depth: int = 1024,
+        post_decision_hook: Callable[[Decision], None] | None = None,
+    ):
+        if workers < 1:
+            raise ServiceError(f"worker count must be >= 1, got {workers}")
+        if queue_depth < 1:
+            raise ServiceError(f"queue depth must be >= 1, got {queue_depth}")
+        self.engine = engine
+        self.workers = workers
+        self._hook = post_decision_hook
+        self._queues: list[queue.Queue] = [
+            queue.Queue(maxsize=queue_depth) for _ in range(engine.shard_count)
+        ]
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="decision-worker"
+        )
+        self._closed = False
+        self._stats_lock = threading.Lock()
+        self._idle = threading.Condition(self._stats_lock)
+        self._submitted = 0
+        self._completed = 0
+        self._granted = 0
+        self._denied = 0
+        self._errors = 0
+        self._rejected = 0
+        self._total_latency = 0.0
+        self._max_latency = 0.0
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(
+        self,
+        session: Session,
+        access: AccessKey | tuple[str, str, str],
+        t: float,
+        history: Trace | None = (),
+        program: Program | None = None,
+        observe_granted: bool = False,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> "Future[Decision]":
+        """Enqueue one request; returns a future for its
+        :class:`~repro.rbac.audit.Decision`.
+
+        ``block=True`` (default) applies backpressure when the owning
+        shard's queue is full; ``block=False`` raises
+        :class:`~repro.errors.ServiceError` instead.  With
+        ``observe_granted`` a granted access is fed back through
+        :meth:`~repro.rbac.engine.AccessControlEngine.observe` in the
+        same critical section (the executing-client pattern).
+        """
+        if self._closed:
+            raise ServiceError("service is shut down")
+        index = self.engine.shard_of(session)
+        future: Future[Decision] = Future()
+        item = (
+            future,
+            session,
+            AccessKey(*access),
+            t,
+            history,
+            program,
+            observe_granted,
+            time.perf_counter(),
+        )
+        try:
+            self._queues[index].put(item, block=block, timeout=timeout)
+        except queue.Full:
+            with self._stats_lock:
+                self._rejected += 1
+            raise ServiceError(
+                f"shard {index} queue is full "
+                f"({self._queues[index].maxsize} pending)"
+            ) from None
+        with self._stats_lock:
+            self._submitted += 1
+        self._executor.submit(self._drain_one, index)
+        return future
+
+    def decide(
+        self,
+        session: Session,
+        access: AccessKey | tuple[str, str, str],
+        t: float,
+        history: Trace | None = (),
+        program: Program | None = None,
+    ) -> Decision:
+        """Synchronous convenience: submit and wait."""
+        return self.submit(session, access, t, history, program).result()
+
+    def submit_many(
+        self,
+        requests: Iterable[
+            tuple[Session, AccessKey | tuple[str, str, str], float]
+        ],
+        observe_granted: bool = False,
+    ) -> "list[Future[Decision]]":
+        """Submit a batch of ``(session, access, t)`` requests."""
+        return [
+            self.submit(
+                session, access, t, history=None, observe_granted=observe_granted
+            )
+            for session, access, t in requests
+        ]
+
+    # -- worker side ------------------------------------------------------------
+
+    def _drain_one(self, index: int) -> None:
+        shard = self.engine._shards[index]
+        with shard.lock:
+            try:
+                item = self._queues[index].get_nowait()
+            except queue.Empty:  # pragma: no cover - defensive
+                return
+            (
+                future,
+                session,
+                access,
+                t,
+                history,
+                program,
+                observe_granted,
+                enqueued_at,
+            ) = item
+            try:
+                decision = self.engine._decide_on(
+                    shard, session, access, t, history, program
+                )
+                if observe_granted and decision.granted:
+                    shard.engine.observe(session, access)
+                error: BaseException | None = None
+            except BaseException as exc:
+                decision = None
+                error = exc
+        # Outside the shard lock: downstream effects + future resolution.
+        if error is None and self._hook is not None:
+            try:
+                self._hook(decision)
+            except BaseException as exc:
+                error = exc
+        latency = time.perf_counter() - enqueued_at
+        with self._stats_lock:
+            self._completed += 1
+            self._total_latency += latency
+            self._max_latency = max(self._max_latency, latency)
+            if error is not None:
+                self._errors += 1
+            elif decision.granted:
+                self._granted += 1
+            else:
+                self._denied += 1
+            self._idle.notify_all()
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(decision)
+
+    # -- synchronisation ----------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every submitted request has completed (the
+        service-level ``flush()``).  Returns ``False`` on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._completed < self._submitted:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    # -- stats ------------------------------------------------------------------
+
+    def service_stats(self) -> ServiceStats:
+        shard_rows = self.engine.shard_stats()
+        with self._stats_lock:
+            return ServiceStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                granted=self._granted,
+                denied=self._denied,
+                errors=self._errors,
+                rejected=self._rejected,
+                total_latency_s=self._total_latency,
+                max_latency_s=self._max_latency,
+                queue_depths=tuple(q.qsize() for q in self._queues),
+                shard_decisions=tuple(row["decisions"] for row in shard_rows),
+                workers=self.workers,
+                shards=self.engine.shard_count,
+            )
+
+    def reset_stats(self) -> None:
+        """Zero the service counters and the engine-side counters so a
+        benchmark can measure warm steady-state without restarting."""
+        with self._stats_lock:
+            self._submitted -= self._completed
+            self._completed = 0
+            self._granted = 0
+            self._denied = 0
+            self._errors = 0
+            self._rejected = 0
+            self._total_latency = 0.0
+            self._max_latency = 0.0
+        self.engine.reset_stats()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "DecisionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)

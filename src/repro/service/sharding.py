@@ -1,0 +1,298 @@
+"""Session-sharded access-control engines.
+
+The paper's coalition serves authorization at *every* cooperating
+server, but one :class:`~repro.rbac.engine.AccessControlEngine` is a
+single-threaded object: its candidate cache, session table and audit
+log are mutated on every decision.  :class:`ShardedEngine` partitions
+sessions across N engine shards by a **stable hash of the routing
+key** (the owner's user name by default), so:
+
+* requests of different agents land on different shards and proceed in
+  parallel — each shard is guarded by its own lock;
+* every session of one user lands on the *same* shard, which keeps the
+  owner-coordination scope (combined companion histories, Section 1)
+  correct without cross-shard synchronisation;
+* the expensive read-mostly artifacts — interned compiled constraints
+  and precomputed live sets (:mod:`repro.srac.monitors`,
+  :mod:`repro.srac.reachability`) — remain **process-global**: they
+  are immutable once built and their tables are lock-guarded, so all
+  shards share one copy and one warm-up.
+
+Per-shard state (sessions, validity trackers, candidate/extension
+entry caches, audit log) is touched only under the shard lock, so the
+engine internals need no locks of their own.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.concurrency import stripe_index
+from repro.errors import ServiceError
+from repro.rbac.audit import Decision
+from repro.rbac.engine import AccessControlEngine, EngineCacheStats, Session
+from repro.rbac.policy import Policy
+from repro.srac.reachability import cache_stats as srac_cache_stats
+from repro.srac.reachability import reset_cache_stats
+from repro.sral.ast import Program
+from repro.traces.trace import AccessKey, Trace
+
+__all__ = ["ShardedEngine"]
+
+
+class _Shard:
+    """One engine plus its guard lock and throughput counters."""
+
+    __slots__ = ("index", "engine", "lock", "decisions", "granted")
+
+    def __init__(self, index: int, engine: AccessControlEngine):
+        self.index = index
+        self.engine = engine
+        self.lock = threading.Lock()
+        self.decisions = 0
+        self.granted = 0
+
+
+class ShardedEngine:
+    """N engine shards behind stable-hash session routing.
+
+    Parameters
+    ----------
+    policy:
+        Shared by every shard (policies are read-mostly; mutations bump
+        the version counter, which each shard's candidate cache already
+        honours).
+    shards:
+        Number of engine shards.
+    engine_kwargs:
+        Forwarded to every :class:`AccessControlEngine` (scheme,
+        extension alphabet, coordination scope, ...), so all shards
+        decide identically.
+    """
+
+    def __init__(self, policy: Policy, shards: int = 4, **engine_kwargs):
+        if shards < 1:
+            raise ServiceError(f"shard count must be >= 1, got {shards}")
+        self._shards = [
+            _Shard(i, AccessControlEngine(policy, **engine_kwargs))
+            for i in range(shards)
+        ]
+        self.policy = policy
+        # session_id -> shard index; guarded for concurrent authenticates.
+        self._routes: dict[str, int] = {}
+        self._route_lock = threading.Lock()
+
+    # -- routing --------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_index(self, key: str) -> int:
+        """The shard a routing key maps to (stable across processes)."""
+        return stripe_index(key, len(self._shards))
+
+    def shard_of(self, session: Session) -> int:
+        """The shard that owns ``session``."""
+        try:
+            return self._routes[session.session_id]
+        except KeyError:
+            raise ServiceError(
+                f"session {session.session_id!r} is not routed through this "
+                f"sharded engine"
+            ) from None
+
+    def _shard_for(self, session: Session) -> _Shard:
+        return self._shards[self.shard_of(session)]
+
+    # -- session management ----------------------------------------------------
+
+    def authenticate(
+        self,
+        user_name: str,
+        t: float,
+        principals: Iterable[str] = (),
+        shard_key: str | None = None,
+    ) -> Session:
+        """Authenticate on the shard chosen by ``shard_key`` (default:
+        the user name, so companion sessions of one owner co-locate and
+        owner-scope coordination stays shard-local)."""
+        index = self.shard_index(shard_key if shard_key is not None else user_name)
+        shard = self._shards[index]
+        with shard.lock:
+            session = shard.engine.authenticate(user_name, t, principals)
+        with self._route_lock:
+            self._routes[session.session_id] = index
+        return session
+
+    def close_session(self, session: Session, t: float) -> None:
+        shard = self._shard_for(session)
+        with shard.lock:
+            shard.engine.close_session(session, t)
+        with self._route_lock:
+            self._routes.pop(session.session_id, None)
+
+    def activate_role(self, session: Session, role_name: str, t: float) -> None:
+        shard = self._shard_for(session)
+        with shard.lock:
+            shard.engine.activate_role(session, role_name, t)
+
+    def deactivate_role(self, session: Session, role_name: str, t: float) -> None:
+        shard = self._shard_for(session)
+        with shard.lock:
+            shard.engine.deactivate_role(session, role_name, t)
+
+    def notify_migration(self, session: Session, t: float) -> None:
+        shard = self._shard_for(session)
+        with shard.lock:
+            shard.engine.notify_migration(session, t)
+
+    def observe(
+        self, session: Session, access: AccessKey | tuple[str, str, str]
+    ) -> None:
+        shard = self._shard_for(session)
+        with shard.lock:
+            shard.engine.observe(session, access)
+
+    # -- decisions ---------------------------------------------------------------
+
+    def decide(
+        self,
+        session: Session,
+        access: AccessKey | tuple[str, str, str],
+        t: float,
+        history: Trace | None = (),
+        program: Program | None = None,
+    ) -> Decision:
+        shard = self._shard_for(session)
+        with shard.lock:
+            return self._decide_on(shard, session, access, t, history, program)
+
+    def _decide_on(
+        self,
+        shard: _Shard,
+        session: Session,
+        access: AccessKey | tuple[str, str, str],
+        t: float,
+        history: Trace | None = (),
+        program: Program | None = None,
+    ) -> Decision:
+        """Decide with ``shard.lock`` already held (the
+        :class:`~repro.service.service.DecisionService` drain path —
+        it must pop the shard queue and decide under one critical
+        section to preserve per-session FIFO order)."""
+        decision = shard.engine.decide(session, access, t, history, program)
+        shard.decisions += 1
+        if decision.granted:
+            shard.granted += 1
+        return decision
+
+    def enforce(
+        self,
+        session: Session,
+        access: AccessKey | tuple[str, str, str],
+        t: float,
+        history: Trace | None = (),
+        program: Program | None = None,
+    ) -> Decision:
+        shard = self._shard_for(session)
+        with shard.lock:
+            decision = self._decide_on(shard, session, access, t, history, program)
+        if not decision.granted:
+            from repro.errors import AccessDenied
+
+            raise AccessDenied(
+                f"access {AccessKey(*access)} denied: {decision.reason}",
+                decision=decision,
+            )
+        return decision
+
+    def decide_batch(
+        self,
+        session: Session,
+        accesses: Iterable[AccessKey | tuple[str, str, str]],
+        t: float,
+        dt: float = 0.0,
+        history: Trace | None = None,
+        program: Program | None = None,
+        observe_granted: bool = False,
+    ) -> list[Decision]:
+        shard = self._shard_for(session)
+        with shard.lock:
+            decisions = shard.engine.decide_batch(
+                session, accesses, t, dt, history, program, observe_granted
+            )
+        shard.decisions += len(decisions)
+        shard.granted += sum(d.granted for d in decisions)
+        return decisions
+
+    # -- cache + stats management ------------------------------------------------
+
+    def prewarm(
+        self, alphabet: Iterable[AccessKey | tuple[str, str, str]] = ()
+    ) -> int:
+        """Prewarm every shard.  The heavy work (constraint compilation,
+        live-set fixpoints) happens once — the process-global caches are
+        shared — and each shard only materialises its own entry table."""
+        alphabet = tuple(alphabet)
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                total += shard.engine.prewarm(alphabet)
+        return total
+
+    def invalidate_caches(self) -> None:
+        for shard in self._shards:
+            with shard.lock:
+                shard.engine.invalidate_caches()
+
+    def cache_stats(self) -> EngineCacheStats:
+        """Engine counters summed across shards; the SRAC portion is the
+        process-global snapshot (shared by all shards, counted once)."""
+        totals = dict(
+            candidate_hits=0,
+            candidate_misses=0,
+            extension_entries=0,
+            live_hits=0,
+            live_fallbacks=0,
+        )
+        for shard in self._shards:
+            with shard.lock:
+                stats = shard.engine.cache_stats()
+            totals["candidate_hits"] += stats.candidate_hits
+            totals["candidate_misses"] += stats.candidate_misses
+            totals["extension_entries"] += stats.extension_entries
+            totals["live_hits"] += stats.live_hits
+            totals["live_fallbacks"] += stats.live_fallbacks
+        return EngineCacheStats(srac=srac_cache_stats(), **totals)
+
+    def shard_stats(self) -> list[dict[str, int]]:
+        """Per-shard decision/grant/session counts (load-balance view)."""
+        out = []
+        with self._route_lock:
+            routed: dict[int, int] = {}
+            for index in self._routes.values():
+                routed[index] = routed.get(index, 0) + 1
+        for shard in self._shards:
+            with shard.lock:
+                out.append(
+                    {
+                        "shard": shard.index,
+                        "decisions": shard.decisions,
+                        "granted": shard.granted,
+                        "sessions": routed.get(shard.index, 0),
+                    }
+                )
+        return out
+
+    def reset_stats(self) -> None:
+        """Zero shard throughput counters, every shard engine's hit/miss
+        counters and the process-level SRAC counters — cache *contents*
+        are kept, so benchmarks measure warm steady-state."""
+        for shard in self._shards:
+            with shard.lock:
+                shard.decisions = 0
+                shard.granted = 0
+                shard.engine.reset_stats()
+        reset_cache_stats()

@@ -20,6 +20,7 @@ atomic form      states  meaning of acceptance
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -276,7 +277,13 @@ class CompiledConstraint:
 # constraint can be shared by every session, engine and checker call
 # in the process.  The cache is cleared wholesale when it exceeds
 # _COMPILE_CACHE_MAX (correctness is unaffected — only the interning).
+# All lookups, insertions and counter updates happen under _cache_lock
+# so the cache can be shared by the engine shards of
+# :mod:`repro.service` (compilation itself runs outside the lock; a
+# racing duplicate compilation is harmless because the artifact is a
+# pure function of the constraint).
 _COMPILE_CACHE_MAX = 4096
+_cache_lock = threading.Lock()
 _compile_cache: dict[Constraint, CompiledConstraint] = {}
 _compile_hits = 0
 _compile_misses = 0
@@ -292,30 +299,39 @@ def compile_constraint(
     once per policy, not once per session or per call.  Pass
     ``cache=False`` to force a fresh compilation (used by the
     equivalence tests that compare cached against uncached behaviour).
+    Thread-safe: concurrent callers may both compile a fresh
+    constraint, but exactly one artifact wins the interning race.
     """
     global _compile_hits, _compile_misses
     if not cache:
         return CompiledConstraint(constraint)
-    compiled = _compile_cache.get(constraint)
-    if compiled is not None:
-        _compile_hits += 1
-        return compiled
-    _compile_misses += 1
-    if len(_compile_cache) >= _COMPILE_CACHE_MAX:
-        _compile_cache.clear()
-    compiled = CompiledConstraint(constraint)
-    _compile_cache[constraint] = compiled
-    return compiled
+    with _cache_lock:
+        compiled = _compile_cache.get(constraint)
+        if compiled is not None:
+            _compile_hits += 1
+            return compiled
+        _compile_misses += 1
+    fresh = CompiledConstraint(constraint)
+    with _cache_lock:
+        compiled = _compile_cache.get(constraint)
+        if compiled is not None:
+            return compiled
+        if len(_compile_cache) >= _COMPILE_CACHE_MAX:
+            _compile_cache.clear()
+        _compile_cache[constraint] = fresh
+    return fresh
 
 
 def clear_compile_cache() -> None:
     """Drop every interned compilation and reset the hit/miss counters."""
     global _compile_hits, _compile_misses
-    _compile_cache.clear()
-    _compile_hits = 0
-    _compile_misses = 0
+    with _cache_lock:
+        _compile_cache.clear()
+        _compile_hits = 0
+        _compile_misses = 0
 
 
 def compile_cache_counters() -> tuple[int, int, int]:
     """``(hits, misses, entries)`` of the process-level compile cache."""
-    return _compile_hits, _compile_misses, len(_compile_cache)
+    with _cache_lock:
+        return _compile_hits, _compile_misses, len(_compile_cache)

@@ -34,6 +34,7 @@ hits/misses, fallbacks) feed the engine's ``cache_stats()`` report and
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -63,7 +64,12 @@ _LIVE_CACHE_MAX = 4096
 
 # (constraint, frozenset(alphabet)) -> live frozenset, or None when the
 # product exceeded the state budget (cached too, so the budget check
-# runs once per key rather than once per decision).
+# runs once per key rather than once per decision).  Shared by every
+# engine shard in the process (repro.service), so lookups, insertions
+# and counter updates are guarded by _cache_lock; the fixpoint itself
+# runs outside the lock (it is a pure function of its key, so a racing
+# duplicate computation is wasted work, never wrong).
+_cache_lock = threading.Lock()
 _live_cache: dict[
     tuple[Constraint, frozenset[AccessKey]], frozenset[tuple[int, ...]] | None
 ] = {}
@@ -147,16 +153,22 @@ def live_set(
     symbols = _canonical(alphabet)
     key = (compiled.constraint, frozenset(symbols))
     sentinel = object()
-    cached = _live_cache.get(key, sentinel)
+    with _cache_lock:
+        cached = _live_cache.get(key, sentinel)
     if cached is not sentinel:
         return cached  # type: ignore[return-value]
-    if len(_live_cache) >= _LIVE_CACHE_MAX:
-        _live_cache.clear()
-    if compiled.state_space() > state_budget:
-        _live_cache[key] = None
-        return None
-    live = _compute_live(compiled, symbols)
-    _live_cache[key] = live
+    live = (
+        None
+        if compiled.state_space() > state_budget
+        else _compute_live(compiled, symbols)
+    )
+    with _cache_lock:
+        raced = _live_cache.get(key, sentinel)
+        if raced is not sentinel:
+            return raced  # type: ignore[return-value]
+        if len(_live_cache) >= _LIVE_CACHE_MAX:
+            _live_cache.clear()
+        _live_cache[key] = live
     return live
 
 
@@ -174,18 +186,19 @@ def satisfiable_states(
     global _reach_hits, _reach_misses, _fallbacks
     key = (compiled.constraint, frozenset(_canonical(alphabet)))
     sentinel = object()
-    cached = _live_cache.get(key, sentinel)
-    if cached is sentinel:
+    with _cache_lock:
+        cached = _live_cache.get(key, sentinel)
+        if cached is None:
+            _fallbacks += 1
+            return None
+        if cached is not sentinel:
+            _reach_hits += 1
+            return states in cached  # type: ignore[operator]
         _reach_misses += 1
-        cached = live_set(compiled, alphabet, state_budget)
-    elif cached is None:
-        _fallbacks += 1
-        return None
-    else:
-        _reach_hits += 1
-        return states in cached  # type: ignore[operator]
+    cached = live_set(compiled, alphabet, state_budget)
     if cached is None:
-        _fallbacks += 1
+        with _cache_lock:
+            _fallbacks += 1
         return None
     return states in cached
 
@@ -193,27 +206,30 @@ def satisfiable_states(
 def cache_stats() -> CacheStats:
     """Combined snapshot of the compile and reachability caches."""
     hits, misses, _entries = compile_cache_counters()
-    return CacheStats(
-        compile_hits=hits,
-        compile_misses=misses,
-        reachability_hits=_reach_hits,
-        reachability_misses=_reach_misses,
-        fallbacks=_fallbacks,
-        live_sets=len(_live_cache),
-    )
+    with _cache_lock:
+        return CacheStats(
+            compile_hits=hits,
+            compile_misses=misses,
+            reachability_hits=_reach_hits,
+            reachability_misses=_reach_misses,
+            fallbacks=_fallbacks,
+            live_sets=len(_live_cache),
+        )
 
 
 def reset_cache_stats() -> None:
     """Zero the reachability counters (cache contents are kept)."""
     global _reach_hits, _reach_misses, _fallbacks
-    _reach_hits = 0
-    _reach_misses = 0
-    _fallbacks = 0
+    with _cache_lock:
+        _reach_hits = 0
+        _reach_misses = 0
+        _fallbacks = 0
 
 
 def clear_caches() -> None:
     """Drop both process-level caches (compile + live sets) and all
     counters — the big hammer for tests and policy hot-reloads."""
-    _live_cache.clear()
+    with _cache_lock:
+        _live_cache.clear()
     reset_cache_stats()
     clear_compile_cache()

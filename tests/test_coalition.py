@@ -304,3 +304,25 @@ class TestCoalition:
         assert c.channels.get("ch").try_receive() == 5
         c.signals.raise_signal("done")
         assert c.signals.is_raised("done")
+
+    def test_uniform_latency_negative_default_rejected(self):
+        # Regression: a negative default used to be accepted at
+        # construction and only explode inside migration_latency.
+        with pytest.raises(CoalitionError):
+            uniform_latency({("s1", "s2"): 2.0}, default=-1.0)
+
+    def test_uniform_latency_negative_table_entry_rejected(self):
+        with pytest.raises(CoalitionError):
+            uniform_latency({("s1", "s2"): -2.0})
+
+    def test_freeze_makes_membership_immutable(self):
+        c = self.make_coalition()
+        assert not c.frozen
+        c.freeze()
+        assert c.frozen
+        with pytest.raises(CoalitionError):
+            c.add_server(CoalitionServer("s4"))
+        # Idempotent, and existing servers stay reachable.
+        c.freeze()
+        assert c.server("s1").name == "s1"
+        assert c.server_names() == ["s1", "s2", "s3"]

@@ -1,0 +1,450 @@
+"""Concurrency tests for the sharded decision service
+(:mod:`repro.service`) and the lock-striped coalition substrate.
+
+The two load-bearing properties:
+
+* **Determinism modulo interleaving** — the same randomized agent
+  workload produces identical per-session decision outcomes through a
+  plain single-threaded engine and through the sharded service at 4
+  workers (per-session request order is preserved by the per-shard
+  FIFO queues; sessions are independent, so interleaving across
+  sessions cannot change any outcome).
+* **No lost or duplicated messages** — 8 threads hammering one
+  :class:`~repro.coalition.channels.ChannelTable` deliver every sent
+  value exactly once.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.concurrency import LockStripe, stable_hash, stripe_index
+from repro.coalition.channels import EMPTY, ChannelTable, SignalTable
+from repro.coalition.network import Coalition, constant_latency, uniform_latency
+from repro.coalition.proofs import ProofRegistry
+from repro.coalition.resource import Resource
+from repro.coalition.server import CoalitionServer
+from repro.errors import ChannelError, CoalitionError, ServiceError
+from repro.rbac.engine import AccessControlEngine
+from repro.rbac.model import Permission
+from repro.rbac.policy import Policy
+from repro.service import DecisionService, ProofBatch, ShardedEngine
+from repro.srac.parser import parse_constraint
+from repro.traces.trace import AccessKey
+
+SERVERS = [f"s{i}" for i in range(4)]
+
+
+def make_policy(count_bound: int = 5) -> Policy:
+    policy = Policy()
+    policy.add_user("u")
+    policy.add_role("r")
+    policy.add_permission(
+        Permission(
+            "p",
+            op="exec",
+            resource="rsw",
+            spatial_constraint=parse_constraint(
+                f"count(0, {count_bound}, [res = rsw])"
+            ),
+        )
+    )
+    policy.assign_user("u", "r")
+    policy.assign_permission("r", "p")
+    return policy
+
+
+def random_workload(seed: int, sessions: int, per_session: int):
+    """Per-session randomized request streams (server varies)."""
+    rng = random.Random(seed)
+    return [
+        [
+            AccessKey("exec", "rsw", rng.choice(SERVERS))
+            for _ in range(per_session)
+        ]
+        for _ in range(sessions)
+    ]
+
+
+class TestStableRouting:
+    def test_stable_hash_is_process_independent(self):
+        # CRC-32 of the UTF-8 bytes — fixed reference values.
+        assert stable_hash("agent-0") == 2054976783
+        assert stable_hash("") == 0
+
+    def test_stripe_index_bounds(self):
+        for key in ("a", "b", "agent-17", "x" * 100):
+            assert 0 <= stripe_index(key, 7) < 7
+        with pytest.raises(ValueError):
+            stripe_index("a", 0)
+
+    def test_lock_stripe_same_key_same_lock(self):
+        stripe = LockStripe(8)
+        assert stripe.lock_for("k") is stripe.lock_for("k")
+        assert len(stripe) == 8
+
+
+class TestShardedDeterminism:
+    """The concurrency property test of ISSUE 2."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_outcomes_identical_to_single_threaded(self, seed):
+        sessions_n, per_session = 12, 25
+        workload = random_workload(seed, sessions_n, per_session)
+
+        # Single-threaded reference: each granted access is observed,
+        # so the count bound eventually denies — outcomes are a mix.
+        engine = AccessControlEngine(make_policy())
+        reference: list[list[tuple[AccessKey, bool]]] = []
+        for k in range(sessions_n):
+            session = engine.authenticate("u", 0.0)
+            engine.activate_role(session, "r", 0.0)
+            row = []
+            for i, access in enumerate(workload[k]):
+                decision = engine.decide(
+                    session, access, float(i + 1), history=None
+                )
+                if decision.granted:
+                    engine.observe(session, access)
+                row.append((access, decision.granted))
+            reference.append(row)
+        assert any(not granted for row in reference for _, granted in row)
+        assert any(granted for row in reference for _, granted in row)
+
+        # Sharded service at 4 workers, interleaved submission order.
+        sharded = ShardedEngine(make_policy(), shards=4)
+        sharded_sessions = []
+        for k in range(sessions_n):
+            session = sharded.authenticate("u", 0.0, shard_key=f"agent-{k}")
+            sharded.activate_role(session, "r", 0.0)
+            sharded_sessions.append(session)
+        futures: list[list] = [[] for _ in range(sessions_n)]
+        with DecisionService(sharded, workers=4, queue_depth=256) as service:
+            for i in range(per_session):
+                for k in range(sessions_n):
+                    futures[k].append(
+                        service.submit(
+                            sharded_sessions[k],
+                            workload[k][i],
+                            float(i + 1),
+                            history=None,
+                            observe_granted=True,
+                        )
+                    )
+            assert service.drain(timeout=60.0)
+            stats = service.service_stats()
+        assert stats.errors == 0
+        assert stats.completed == sessions_n * per_session
+
+        actual = [
+            [
+                (workload[k][i], futures[k][i].result().granted)
+                for i in range(per_session)
+            ]
+            for k in range(sessions_n)
+        ]
+        # Per-session outcome sequences identical — which implies the
+        # multiset of (session, access, decision) triples is identical.
+        assert actual == reference
+
+    def test_same_owner_sessions_share_a_shard(self):
+        sharded = ShardedEngine(make_policy(), shards=8)
+        a = sharded.authenticate("u", 0.0)
+        b = sharded.authenticate("u", 0.0)
+        assert sharded.shard_of(a) == sharded.shard_of(b)
+
+    def test_unrouted_session_rejected(self):
+        sharded = ShardedEngine(make_policy(), shards=2)
+        foreign = AccessControlEngine(make_policy()).authenticate("u", 0.0)
+        with pytest.raises(ServiceError):
+            sharded.decide(foreign, ("exec", "rsw", "s0"), 1.0)
+
+    def test_shard_count_validation(self):
+        with pytest.raises(ServiceError):
+            ShardedEngine(make_policy(), shards=0)
+
+
+class TestChannelTableStress:
+    def test_eight_threads_no_loss_no_duplication(self):
+        """8 producer/consumer threads on one ChannelTable: every sent
+        value is received exactly once."""
+        table = ChannelTable()
+        channels = [f"ch{i}" for i in range(5)]
+        per_thread = 500
+        producers = 4
+        consumers = 4
+        total = producers * per_thread
+        received: list[list[tuple[int, int]]] = [[] for _ in range(consumers)]
+        done = threading.Event()
+        barrier = threading.Barrier(producers + consumers)
+
+        def produce(thread_id: int) -> None:
+            rng = random.Random(thread_id)
+            barrier.wait()
+            for i in range(per_thread):
+                table.get(rng.choice(channels)).send((thread_id, i))
+
+        def consume(slot: int) -> None:
+            rng = random.Random(100 + slot)
+            barrier.wait()
+            while not done.is_set():
+                value = table.get(rng.choice(channels)).try_receive()
+                if value is not EMPTY:
+                    received[slot].append(value)
+
+        threads = [
+            threading.Thread(target=produce, args=(t,)) for t in range(producers)
+        ] + [threading.Thread(target=consume, args=(s,)) for s in range(consumers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads[:producers]:
+            thread.join(timeout=30.0)
+        # Let consumers drain the remainder, then stop them.
+        deadline = threading.Event()
+        for _ in range(200):
+            if sum(len(r) for r in received) + sum(
+                len(table.get(c)) for c in channels
+            ) >= total and all(len(table.get(c)) == 0 for c in channels):
+                break
+            deadline.wait(0.01)
+        done.set()
+        for thread in threads[producers:]:
+            thread.join(timeout=30.0)
+
+        # Sweep anything left (consumers may stop between emptiness
+        # check and done), then assert exactly-once delivery.
+        leftovers = []
+        for name in channels:
+            while True:
+                value = table.get(name).try_receive()
+                if value is EMPTY:
+                    break
+                leftovers.append(value)
+        everything = [v for row in received for v in row] + leftovers
+        assert len(everything) == total
+        assert sorted(everything) == sorted(
+            (t, i) for t in range(producers) for i in range(per_thread)
+        )
+
+    def test_signal_raise_wait_race_never_loses_a_waiter(self):
+        """Concurrent add_waiter/raise_signal: every waiter is either
+        woken by the raise or rejected because the signal was already
+        up — never silently left behind."""
+        for round_no in range(50):
+            signals = SignalTable()
+            outcome: dict[str, object] = {}
+            barrier = threading.Barrier(2)
+
+            def waiter() -> None:
+                barrier.wait()
+                try:
+                    signals.add_waiter("go", "agent")
+                    outcome["registered"] = True
+                except ChannelError:
+                    outcome["rejected"] = True
+
+            def raiser() -> None:
+                barrier.wait()
+                outcome["woken"] = signals.raise_signal("go")
+
+            threads = [
+                threading.Thread(target=waiter),
+                threading.Thread(target=raiser),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10.0)
+            if outcome.get("registered"):
+                # add_waiter won the race, so the signal was not yet up
+                # when it registered — the raise (serialised behind the
+                # same stripe lock) must have woken it.
+                assert outcome["woken"] == ["agent"]
+                assert signals.waiters("go") == ()
+            else:
+                # raise_signal won: sticky signal rejects the waiter.
+                assert outcome.get("rejected")
+                assert outcome["woken"] == []
+
+    def test_proof_registry_concurrent_record_keeps_chain_dense(self):
+        registry = ProofRegistry("obj")
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    registry.record(("exec", "rsw", "s0"), float(i))
+                    for i in range(200)
+                ]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert len(registry) == 8 * 200
+        assert registry.verify_chain()
+
+
+class TestProofBatch:
+    def make_coalition(self) -> Coalition:
+        return Coalition(
+            [CoalitionServer(s, [Resource("rsw")]) for s in SERVERS],
+            latency=constant_latency(2.0),
+        )
+
+    def issue(self, n: int, server: str = "s0"):
+        registry = ProofRegistry("obj")
+        return [
+            registry.record(("exec", "rsw", server), float(i)) for i in range(n)
+        ]
+
+    def test_freezes_topology(self):
+        coalition = self.make_coalition()
+        ProofBatch(coalition)
+        assert coalition.frozen
+        with pytest.raises(CoalitionError):
+            coalition.add_server(CoalitionServer("s9"))
+
+    def test_coalesces_until_flush(self):
+        coalition = self.make_coalition()
+        batch = ProofBatch(coalition, max_batch=100)
+        proofs = self.issue(5)
+        for proof in proofs:
+            batch.enqueue("s0", proof, now=0.0)
+        # Nothing delivered yet; 5 proofs pending per other server.
+        assert batch.pending_count() == 5 * (len(SERVERS) - 1)
+        assert coalition.server("s1").announced_proof_count() == 0
+        delivered = batch.flush()
+        assert delivered == 5 * (len(SERVERS) - 1)
+        assert batch.pending_count() == 0
+        for name in SERVERS[1:]:
+            server = coalition.server(name)
+            assert server.announced_proof_count() == 5
+            assert all(server.knows_proof(p) for p in proofs)
+        # One delivery call per destination, not per proof.
+        assert batch.stats()["delivery_calls"] == len(SERVERS) - 1
+        assert batch.stats()["mean_batch_size"] == 5.0
+
+    def test_latency_aware_flush_due(self):
+        coalition = self.make_coalition()
+        batch = ProofBatch(coalition, max_batch=100)
+        (proof,) = self.issue(1)
+        batch.enqueue("s0", proof, now=10.0)
+        # Latency is 2.0: nothing is deliverable before t=12.
+        assert batch.flush_due(11.9) == 0
+        assert batch.pending_count() == 3
+        assert batch.flush_due(12.0) == 3
+        assert batch.pending_count() == 0
+        assert coalition.server("s3").knows_proof(proof)
+
+    def test_overflow_flushes_immediately(self):
+        coalition = self.make_coalition()
+        batch = ProofBatch(coalition, max_batch=3)
+        delivered = 0
+        for proof in self.issue(3):
+            delivered += batch.enqueue("s0", proof, now=0.0)
+        assert delivered == 3 * (len(SERVERS) - 1)
+        assert batch.pending_count() == 0
+        assert batch.stats()["overflow_flushes"] == len(SERVERS) - 1
+
+    def test_duplicate_announcements_not_double_counted(self):
+        coalition = self.make_coalition()
+        (proof,) = self.issue(1)
+        server = coalition.server("s1")
+        assert server.receive_proofs([proof, proof]) == 1
+        assert server.receive_proofs([proof]) == 0
+        assert server.announced_proof_count() == 1
+
+    def test_unknown_source_rejected(self):
+        batch = ProofBatch(self.make_coalition())
+        with pytest.raises(ServiceError):
+            batch.enqueue("nope", self.issue(1)[0])
+
+    def test_simulation_batched_propagation_delivers_everything(self):
+        from repro.agent.naplet import Naplet
+        from repro.agent.scheduler import Simulation
+        from repro.sral.parser import parse_program
+
+        program_src = " ; ".join(["exec rsw @ s0"] * 8)
+
+        def run(mode):
+            coalition = Coalition(
+                [CoalitionServer(s, [Resource("rsw")]) for s in SERVERS],
+                latency=constant_latency(100.0),
+            )
+            sim = Simulation(coalition, proof_propagation=mode)
+            sim.add_naplet(Naplet("owner", parse_program(program_src)), "s0")
+            report = sim.run()
+            assert report.all_finished()
+            return sim
+
+        eager = run("eager")
+        batched = run("batched")
+        # Both modes deliver everything: the three non-executing
+        # servers each learn all 8 proofs, the source learns none.
+        for sim in (eager, batched):
+            assert sim.coalition.server("s0").announced_proof_count() == 0
+            for name in SERVERS[1:]:
+                assert sim.coalition.server(name).announced_proof_count() == 8
+        # Eager pays one delivery call per access per destination;
+        # batched coalesces — the 100-unit latency window never elapses
+        # during the 8-unit run, so everything lands in the end-of-run
+        # flush: one call per destination.
+        assert eager.proof_batch.stats()["delivery_calls"] == 8 * 3
+        assert batched.proof_batch.stats()["delivery_calls"] == 3
+        assert batched.proof_batch.stats()["mean_batch_size"] == 8.0
+
+
+class TestStatsHygiene:
+    def test_engine_reset_stats_keeps_cache_contents(self):
+        engine = AccessControlEngine(make_policy())
+        session = engine.authenticate("u", 0.0)
+        engine.activate_role(session, "r", 0.0)
+        for i in range(5):
+            engine.decide(session, ("exec", "rsw", "s0"), float(i + 1), history=None)
+        before = engine.cache_stats()
+        assert before.candidate_hits > 0
+        engine.reset_stats()
+        after = engine.cache_stats()
+        assert after.candidate_hits == 0
+        assert after.candidate_misses == 0
+        assert after.live_hits == 0
+        # Contents survive: the next decision is a candidate-cache hit.
+        engine.decide(session, ("exec", "rsw", "s0"), 10.0, history=None)
+        assert engine.cache_stats().candidate_hits == 1
+        assert after.extension_entries == before.extension_entries
+
+    def test_service_reset_stats(self):
+        sharded = ShardedEngine(make_policy(), shards=2)
+        session = sharded.authenticate("u", 0.0)
+        sharded.activate_role(session, "r", 0.0)
+        with DecisionService(sharded, workers=2) as service:
+            for i in range(4):
+                service.submit(session, ("exec", "rsw", "s0"), float(i + 1), history=None)
+            assert service.drain(timeout=30.0)
+            assert service.service_stats().completed == 4
+            service.reset_stats()
+            stats = service.service_stats()
+            assert stats.completed == 0
+            assert stats.granted == 0
+            assert stats.submitted == 0
+            assert sum(stats.shard_decisions) == 0
+            # Still serviceable after the reset.
+            future = service.submit(
+                session, ("exec", "rsw", "s0"), 100.0, history=None
+            )
+            assert future.result().granted in (True, False)
+            assert service.drain(timeout=30.0)
+            assert service.service_stats().completed == 1
+
+    def test_service_rejects_after_shutdown(self):
+        sharded = ShardedEngine(make_policy(), shards=2)
+        session = sharded.authenticate("u", 0.0)
+        sharded.activate_role(session, "r", 0.0)
+        service = DecisionService(sharded, workers=1)
+        service.shutdown()
+        with pytest.raises(ServiceError):
+            service.submit(session, ("exec", "rsw", "s0"), 1.0)
