@@ -272,6 +272,25 @@ def exp_service() -> None:
     check_acceptance(report)
 
 
+def exp_faults() -> None:
+    header("EXP-FAULTS  propagation convergence under link loss")
+    from bench_fault_recovery import (
+        ARTIFACT,
+        check_acceptance,
+        measure,
+        print_report,
+    )
+
+    report = measure(n_seeds=10)
+    print_report(report)
+    ARTIFACT.parent.mkdir(exist_ok=True)
+    import json as _json
+
+    ARTIFACT.write_text(_json.dumps(report, indent=2))
+    print(f"wrote {ARTIFACT}")
+    check_acceptance(report)
+
+
 def exp_naplet() -> None:
     header("EXP-NAPLET  agent emulation: cloned fan-out makespan")
     from repro.agent.naplet import Naplet
@@ -345,6 +364,7 @@ def main() -> None:
     exp_rbac()
     exp_cache()
     exp_service()
+    exp_faults()
     exp_naplet()
     exp_baselines()
     print("\nall experiments completed.")

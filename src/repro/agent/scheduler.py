@@ -55,9 +55,13 @@ from repro.errors import (
     AgentError,
     AuthenticationError,
     CoalitionError,
+    MigrationError,
     RbacError,
+    ServerUnavailable,
     SimulationError,
 )
+from repro.faults.plan import FaultPlan
+from repro.rbac.audit import Decision
 from repro.traces.trace import AccessKey
 
 __all__ = ["Simulation", "SimulationReport"]
@@ -77,6 +81,8 @@ class _Task:
     children_remaining: int = 0
     started: bool = False
     migrating_to: str | None = None  # destination of an in-flight migration
+    fault_attempts: int = 0  # consecutive retries against a down server
+    fault_since: float | None = None  # first failure time of that streak
 
 
 @dataclass(frozen=True)
@@ -132,6 +138,16 @@ class Simulation:
         exposed as :attr:`proof_batch` for stats and explicit flushes.
     proof_batch_size:
         Overflow threshold of the batched mode.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  Installing it
+        (done here) attaches the server lifecycle to every coalition
+        server and composes the link's extra delay into the latency
+        model; proof deliveries then travel through a
+        :class:`~repro.faults.transport.FaultyTransport` and retry on
+        the plan's backoff schedule, agents re-attempt migrations and
+        accesses against down servers on ``migration_retry``, and the
+        plan's :class:`~repro.faults.plan.DegradationPolicy` (if any)
+        gates decisions on proof-propagation corroboration.
     """
 
     def __init__(
@@ -143,6 +159,7 @@ class Simulation:
         max_loop_iterations: int = 100_000,
         proof_propagation: Literal["eager", "batched"] | None = None,
         proof_batch_size: int = 32,
+        faults: FaultPlan | None = None,
     ):
         if on_denied not in ("abort", "skip"):
             raise SimulationError(f"unknown on_denied policy {on_denied!r}")
@@ -156,19 +173,41 @@ class Simulation:
                 f"unknown proof_propagation mode {proof_propagation!r}"
             )
         self.proof_propagation = proof_propagation
+        self.faults = faults
+        if faults is not None:
+            if faults.degradation is not None and proof_propagation is None:
+                raise SimulationError(
+                    "a degradation mode needs proof propagation enabled "
+                    "(proof_propagation='eager' or 'batched')"
+                )
+            faults.install(coalition)
+        self.degraded_denials = 0
         self.proof_batch = None
         if proof_propagation is not None:
             # Imported here so the agent layer has no hard dependency
             # on the service layer when propagation is not requested.
             from repro.service.batching import ProofBatch
 
-            self.proof_batch = ProofBatch(coalition, max_batch=proof_batch_size)
+            transport = faults.transport(coalition) if faults is not None else None
+            retry = faults.retry if faults is not None else None
+            self.proof_batch = ProofBatch(
+                coalition,
+                max_batch=proof_batch_size,
+                transport=transport,
+                retry=retry,
+            )
 
         self._tasks: dict[str, _Task] = {}
         self._heap: list[tuple[float, int, str]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._events = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (end time after :meth:`run` returns,
+        advanced further by :meth:`drain_propagation`)."""
+        return self._now
 
     # -- setup -------------------------------------------------------------
 
@@ -220,8 +259,10 @@ class Simulation:
                 continue
             self._resume(task, t)
         if self.proof_batch is not None:
-            # End of run: everything still coalescing is delivered.
-            self.proof_batch.flush()
+            # End of run: everything still coalescing is attempted.
+            # Under faults the attempt can fail — the batch stays
+            # pending for drain_propagation / a post-heal flush.
+            self.proof_batch.flush(now=self._now)
         deadlocked = tuple(
             sorted(
                 task_id
@@ -236,6 +277,28 @@ class Simulation:
             deadlocked=deadlocked,
         )
 
+    def drain_propagation(self, until: float | None = None) -> float:
+        """Advance virtual time past the workload's end, driving
+        outstanding proof-delivery retries until every batch is
+        delivered, only parked batches remain, or the next due time
+        exceeds ``until``.  Returns the virtual time reached — the
+        recovery benchmark's convergence clock.  (Terminates always:
+        each destination either delivers or exhausts its retries and
+        parks.)"""
+        if self.proof_batch is None:
+            return self._now
+        now = self._now
+        while self.proof_batch.pending_count():
+            due = self.proof_batch.next_due()
+            if due is None:
+                break  # only parked batches remain — needs flush()
+            if until is not None and due > until:
+                break
+            now = max(now, due)
+            self.proof_batch.flush_due(now)
+        self._now = max(self._now, now)
+        return now
+
     # -- task stepping ----------------------------------------------------------
 
     def _resume(self, task: _Task, t: float) -> None:
@@ -246,7 +309,15 @@ class Simulation:
                 return
         if task.migrating_to is not None:
             destination = task.migrating_to
+            if not self._server_can_host(destination, t):
+                # The destination crashed while the agent was in
+                # flight: wait at the door and re-attempt arrival on
+                # the migration-retry schedule.
+                self._retry_unavailable(task, t, destination)
+                return
             task.migrating_to = None
+            task.fault_attempts = 0
+            task.fault_since = None
             naplet.location = destination
             if not self._arrive(task, destination, t, first=False):
                 return
@@ -315,6 +386,53 @@ class Simulation:
         # re-register; _dispatch handles both cases on resume.
         self._schedule(t, naplet_id)
 
+    # -- fault handling -----------------------------------------------------------
+
+    def _server_can_host(self, server: str, t: float) -> bool:
+        """Is ``server`` up (executes accesses, admits agents) at ``t``?"""
+        if self.faults is None or self.faults.lifecycle is None:
+            return True
+        return self.faults.lifecycle.can_execute(server, t)
+
+    def _retry_unavailable(self, task: _Task, t: float, server: str) -> None:
+        """``server`` is down in front of the agent: re-attempt on the
+        migration-retry backoff, or fail the agent once the schedule is
+        exhausted.  The pending request / in-flight migration stays set,
+        so the resume re-attempts exactly where it left off."""
+        naplet = task.naplet
+        retry = self.faults.migration_retry
+        if task.fault_since is None:
+            task.fault_since = t
+        if retry.exhausted(task.fault_attempts, task.fault_since, t):
+            naplet.status = NapletStatus.FAILED
+            naplet.error = MigrationError(
+                f"server {server!r} still unavailable after "
+                f"{task.fault_attempts} retries (first failure at "
+                f"t={task.fault_since})"
+            )
+            self._notify_parent(task, t)
+            return
+        delay = retry.delay(task.fault_attempts)
+        task.fault_attempts += 1
+        if task.migrating_to is None:
+            naplet.status = NapletStatus.BLOCKED
+        self._schedule(t + delay, naplet.naplet_id)
+
+    def _degradation_gap(
+        self, naplet: Naplet, server_name: str, t: float
+    ) -> list:
+        """Foreign proofs in the carried chain that the deciding server
+        has not corroborated through propagation and the degradation
+        policy does not tolerate."""
+        degradation = self.faults.degradation
+        server = self.coalition.server(server_name)
+        return [
+            proof
+            for proof in naplet.registry.foreign_proofs(server_name)
+            if not server.knows_proof(proof)
+            and not degradation.tolerates(t - proof.local_time)
+        ]
+
     # -- access + migration -------------------------------------------------------
 
     def _do_access(self, task: _Task, request: DoAccess, t: float) -> bool:
@@ -339,6 +457,14 @@ class Simulation:
             # On arrival the pending access is re-attempted.
             self._schedule(t + latency, naplet.naplet_id)
             return False
+        if not self._server_can_host(request.server, t):
+            # The server the agent is sitting on crashed: hold the
+            # access and re-attempt on the retry schedule.
+            task.pending = request
+            self._retry_unavailable(task, t, request.server)
+            return False
+        task.fault_attempts = 0
+        task.fault_since = None
         access = AccessKey(request.op, request.resource, request.server)
         try:
             self.security.check_permission(naplet, access, t)
@@ -352,11 +478,49 @@ class Simulation:
                 return False
             task.inbox = None
             return True
+        if (
+            self.faults is not None
+            and self.faults.degradation is not None
+            and self.proof_batch is not None
+        ):
+            gap = self._degradation_gap(naplet, request.server, t)
+            if gap:
+                # Coordination is degraded: the deciding server cannot
+                # corroborate part of the carried history, so the
+                # otherwise-grantable access is refused (fail closed /
+                # stale-intolerant).  This only ever *adds* denials on
+                # top of the engine's verdict — never extra grants.
+                self.degraded_denials += 1
+                decision = Decision(
+                    subject_id=naplet.owner,
+                    access=access,
+                    granted=False,
+                    time=t,
+                    reason=(
+                        f"degraded ({self.faults.degradation.mode}): "
+                        f"{len(gap)} uncorroborated foreign proofs"
+                    ),
+                )
+                naplet.denials.append(decision)
+                if naplet.hooks.on_denied:
+                    naplet.hooks.on_denied(naplet, decision, t)
+                if self.on_denied == "abort":
+                    naplet.status = NapletStatus.DENIED
+                    self._notify_parent(task, t)
+                    return False
+                task.inbox = None
+                return True
         server = self.coalition.server(request.server)
         try:
             outcome = server.execute_access(
                 naplet.registry, request.op, request.resource, t
             )
+        except ServerUnavailable:
+            # Crash window opened exactly at t (defensive: the host
+            # check above normally catches this).
+            task.pending = request
+            self._retry_unavailable(task, t, request.server)
+            return False
         except CoalitionError as error:
             # Unknown resource / unsupported operation: the agent's
             # program is broken, not the coalition.
@@ -368,7 +532,7 @@ class Simulation:
         if self.proof_batch is not None:
             self.proof_batch.enqueue(request.server, outcome.proof, now=t)
             if self.proof_propagation == "eager":
-                self.proof_batch.flush()
+                self.proof_batch.flush(now=t)
             else:
                 self.proof_batch.flush_due(t)
         self.security.on_access_executed(naplet, access, t)

@@ -24,7 +24,7 @@ LatencyModel = Callable[[str, str], float]
 def constant_latency(value: float = 1.0) -> LatencyModel:
     """Every migration takes ``value`` time units."""
     if value < 0:
-        raise CoalitionError("latency must be non-negative")
+        raise CoalitionError(f"latency must be non-negative, got {value}")
 
     def model(src: str, dst: str) -> float:
         return 0.0 if src == dst else value

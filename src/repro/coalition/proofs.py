@@ -183,6 +183,13 @@ class ProofRegistry:
         with self._lock:
             return tuple(self._proofs)
 
+    def foreign_proofs(self, server: str) -> tuple[ExecutionProof, ...]:
+        """Proofs issued at servers other than ``server`` — the part of
+        the carried chain a deciding server can only corroborate
+        through propagation (the degradation gate's input)."""
+        with self._lock:
+            return tuple(p for p in self._proofs if p.access.server != server)
+
     def verify_chain(self) -> bool:
         """Check the whole chain: digests consistent, sequence dense,
         links connected."""

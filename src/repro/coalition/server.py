@@ -18,7 +18,7 @@ from typing import Iterable
 from repro.coalition.clock import ServerClock
 from repro.coalition.proofs import ExecutionProof, ProofRegistry
 from repro.coalition.resource import Resource, ResourceRegistry
-from repro.errors import CoalitionError
+from repro.errors import CoalitionError, ServerUnavailable
 from repro.traces.trace import AccessKey
 
 __all__ = ["CoalitionServer", "AccessOutcome"]
@@ -56,6 +56,11 @@ class CoalitionServer:
         self.resources = ResourceRegistry(resources)
         self.executed_accesses = 0
         self.arrivals = 0
+        #: Optional :class:`~repro.faults.lifecycle.ServerLifecycle`;
+        #: when attached (``FaultPlan.install``), time-stamped
+        #: operations refuse service while this server is down.
+        self.lifecycle = None
+        self.rejected_unavailable = 0
         self._lock = threading.Lock()
         # Proofs announced by *other* servers (the batched propagation
         # layer's destination): object_id -> set of proof digests.
@@ -96,8 +101,20 @@ class CoalitionServer:
 
         The caller (the security manager) must have authorised the
         access already.  Raises :class:`~repro.errors.CoalitionError`
-        for unknown resources or unsupported operations.
+        for unknown resources or unsupported operations, and
+        :class:`~repro.errors.ServerUnavailable` when an attached
+        lifecycle says this server is not up at ``global_time``.
         """
+        if self.lifecycle is not None and not self.lifecycle.can_execute(
+            self.name, global_time
+        ):
+            with self._lock:
+                self.rejected_unavailable += 1
+            raise ServerUnavailable(
+                f"server {self.name!r} is "
+                f"{self.lifecycle.state(self.name, global_time).value} "
+                f"at t={global_time} and cannot execute accesses"
+            )
         resource = self.resources.get(resource_name)
         if not resource.supports(op):
             raise CoalitionError(
@@ -117,13 +134,31 @@ class CoalitionServer:
 
     # -- proof propagation ------------------------------------------------------
 
-    def receive_proofs(self, proofs: Iterable[ExecutionProof]) -> int:
+    def receive_proofs(
+        self, proofs: Iterable[ExecutionProof], now: float | None = None
+    ) -> int:
         """Adopt a batch of execution proofs announced by other
         coalition servers (:class:`repro.service.ProofBatch` delivery).
         The ledger lets this server answer ``Pr_x(a)`` for roaming
         objects without replaying their full carried chain.  Returns
         the number of proofs newly learned.
+
+        With a time-stamped delivery (``now``) and an attached
+        lifecycle, a DOWN server refuses the batch with
+        :class:`~repro.errors.ServerUnavailable` (a RECOVERING server
+        accepts — catching up on propagation precedes serving).
         """
+        if (
+            now is not None
+            and self.lifecycle is not None
+            and not self.lifecycle.can_receive(self.name, now)
+        ):
+            with self._lock:
+                self.rejected_unavailable += 1
+            raise ServerUnavailable(
+                f"server {self.name!r} is down at t={now} and cannot "
+                f"receive proof deliveries"
+            )
         learned = 0
         with self._lock:
             self.announced_batches += 1

@@ -22,6 +22,8 @@ __all__ = [
     "CoalitionError",
     "ChannelError",
     "MigrationError",
+    "ServerUnavailable",
+    "FaultError",
     "AgentError",
     "SimulationError",
     "WorkloadError",
@@ -102,6 +104,19 @@ class ChannelError(CoalitionError):
 
 class MigrationError(CoalitionError):
     """A mobile object could not migrate to its next server."""
+
+
+class ServerUnavailable(CoalitionError):
+    """The target coalition server is down (or still recovering) and
+    cannot serve the operation right now.  Raised only when a
+    :class:`~repro.faults.ServerLifecycle` is attached; callers such as
+    the fault-aware transport and the simulation scheduler catch it and
+    retry on the configured backoff schedule."""
+
+
+class FaultError(ReproError):
+    """Invalid fault-injection configuration (negative probability,
+    overlapping outage windows, empty retry schedule...)."""
 
 
 class AgentError(ReproError):

@@ -1,0 +1,45 @@
+"""repro.faults — deterministic fault injection for the coalition.
+
+The coordination protocol assumes proofs of prior accesses always
+reach peer servers; this package models everything that breaks that
+assumption, *deterministically* (every fault decision is a pure
+function of a seed), so chaos runs replay exactly:
+
+* :class:`~repro.faults.link.FaultyLink` — drop / extra delay /
+  duplication / reordering on the coalition links, composable with any
+  :data:`~repro.coalition.network.LatencyModel`;
+* :class:`~repro.faults.lifecycle.ServerLifecycle` — scheduled
+  crash → down → recovering → up windows per server;
+* :class:`~repro.faults.retry.RetryPolicy` — jitter-free exponential
+  backoff with max attempts and a per-delivery deadline;
+* :class:`~repro.faults.plan.DegradationPolicy` — ``fail_closed()``
+  (deny while the deciding server's ledger lags, the paper's default)
+  vs ``stale_ok(max_age)``;
+* :class:`~repro.faults.plan.FaultPlan` — the bundle
+  :class:`~repro.agent.scheduler.Simulation` accepts as ``faults=``;
+* :class:`~repro.faults.transport.FaultyTransport` — the fault-aware
+  delivery hop :class:`~repro.service.batching.ProofBatch` retries
+  through.
+
+See docs/architecture.md, "Fault tolerance".
+"""
+
+from repro.faults.lifecycle import Outage, ServerLifecycle, ServerState
+from repro.faults.link import FaultyLink
+from repro.faults.plan import DegradationPolicy, FaultPlan, fail_closed, stale_ok
+from repro.faults.retry import RetryPolicy
+from repro.faults.transport import DirectTransport, FaultyTransport
+
+__all__ = [
+    "FaultyLink",
+    "ServerLifecycle",
+    "ServerState",
+    "Outage",
+    "RetryPolicy",
+    "DegradationPolicy",
+    "fail_closed",
+    "stale_ok",
+    "FaultPlan",
+    "DirectTransport",
+    "FaultyTransport",
+]

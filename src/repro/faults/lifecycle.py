@@ -1,0 +1,146 @@
+"""Server lifecycle: scheduled crashes, recovery windows, healing.
+
+Coalition servers in production crash and come back.  The
+:class:`ServerLifecycle` holds, per server, a set of scheduled outage
+windows; the server's state at any virtual time is a pure function of
+the schedule, so no events need to enter the simulation heap and a
+seeded run stays deterministic.
+
+States::
+
+    UP ──crash──▶ DOWN ──▶ RECOVERING ──▶ UP
+                  (rejects everything)   (accepts proof deliveries,
+                                          but no accesses/migrations)
+
+``RECOVERING`` models the catch-up phase after a restart: the server
+is reachable for proof propagation (so retries can refill its
+announced ledger) but does not yet execute accesses or admit arriving
+agents.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+
+__all__ = ["ServerState", "Outage", "ServerLifecycle"]
+
+
+class ServerState(enum.Enum):
+    UP = "up"
+    DOWN = "down"
+    RECOVERING = "recovering"
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One scheduled crash: down on ``[down_at, recover_at)``,
+    recovering on ``[recover_at, up_at)``, up again from ``up_at``."""
+
+    down_at: float
+    recover_at: float
+    up_at: float
+
+    def __post_init__(self) -> None:
+        if not self.down_at <= self.recover_at <= self.up_at:
+            raise FaultError(
+                f"outage must satisfy down_at <= recover_at <= up_at, got "
+                f"({self.down_at}, {self.recover_at}, {self.up_at})"
+            )
+
+    def state_at(self, now: float) -> ServerState:
+        if self.down_at <= now < self.recover_at:
+            return ServerState.DOWN
+        if self.recover_at <= now < self.up_at:
+            return ServerState.RECOVERING
+        return ServerState.UP
+
+
+class ServerLifecycle:
+    """Outage schedules for the coalition's servers.
+
+    Servers with no schedule are permanently up.  Windows of one
+    server must not overlap (one machine cannot crash twice at once).
+    """
+
+    def __init__(self) -> None:
+        self._outages: dict[str, list[Outage]] = {}
+
+    def schedule_crash(
+        self,
+        server: str,
+        at: float,
+        down_for: float,
+        recovering_for: float = 0.0,
+    ) -> Outage:
+        """Crash ``server`` at virtual time ``at``; it is DOWN for
+        ``down_for``, then RECOVERING for ``recovering_for``, then UP."""
+        if at < 0:
+            raise FaultError(f"crash time must be non-negative, got {at}")
+        if down_for < 0 or recovering_for < 0:
+            raise FaultError("outage durations must be non-negative")
+        outage = Outage(at, at + down_for, at + down_for + recovering_for)
+        for existing in self._outages.get(server, ()):
+            if outage.down_at < existing.up_at and existing.down_at < outage.up_at:
+                raise FaultError(
+                    f"outage windows for {server!r} overlap: "
+                    f"[{existing.down_at}, {existing.up_at}) and "
+                    f"[{outage.down_at}, {outage.up_at})"
+                )
+        self._outages.setdefault(server, []).append(outage)
+        self._outages[server].sort(key=lambda o: o.down_at)
+        return outage
+
+    # -- queries ---------------------------------------------------------------
+
+    def state(self, server: str, now: float) -> ServerState:
+        for outage in self._outages.get(server, ()):
+            state = outage.state_at(now)
+            if state is not ServerState.UP:
+                return state
+        return ServerState.UP
+
+    def is_up(self, server: str, now: float) -> bool:
+        return self.state(server, now) is ServerState.UP
+
+    def can_execute(self, server: str, now: float) -> bool:
+        """May the server execute accesses / admit arriving agents?"""
+        return self.state(server, now) is ServerState.UP
+
+    def can_receive(self, server: str, now: float) -> bool:
+        """May the server accept proof deliveries?  (Also true while
+        RECOVERING — propagation catch-up precedes serving.)"""
+        return self.state(server, now) is not ServerState.DOWN
+
+    def outages(self, server: str) -> tuple[Outage, ...]:
+        return tuple(self._outages.get(server, ()))
+
+    def next_up_time(self, server: str, now: float) -> float:
+        """Earliest time >= ``now`` at which the server is UP (for
+        retry pacing; ``now`` itself if already up)."""
+        t = now
+        for outage in self._outages.get(server, ()):
+            if outage.down_at <= t < outage.up_at:
+                t = outage.up_at
+        return t
+
+    # -- recovery ---------------------------------------------------------------
+
+    def heal(self, now: float) -> None:
+        """Truncate every outage at ``now``: all servers are UP from
+        ``now`` on (past outage history is preserved)."""
+        for server, outages in self._outages.items():
+            healed: list[Outage] = []
+            for outage in outages:
+                if outage.down_at >= now:
+                    continue  # never happened
+                healed.append(
+                    Outage(
+                        outage.down_at,
+                        min(outage.recover_at, now),
+                        min(outage.up_at, now),
+                    )
+                )
+            self._outages[server] = healed

@@ -1,0 +1,134 @@
+"""Seeded link-fault policy: drops, delay, duplication, reordering.
+
+A :class:`FaultyLink` models the coalition network misbehaving — every
+fault decision is drawn from one ``random.Random(seed)`` stream, so a
+chaos run is a pure function of its seed and replays bit-identically.
+The policy composes with any
+:data:`~repro.coalition.network.LatencyModel` via :meth:`wrap`, which
+adds the link's extra delay to the base model's latency (migration and
+proof delivery both slow down on a degraded link).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import FaultError
+
+__all__ = ["FaultyLink"]
+
+
+def _check_probability(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise FaultError(f"{name} must be a probability in [0, 1], got {value}")
+    return float(value)
+
+
+class FaultyLink:
+    """Per-delivery link faults, drawn deterministically from a seed.
+
+    Parameters
+    ----------
+    drop:
+        Probability a delivery attempt is lost in transit.
+    extra_delay:
+        Fixed additional latency on every traversal (seconds of
+        virtual time); :meth:`wrap` adds it to a base latency model.
+    duplicate:
+        Probability a successful delivery arrives twice (the receiving
+        ledger deduplicates by proof digest, so duplication must be
+        outcome-invisible — the chaos suite pins that).
+    reorder_window:
+        Successful deliveries are additionally delayed by a uniform
+        draw from ``[0, reorder_window)``, so batches to the same
+        destination can overtake each other.
+    seed:
+        Seed of the private fault stream.
+    """
+
+    def __init__(
+        self,
+        drop: float = 0.0,
+        extra_delay: float = 0.0,
+        duplicate: float = 0.0,
+        reorder_window: float = 0.0,
+        seed: int = 0,
+    ):
+        self.drop = _check_probability("drop", drop)
+        self.duplicate = _check_probability("duplicate", duplicate)
+        if extra_delay < 0:
+            raise FaultError(f"extra_delay must be non-negative, got {extra_delay}")
+        if reorder_window < 0:
+            raise FaultError(
+                f"reorder_window must be non-negative, got {reorder_window}"
+            )
+        self.extra_delay = float(extra_delay)
+        self.reorder_window = float(reorder_window)
+        self._rng = random.Random(seed)
+        self.drops = 0
+        self.duplicates = 0
+
+    # -- fault draws ---------------------------------------------------------
+
+    def dropped(self, src: str, dst: str) -> bool:
+        """Does this delivery attempt get lost on ``src -> dst``?"""
+        if self.drop and self._rng.random() < self.drop:
+            self.drops += 1
+            return True
+        return False
+
+    def duplicated(self, src: str, dst: str) -> bool:
+        """Does this successful delivery arrive twice?"""
+        if self.duplicate and self._rng.random() < self.duplicate:
+            self.duplicates += 1
+            return True
+        return False
+
+    def delivery_delay(self, src: str, dst: str) -> float:
+        """Extra delay of one successful delivery (fixed part plus the
+        reordering draw)."""
+        jitter = (
+            self._rng.uniform(0.0, self.reorder_window) if self.reorder_window else 0.0
+        )
+        return self.extra_delay + jitter
+
+    # -- composition ----------------------------------------------------------
+
+    def wrap(self, base):
+        """Compose with a base latency model: same signature, plus this
+        link's fixed extra delay on every distinct-server traversal."""
+
+        def model(src: str, dst: str) -> float:
+            value = base(src, dst)
+            if src == dst:
+                return value
+            return value + self.extra_delay
+
+        return model
+
+    # -- recovery ------------------------------------------------------------
+
+    def heal(self) -> None:
+        """The network is healthy again: zero every fault rate (the
+        counters and the rng stream are kept, so a healed run stays
+        replayable)."""
+        self.drop = 0.0
+        self.duplicate = 0.0
+        self.extra_delay = 0.0
+        self.reorder_window = 0.0
+
+    def stats(self) -> dict[str, float | int]:
+        return {
+            "drop": self.drop,
+            "duplicate": self.duplicate,
+            "extra_delay": self.extra_delay,
+            "reorder_window": self.reorder_window,
+            "drops": self.drops,
+            "duplicates": self.duplicates,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FaultyLink(drop={self.drop}, extra_delay={self.extra_delay}, "
+            f"duplicate={self.duplicate}, reorder_window={self.reorder_window})"
+        )

@@ -1,0 +1,111 @@
+"""Degradation modes and the bundled fault plan.
+
+When proof propagation lags (drops, retries in flight, a peer just
+rebooted), a deciding server may face a roaming object whose carried
+proof chain contains accesses the server has not yet heard about from
+the issuing peers.  The :class:`DegradationPolicy` says what to do
+about that *corroboration gap*:
+
+* ``fail_closed()`` — deny the access until propagation catches up.
+  This is the paper's default semantics: coordination is what makes
+  the decision sound, so an uncoordinated decision is refused.
+* ``stale_ok(max_age)`` — tolerate uncorroborated proofs younger than
+  ``max_age`` (ordinary propagation lag), deny once any gap is older
+  (the lag is no longer explainable by a healthy network).
+
+A :class:`FaultPlan` bundles the link policy, the server lifecycle,
+the retry schedule and the degradation mode into the single object
+:class:`~repro.agent.scheduler.Simulation` accepts as ``faults=``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FaultError
+from repro.faults.lifecycle import ServerLifecycle
+from repro.faults.link import FaultyLink
+from repro.faults.retry import RetryPolicy
+
+__all__ = ["DegradationPolicy", "fail_closed", "stale_ok", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """What to do when the deciding server's announced ledger lacks
+    proofs the roaming object's carried chain claims."""
+
+    mode: str
+    max_age: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("fail_closed", "stale_ok"):
+            raise FaultError(f"unknown degradation mode {self.mode!r}")
+        if self.mode == "stale_ok" and self.max_age < 0:
+            raise FaultError(f"max_age must be non-negative, got {self.max_age}")
+
+    def tolerates(self, age: float) -> bool:
+        """Is an uncorroborated proof of this age acceptable?"""
+        return self.mode == "stale_ok" and age <= self.max_age
+
+
+def fail_closed() -> DegradationPolicy:
+    """Deny whenever any foreign proof is uncorroborated (default)."""
+    return DegradationPolicy("fail_closed")
+
+
+def stale_ok(max_age: float) -> DegradationPolicy:
+    """Tolerate corroboration gaps up to ``max_age`` old."""
+    return DegradationPolicy("stale_ok", max_age)
+
+
+@dataclass
+class FaultPlan:
+    """Everything the simulation needs to misbehave deterministically.
+
+    ``retry`` paces proof-delivery retries; ``migration_retry`` (same
+    policy by default) paces an agent re-attempting to reach a down
+    server.  ``degradation`` is optional — without it, propagation lag
+    never blocks a decision (the repo's pre-fault behaviour).
+    """
+
+    link: FaultyLink | None = None
+    lifecycle: ServerLifecycle | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    migration_retry: RetryPolicy | None = None
+    degradation: DegradationPolicy | None = None
+    _installed: bool = field(default=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.migration_retry is None:
+            self.migration_retry = self.retry
+
+    def transport(self, coalition):
+        """A :class:`~repro.faults.transport.FaultyTransport` over this
+        plan (import deferred: plan has no coalition dependency)."""
+        from repro.faults.transport import FaultyTransport
+
+        return FaultyTransport(coalition, link=self.link, lifecycle=self.lifecycle)
+
+    def install(self, coalition) -> None:
+        """Attach the lifecycle to every server of ``coalition`` (so
+        direct ``execute_access``/``receive_proofs`` calls honor it)
+        and compose the link's extra delay into the coalition's latency
+        model.  Idempotent — the simulation calls this on construction,
+        but explicit callers are safe too."""
+        if self._installed:
+            return
+        self._installed = True
+        if self.lifecycle is not None:
+            for server in coalition:
+                server.lifecycle = self.lifecycle
+        if self.link is not None:
+            coalition.latency_model = self.link.wrap(coalition.latency_model)
+
+    def heal(self, now: float) -> None:
+        """End the chaos: zero the link's fault rates and truncate all
+        outages at ``now``.  After this, retries drain deterministically."""
+        if self.link is not None:
+            self.link.heal()
+        if self.lifecycle is not None:
+            self.lifecycle.heal(now)

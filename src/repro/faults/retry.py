@@ -1,0 +1,77 @@
+"""Deterministic retry schedules for unreliable coalition links.
+
+The paper's coordination protocol assumes every execution proof
+eventually reaches every peer server; over a real coalition network
+the delivery attempt can fail (link drop, destination down).  The
+:class:`RetryPolicy` gives failed deliveries a *jitter-free*
+exponential-backoff schedule — the whole fault layer is seeded and
+deterministic so chaos runs replay exactly, which rules out the usual
+randomised jitter.  Fairness between contending retriers is instead
+provided by the discrete-event scheduler's FIFO tie-breaking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff without jitter.
+
+    Attempt *k* (0-based; attempt 0 is the first retry after the
+    initial failure) waits ``min(base_delay * multiplier**k,
+    max_delay)``.  ``max_attempts`` bounds the number of retries;
+    ``deadline`` additionally abandons a delivery once more than that
+    much (virtual) time has passed since its first attempt, whichever
+    comes first.
+    """
+
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 8.0
+    max_attempts: int = 6
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0:
+            raise FaultError(f"base_delay must be positive, got {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise FaultError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay < self.base_delay:
+            raise FaultError(
+                f"max_delay {self.max_delay} must be >= base_delay {self.base_delay}"
+            )
+        if self.max_attempts < 1:
+            raise FaultError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise FaultError(f"deadline must be positive, got {self.deadline}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise FaultError(f"attempt index must be >= 0, got {attempt}")
+        return min(self.base_delay * self.multiplier**attempt, self.max_delay)
+
+    def schedule(self, start: float) -> tuple[float, ...]:
+        """Absolute virtual times of every retry after a first attempt
+        at ``start`` (deadline-truncated)."""
+        times: list[float] = []
+        t = start
+        for attempt in range(self.max_attempts):
+            t += self.delay(attempt)
+            if self.deadline is not None and t - start > self.deadline:
+                break
+            times.append(t)
+        return tuple(times)
+
+    def exhausted(self, attempt: int, first_attempt: float, now: float) -> bool:
+        """Should a delivery that has already failed ``attempt`` retries
+        be abandoned?"""
+        if attempt >= self.max_attempts:
+            return True
+        return self.deadline is not None and now - first_attempt > self.deadline

@@ -17,10 +17,22 @@ the same batch for free.  A full batch (``max_batch``) flushes
 immediately; an explicit :meth:`flush` delivers everything outstanding
 (tests and simulation shutdown).
 
-Deliveries land in each server's announced-proof ledger
-(:meth:`repro.coalition.server.CoalitionServer.receive_proofs`).  The
-batcher requires a **frozen** coalition topology so the destination
-list can be cached once (``Coalition.freeze``).
+Deliveries travel through a **transport**.  The default
+(:class:`~repro.faults.transport.DirectTransport`) always succeeds and
+lands the batch in the destination's announced-proof ledger
+(:meth:`repro.coalition.server.CoalitionServer.receive_proofs`).  A
+:class:`~repro.faults.transport.FaultyTransport` can drop deliveries
+or find the destination down; the batcher then re-queues the batch and
+retries it on the :class:`~repro.faults.retry.RetryPolicy`'s
+deterministic backoff schedule.  A batch whose retries are exhausted
+(or whose per-delivery deadline has passed) is **parked**: it stays
+pending but is no longer retried by :meth:`flush_due` — only an
+explicit :meth:`flush` (the post-heal drain) gives it a fresh round of
+attempts, so a dead destination cannot consume retry bandwidth
+forever, yet no proof is ever silently discarded.
+
+The batcher requires a **frozen** coalition topology so the
+destination list can be cached once (``Coalition.freeze``).
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ import threading
 from repro.coalition.network import Coalition
 from repro.coalition.proofs import ExecutionProof
 from repro.errors import ServiceError
+from repro.faults.retry import RetryPolicy
 
 __all__ = ["ProofBatch"]
 
@@ -44,27 +57,64 @@ class ProofBatch:
         destination list require an immutable topology).
     max_batch:
         A destination's pending batch flushes as soon as it reaches
-        this many proofs, regardless of latency.
+        this many proofs, regardless of latency (unless the
+        destination is mid-backoff — overflow never preempts the retry
+        schedule).
+    transport:
+        The delivery hop; default is the always-successful
+        :class:`~repro.faults.transport.DirectTransport`.
+    retry:
+        Backoff schedule for failed deliveries; defaults to
+        ``RetryPolicy()`` when a custom transport is supplied.
     """
 
-    def __init__(self, coalition: Coalition, max_batch: int = 32):
+    def __init__(
+        self,
+        coalition: Coalition,
+        max_batch: int = 32,
+        transport=None,
+        retry: RetryPolicy | None = None,
+    ):
         if max_batch < 1:
             raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
         coalition.freeze()
         self.coalition = coalition
         self.max_batch = max_batch
+        if transport is None:
+            from repro.faults.transport import DirectTransport
+
+            transport = DirectTransport(coalition)
+        self.transport = transport
+        self.retry = retry if retry is not None else RetryPolicy()
         self._servers = tuple(coalition.server_names())
         self._lock = threading.Lock()
         self._pending: dict[str, list[ExecutionProof]] = {
             name: [] for name in self._servers
         }
         #: Virtual time at which a destination's batch becomes
-        #: deliverable (earliest entry's enqueue time + its latency).
+        #: deliverable (earliest entry's enqueue time + its latency;
+        #: pushed back by in-flight delay and retry backoff).
         self._due: dict[str, float] = {}
+        #: Failed attempts for the destination's current head batch.
+        self._attempts: dict[str, int] = {}
+        #: Virtual time of the current head batch's first failure.
+        self._first_failure: dict[str, float] = {}
+        #: Destinations whose next attempt already drew its in-flight
+        #: delay (so the reordering draw happens once per delivery).
+        self._delayed: set[str] = set()
+        #: Destinations whose retries are exhausted; only an explicit
+        #: flush re-arms them.
+        self._parked: set[str] = set()
+        #: Latest virtual time this batcher has observed (the default
+        #: ``now`` of an un-timed ``flush()``).
+        self._clock = 0.0
         self.enqueued = 0
         self.delivered = 0
         self.delivery_calls = 0
         self.overflow_flushes = 0
+        self.failed_deliveries = 0
+        self.retries_scheduled = 0
+        self.abandoned_batches = 0
 
     # -- producing -------------------------------------------------------------
 
@@ -76,6 +126,7 @@ class ProofBatch:
             raise ServiceError(f"unknown source server {source!r}")
         overflowing: list[str] = []
         with self._lock:
+            self._clock = max(self._clock, now)
             for destination in self._servers:
                 if destination == source:
                     continue
@@ -86,61 +137,121 @@ class ProofBatch:
                     source, destination
                 )
                 if destination not in self._due:
-                    self._due[destination] = deliverable_at
-                else:
+                    if destination not in self._parked:
+                        self._due[destination] = deliverable_at
+                elif self._attempts.get(destination, 0) == 0:
+                    # Coalescing may pull the batch earlier — but never
+                    # mid-backoff: a failed destination's next attempt
+                    # stays on the retry schedule.
                     self._due[destination] = min(
                         self._due[destination], deliverable_at
                     )
-                if len(batch) >= self.max_batch:
+                if (
+                    len(batch) >= self.max_batch
+                    and self._attempts.get(destination, 0) == 0
+                    and destination not in self._parked
+                ):
                     overflowing.append(destination)
                     self.overflow_flushes += 1
         delivered = 0
         for destination in overflowing:
-            delivered += self.flush(destination)
+            delivered += self._attempt(destination, now)
         return delivered
 
-    # -- flushing -------------------------------------------------------------
+    # -- delivery --------------------------------------------------------------
 
-    def _take(self, destination: str) -> list[ExecutionProof]:
+    def _attempt(self, destination: str, now: float) -> int:
+        """One delivery attempt for ``destination``'s pending batch at
+        virtual time ``now``; returns the number of proofs delivered
+        (0 on failure or postponement)."""
         with self._lock:
             batch = self._pending[destination]
             if not batch:
-                return []
+                self._due.pop(destination, None)
+                return 0
+            if destination not in self._delayed:
+                delay = self.transport.delivery_delay(destination, now)
+                if delay > 0:
+                    # In flight: the batch is committed to the wire but
+                    # arrives later — postpone, and don't redraw.
+                    self._delayed.add(destination)
+                    self._due[destination] = now + delay
+                    return 0
             self._pending[destination] = []
-            self._due.pop(destination, None)
-            return batch
-
-    def _deliver(self, destination: str, batch: list[ExecutionProof]) -> int:
-        self.coalition.server(destination).receive_proofs(batch)
+        ok = self.transport.deliver(destination, batch, now)
         with self._lock:
-            self.delivery_calls += 1
-            self.delivered += len(batch)
-        return len(batch)
+            self._delayed.discard(destination)
+            if ok:
+                self.delivery_calls += 1
+                self.delivered += len(batch)
+                self._attempts.pop(destination, None)
+                self._first_failure.pop(destination, None)
+                self._parked.discard(destination)
+                # New proofs may have been enqueued while delivering:
+                # their due entry (set by enqueue) stays; ours is spent.
+                if not self._pending[destination]:
+                    self._due.pop(destination, None)
+                return len(batch)
+            # Failure: the batch goes back to the head of the queue and
+            # the retry schedule decides when (whether) to try again.
+            self.failed_deliveries += 1
+            self._pending[destination][:0] = batch
+            attempt = self._attempts.get(destination, 0)
+            first = self._first_failure.setdefault(destination, now)
+            if self.retry.exhausted(attempt, first, now):
+                self._parked.add(destination)
+                self.abandoned_batches += 1
+                self._due.pop(destination, None)
+            else:
+                self._attempts[destination] = attempt + 1
+                self.retries_scheduled += 1
+                self._due[destination] = now + self.retry.delay(attempt)
+            return 0
 
-    def flush(self, destination: str | None = None) -> int:
-        """Deliver everything pending (for ``destination``, or for all
-        destinations) regardless of due times.  Returns the number of
-        proofs delivered.  This is the explicit synchronisation point
-        for tests and shutdown."""
+    # -- flushing -------------------------------------------------------------
+
+    def flush(self, destination: str | None = None, now: float | None = None) -> int:
+        """Attempt delivery of everything pending (for ``destination``,
+        or for all destinations) regardless of due times, re-arming
+        parked destinations with a fresh retry budget.  Returns the
+        number of proofs delivered.  This is the explicit
+        synchronisation point for tests, shutdown, and the post-heal
+        drain; with the default transport it always delivers
+        everything."""
         targets = (destination,) if destination is not None else self._servers
+        with self._lock:
+            if now is None:
+                now = self._clock
+            else:
+                self._clock = max(self._clock, now)
+            for target in targets:
+                self._attempts.pop(target, None)
+                self._first_failure.pop(target, None)
+                self._parked.discard(target)
+                self._delayed.discard(target)
         delivered = 0
         for target in targets:
-            batch = self._take(target)
-            if batch:
-                delivered += self._deliver(target, batch)
+            delivered += self._attempt(target, now)
         return delivered
 
     def flush_due(self, now: float) -> int:
-        """Deliver every batch whose latency window has elapsed at
-        virtual time ``now``; later batches keep coalescing."""
+        """Attempt every batch whose latency window (or retry backoff)
+        has elapsed at virtual time ``now``; later batches keep
+        coalescing, parked batches stay parked."""
         with self._lock:
+            self._clock = max(self._clock, now)
             ready = [d for d, due in self._due.items() if due <= now]
         delivered = 0
         for destination in ready:
-            batch = self._take(destination)
-            if batch:
-                delivered += self._deliver(destination, batch)
+            delivered += self._attempt(destination, now)
         return delivered
+
+    def next_due(self) -> float | None:
+        """Earliest due time of any pending batch (None when nothing is
+        scheduled) — lets a driver advance virtual time straight to the
+        next retry instead of polling."""
+        with self._lock:
+            return min(self._due.values()) if self._due else None
 
     # -- introspection -----------------------------------------------------------
 
@@ -150,10 +261,18 @@ class ProofBatch:
                 return len(self._pending[destination])
             return sum(len(b) for b in self._pending.values())
 
+    def parked_destinations(self) -> tuple[str, ...]:
+        """Destinations whose retries are exhausted (awaiting an
+        explicit flush)."""
+        with self._lock:
+            return tuple(sorted(self._parked))
+
     def stats(self) -> dict[str, int | float]:
         """Counters for reports: enqueued/delivered proof entries, how
         many delivery calls carried them (the batching win is
-        ``delivered / delivery_calls``) and overflow flushes."""
+        ``delivered / delivery_calls``), overflow flushes, and the
+        fault-path counters (failed attempts, scheduled retries,
+        batches parked after retry exhaustion)."""
         with self._lock:
             pending = sum(len(b) for b in self._pending.values())
             return {
@@ -162,6 +281,10 @@ class ProofBatch:
                 "pending": pending,
                 "delivery_calls": self.delivery_calls,
                 "overflow_flushes": self.overflow_flushes,
+                "failed_deliveries": self.failed_deliveries,
+                "retries_scheduled": self.retries_scheduled,
+                "abandoned_batches": self.abandoned_batches,
+                "parked": len(self._parked),
                 "mean_batch_size": (
                     self.delivered / self.delivery_calls
                     if self.delivery_calls

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import ServiceError
+from repro.faults.retry import RetryPolicy
 from repro.rbac.audit import Decision
 from repro.rbac.engine import Session
 from repro.service.sharding import ShardedEngine
@@ -57,6 +58,7 @@ class ServiceStats:
     shard_decisions: tuple[int, ...]
     workers: int
     shards: int
+    hook_retries: int = 0
 
     @property
     def mean_latency_s(self) -> float:
@@ -76,6 +78,7 @@ class ServiceStats:
             "shard_decisions": list(self.shard_decisions),
             "workers": self.workers,
             "shards": self.shards,
+            "hook_retries": self.hook_retries,
         }
 
 
@@ -98,6 +101,15 @@ class DecisionService:
     post_decision_hook:
         ``Callable[[Decision], None]`` run outside the shard lock after
         every decision, before the future resolves.
+    hook_retry:
+        Optional :class:`~repro.faults.retry.RetryPolicy` for the
+        post-decision hook.  The hook is the delivery edge of the
+        service (it typically feeds a
+        :class:`~repro.service.batching.ProofBatch` or an emulated
+        network); with a policy attached, a raising hook is re-invoked
+        on the deterministic backoff schedule (real ``time.sleep`` —
+        size the delays for the deployment) before the error is
+        surfaced on the future.
     """
 
     def __init__(
@@ -106,6 +118,7 @@ class DecisionService:
         workers: int = 4,
         queue_depth: int = 1024,
         post_decision_hook: Callable[[Decision], None] | None = None,
+        hook_retry: RetryPolicy | None = None,
     ):
         if workers < 1:
             raise ServiceError(f"worker count must be >= 1, got {workers}")
@@ -114,6 +127,7 @@ class DecisionService:
         self.engine = engine
         self.workers = workers
         self._hook = post_decision_hook
+        self._hook_retry = hook_retry
         self._queues: list[queue.Queue] = [
             queue.Queue(maxsize=queue_depth) for _ in range(engine.shard_count)
         ]
@@ -131,6 +145,7 @@ class DecisionService:
         self._rejected = 0
         self._total_latency = 0.0
         self._max_latency = 0.0
+        self._hook_retries = 0
 
     # -- submission -------------------------------------------------------------
 
@@ -240,10 +255,7 @@ class DecisionService:
                 error = exc
         # Outside the shard lock: downstream effects + future resolution.
         if error is None and self._hook is not None:
-            try:
-                self._hook(decision)
-            except BaseException as exc:
-                error = exc
+            error = self._run_hook(decision)
         latency = time.perf_counter() - enqueued_at
         with self._stats_lock:
             self._completed += 1
@@ -260,6 +272,28 @@ class DecisionService:
             future.set_exception(error)
         else:
             future.set_result(decision)
+
+    def _run_hook(self, decision: Decision) -> BaseException | None:
+        """Invoke the post-decision hook, retrying per ``hook_retry``.
+        Returns the final exception, or None on success."""
+        attempt = 0
+        first_failure: float | None = None
+        while True:
+            try:
+                self._hook(decision)
+                return None
+            except BaseException as exc:
+                now = time.monotonic()
+                if first_failure is None:
+                    first_failure = now
+                if self._hook_retry is None or self._hook_retry.exhausted(
+                    attempt, first_failure, now
+                ):
+                    return exc
+                time.sleep(self._hook_retry.delay(attempt))
+                attempt += 1
+                with self._stats_lock:
+                    self._hook_retries += 1
 
     # -- synchronisation ----------------------------------------------------------
 
@@ -295,6 +329,7 @@ class DecisionService:
                 shard_decisions=tuple(row["decisions"] for row in shard_rows),
                 workers=self.workers,
                 shards=self.engine.shard_count,
+                hook_retries=self._hook_retries,
             )
 
     def reset_stats(self) -> None:
@@ -309,6 +344,7 @@ class DecisionService:
             self._rejected = 0
             self._total_latency = 0.0
             self._max_latency = 0.0
+            self._hook_retries = 0
         self.engine.reset_stats()
 
     # -- lifecycle ----------------------------------------------------------------

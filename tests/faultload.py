@@ -1,0 +1,132 @@
+"""Shared seeded workload builder for the fault-injection suites.
+
+Chaos, differential-equivalence and recovery-benchmark runs all need
+the same shape of workload: several agents roaming a small coalition,
+executing random access sequences under an RBAC policy whose count
+constraint produces a real mix of grants and denials.  Everything here
+is a pure function of the seed, so a faulty run and its fault-free
+oracle see byte-identical programs.
+
+Programs are straight-line access sequences (no channels, signals or
+clones): per-agent decision outcomes then depend only on the agent's
+own carried history, never on cross-agent timing — which is exactly
+what makes the oracle comparison sound under fault-shifted schedules.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.agent.naplet import Naplet
+from repro.agent.scheduler import Simulation
+from repro.agent.security import NapletSecurityManager
+from repro.coalition.network import Coalition, constant_latency
+from repro.coalition.resource import Resource
+from repro.coalition.server import CoalitionServer
+from repro.rbac.engine import AccessControlEngine
+from repro.rbac.model import Permission
+from repro.rbac.policy import Policy
+from repro.sral.parser import parse_program
+from repro.srac.parser import parse_constraint
+
+SERVERS = ("s1", "s2", "s3")
+OPS = ("read", "write", "exec")
+RESOURCES = ("r1", "rsw")
+#: Per-session cap on ``rsw`` accesses of any op (the Example 3.5
+#: pattern) — low enough that random workloads hit it, producing real
+#: denials.
+RSW_LIMIT = 3
+
+
+def make_coalition(latency: float = 2.0) -> Coalition:
+    servers = [
+        CoalitionServer(name, resources=[Resource("r1"), Resource("rsw")])
+        for name in SERVERS
+    ]
+    return Coalition(servers, latency=constant_latency(latency))
+
+
+def make_policy(owners) -> Policy:
+    """Every rsw operation shares one count budget (RSW_LIMIT accesses
+    per session, any op — so the budget arithmetic in the chaos
+    assertions is exact); r1 is unconstrained."""
+    policy = Policy()
+    policy.add_role("member")
+    rsw_budget = parse_constraint(f"count(0, {RSW_LIMIT}, [res = rsw])")
+    policy.add_permission(
+        Permission("p-rsw", resource="rsw", spatial_constraint=rsw_budget)
+    )
+    policy.add_permission(Permission("p-any-r1", resource="r1"))
+    for owner in owners:
+        policy.add_user(owner)
+        policy.assign_user(owner, "member")
+    for perm in ("p-rsw", "p-any-r1"):
+        policy.assign_permission("member", perm)
+    return policy
+
+
+def random_workload(seed: int, n_agents: int = 3, n_accesses: int = 8):
+    """Deterministic list of ``(owner, program_text, start_server)``."""
+    rng = random.Random(seed)
+    workload = []
+    for index in range(n_agents):
+        steps = []
+        for _ in range(n_accesses):
+            # Bias towards the count-limited access so the RSW_LIMIT
+            # actually bites and workloads mix grants with denials.
+            if rng.random() < 0.45:
+                op, resource = "exec", "rsw"
+            else:
+                op, resource = rng.choice(OPS), rng.choice(RESOURCES)
+            steps.append(f"{op} {resource} @ {rng.choice(SERVERS)}")
+        workload.append(
+            (f"u{index}", " ; ".join(steps), rng.choice(SERVERS))
+        )
+    return workload
+
+
+def run_workload(
+    workload,
+    proof_propagation="eager",
+    faults=None,
+    proof_batch_size: int = 4,
+    latency: float = 2.0,
+):
+    """Run one workload on a fresh coalition + engine; returns
+    ``(simulation, report, naplets)``.  ``on_denied='skip'`` so denials
+    never change which accesses are *attempted*."""
+    coalition = make_coalition(latency=latency)
+    engine = AccessControlEngine(make_policy([w[0] for w in workload]))
+    security = NapletSecurityManager(engine)
+    sim = Simulation(
+        coalition,
+        security=security,
+        on_denied="skip",
+        proof_propagation=proof_propagation,
+        proof_batch_size=proof_batch_size,
+        faults=faults,
+    )
+    naplets = []
+    for owner, text, start in workload:
+        naplet = Naplet(
+            owner, parse_program(text), roles=("member",), name=f"agent-{owner}"
+        )
+        naplets.append(naplet)
+        sim.add_naplet(naplet, start)
+    report = sim.run()
+    return sim, report, naplets
+
+
+def decision_log(naplets):
+    """Per-agent decision outcomes: granted accesses (the carried
+    chain) plus denial reasons, in program order."""
+    return {
+        n.naplet_id: {
+            "granted": list(n.history()),
+            "denials": [
+                (d.access, d.reason) if d is not None else None
+                for d in n.denials
+            ],
+        }
+        for n in naplets
+    }

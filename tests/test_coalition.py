@@ -326,3 +326,41 @@ class TestCoalition:
         c.freeze()
         assert c.server("s1").name == "s1"
         assert c.server_names() == ["s1", "s2", "s3"]
+
+    def test_constant_latency_error_names_offending_value(self):
+        # Parity with uniform_latency: the rejected value appears in
+        # the message so a misconfigured deployment is self-diagnosing.
+        with pytest.raises(CoalitionError, match=r"got -2\.5"):
+            constant_latency(-2.5)
+
+    def test_uniform_latency_directed_entry_wins_over_reverse(self):
+        # Lookup precedence is pinned: an exact (src, dst) entry beats
+        # the symmetric (dst, src) fallback, which beats the default.
+        model = uniform_latency(
+            {("s1", "s2"): 5.0, ("s2", "s1"): 7.0, ("s3", "s1"): 2.0},
+            default=1.0,
+        )
+        assert model("s1", "s2") == 5.0   # directed entry
+        assert model("s2", "s1") == 7.0   # its own directed entry
+        assert model("s1", "s3") == 2.0   # reverse fallback
+        assert model("s2", "s3") == 1.0   # default
+        assert model("s3", "s3") == 0.0   # self is always free
+
+    def test_frozen_rejection_names_server(self):
+        c = self.make_coalition()
+        c.freeze()
+        with pytest.raises(CoalitionError, match="frozen.*'s9'"):
+            c.add_server(CoalitionServer("s9"))
+
+    def test_proof_batch_freezes_exactly_once(self):
+        from repro.service.batching import ProofBatch
+
+        c = self.make_coalition()
+        assert not c.frozen
+        ProofBatch(c)
+        assert c.frozen
+        # A second batcher over an already-frozen coalition is fine
+        # (freeze is idempotent), and membership stays rejected.
+        ProofBatch(c)
+        with pytest.raises(CoalitionError):
+            c.add_server(CoalitionServer("s9"))

@@ -1,0 +1,230 @@
+"""Chaos / soak suite: seeded random workloads under injected faults.
+
+Each scenario replays one seeded workload twice: a fault-free *oracle*
+run with eager proof propagation, and a *chaos* run with batched
+propagation under link drops, extra delay, duplication, reordering and
+scheduled server crashes.  Everything (workload, fault draws, outage
+schedule) is a pure function of the seed, so failures reproduce
+exactly.  The base seed can be shifted via ``REPRO_CHAOS_SEED`` (the
+dedicated CI job pins it).
+
+Asserted per scenario:
+
+(a) **no exceptions escape** — the chaos run completes, no agent ends
+    FAILED or deadlocked; duplicated deliveries are invisible.
+(b) **fail-closed never over-grants** — every access the chaos run
+    granted is re-decided by a fresh fault-free engine given the same
+    carried history, and must be granted there too (the fault layer
+    may only *add* denials on top of the engine's verdict).
+(c) **convergence after heal** — once the plan is healed and the
+    retry queue drained, every server's announced ledger contains
+    every foreign proof (and without a degradation gate, per-agent
+    outcomes equal the oracle run's exactly).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from tests.faultload import (
+    RSW_LIMIT,
+    SERVERS,
+    decision_log,
+    make_policy,
+    random_workload,
+    run_workload,
+)
+from repro.agent.naplet import NapletStatus
+from repro.faults import (
+    FaultPlan,
+    FaultyLink,
+    RetryPolicy,
+    ServerLifecycle,
+    fail_closed,
+    stale_ok,
+)
+from repro.rbac.engine import AccessControlEngine
+
+BASE_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+N_SCENARIOS = 50
+SEEDS = [BASE_SEED + i for i in range(N_SCENARIOS)]
+
+
+def chaos_plan(seed: int, degradation=None) -> FaultPlan:
+    """A deterministic fault plan: 1-2 crashing servers, a lossy
+    reordering link, tight delivery retries, generous agent retries."""
+    rng = random.Random(seed * 9176 + 11)
+    lifecycle = ServerLifecycle()
+    for server in rng.sample(SERVERS, k=rng.randint(1, 2)):
+        lifecycle.schedule_crash(
+            server,
+            at=rng.uniform(2.0, 20.0),
+            down_for=rng.uniform(1.0, 6.0),
+            recovering_for=rng.uniform(0.0, 2.0),
+        )
+    link = FaultyLink(
+        drop=0.3,
+        extra_delay=0.25,
+        duplicate=0.2,
+        reorder_window=1.5,
+        seed=seed,
+    )
+    return FaultPlan(
+        link=link,
+        lifecycle=lifecycle,
+        retry=RetryPolicy(base_delay=0.25, max_delay=4.0, max_attempts=8),
+        migration_retry=RetryPolicy(base_delay=0.5, max_delay=4.0, max_attempts=64),
+        degradation=degradation,
+    )
+
+
+def assert_converged(sim, naplets) -> None:
+    """Heal + drain, then every foreign proof is known everywhere."""
+    end = sim.now
+    sim.faults.heal(end)
+    sim.proof_batch.flush(now=end)
+    assert sim.proof_batch.pending_count() == 0
+    assert sim.proof_batch.parked_destinations() == ()
+    for naplet in naplets:
+        for proof in naplet.registry.proofs():
+            for name in SERVERS:
+                if name != proof.access.server:
+                    assert sim.coalition.server(name).knows_proof(proof), (
+                        f"{name} never learned proof #{proof.seq} of "
+                        f"{naplet.naplet_id}"
+                    )
+
+
+def assert_no_overgrant(naplets) -> None:
+    """Oracle replay: each granted access, re-decided by a fresh
+    fault-free engine under the same carried history, is granted."""
+    engine = AccessControlEngine(make_policy([n.owner for n in naplets]))
+    for naplet in naplets:
+        session = engine.authenticate(naplet.owner, 0.0)
+        engine.activate_role(session, "member", 0.0)
+        proofs = naplet.registry.proofs()
+        for index, proof in enumerate(proofs):
+            history = tuple(p.access for p in proofs[:index])
+            decision = engine.decide(
+                session, proof.access, proof.local_time, history
+            )
+            assert decision.granted, (
+                f"chaos run granted {proof.access} to {naplet.naplet_id} "
+                f"but the fault-free oracle denies it in the same state: "
+                f"{decision.reason}"
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_transient_faults_do_not_change_outcomes(seed):
+    """Propagation faults + crashes without a degradation gate: the
+    chaos run is slower, never different."""
+    workload = random_workload(seed)
+    _, oracle_report, oracle_naplets = run_workload(workload, "eager")
+    sim, report, naplets = run_workload(
+        workload, "batched", faults=chaos_plan(seed)
+    )
+    # (a) nothing escaped, nobody died.
+    assert report.deadlocked == ()
+    assert all(n.status is NapletStatus.FINISHED for n in naplets), (
+        report.statuses()
+    )
+    # Outcome equivalence: same grants, same denials, agent by agent.
+    assert decision_log(naplets) == decision_log(oracle_naplets)
+    # Faults cost time, never correctness.
+    assert report.end_time >= oracle_report.end_time
+    # (c) heal + drain converges the ledgers.
+    assert_converged(sim, naplets)
+    # (b) holds trivially here too — replay the grants anyway.
+    assert_no_overgrant(naplets)
+
+
+@pytest.mark.parametrize("seed", SEEDS[::2])
+def test_chaos_fail_closed_never_over_grants(seed):
+    """With the fail-closed degradation gate, uncorroborated histories
+    produce extra denials — and only ever extra denials."""
+    workload = random_workload(seed)
+    _, _, oracle_naplets = run_workload(workload, "eager")
+    sim, report, naplets = run_workload(
+        workload, "batched", faults=chaos_plan(seed, degradation=fail_closed())
+    )
+    assert report.deadlocked == ()
+    assert all(n.status is NapletStatus.FINISHED for n in naplets)
+    # (b) the headline safety property.
+    assert_no_overgrant(naplets)
+    # Degradation denials carry an explicit reason for the audit trail.
+    degraded = [
+        d
+        for n in naplets
+        for d in n.denials
+        if d is not None and d.reason.startswith("degraded")
+    ]
+    assert len(degraded) == sim.degraded_denials
+    # Budget arithmetic: every rsw access shares one count budget, so
+    # the chaos run never exceeds the cap and never grants more
+    # budgeted accesses than the oracle did (degradation can only
+    # forfeit budget, not mint it).
+    oracle_log = decision_log(oracle_naplets)
+    for naplet in naplets:
+        rsw = [a for a in naplet.history() if a.resource == "rsw"]
+        oracle_rsw = [
+            a
+            for a in oracle_log[naplet.naplet_id]["granted"]
+            if a.resource == "rsw"
+        ]
+        assert len(rsw) <= RSW_LIMIT
+        assert len(rsw) <= len(oracle_rsw)
+    # (c) convergence still holds with the gate on.
+    assert_converged(sim, naplets)
+    # After the drain, no corroboration gap remains anywhere.
+    for naplet in naplets:
+        for name in SERVERS:
+            server = sim.coalition.server(name)
+            assert all(
+                server.knows_proof(p)
+                for p in naplet.registry.foreign_proofs(name)
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:10])
+def test_chaos_stale_ok_tolerates_propagation_lag(seed):
+    """``stale_ok`` with a huge budget never blocks anything (equal to
+    the no-degradation run); a zero budget denies at least as much as
+    the tolerant setting."""
+    workload = random_workload(seed)
+    _, _, plain_naplets = run_workload(
+        workload, "batched", faults=chaos_plan(seed)
+    )
+    _, _, tolerant_naplets = run_workload(
+        workload, "batched", faults=chaos_plan(seed, degradation=stale_ok(1e9))
+    )
+    assert decision_log(tolerant_naplets) == decision_log(plain_naplets)
+    _, _, strict_naplets = run_workload(
+        workload, "batched", faults=chaos_plan(seed, degradation=stale_ok(0.0))
+    )
+    strict_denials = sum(len(n.denials) for n in strict_naplets)
+    tolerant_denials = sum(len(n.denials) for n in tolerant_naplets)
+    assert strict_denials >= tolerant_denials
+
+
+def test_chaos_seed_determinism():
+    """The same seed replays the chaos run bit-identically."""
+    workload = random_workload(BASE_SEED + 3)
+    runs = []
+    for _ in range(2):
+        sim, report, naplets = run_workload(
+            workload, "batched", faults=chaos_plan(BASE_SEED + 3, fail_closed())
+        )
+        runs.append(
+            (
+                report.end_time,
+                report.events_processed,
+                decision_log(naplets),
+                sim.proof_batch.stats(),
+                sim.degraded_denials,
+            )
+        )
+    assert runs[0] == runs[1]

@@ -1,0 +1,483 @@
+"""Unit tests for the fault-injection layer (:mod:`repro.faults`).
+
+The chaos suite (:mod:`tests.test_faults_chaos`) exercises the layer
+end-to-end; these tests pin each component's contract in isolation —
+retry arithmetic, seeded link draws, lifecycle state machines, the
+degradation gate, transport failure modes, the batcher's
+retry/park/re-arm cycle, server-side unavailability, and the decision
+service's hook retry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.coalition.network import Coalition, constant_latency
+from repro.coalition.proofs import ProofRegistry
+from repro.coalition.resource import Resource
+from repro.coalition.server import CoalitionServer
+from repro.errors import FaultError, ServerUnavailable, SimulationError
+from repro.faults import (
+    DegradationPolicy,
+    DirectTransport,
+    FaultPlan,
+    FaultyLink,
+    FaultyTransport,
+    Outage,
+    RetryPolicy,
+    ServerLifecycle,
+    ServerState,
+    fail_closed,
+    stale_ok,
+)
+from repro.rbac.model import Permission
+from repro.rbac.policy import Policy
+from repro.service import DecisionService, ProofBatch, ShardedEngine
+from repro.traces.trace import AccessKey
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_capped(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=5.0)
+        assert [policy.delay(k) for k in range(4)] == [1.0, 2.0, 4.0, 5.0]
+
+    def test_schedule_absolute_times(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=2.0, max_delay=8.0, max_attempts=3
+        )
+        assert policy.schedule(10.0) == (11.0, 13.0, 17.0)
+
+    def test_schedule_deadline_truncates(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=2.0, max_delay=8.0,
+            max_attempts=6, deadline=4.0,
+        )
+        # 11, 13 are within 4 of start=10; 17 is past the deadline.
+        assert policy.schedule(10.0) == (11.0, 13.0)
+
+    def test_exhausted_by_attempts(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert not policy.exhausted(1, 0.0, 100.0)
+        assert policy.exhausted(2, 0.0, 0.0)
+
+    def test_exhausted_by_deadline(self):
+        policy = RetryPolicy(max_attempts=100, deadline=5.0)
+        assert not policy.exhausted(0, 10.0, 15.0)
+        assert policy.exhausted(0, 10.0, 15.1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_delay": 0.0},
+            {"base_delay": -1.0},
+            {"multiplier": 0.5},
+            {"base_delay": 2.0, "max_delay": 1.0},
+            {"max_attempts": 0},
+            {"deadline": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(FaultError):
+            RetryPolicy(**kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(FaultError):
+            RetryPolicy().delay(-1)
+
+
+class TestFaultyLink:
+    def test_probability_validation(self):
+        with pytest.raises(FaultError):
+            FaultyLink(drop=1.5)
+        with pytest.raises(FaultError):
+            FaultyLink(duplicate=-0.1)
+        with pytest.raises(FaultError):
+            FaultyLink(extra_delay=-1.0)
+        with pytest.raises(FaultError):
+            FaultyLink(reorder_window=-1.0)
+
+    def test_same_seed_same_draws(self):
+        a = FaultyLink(drop=0.5, duplicate=0.5, reorder_window=2.0, seed=7)
+        b = FaultyLink(drop=0.5, duplicate=0.5, reorder_window=2.0, seed=7)
+        draws_a = [
+            (a.dropped("x", "y"), a.duplicated("x", "y"), a.delivery_delay("x", "y"))
+            for _ in range(50)
+        ]
+        draws_b = [
+            (b.dropped("x", "y"), b.duplicated("x", "y"), b.delivery_delay("x", "y"))
+            for _ in range(50)
+        ]
+        assert draws_a == draws_b
+
+    def test_certain_drop_counts(self):
+        link = FaultyLink(drop=1.0)
+        assert all(link.dropped("a", "b") for _ in range(5))
+        assert link.drops == 5
+        assert link.stats()["drops"] == 5
+
+    def test_delivery_delay_bounds(self):
+        link = FaultyLink(extra_delay=1.0, reorder_window=2.0, seed=3)
+        for _ in range(100):
+            delay = link.delivery_delay("a", "b")
+            assert 1.0 <= delay < 3.0
+
+    def test_wrap_adds_extra_delay_for_distinct_servers(self):
+        link = FaultyLink(extra_delay=0.5)
+        model = link.wrap(constant_latency(2.0))
+        assert model("a", "b") == 2.5
+        assert model("a", "a") == 0.0
+
+    def test_wrap_sees_heal(self):
+        # wrap() reads the attribute at call time, so healing the link
+        # immediately heals every latency model composed from it.
+        link = FaultyLink(drop=1.0, extra_delay=0.5, reorder_window=2.0)
+        model = link.wrap(constant_latency(2.0))
+        link.heal()
+        assert model("a", "b") == 2.0
+        assert not link.dropped("a", "b")
+        assert link.delivery_delay("a", "b") == 0.0
+
+
+class TestServerLifecycle:
+    def test_unscheduled_server_is_always_up(self):
+        lifecycle = ServerLifecycle()
+        assert lifecycle.is_up("s1", 0.0)
+        assert lifecycle.state("s1", 1e9) is ServerState.UP
+
+    def test_outage_state_machine(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.schedule_crash("s1", at=10.0, down_for=5.0, recovering_for=2.0)
+        assert lifecycle.state("s1", 9.9) is ServerState.UP
+        assert lifecycle.state("s1", 10.0) is ServerState.DOWN
+        assert lifecycle.state("s1", 14.9) is ServerState.DOWN
+        assert lifecycle.state("s1", 15.0) is ServerState.RECOVERING
+        assert lifecycle.state("s1", 16.9) is ServerState.RECOVERING
+        assert lifecycle.state("s1", 17.0) is ServerState.UP
+
+    def test_recovering_receives_but_does_not_execute(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.schedule_crash("s1", at=0.0, down_for=1.0, recovering_for=1.0)
+        assert not lifecycle.can_execute("s1", 0.5)
+        assert not lifecycle.can_receive("s1", 0.5)
+        assert not lifecycle.can_execute("s1", 1.5)
+        assert lifecycle.can_receive("s1", 1.5)
+        assert lifecycle.can_execute("s1", 2.0)
+
+    def test_overlapping_windows_rejected(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.schedule_crash("s1", at=10.0, down_for=5.0)
+        with pytest.raises(FaultError):
+            lifecycle.schedule_crash("s1", at=12.0, down_for=1.0)
+        # Disjoint windows (other server, or later time) are fine.
+        lifecycle.schedule_crash("s2", at=12.0, down_for=1.0)
+        lifecycle.schedule_crash("s1", at=20.0, down_for=1.0)
+        assert len(lifecycle.outages("s1")) == 2
+
+    def test_next_up_time(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.schedule_crash("s1", at=10.0, down_for=5.0, recovering_for=2.0)
+        assert lifecycle.next_up_time("s1", 5.0) == 5.0
+        assert lifecycle.next_up_time("s1", 12.0) == 17.0
+        assert lifecycle.next_up_time("s1", 17.0) == 17.0
+
+    def test_heal_truncates(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.schedule_crash("s1", at=10.0, down_for=100.0)
+        lifecycle.schedule_crash("s2", at=500.0, down_for=10.0)
+        lifecycle.heal(20.0)
+        assert lifecycle.is_up("s1", 20.0)
+        # The future outage never happens.
+        assert lifecycle.outages("s2") == ()
+        # History before the heal is preserved.
+        assert lifecycle.state("s1", 15.0) is ServerState.DOWN
+
+    def test_validation(self):
+        lifecycle = ServerLifecycle()
+        with pytest.raises(FaultError):
+            lifecycle.schedule_crash("s1", at=-1.0, down_for=1.0)
+        with pytest.raises(FaultError):
+            lifecycle.schedule_crash("s1", at=0.0, down_for=-1.0)
+        with pytest.raises(FaultError):
+            Outage(down_at=5.0, recover_at=4.0, up_at=6.0)
+
+
+class TestDegradationPolicy:
+    def test_fail_closed_tolerates_nothing(self):
+        policy = fail_closed()
+        assert not policy.tolerates(0.0)
+        assert not policy.tolerates(100.0)
+
+    def test_stale_ok_age_budget(self):
+        policy = stale_ok(5.0)
+        assert policy.tolerates(0.0)
+        assert policy.tolerates(5.0)
+        assert not policy.tolerates(5.1)
+
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            DegradationPolicy("fail_open")
+        with pytest.raises(FaultError):
+            stale_ok(-1.0)
+
+
+def make_coalition(latency: float = 2.0) -> Coalition:
+    return Coalition(
+        [CoalitionServer(s, [Resource("rsw")]) for s in ("s1", "s2", "s3")],
+        latency=constant_latency(latency),
+    )
+
+
+def issue_proofs(n: int, server: str = "s1"):
+    registry = ProofRegistry("obj")
+    return [
+        registry.record(("exec", "rsw", server), float(i)) for i in range(n)
+    ]
+
+
+class TestFaultPlan:
+    def test_migration_retry_defaults_to_retry(self):
+        retry = RetryPolicy(base_delay=0.1)
+        plan = FaultPlan(retry=retry)
+        assert plan.migration_retry is retry
+
+    def test_install_is_idempotent(self):
+        coalition = make_coalition(latency=2.0)
+        plan = FaultPlan(
+            link=FaultyLink(extra_delay=0.5), lifecycle=ServerLifecycle()
+        )
+        plan.install(coalition)
+        plan.install(coalition)  # must not wrap the latency model twice
+        assert coalition.migration_latency("s1", "s2") == 2.5
+        assert all(s.lifecycle is plan.lifecycle for s in coalition)
+
+    def test_heal_reaches_both_components(self):
+        plan = FaultPlan(
+            link=FaultyLink(drop=1.0), lifecycle=ServerLifecycle()
+        )
+        plan.lifecycle.schedule_crash("s1", at=0.0, down_for=100.0)
+        plan.heal(5.0)
+        assert plan.link.drop == 0.0
+        assert plan.lifecycle.is_up("s1", 5.0)
+
+    def test_degradation_requires_propagation(self):
+        from repro.agent.scheduler import Simulation
+
+        with pytest.raises(SimulationError):
+            Simulation(make_coalition(), faults=FaultPlan(degradation=fail_closed()))
+
+
+class TestFaultyTransport:
+    def test_down_destination_refused(self):
+        coalition = make_coalition()
+        lifecycle = ServerLifecycle()
+        lifecycle.schedule_crash("s2", at=0.0, down_for=10.0)
+        transport = FaultyTransport(coalition, lifecycle=lifecycle)
+        proofs = issue_proofs(2)
+        assert transport.deliver("s2", proofs, now=5.0) is False
+        assert transport.stats() == {"attempts": 1, "failures": 1, "unavailable": 1}
+        assert coalition.server("s2").announced_proof_count() == 0
+        # After the outage the same delivery succeeds.
+        assert transport.deliver("s2", proofs, now=10.0) is True
+        assert coalition.server("s2").announced_proof_count() == 2
+
+    def test_certain_drop_fails_delivery(self):
+        coalition = make_coalition()
+        transport = FaultyTransport(coalition, link=FaultyLink(drop=1.0))
+        assert transport.deliver("s2", issue_proofs(1), now=0.0) is False
+        assert coalition.server("s2").announced_proof_count() == 0
+
+    def test_duplicate_delivery_is_invisible(self):
+        coalition = make_coalition()
+        transport = FaultyTransport(coalition, link=FaultyLink(duplicate=1.0))
+        proofs = issue_proofs(3)
+        assert transport.deliver("s2", proofs, now=0.0) is True
+        # The ledger deduplicates by digest: 3 proofs, not 6.
+        assert coalition.server("s2").announced_proof_count() == 3
+
+    def test_no_link_means_no_delay(self):
+        transport = FaultyTransport(make_coalition())
+        assert transport.delivery_delay("s2", 0.0) == 0.0
+        assert transport.deliver("s2", issue_proofs(1), now=0.0) is True
+
+
+class TestProofBatchRetries:
+    def make_batch(self, drop: float, retry: RetryPolicy, link_kwargs=None):
+        coalition = make_coalition(latency=2.0)
+        link = FaultyLink(drop=drop, **(link_kwargs or {}))
+        transport = FaultyTransport(coalition, link=link)
+        batch = ProofBatch(
+            coalition, max_batch=100, transport=transport, retry=retry
+        )
+        return coalition, link, batch
+
+    def test_failed_delivery_backs_off_then_parks(self):
+        retry = RetryPolicy(base_delay=1.0, multiplier=2.0, max_attempts=2)
+        coalition, link, batch = self.make_batch(drop=1.0, retry=retry)
+        proof = issue_proofs(1)[0]
+        batch.enqueue("s1", proof, now=0.0)
+        assert batch.next_due() == 2.0  # the migration-latency window
+        # Attempt 1 fails -> retry in base_delay.
+        assert batch.flush_due(2.0) == 0
+        assert batch.next_due() == 3.0
+        # Too early: nothing is attempted mid-backoff.
+        assert batch.flush_due(2.5) == 0
+        # Attempt 2 fails -> retry in base_delay * multiplier.
+        assert batch.flush_due(3.0) == 0
+        assert batch.next_due() == 5.0
+        # Attempt 3: the retry budget (max_attempts=2) is exhausted ->
+        # the batch parks; flush_due no longer touches it.
+        assert batch.flush_due(5.0) == 0
+        assert batch.parked_destinations() == ("s2", "s3")
+        assert batch.next_due() is None
+        assert batch.flush_due(100.0) == 0
+        stats = batch.stats()
+        assert stats["abandoned_batches"] == 2  # one per destination
+        assert stats["pending"] == 2
+        # Heal + explicit flush re-arms the parked batches and drains.
+        link.heal()
+        assert batch.flush(now=100.0) == 2
+        assert batch.parked_destinations() == ()
+        assert batch.pending_count() == 0
+        assert coalition.server("s2").announced_proof_count() == 1
+
+    def test_enqueue_does_not_preempt_backoff(self):
+        retry = RetryPolicy(base_delay=10.0, max_delay=10.0, max_attempts=5)
+        _, _, batch = self.make_batch(drop=1.0, retry=retry)
+        proofs = issue_proofs(4)
+        batch.enqueue("s1", proofs[0], now=0.0)
+        batch.flush_due(2.0)  # fails; backoff until 12.0
+        overflow_before = batch.stats()["overflow_flushes"]
+        for proof in proofs[1:]:
+            batch.enqueue("s1", proof, now=3.0)
+        # max_batch is 100, but even a full batch would not preempt the
+        # backoff window; the due time stays the retry time.
+        assert batch.stats()["overflow_flushes"] == overflow_before
+        assert batch.next_due() == 12.0
+
+    def test_in_flight_delay_postpones_once(self):
+        retry = RetryPolicy(base_delay=1.0)
+        coalition, _, batch = self.make_batch(
+            drop=0.0, retry=retry, link_kwargs={"extra_delay": 0.5}
+        )
+        batch.enqueue("s1", issue_proofs(1)[0], now=0.0)
+        # Due at 2.0 (latency); each destination's attempt draws the
+        # in-flight delay and postpones delivery to 2.5 (the fixed
+        # extra_delay) without redelivering.
+        assert batch.flush_due(2.0) == 0
+        assert batch.next_due() == 2.5
+        assert batch.flush_due(2.5) == 2  # one proof x two destinations
+        assert coalition.server("s2").announced_proof_count() == 1
+        assert coalition.server("s3").announced_proof_count() == 1
+
+    def test_deadline_parks_before_attempts_run_out(self):
+        retry = RetryPolicy(base_delay=1.0, max_attempts=100, deadline=1.5)
+        _, _, batch = self.make_batch(drop=1.0, retry=retry)
+        batch.enqueue("s1", issue_proofs(1)[0], now=0.0)
+        batch.flush_due(2.0)   # first failure at t=2.0; retry due 3.0
+        batch.flush_due(3.0)   # within deadline -> retried; due 5.0
+        assert batch.parked_destinations() == ()
+        batch.flush_due(5.0)   # 3.0 past first failure > deadline -> parked
+        assert batch.parked_destinations() == ("s2", "s3")
+
+
+class TestServerUnavailability:
+    def make_server(self, lifecycle):
+        server = CoalitionServer("s1", [Resource("rsw")])
+        server.lifecycle = lifecycle
+        return server
+
+    def test_execute_access_refused_while_down(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.schedule_crash("s1", at=0.0, down_for=5.0, recovering_for=5.0)
+        server = self.make_server(lifecycle)
+        registry = ProofRegistry("obj")
+        with pytest.raises(ServerUnavailable):
+            server.execute_access(registry, "exec", "rsw", 1.0)
+        # RECOVERING does not execute either.
+        with pytest.raises(ServerUnavailable):
+            server.execute_access(registry, "exec", "rsw", 7.0)
+        assert server.rejected_unavailable == 2
+        outcome = server.execute_access(registry, "exec", "rsw", 10.0)
+        assert outcome.proof.access.server == "s1"
+
+    def test_receive_proofs_refused_only_while_down(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.schedule_crash("s1", at=0.0, down_for=5.0, recovering_for=5.0)
+        server = self.make_server(lifecycle)
+        proofs = issue_proofs(1, server="s2")
+        with pytest.raises(ServerUnavailable):
+            server.receive_proofs(proofs, now=1.0)
+        # RECOVERING accepts deliveries (propagation catch-up).
+        server.receive_proofs(proofs, now=7.0)
+        assert server.announced_proof_count() == 1
+        # Untimed delivery (legacy callers) bypasses the lifecycle.
+        server.receive_proofs(issue_proofs(1, server="s3"))
+        assert server.announced_proof_count() == 2
+
+
+class TestDecisionServiceHookRetry:
+    def make_service(self, hook, retry):
+        policy = Policy()
+        policy.add_user("u")
+        policy.add_role("r")
+        policy.add_permission(Permission("p", resource="rsw"))
+        policy.assign_user("u", "r")
+        policy.assign_permission("r", "p")
+        engine = ShardedEngine(policy, shards=2)
+        session = engine.authenticate("u", 0.0)
+        engine.activate_role(session, "r", 0.0)
+        service = DecisionService(
+            engine, workers=2, post_decision_hook=hook, hook_retry=retry
+        )
+        return service, session
+
+    def test_flaky_hook_retried_to_success(self):
+        failures_left = [2]
+        lock = threading.Lock()
+
+        def hook(decision):
+            with lock:
+                if failures_left[0] > 0:
+                    failures_left[0] -= 1
+                    raise RuntimeError("delivery edge down")
+
+        retry = RetryPolicy(base_delay=0.001, max_attempts=5)
+        service, session = self.make_service(hook, retry)
+        with service:
+            decision = service.decide(session, ("exec", "rsw", "s1"), 0.0)
+            assert decision.granted
+            stats = service.service_stats()
+        assert stats.errors == 0
+        assert stats.hook_retries == 2
+        assert stats.as_dict()["hook_retries"] == 2
+
+    def test_exhausted_hook_surfaces_error(self):
+        def hook(decision):
+            raise RuntimeError("permanently down")
+
+        retry = RetryPolicy(base_delay=0.001, max_attempts=1)
+        service, session = self.make_service(hook, retry)
+        with service:
+            future = service.submit(session, ("exec", "rsw", "s1"), 0.0)
+            with pytest.raises(RuntimeError, match="permanently down"):
+                future.result(timeout=10.0)
+            assert service.drain(timeout=10.0)
+            stats = service.service_stats()
+        assert stats.errors == 1
+        assert stats.hook_retries == 1
+
+    def test_no_retry_policy_fails_fast(self):
+        calls = []
+
+        def hook(decision):
+            calls.append(1)
+            raise RuntimeError("boom")
+
+        service, session = self.make_service(hook, retry=None)
+        with service:
+            future = service.submit(session, ("exec", "rsw", "s1"), 0.0)
+            with pytest.raises(RuntimeError):
+                future.result(timeout=10.0)
+        assert len(calls) == 1

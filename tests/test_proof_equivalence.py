@@ -1,0 +1,71 @@
+"""Differential suite: batched proof propagation ≡ eager propagation.
+
+:class:`~repro.service.batching.ProofBatch` exists purely as a
+performance optimisation — coalescing announcements must never change
+*what* is decided, only how many delivery calls carry the proofs.
+Each test replays one seeded workload (three roaming agents, a shared
+count budget — see :mod:`tests.faultload`) under both propagation
+modes and requires the per-agent decision logs (granted accesses plus
+denial reasons, in program order) to be byte-identical.
+
+A third leg runs the batched mode through a **zero-fault**
+:class:`~repro.faults.transport.FaultyTransport`, pinning that the
+retry-capable delivery path is itself outcome-neutral when no fault
+fires.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.faultload import decision_log, random_workload, run_workload
+from repro.agent.naplet import NapletStatus
+from repro.faults import FaultPlan, FaultyLink, ServerLifecycle
+
+N_WORKLOADS = 50
+SEEDS = list(range(1000, 1000 + N_WORKLOADS))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batched_equals_eager(seed):
+    workload = random_workload(seed)
+    _, eager_report, eager_naplets = run_workload(workload, "eager")
+    _, batched_report, batched_naplets = run_workload(workload, "batched")
+    assert decision_log(batched_naplets) == decision_log(eager_naplets)
+    # Both modes finish every agent; batching never strands anyone.
+    for naplets in (eager_naplets, batched_naplets):
+        assert all(n.status is NapletStatus.FINISHED for n in naplets)
+    assert batched_report.end_time == eager_report.end_time
+
+
+@pytest.mark.parametrize("seed", SEEDS[::5])
+def test_zero_fault_transport_is_outcome_neutral(seed):
+    """A FaultyTransport with every fault rate at zero must behave
+    exactly like the default DirectTransport path."""
+    workload = random_workload(seed)
+    _, _, eager_naplets = run_workload(workload, "eager")
+    plan = FaultPlan(
+        link=FaultyLink(drop=0.0, duplicate=0.0, seed=seed),
+        lifecycle=ServerLifecycle(),
+    )
+    sim, report, naplets = run_workload(workload, "batched", faults=plan)
+    assert decision_log(naplets) == decision_log(eager_naplets)
+    assert report.deadlocked == ()
+    stats = sim.proof_batch.stats()
+    assert stats["failed_deliveries"] == 0
+    assert stats["abandoned_batches"] == 0
+    assert stats["pending"] == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS[:10])
+def test_batching_reduces_delivery_calls(seed):
+    """The point of the optimisation: strictly fewer delivery calls
+    than proofs announced (for a non-trivial workload)."""
+    workload = random_workload(seed)
+    sim, _, naplets = run_workload(workload, "batched", proof_batch_size=8)
+    stats = sim.proof_batch.stats()
+    assert stats["pending"] == 0
+    assert stats["delivered"] == stats["enqueued"]
+    if stats["enqueued"] > 8:
+        assert stats["delivery_calls"] < stats["enqueued"]
+        assert stats["mean_batch_size"] > 1.0
