@@ -5,11 +5,17 @@ so this runner produces (a) the Figure 1 scenario end-to-end and (b) an
 empirical validation of each formal claim, printing the tables recorded
 in EXPERIMENTS.md.
 
+Every experiment runs with the observability layer (``repro.obs``)
+switched on and leaves a per-experiment metrics sidecar
+(``artifacts/METRICS_<name>.json``: the registry snapshot plus the
+span summary) next to the existing result artifacts.
+
 Run:  python benchmarks/run_experiments.py
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
 import time
@@ -40,7 +46,27 @@ from repro.workloads.constraints import random_constraint
 from repro.workloads.digraphs import random_module_graph
 from repro.workloads.programs import access_alphabet, random_program, random_regex
 
+from repro import obs
+
 ALPHABET = access_alphabet(2, 3, 2)
+
+ARTIFACTS = pathlib.Path(__file__).resolve().parent / "artifacts"
+
+
+def run_with_metrics(name: str, fn) -> None:
+    """Run one experiment with observability on and write its metrics
+    sidecar (``METRICS_<name>.json``) when it finishes — even on
+    failure, so a crashed experiment still leaves its counters."""
+    obs.reset()
+    obs.enable()
+    try:
+        fn()
+    finally:
+        obs.disable()
+        ARTIFACTS.mkdir(exist_ok=True)
+        sidecar = ARTIFACTS / f"METRICS_{name}.json"
+        sidecar.write_text(json.dumps(obs.export(), indent=2, sort_keys=True))
+        print(f"[obs] wrote {sidecar}")
 
 
 def timed(fn, *args, repeats=3, **kwargs):
@@ -354,19 +380,45 @@ def exp_baselines() -> None:
         print(f"{n_servers:>8}{wrongful / trials:>21.3f}")
 
 
+def exp_obs() -> None:
+    header("EXP-OBS  observability overhead on the warm decide path")
+    from bench_obs_overhead import (
+        ARTIFACT,
+        check_acceptance,
+        check_provenance,
+        measure_gated,
+        print_report,
+    )
+
+    report = measure_gated()
+    report["provenance"] = check_provenance()
+    print_report(report)
+    ARTIFACT.parent.mkdir(exist_ok=True)
+    ARTIFACT.write_text(json.dumps(report, indent=2))
+    print(f"wrote {ARTIFACT}")
+    check_acceptance(report)
+
+
+EXPERIMENTS = (
+    ("f1", exp_f1),
+    ("t31", exp_t31),
+    ("t32", exp_t32),
+    ("t41", exp_t41),
+    ("e35", exp_e35),
+    ("deadline", exp_deadline),
+    ("rbac", exp_rbac),
+    ("cache", exp_cache),
+    ("service", exp_service),
+    ("faults", exp_faults),
+    ("naplet", exp_naplet),
+    ("baselines", exp_baselines),
+    ("obs", exp_obs),
+)
+
+
 def main() -> None:
-    exp_f1()
-    exp_t31()
-    exp_t32()
-    exp_t41()
-    exp_e35()
-    exp_deadline()
-    exp_rbac()
-    exp_cache()
-    exp_service()
-    exp_faults()
-    exp_naplet()
-    exp_baselines()
+    for name, fn in EXPERIMENTS:
+        run_with_metrics(name, fn)
     print("\nall experiments completed.")
 
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Literal
 
@@ -61,6 +62,8 @@ from repro.errors import (
     SimulationError,
 )
 from repro.faults.plan import FaultPlan
+from repro.obs import OBS, RECORDER, REGISTRY
+from repro.obs.provenance import DecisionProvenance
 from repro.rbac.audit import Decision
 from repro.traces.trace import AccessKey
 
@@ -202,6 +205,25 @@ class Simulation:
         self._counter = itertools.count()
         self._now = 0.0
         self._events = 0
+        self.migrations = 0
+        self.unavailable_retries = 0
+        REGISTRY.register_collector(self._collect_obs)
+
+    def __del__(self):
+        try:
+            REGISTRY.absorb(self._collect_obs())
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+    def _collect_obs(self) -> dict[str, float]:
+        """Pull-time metrics source (the scheduler is single-threaded;
+        the registry sums across concurrent simulations)."""
+        return {
+            "sim.events": self._events,
+            "sim.migrations": self.migrations,
+            "sim.unavailable_retries": self.unavailable_retries,
+            "sim.degraded_denials": self.degraded_denials,
+        }
 
     @property
     def now(self) -> float:
@@ -414,6 +436,20 @@ class Simulation:
             return
         delay = retry.delay(task.fault_attempts)
         task.fault_attempts += 1
+        self.unavailable_retries += 1
+        if OBS.enabled:
+            RECORDER.record(
+                "sim.unavailable_retry",
+                time.perf_counter(),
+                0.0,
+                {
+                    "naplet": naplet.naplet_id,
+                    "server": server,
+                    "attempt": task.fault_attempts,
+                    "at": t,
+                    "delay": delay,
+                },
+            )
         if task.migrating_to is None:
             naplet.status = NapletStatus.BLOCKED
         self._schedule(t + delay, naplet.naplet_id)
@@ -454,6 +490,20 @@ class Simulation:
             naplet.status = NapletStatus.MIGRATING
             task.pending = request
             task.migrating_to = request.server
+            self.migrations += 1
+            if OBS.enabled:
+                RECORDER.record(
+                    "sim.migration",
+                    time.perf_counter(),
+                    0.0,
+                    {
+                        "naplet": naplet.naplet_id,
+                        "from": naplet.location,
+                        "to": request.server,
+                        "virtual_latency": latency,
+                        "at": t,
+                    },
+                )
             # On arrival the pending access is re-attempted.
             self._schedule(t + latency, naplet.naplet_id)
             return False
@@ -499,6 +549,11 @@ class Simulation:
                     reason=(
                         f"degraded ({self.faults.degradation.mode}): "
                         f"{len(gap)} uncorroborated foreign proofs"
+                    ),
+                    provenance=DecisionProvenance(
+                        kind="degraded",
+                        uncorroborated=tuple(p.digest for p in gap),
+                        detail=self.faults.degradation.mode,
                     ),
                 )
                 naplet.denials.append(decision)

@@ -15,6 +15,10 @@ Commands
 ``simulate``
     Run a program as a mobile agent over an ad-hoc coalition under a
     policy file, printing the proved history and decision log.
+``obs``
+    Same run with the observability layer enabled: prints every
+    decision's provenance (the structured explain record), the metrics
+    snapshot and the span summary; ``--json`` dumps the full export.
 
 All inputs are plain text files in the library's concrete syntaxes
 (SRAL programs, SRAC constraints, the policy DSL).
@@ -63,13 +67,30 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--deadline", type=float, default=math.inf)
 
     simulate = sub.add_parser("simulate", help="run a program as a mobile agent")
-    simulate.add_argument("policy", type=Path, help="policy file (text DSL)")
-    simulate.add_argument("program", type=Path, help="SRAL program file")
-    simulate.add_argument("--owner", required=True, help="user name from the policy")
-    simulate.add_argument("--roles", default="", help="comma-separated roles to activate")
-    simulate.add_argument("--start", help="start server (default: first accessed)")
-    simulate.add_argument(
-        "--on-denied", choices=("abort", "skip"), default="abort"
+    obs = sub.add_parser(
+        "obs", help="run a program with observability on and report"
+    )
+    for command in (simulate, obs):
+        command.add_argument("policy", type=Path, help="policy file (text DSL)")
+        command.add_argument("program", type=Path, help="SRAL program file")
+        command.add_argument(
+            "--owner", required=True, help="user name from the policy"
+        )
+        command.add_argument(
+            "--roles", default="", help="comma-separated roles to activate"
+        )
+        command.add_argument(
+            "--start", help="start server (default: first accessed)"
+        )
+        command.add_argument(
+            "--on-denied", choices=("abort", "skip"), default="abort"
+        )
+    obs.add_argument(
+        "--json", type=Path, help="write the full obs export (JSON) here"
+    )
+    obs.add_argument(
+        "--spans", type=int, default=10, metavar="N",
+        help="how many recent spans to print (default 10)",
     )
 
     return parser
@@ -98,6 +119,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_audit(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(args.command)  # pragma: no cover
 
 
@@ -163,7 +186,10 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.all_verified() else 1
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _run_agent(args: argparse.Namespace):
+    """Shared setup of ``simulate`` and ``obs``: run the program as a
+    mobile agent over an ad-hoc coalition.  Returns
+    ``(naplet, engine, simulation)``."""
     from repro.agent.naplet import Naplet
     from repro.agent.scheduler import Simulation
     from repro.agent.security import NapletSecurityManager
@@ -183,8 +209,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     # every resource the program touches there.
     accesses = sorted(AccessKey(*a) for a in program_alphabet(program))
     if not accesses:
-        print("program performs no shared-resource access")
-        return 1
+        return None, None, None
     servers: dict[str, set[str]] = {}
     for op, resource, server in accesses:
         servers.setdefault(server, set()).add(resource)
@@ -204,6 +229,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     start = args.start or accesses[0].server
     simulation.add_naplet(naplet, start)
     simulation.run()
+    return naplet, engine, simulation
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    naplet, engine, _ = _run_agent(args)
+    if naplet is None:
+        print("program performs no shared-resource access")
+        return 1
 
     print(f"status: {naplet.status.value}")
     print(f"proved history ({len(naplet.history())} accesses):")
@@ -217,4 +250,79 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         for decision in denials:
             print(f"  {decision.access}  ({decision.reason})")
     print(f"proof chain verifies: {naplet.registry.verify_chain()}")
+    return 0 if naplet.status.value == "finished" else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    try:
+        naplet, engine, _ = _run_agent(args)
+    finally:
+        obs.disable()
+    if naplet is None:
+        print("program performs no shared-resource access")
+        return 1
+
+    print(f"status: {naplet.status.value}")
+    print(f"decisions ({len(engine.audit)}):")
+    for decision in engine.audit:
+        line = (
+            decision.provenance.describe()
+            if decision.provenance is not None
+            else decision.reason or "granted"
+        )
+        print(f"  t={decision.time:g}  {decision.access}  {line}")
+    for decision in naplet.denials:
+        # Degradation denials are issued by the scheduler, not the
+        # engine, and therefore never appear in the engine's audit log.
+        if decision.provenance is not None and decision.provenance.kind == "degraded":
+            print(
+                f"  t={decision.time:g}  {decision.access}  "
+                f"{decision.provenance.describe()}"
+            )
+
+    export = obs.export()
+    collected = export["metrics"].get("collected", {})
+    if collected:
+        print("metrics:")
+        for name, value in collected.items():
+            print(f"  {name} = {value:g}")
+    summary = export["spans"]
+    if summary:
+        print("spans:")
+        for name, row in summary.items():
+            print(
+                f"  {name}: count={row['count']} "
+                f"mean={row['mean_s'] * 1e3:.3f}ms "
+                f"max={row['max_s'] * 1e3:.3f}ms errors={row['errors']}"
+            )
+    if args.spans > 0:
+        recent = obs.RECORDER.recent(args.spans)
+        if recent:
+            print(f"recent spans (newest last, {len(recent)}):")
+            for span in recent:
+                print(
+                    f"  {span.name} {span.duration_s * 1e3:.3f}ms "
+                    f"{dict(span.attrs)}"
+                )
+    if args.json is not None:
+        export["decisions"] = [
+            {
+                "access": str(d.access),
+                "time": d.time,
+                "granted": d.granted,
+                "reason": d.reason,
+                "provenance": (
+                    d.provenance.as_dict() if d.provenance is not None else None
+                ),
+            }
+            for d in engine.audit
+        ]
+        args.json.write_text(json.dumps(export, indent=2, default=str) + "\n")
+        print(f"obs export written to {args.json}")
     return 0 if naplet.status.value == "finished" else 1

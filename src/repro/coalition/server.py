@@ -19,6 +19,7 @@ from repro.coalition.clock import ServerClock
 from repro.coalition.proofs import ExecutionProof, ProofRegistry
 from repro.coalition.resource import Resource, ResourceRegistry
 from repro.errors import CoalitionError, ServerUnavailable
+from repro.obs import REGISTRY
 from repro.traces.trace import AccessKey
 
 __all__ = ["CoalitionServer", "AccessOutcome"]
@@ -66,6 +67,25 @@ class CoalitionServer:
         # layer's destination): object_id -> set of proof digests.
         self._announced: dict[str, set[str]] = {}
         self.announced_batches = 0
+        self.proofs_learned = 0
+        REGISTRY.register_collector(self._collect_obs)
+
+    def __del__(self):
+        try:
+            REGISTRY.absorb(self._collect_obs())
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+    def _collect_obs(self) -> dict[str, float]:
+        """Pull-time metrics source (all counters below are mutated
+        under ``self._lock``; the registry sums across servers)."""
+        return {
+            "server.executed_accesses": self.executed_accesses,
+            "server.arrivals": self.arrivals,
+            "server.rejected_unavailable": self.rejected_unavailable,
+            "server.announced_batches": self.announced_batches,
+            "server.proofs_learned": self.proofs_learned,
+        }
 
     # -- hosting -----------------------------------------------------------
 
@@ -167,6 +187,7 @@ class CoalitionServer:
                 if proof.digest not in digests:
                     digests.add(proof.digest)
                     learned += 1
+            self.proofs_learned += learned
         return learned
 
     def knows_proof(self, proof: ExecutionProof) -> bool:

@@ -21,6 +21,7 @@ from repro.coalition.proofs import ExecutionProof
 from repro.errors import ServerUnavailable
 from repro.faults.lifecycle import ServerLifecycle
 from repro.faults.link import FaultyLink
+from repro.obs import REGISTRY
 
 __all__ = ["DirectTransport", "FaultyTransport"]
 
@@ -64,6 +65,26 @@ class FaultyTransport:
         self.attempts = 0
         self.failures = 0
         self.unavailable = 0
+        self.drops = 0
+        self.duplicates = 0
+        REGISTRY.register_collector(self._collect_obs)
+
+    def __del__(self):
+        try:
+            REGISTRY.absorb(self._collect_obs())
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+    def _collect_obs(self) -> dict[str, float]:
+        """Pull-time metrics source (fault draws are single-threaded by
+        contract — see the module docstring)."""
+        return {
+            "transport.attempts": self.attempts,
+            "transport.failures": self.failures,
+            "transport.unavailable": self.unavailable,
+            "transport.drops": self.drops,
+            "transport.duplicates": self.duplicates,
+        }
 
     def deliver(
         self, destination: str, proofs: list[ExecutionProof], now: float
@@ -76,6 +97,7 @@ class FaultyTransport:
             self.failures += 1
             return False
         if self.link is not None and self.link.dropped("*", destination):
+            self.drops += 1
             self.failures += 1
             return False
         server = self.coalition.server(destination)
@@ -84,6 +106,7 @@ class FaultyTransport:
             if self.link is not None and self.link.duplicated("*", destination):
                 # The duplicate lands in the same ledger; digest
                 # deduplication must make it invisible.
+                self.duplicates += 1
                 server.receive_proofs(proofs, now=now)
         except ServerUnavailable:
             self.unavailable += 1

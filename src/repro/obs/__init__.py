@@ -1,0 +1,107 @@
+"""Observability: metrics, span tracing and decision provenance.
+
+The coalition model makes every grant depend on *distributed* state —
+traces proved at other servers (Defs. 3.6-3.7), propagated execution
+proofs, and duration integrals (Eq. 4.1).  Outcome logs alone cannot
+say **why** a decision happened or where the latency went; this package
+adds the three missing views:
+
+* :mod:`repro.obs.metrics` — a process-global, lock-striped registry of
+  counters / gauges / histograms with labels, snapshot/reset and a
+  plain-dict export (:func:`export`);
+* :mod:`repro.obs.tracing` — lightweight context-managed spans recorded
+  into a fixed-size ring buffer (:data:`~repro.obs.tracing.RECORDER`);
+* :mod:`repro.obs.provenance` — the structured *explain record*
+  attached to every :class:`~repro.rbac.audit.Decision`: which SRAC
+  clause failed, the temporal validity state per Eq. 4.1, and which
+  foreign history the verdict leaned on.
+
+Metrics and tracing are **off by default** and gated by one process
+flag (:func:`enable` / :func:`disable`): hot paths check
+``OBS.enabled`` — a single attribute load — and skip all bookkeeping
+when it is false, so the disabled overhead is one branch.  Decision
+*provenance* is always on (it is part of the decision itself, and the
+decision-neutrality property test relies on decisions being
+bit-identical whether observability is enabled or not).
+
+Enabled-mode overhead on the warm decide path is gated at ≤5 % by
+``benchmarks/bench_obs_overhead.py``; the engine therefore uses
+lock-free plain-attribute counters (its internals are only ever
+touched under the owning shard's lock) published to the registry
+through a pull-time *collector*, and samples its per-decision spans
+1-in-16 (:data:`~repro.rbac.engine.DECIDE_SPAN_SAMPLE`).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.provenance import CandidateProvenance, DecisionProvenance
+from repro.obs.tracing import RECORDER, Span, SpanRecorder, span
+
+__all__ = [
+    "OBS",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "export",
+    "REGISTRY",
+    "MetricsRegistry",
+    "RECORDER",
+    "Span",
+    "SpanRecorder",
+    "span",
+    "CandidateProvenance",
+    "DecisionProvenance",
+]
+
+
+class _ObsState:
+    """The process-wide observability switch.
+
+    A tiny mutable singleton so hot paths can gate on one attribute
+    load (``OBS.enabled``) instead of a function call.  Toggling is a
+    plain bool store — safe under the GIL; instrumentation points
+    tolerate the flag flipping between their check and their record.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+#: The singleton gate every instrumentation point checks.
+OBS = _ObsState()
+
+
+def enable() -> None:
+    """Turn metrics + span recording on, process-wide."""
+    OBS.enabled = True
+
+
+def disable() -> None:
+    """Turn metrics + span recording off (the default)."""
+    OBS.enabled = False
+
+
+def is_enabled() -> bool:
+    return OBS.enabled
+
+
+def reset() -> None:
+    """Zero the global registry and empty the span ring buffer (test
+    and benchmark hygiene; the enabled flag is left untouched)."""
+    REGISTRY.reset()
+    RECORDER.clear()
+
+
+def export() -> dict:
+    """One plain-dict snapshot of everything observable right now:
+    the metrics registry (including registered collectors) and the
+    span recorder's per-name summary."""
+    return {
+        "enabled": OBS.enabled,
+        "metrics": REGISTRY.snapshot(),
+        "spans": RECORDER.summary(),
+    }

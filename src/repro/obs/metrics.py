@@ -1,0 +1,293 @@
+"""The process-global metrics registry.
+
+Three instrument kinds, Prometheus-flavoured but dependency-free:
+
+* :class:`Counter` — monotone ``inc``;
+* :class:`Gauge` — ``set`` / ``add`` of a current value;
+* :class:`Histogram` — ``observe`` with count/sum/min/max and optional
+  fixed bucket bounds (omit the bounds on hot paths — the bucketless
+  histogram is a handful of float updates under one lock).
+
+Instruments are keyed by ``(name, labels)`` and created on demand;
+**call sites are expected to pre-bind the instrument handle** (one
+registry lookup at construction time) so the per-event cost is a
+single ``inc``/``observe`` — one striped lock plus a few arithmetic
+ops.  The lock array is a :class:`~repro.concurrency.LockStripe`
+indexed by instrument name, so unrelated subsystems never serialise on
+each other.
+
+Components whose counters are already mutated under an exclusive lock
+of their own (the access-control engine runs under its shard lock) can
+avoid even that by registering a **collector** — a zero-argument
+callable returning ``{metric_name: value}`` that the registry invokes
+at :meth:`~MetricsRegistry.snapshot` time.  Collectors are held by
+weak reference so short-lived engines (tests, benchmarks) never leak.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import weakref
+from typing import Callable, Iterable, Mapping
+
+from repro.concurrency import LockStripe
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY"]
+
+#: Default histogram bucket upper bounds (seconds-flavoured latencies).
+DEFAULT_BUCKETS = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0,
+)
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotone counter."""
+
+    __slots__ = ("name", "labels", "_lock", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...], lock):
+        self.name = name
+        self.labels = labels
+        self._lock = lock
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def _reset(self) -> None:
+        self.value = 0
+
+    def _export(self) -> int | float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    __slots__ = ("name", "labels", "_lock", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...], lock):
+        self.name = name
+        self.labels = labels
+        self._lock = lock
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += delta
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def _export(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Count / sum / min / max plus optional cumulative buckets.
+
+    ``buckets=()`` (the default through
+    :meth:`MetricsRegistry.histogram` with ``buckets=None``… passing an
+    explicit tuple opts in) skips the bisect entirely — the right
+    choice on hot paths where only the moment statistics are wanted.
+    """
+
+    __slots__ = (
+        "name", "labels", "_lock", "bounds", "bucket_counts",
+        "count", "total", "min", "max",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        lock,
+        bounds: tuple[float, ...] = (),
+    ):
+        self.name = name
+        self.labels = labels
+        self._lock = lock
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if self.bounds:
+                self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+
+    def _reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def _export(self) -> dict:
+        out: dict = {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.total / self.count if self.count else 0.0,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+        if self.bounds:
+            out["buckets"] = {
+                ("+inf" if i == len(self.bounds) else repr(self.bounds[i])): n
+                for i, n in enumerate(self.bucket_counts)
+            }
+        return out
+
+
+class MetricsRegistry:
+    """Instrument factory + snapshot surface.
+
+    One process-global instance (:data:`REGISTRY`) serves the whole
+    tree; tests that want isolation construct their own.
+    """
+
+    def __init__(self, stripes: int = 16):
+        self._stripe = LockStripe(stripes)
+        self._table_lock = threading.Lock()
+        self._instruments: dict[tuple[str, str, tuple], object] = {}
+        self._collectors: list[weakref.ref] = []
+        # Final values of collectors whose owners have died (folded in
+        # via absorb()), so snapshots stay monotone across short-lived
+        # engines/batchers/simulations.
+        self._absorbed: dict[str, float] = {}
+
+    # -- instrument factories ----------------------------------------------
+
+    def _get(self, kind: str, cls, name: str, labels: Mapping[str, str], *args):
+        key = (kind, name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            with self._table_lock:
+                instrument = self._instruments.get(key)
+                if instrument is None:
+                    instrument = cls(
+                        name, key[2], self._stripe.lock_for(name), *args
+                    )
+                    self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] | None = None,
+        **labels: str,
+    ) -> Histogram:
+        bounds = () if buckets is None else tuple(sorted(buckets))
+        return self._get("histogram", Histogram, name, labels, bounds)
+
+    # -- collectors ---------------------------------------------------------
+
+    def register_collector(self, fn: Callable[[], Mapping[str, float]]) -> None:
+        """Register a pull-time metrics source (weakly referenced, so
+        short-lived engines never leak).  Bound methods get a
+        ``WeakMethod`` — a plain ``ref`` to a bound method dies
+        immediately, since each attribute access creates a fresh method
+        object.  ``fn`` must otherwise be a long-lived callable — the
+        registry keeps no strong reference, so a local lambda would be
+        collected right away."""
+        make_ref = (
+            weakref.WeakMethod
+            if hasattr(fn, "__self__")
+            else weakref.ref
+        )
+        with self._table_lock:
+            self._collectors.append(make_ref(fn))
+
+    def unregister_collector(self, fn) -> None:
+        with self._table_lock:
+            self._collectors = [
+                ref for ref in self._collectors
+                if ref() is not None and ref() != fn
+            ]
+
+    def absorb(self, values: Mapping[str, float]) -> None:
+        """Fold a dying collector's final values into the registry
+        (called from component ``__del__``s) so the totals it
+        contributed survive its garbage collection."""
+        with self._table_lock:
+            for k, v in values.items():
+                self._absorbed[k] = self._absorbed.get(k, 0) + v
+
+    # -- snapshot / reset -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict export: ``counters`` / ``gauges`` / ``histograms``
+        keyed by ``name{label=value,…}``, plus every collector's pulled
+        values under ``collected``."""
+        with self._table_lock:
+            items = list(self._instruments.items())
+            self._collectors = [r for r in self._collectors if r() is not None]
+            collectors = [r() for r in self._collectors]
+            collected: dict[str, float] = dict(self._absorbed)
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for (kind, name, labels), instrument in sorted(
+            items, key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+        ):
+            out[kind + "s"][_render(name, labels)] = instrument._export()
+        for fn in collectors:
+            if fn is None:
+                continue
+            try:
+                pulled = fn()
+            except Exception:  # pragma: no cover - defensive
+                continue
+            # Sum duplicate keys: every shard of a ShardedEngine exports
+            # the same metric names, and the fleet-wide total is wanted.
+            for k, v in pulled.items():
+                collected[k] = collected.get(k, 0) + v
+        if collected:
+            out["collected"] = dict(sorted(collected.items()))
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument (instances stay bound at call sites)
+        and drop absorbed totals; collectors are pull-time views and
+        are left registered (their owners' counters are theirs to
+        reset)."""
+        with self._table_lock:
+            items = list(self._instruments.values())
+            self._absorbed.clear()
+        for instrument in items:
+            with instrument._lock:
+                instrument._reset()
+
+
+#: The process-global registry all built-in instrumentation binds to.
+REGISTRY = MetricsRegistry()

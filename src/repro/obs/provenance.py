@@ -1,0 +1,139 @@
+"""Decision provenance: the structured *explain record* of Eq. 3.1/4.1.
+
+Every :class:`~repro.rbac.audit.Decision` carries a
+:class:`DecisionProvenance` saying **why** the verdict came out the way
+it did: which candidate ``(role, permission)`` pairs were examined,
+which SRAC clause could no longer be satisfied, the temporal validity
+state (Eq. 4.1) of each candidate, what history the spatial check ran
+against (incremental session history, an explicit proved trace, or a
+disclosed remaining program), and — for coordination-degraded denials —
+which foreign execution proofs the deciding server could not
+corroborate.
+
+Provenance is **always on**: it is part of the decision, not of the
+optional metrics/tracing layer, so decisions stay bit-identical whether
+:mod:`repro.obs` is enabled or not (property-tested).  The records are
+``NamedTuple``\\ s — construction is one ``tuple.__new__``, cheap enough
+for the warm decide path — and value-comparable, so decision equality
+keeps working.
+
+Kinds
+-----
+
+``granted``
+    A candidate passed both checks; ``candidates`` holds that pair.
+``no-candidate``
+    No active role contributed a permission matching the access.
+``spatial``
+    Every candidate failed; the last failure was the spatial
+    constraint (its source text is in the candidate record).
+``temporal``
+    Every candidate failed; the last failure was temporal validity
+    (the Eq. 4.1 state — ``active-but-invalid`` or ``inactive`` — is in
+    the candidate record).
+``degraded``
+    The engine's verdict was overridden by a
+    :class:`~repro.faults.plan.DegradationPolicy` because foreign
+    proofs in the carried chain were uncorroborated (their digests are
+    in ``uncorroborated``).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["CandidateProvenance", "DecisionProvenance"]
+
+
+class CandidateProvenance(NamedTuple):
+    """One examined ``(role, permission)`` pair and both its verdicts."""
+
+    role: str
+    permission: str
+    #: Source text of the permission's SRAC constraint (None when the
+    #: permission is spatially unconstrained).
+    constraint: str | None
+    spatial_ok: bool | None
+    temporal_ok: bool | None
+    #: The Eq. 4.1 permission state (``valid`` / ``active-but-invalid``
+    #: / ``inactive``) at decision time.
+    temporal_state: str | None
+
+    def as_dict(self) -> dict:
+        return self._asdict()
+
+
+class DecisionProvenance(NamedTuple):
+    """The structured explain record of one decision."""
+
+    #: ``granted`` | ``no-candidate`` | ``spatial`` | ``temporal`` |
+    #: ``degraded`` (see module docstring).
+    kind: str
+    #: Candidates examined, in evaluation order (for grants, the single
+    #: winning pair).
+    candidates: tuple[CandidateProvenance, ...] = ()
+    #: ``incremental`` (session-observed history), ``explicit`` (a
+    #: proved trace was passed in), ``program`` (a disclosed remaining
+    #: program drove the check), or ``none``.
+    history_mode: str = "none"
+    #: Length of the history the spatial check ran against.
+    history_len: int | None = None
+    #: Distinct *other* servers contributing history entries — the
+    #: coordination footprint of the decision (denials only; grants
+    #: skip the scan to stay off the hot path's critical microseconds).
+    foreign_servers: tuple[str, ...] = ()
+    #: Digests of foreign proofs the deciding server could not
+    #: corroborate (``degraded`` kind only).
+    uncorroborated: tuple[str, ...] = ()
+    #: Free-form amplification (e.g. the degradation mode).
+    detail: str = ""
+
+    @property
+    def failing(self) -> CandidateProvenance | None:
+        """The candidate whose failure produced a denial (the last one
+        examined), or None for grants / no-candidate denials."""
+        if self.kind in ("spatial", "temporal") and self.candidates:
+            return self.candidates[-1]
+        return None
+
+    def describe(self) -> str:
+        """One human-readable line naming the failing constraint or
+        temporal state — the CLI's and audit log's rendering."""
+        if self.kind == "granted":
+            c = self.candidates[0]
+            return (
+                f"granted via role {c.role!r} permission {c.permission!r} "
+                f"(state {c.temporal_state})"
+            )
+        if self.kind == "no-candidate":
+            return "denied: no active role provides a matching permission"
+        if self.kind == "degraded":
+            return (
+                f"denied (degraded{': ' + self.detail if self.detail else ''}): "
+                f"{len(self.uncorroborated)} uncorroborated foreign proofs"
+            )
+        c = self.failing
+        if c is None:  # pragma: no cover - defensive
+            return f"denied ({self.kind})"
+        if self.kind == "spatial":
+            return (
+                f"denied: spatial constraint {c.constraint!r} of "
+                f"permission {c.permission!r} cannot be satisfied "
+                f"(history: {self.history_mode}, {self.history_len} entries)"
+            )
+        return (
+            f"denied: permission {c.permission!r} is {c.temporal_state} "
+            f"(Eq. 4.1 validity)"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "candidates": [c.as_dict() for c in self.candidates],
+            "history_mode": self.history_mode,
+            "history_len": self.history_len,
+            "foreign_servers": list(self.foreign_servers),
+            "uncorroborated": list(self.uncorroborated),
+            "detail": self.detail,
+            "summary": self.describe(),
+        }

@@ -1,0 +1,160 @@
+"""Lightweight span tracing into a ring buffer.
+
+A :class:`Span` is one timed operation — a decision, a queue drain, a
+proof-batch delivery, a migration.  Spans land in the process-global
+:data:`RECORDER`, a fixed-capacity ring buffer (``collections.deque``
+with ``maxlen``): recording never allocates unboundedly and never
+blocks — ``deque.append`` is atomic under the GIL, so the hot path
+takes **no lock at all**.
+
+Two ways to record:
+
+* the :func:`span` context manager — convenient for cool paths::
+
+      with span("proofbatch.flush", destination=dst):
+          deliver(...)
+
+* :meth:`SpanRecorder.record` with an explicit start/duration — for
+  hot paths that already hold a ``perf_counter`` pair and want to skip
+  the context-manager machinery (the engine samples its decide spans
+  this way).
+
+Both are no-ops while observability is disabled
+(:func:`repro.obs.enable` / :func:`~repro.obs.disable`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = ["Span", "SpanRecorder", "RECORDER", "span"]
+
+#: Default ring-buffer capacity (spans kept, newest win).
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class Span:
+    """One recorded operation."""
+
+    name: str
+    start: float  # time.perf_counter() domain
+    duration_s: float
+    attrs: Mapping[str, object] = field(default_factory=dict)
+    error: str | None = None
+
+    def as_dict(self) -> dict:
+        out: dict = {
+            "name": self.name,
+            "start": self.start,
+            "duration_s": self.duration_s,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class SpanRecorder:
+    """Fixed-capacity span sink with summary queries."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self._spans: "deque[Span]" = deque(maxlen=capacity)
+
+    @property
+    def capacity(self) -> int:
+        return self._spans.maxlen or 0
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        duration_s: float,
+        attrs: Mapping[str, object] | None = None,
+        error: str | None = None,
+    ) -> None:
+        """Append one finished span (lock-free: ``deque.append`` is
+        atomic under the GIL)."""
+        self._spans.append(
+            Span(name, start, duration_s, attrs if attrs is not None else {}, error)
+        )
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def spans(self, name: str | None = None) -> tuple[Span, ...]:
+        """Snapshot of the buffer (oldest first), optionally filtered."""
+        snap = tuple(self._spans)
+        if name is None:
+            return snap
+        return tuple(s for s in snap if s.name == name)
+
+    def recent(self, n: int = 20) -> tuple[Span, ...]:
+        """The ``n`` newest spans, newest last."""
+        snap = tuple(self._spans)
+        return snap[-n:]
+
+    def summary(self) -> dict[str, dict]:
+        """Per-name aggregate: span count, total/mean/max duration and
+        error count — the terminal-friendly view ``repro obs`` prints."""
+        out: dict[str, dict] = {}
+        for s in tuple(self._spans):
+            row = out.get(s.name)
+            if row is None:
+                row = out[s.name] = {
+                    "count": 0,
+                    "total_s": 0.0,
+                    "max_s": 0.0,
+                    "errors": 0,
+                }
+            row["count"] += 1
+            row["total_s"] += s.duration_s
+            if s.duration_s > row["max_s"]:
+                row["max_s"] = s.duration_s
+            if s.error is not None:
+                row["errors"] += 1
+        for row in out.values():
+            row["mean_s"] = row["total_s"] / row["count"]
+        return dict(sorted(out.items()))
+
+
+#: The process-global recorder all built-in instrumentation targets.
+RECORDER = SpanRecorder()
+
+
+@contextmanager
+def span(
+    name: str,
+    recorder: SpanRecorder | None = None,
+    **attrs: object,
+) -> Iterator[None]:
+    """Record the wrapped block as one span (no-op when observability
+    is disabled).  Exceptions are recorded on the span (``error`` =
+    exception class name) and re-raised."""
+    from repro.obs import OBS  # local import avoids a cycle at package init
+
+    if not OBS.enabled:
+        yield None
+        return
+    target = recorder if recorder is not None else RECORDER
+    start = time.perf_counter()
+    try:
+        yield None
+    except BaseException as exc:
+        target.record(
+            name,
+            start,
+            time.perf_counter() - start,
+            attrs,
+            error=type(exc).__name__,
+        )
+        raise
+    target.record(name, start, time.perf_counter() - start, attrs)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro.obs.provenance import DecisionProvenance
 from repro.traces.trace import AccessKey
 
 __all__ = ["Decision", "AuditLog"]
@@ -24,7 +25,10 @@ class Decision:
     the last candidate examined when denied.  ``reason`` is a short
     human-readable explanation of denials ("no matching permission",
     "spatial constraint unsatisfiable", "validity duration expired",
-    ...).
+    ...).  ``provenance`` is the structured explain record
+    (:class:`~repro.obs.provenance.DecisionProvenance`): every denial
+    produced by the engine carries one naming the failing SRAC clause
+    or the Eq. 4.1 temporal state.
     """
 
     subject_id: str
@@ -36,16 +40,28 @@ class Decision:
     spatial_ok: bool | None = None
     temporal_ok: bool | None = None
     reason: str = ""
+    provenance: DecisionProvenance | None = None
 
 
 class AuditLog:
-    """Append-only decision log with simple query helpers."""
+    """Append-only decision log with simple query helpers.
+
+    ``granted_count``/``denied_count`` are maintained on every
+    ``record`` — always on, independent of the observability switch —
+    so outcome totals are O(1) reads (the engine's metrics collector
+    and :meth:`grant_rate` use them instead of scanning the log)."""
 
     def __init__(self) -> None:
         self._decisions: list[Decision] = []
+        self.granted_count = 0
+        self.denied_count = 0
 
     def record(self, decision: Decision) -> None:
         self._decisions.append(decision)
+        if decision.granted:
+            self.granted_count += 1
+        else:
+            self.denied_count += 1
 
     def __len__(self) -> int:
         return len(self._decisions)
@@ -73,4 +89,4 @@ class AuditLog:
         """Fraction of decisions that were grants (0 for an empty log)."""
         if not self._decisions:
             return 0.0
-        return len(self.grants()) / len(self._decisions)
+        return self.granted_count / len(self._decisions)

@@ -19,10 +19,13 @@ Every decision is recorded in the :class:`~repro.rbac.audit.AuditLog`.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.errors import AccessDenied, RbacError
+from repro.errors import AccessDenied, ConstraintError, RbacError
+from repro.obs import OBS, RECORDER, REGISTRY
+from repro.obs.provenance import CandidateProvenance, DecisionProvenance
 from repro.rbac.audit import AuditLog, Decision
 from repro.rbac.model import Permission, Role, Subject
 from repro.rbac.policy import Policy
@@ -30,14 +33,49 @@ from repro.sral.ast import Program
 from repro.srac.ast import Constraint, constraint_alphabet
 from repro.srac.checker import check_program, satisfiable_extension_states
 from repro.srac.monitors import CompiledConstraint, compile_constraint
+from repro.srac.printer import unparse_constraint
 from repro.srac.reachability import CacheStats, cache_stats, live_set
 from repro.temporal.aggregation import PermissionClassifier
 from repro.temporal.validity import PermissionState, Scheme, ValidityTracker
 from repro.traces.trace import AccessKey, Trace
 
-__all__ = ["Session", "AccessControlEngine", "EngineCacheStats"]
+__all__ = [
+    "Session",
+    "AccessControlEngine",
+    "EngineCacheStats",
+    "DECIDE_SPAN_SAMPLE",
+]
 
 _session_counter = itertools.count(1)
+
+#: One in this many decisions draws a wall-clock timing sample and
+#: records an ``engine.decide`` span when observability is enabled
+#: (power of two; sampling keeps the warm decide path inside the ≤5 %
+#: instrumentation-overhead budget gated by
+#: ``benchmarks/bench_obs_overhead.py`` — unsampled decisions pay two
+#: integer increments and one modulo, no clock reads).
+DECIDE_SPAN_SAMPLE = 64
+
+# Memoised SRAC source text per constraint (provenance records carry
+# the text; rendering is ~µs-scale, far too slow for the warm path).
+# Plain dict: get/set are GIL-atomic, a racing duplicate render is
+# harmless, and constraints are interned policy objects so the table
+# stays small.
+_constraint_text: dict[Constraint, str] = {}
+
+
+def _constraint_source(constraint: Constraint) -> str:
+    text = _constraint_text.get(constraint)
+    if text is None:
+        try:
+            text = unparse_constraint(constraint)
+        except ConstraintError:
+            # Synthesised AST nodes (tests build constraints directly)
+            # may not be expressible in SRAC concrete syntax; the repr
+            # still names the failing clause.
+            text = repr(constraint)
+        _constraint_text[constraint] = text
+    return text
 
 
 @dataclass
@@ -203,6 +241,75 @@ class AccessControlEngine:
         self._candidate_misses = 0
         self._live_hits = 0
         self._live_fallbacks = 0
+        # Observability counters (repro.obs).  Plain attributes, no
+        # lock: engine internals are only ever touched single-threaded
+        # or under the owning shard's lock, and the registry *pulls*
+        # them through the collector below at snapshot time.  Outcome
+        # totals come from the audit log's always-on counters (paid
+        # identically with obs on or off), so the obs-enabled decide
+        # path adds only the sampling tick below — no clock reads off
+        # the 1-in-``DECIDE_SPAN_SAMPLE`` sample.
+        self._obs_decisions = 0
+        self._obs_decide_sampled = 0
+        self._obs_decide_sampled_s = 0.0
+        self._obs_decide_max_s = 0.0
+        # reset_stats() baselines for the audit-derived outcome counts.
+        self._obs_granted_base = 0
+        self._obs_denied_base = 0
+        REGISTRY.register_collector(self._collect_obs)
+
+    def __del__(self):
+        try:
+            REGISTRY.absorb(self._collect_obs())
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+    def _collect_obs(self) -> dict[str, float]:
+        """Pull-time metrics source (summed across engines by the
+        registry — shards of one :class:`ShardedEngine` aggregate).
+        Outcome counts are audit-derived and therefore cover *all*
+        decisions since construction (or :meth:`reset_stats`),
+        regardless of when observability was switched on;
+        ``engine.decide.sampled*`` timing exists only for decisions
+        taken while it was enabled."""
+        granted = self.audit.granted_count - self._obs_granted_base
+        denied = self.audit.denied_count - self._obs_denied_base
+        return {
+            "engine.decisions": granted + denied,
+            "engine.decisions.granted": granted,
+            "engine.decisions.denied": denied,
+            "engine.decide.sampled": self._obs_decide_sampled,
+            "engine.decide.sampled_s": self._obs_decide_sampled_s,
+            "engine.decide.max_s": self._obs_decide_max_s,
+            "engine.candidate_cache.hits": self._candidate_hits,
+            "engine.candidate_cache.misses": self._candidate_misses,
+            "engine.live_set.hits": self._live_hits,
+            "engine.live_set.fallbacks": self._live_fallbacks,
+        }
+
+    def _record_decide(self, start: float, decision: Decision) -> None:
+        """Sampled decide timing + span (obs enabled only; called for
+        the 1-in-``DECIDE_SPAN_SAMPLE`` decisions whose entry drew a
+        ``start`` timestamp — outcome counters are updated inline in
+        :meth:`decide` so the common enabled path stays a couple of
+        integer increments)."""
+        duration = time.perf_counter() - start
+        self._obs_decide_sampled += 1
+        self._obs_decide_sampled_s += duration
+        if duration > self._obs_decide_max_s:
+            self._obs_decide_max_s = duration
+        provenance = decision.provenance
+        RECORDER.record(
+            "engine.decide",
+            start,
+            duration,
+            {
+                "access": str(decision.access),
+                "granted": decision.granted,
+                "kind": provenance.kind if provenance is not None else "",
+                "sampled": DECIDE_SPAN_SAMPLE,
+            },
+        )
 
     # -- session management --------------------------------------------------
 
@@ -372,8 +479,28 @@ class AccessControlEngine:
         cached monitor states, making the spatial check independent of
         history length.  Decisions are identical to passing
         ``session.observed`` explicitly (property-tested).
+
+        Every decision carries a
+        :class:`~repro.obs.provenance.DecisionProvenance` explain
+        record; denials always name the failing SRAC clause or the
+        Eq. 4.1 temporal state.
         """
+        obs_on = OBS.enabled
+        start = 0.0
+        if obs_on:
+            self._obs_decisions += 1
+            # Wall-clock timing (and the span) is itself sampled: two
+            # ``perf_counter`` calls per decision would alone eat most
+            # of the ≤5 % instrumentation budget.
+            if self._obs_decisions % DECIDE_SPAN_SAMPLE == 0:
+                start = time.perf_counter()
         access = AccessKey(*access)
+        if program is not None:
+            history_mode = "program"
+        elif history is None:
+            history_mode = "incremental"
+        else:
+            history_mode = "explicit"
         candidates = self._candidates(session, access)
         if not candidates:
             decision = Decision(
@@ -382,13 +509,19 @@ class AccessControlEngine:
                 granted=False,
                 time=t,
                 reason="no active role provides a matching permission",
+                provenance=DecisionProvenance(
+                    kind="no-candidate",
+                    history_mode=history_mode,
+                    history_len=self._history_len(session, history),
+                ),
             )
             self.audit.record(decision)
+            if start:
+                self._record_decide(start, decision)
             return decision
 
         last_reason = ""
-        last: tuple[Role, Permission] | None = None
-        last_spatial = last_temporal = None
+        records: list[CandidateProvenance] = []
         for role, permission in candidates:
             spatial_ok = self._spatial_ok(
                 session, permission, access, history, program
@@ -396,8 +529,21 @@ class AccessControlEngine:
             tracker = self._tracker(session, permission)
             state = tracker.state(t)
             temporal_ok = state is PermissionState.VALID
-            last = (role, permission)
-            last_spatial, last_temporal = spatial_ok, temporal_ok
+            constraint = permission.spatial_constraint
+            records.append(
+                CandidateProvenance(
+                    role=role.name,
+                    permission=permission.name,
+                    constraint=(
+                        _constraint_source(constraint)
+                        if constraint is not None
+                        else None
+                    ),
+                    spatial_ok=spatial_ok,
+                    temporal_ok=temporal_ok,
+                    temporal_state=state.value,
+                )
+            )
             if spatial_ok and temporal_ok:
                 decision = Decision(
                     subject_id=session.subject.subject_id,
@@ -408,8 +554,16 @@ class AccessControlEngine:
                     permission=permission.name,
                     spatial_ok=True,
                     temporal_ok=True,
+                    provenance=DecisionProvenance(
+                        kind="granted",
+                        candidates=(records[-1],),
+                        history_mode=history_mode,
+                        history_len=self._history_len(session, history),
+                    ),
                 )
                 self.audit.record(decision)
+                if start:
+                    self._record_decide(start, decision)
                 return decision
             if not spatial_ok:
                 last_reason = (
@@ -419,19 +573,63 @@ class AccessControlEngine:
                 last_reason = (
                     f"permission {permission.name!r} is {state.value}"
                 )
+        failing = records[-1]
         decision = Decision(
             subject_id=session.subject.subject_id,
             access=access,
             granted=False,
             time=t,
-            role=last[0].name if last else None,
-            permission=last[1].name if last else None,
-            spatial_ok=last_spatial,
-            temporal_ok=last_temporal,
+            role=failing.role,
+            permission=failing.permission,
+            spatial_ok=failing.spatial_ok,
+            temporal_ok=failing.temporal_ok,
             reason=last_reason,
+            provenance=DecisionProvenance(
+                kind="spatial" if not failing.spatial_ok else "temporal",
+                candidates=tuple(records),
+                history_mode=history_mode,
+                history_len=self._history_len(session, history),
+                foreign_servers=self._foreign_servers(session, access, history),
+            ),
         )
         self.audit.record(decision)
+        if start:
+            self._record_decide(start, decision)
         return decision
+
+    def _effective_history(
+        self, session: Session, history: Trace | None
+    ) -> tuple[AccessKey, ...] | Trace:
+        """The trace the spatial check effectively ran against (the
+        session's observed history in incremental mode, widened to the
+        owner's combined history under owner scope)."""
+        if history is not None:
+            return history
+        if self.coordination_scope == "owner":
+            return tuple(
+                self._owner_observed.get(session.subject.user.name, ())
+            )
+        return session.observed
+
+    def _history_len(self, session: Session, history: Trace | None) -> int:
+        effective = self._effective_history(session, history)
+        try:
+            return len(effective)
+        except TypeError:  # pragma: no cover - exotic iterables
+            return -1
+
+    def _foreign_servers(
+        self, session: Session, access: AccessKey, history: Trace | None
+    ) -> tuple[str, ...]:
+        """Distinct *other* servers contributing history entries — the
+        decision's coordination footprint.  O(history); called on the
+        denial path only."""
+        servers = {
+            AccessKey(*a).server
+            for a in self._effective_history(session, history)
+        }
+        servers.discard(access.server)
+        return tuple(sorted(servers))
 
     def enforce(
         self,
@@ -499,17 +697,24 @@ class AccessControlEngine:
         candidate, does not advance validity trackers' clocks beyond
         the query, and records nothing in the audit log.  Returns a
         list of dicts with keys ``role``, ``permission``,
-        ``spatial_ok``, ``temporal_ok``, ``state``.
+        ``constraint`` (SRAC source text, or None), ``spatial_ok``,
+        ``temporal_ok``, ``state``.
         """
         access = AccessKey(*access)
         rows: list[dict] = []
         for role, permission in self._candidates(session, access):
             tracker = self._tracker(session, permission)
             state = tracker.state(t)
+            constraint = permission.spatial_constraint
             rows.append(
                 {
                     "role": role.name,
                     "permission": permission.name,
+                    "constraint": (
+                        _constraint_source(constraint)
+                        if constraint is not None
+                        else None
+                    ),
                     "spatial_ok": self._spatial_ok(
                         session, permission, access, history, program
                     ),
@@ -586,6 +791,12 @@ class AccessControlEngine:
         self._candidate_misses = 0
         self._live_hits = 0
         self._live_fallbacks = 0
+        self._obs_decisions = 0
+        self._obs_decide_sampled = 0
+        self._obs_decide_sampled_s = 0.0
+        self._obs_decide_max_s = 0.0
+        self._obs_granted_base = self.audit.granted_count
+        self._obs_denied_base = self.audit.denied_count
 
     def invalidate_caches(self) -> None:
         """Drop the engine's derived caches (candidates, compiled

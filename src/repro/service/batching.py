@@ -38,11 +38,13 @@ destination list can be cached once (``Coalition.freeze``).
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.coalition.network import Coalition
 from repro.coalition.proofs import ExecutionProof
 from repro.errors import ServiceError
 from repro.faults.retry import RetryPolicy
+from repro.obs import OBS, RECORDER, REGISTRY
 
 __all__ = ["ProofBatch"]
 
@@ -115,6 +117,28 @@ class ProofBatch:
         self.failed_deliveries = 0
         self.retries_scheduled = 0
         self.abandoned_batches = 0
+        REGISTRY.register_collector(self._collect_obs)
+
+    def __del__(self):
+        try:
+            REGISTRY.absorb(self._collect_obs())
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+    def _collect_obs(self) -> dict[str, float]:
+        """Pull-time metrics source (the counters above are mutated
+        under ``self._lock``; the registry sums across batchers)."""
+        return {
+            "proofbatch.enqueued": self.enqueued,
+            "proofbatch.delivered": self.delivered,
+            "proofbatch.delivery_calls": self.delivery_calls,
+            "proofbatch.overflow_flushes": self.overflow_flushes,
+            "proofbatch.failed_deliveries": self.failed_deliveries,
+            "proofbatch.retries_scheduled": self.retries_scheduled,
+            "proofbatch.abandoned_batches": self.abandoned_batches,
+            "proofbatch.parked": len(self._parked),
+            "proofbatch.pending": sum(len(b) for b in self._pending.values()),
+        }
 
     # -- producing -------------------------------------------------------------
 
@@ -178,7 +202,17 @@ class ProofBatch:
                     self._due[destination] = now + delay
                     return 0
             self._pending[destination] = []
-        ok = self.transport.deliver(destination, batch, now)
+        if OBS.enabled:
+            wall_start = time.perf_counter()
+            ok = self.transport.deliver(destination, batch, now)
+            RECORDER.record(
+                "proofbatch.deliver",
+                wall_start,
+                time.perf_counter() - wall_start,
+                {"destination": destination, "size": len(batch), "ok": ok},
+            )
+        else:
+            ok = self.transport.deliver(destination, batch, now)
         with self._lock:
             self._delayed.discard(destination)
             if ok:
@@ -202,10 +236,32 @@ class ProofBatch:
                 self._parked.add(destination)
                 self.abandoned_batches += 1
                 self._due.pop(destination, None)
+                if OBS.enabled:
+                    RECORDER.record(
+                        "proofbatch.park",
+                        time.perf_counter(),
+                        0.0,
+                        {
+                            "destination": destination,
+                            "size": len(batch),
+                            "attempts": attempt,
+                        },
+                    )
             else:
                 self._attempts[destination] = attempt + 1
                 self.retries_scheduled += 1
                 self._due[destination] = now + self.retry.delay(attempt)
+                if OBS.enabled:
+                    RECORDER.record(
+                        "proofbatch.retry",
+                        time.perf_counter(),
+                        0.0,
+                        {
+                            "destination": destination,
+                            "attempt": attempt + 1,
+                            "due": self._due[destination],
+                        },
+                    )
             return 0
 
     # -- flushing -------------------------------------------------------------

@@ -33,6 +33,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.errors import ServiceError
 from repro.faults.retry import RetryPolicy
+from repro.obs import OBS, RECORDER, REGISTRY
 from repro.rbac.audit import Decision
 from repro.rbac.engine import Session
 from repro.service.sharding import ShardedEngine
@@ -40,6 +41,11 @@ from repro.sral.ast import Program
 from repro.traces.trace import AccessKey, Trace
 
 __all__ = ["DecisionService", "ServiceStats"]
+
+#: Record one ``service.request`` span per this many completed requests
+#: (histogram observations are unsampled; spans carry the per-phase
+#: breakdown and only need to be representative).
+REQUEST_SPAN_SAMPLE = 16
 
 
 @dataclass(frozen=True)
@@ -59,6 +65,9 @@ class ServiceStats:
     workers: int
     shards: int
     hook_retries: int = 0
+    #: Requests whose future was cancelled before a worker picked them
+    #: up (they are popped, never decided, and count toward drain()).
+    cancelled: int = 0
 
     @property
     def mean_latency_s(self) -> float:
@@ -79,6 +88,7 @@ class ServiceStats:
             "workers": self.workers,
             "shards": self.shards,
             "hook_retries": self.hook_retries,
+            "cancelled": self.cancelled,
         }
 
 
@@ -146,6 +156,24 @@ class DecisionService:
         self._total_latency = 0.0
         self._max_latency = 0.0
         self._hook_retries = 0
+        self._cancelled = 0
+        # Pre-bound per-shard instruments (one registry lookup here, a
+        # single striped-lock observe per event) — recorded only while
+        # repro.obs is enabled.
+        self._obs_queue_wait = [
+            REGISTRY.histogram("service.queue_wait_s", shard=str(i))
+            for i in range(engine.shard_count)
+        ]
+        self._obs_decide = [
+            REGISTRY.histogram("service.decide_s", shard=str(i))
+            for i in range(engine.shard_count)
+        ]
+        self._obs_hook = [
+            REGISTRY.histogram("service.hook_s", shard=str(i))
+            for i in range(engine.shard_count)
+        ]
+        self._obs_cancelled = REGISTRY.counter("service.cancelled")
+        self._obs_rejected = REGISTRY.counter("service.rejected")
 
     # -- submission -------------------------------------------------------------
 
@@ -154,7 +182,7 @@ class DecisionService:
         session: Session,
         access: AccessKey | tuple[str, str, str],
         t: float,
-        history: Trace | None = (),
+        history: Trace | None = None,
         program: Program | None = None,
         observe_granted: bool = False,
         block: bool = True,
@@ -162,6 +190,15 @@ class DecisionService:
     ) -> "Future[Decision]":
         """Enqueue one request; returns a future for its
         :class:`~repro.rbac.audit.Decision`.
+
+        ``history=None`` (the default) selects the engine's
+        **incremental mode**: the spatial check runs against the
+        session's own observed history via cached monitor states.  Pass
+        an explicit trace — ``()`` for "no proved history" — to check
+        against exactly that trace instead.  The default is ``None`` on
+        :meth:`submit`, :meth:`decide` and :meth:`submit_many` alike,
+        so single and batched submission of the same request decide
+        identically.
 
         ``block=True`` (default) applies backpressure when the owning
         shard's queue is full; ``block=False`` raises
@@ -184,17 +221,24 @@ class DecisionService:
             observe_granted,
             time.perf_counter(),
         )
+        # Count the submission *before* the queue put: a worker can
+        # complete the request between the put and any later increment,
+        # which would let observers see completed > submitted.  On
+        # rejection the reservation is rolled back.
+        with self._stats_lock:
+            self._submitted += 1
         try:
             self._queues[index].put(item, block=block, timeout=timeout)
         except queue.Full:
             with self._stats_lock:
+                self._submitted -= 1
                 self._rejected += 1
+            if OBS.enabled:
+                self._obs_rejected.inc()
             raise ServiceError(
                 f"shard {index} queue is full "
                 f"({self._queues[index].maxsize} pending)"
             ) from None
-        with self._stats_lock:
-            self._submitted += 1
         self._executor.submit(self._drain_one, index)
         return future
 
@@ -203,10 +247,11 @@ class DecisionService:
         session: Session,
         access: AccessKey | tuple[str, str, str],
         t: float,
-        history: Trace | None = (),
+        history: Trace | None = None,
         program: Program | None = None,
     ) -> Decision:
-        """Synchronous convenience: submit and wait."""
+        """Synchronous convenience: submit and wait (incremental-mode
+        history by default, like :meth:`submit`)."""
         return self.submit(session, access, t, history, program).result()
 
     def submit_many(
@@ -216,7 +261,9 @@ class DecisionService:
         ],
         observe_granted: bool = False,
     ) -> "list[Future[Decision]]":
-        """Submit a batch of ``(session, access, t)`` requests."""
+        """Submit a batch of ``(session, access, t)`` requests, each in
+        incremental-history mode — the same default as :meth:`submit`,
+        so batch and single submission decide identically."""
         return [
             self.submit(
                 session, access, t, history=None, observe_granted=observe_granted
@@ -227,6 +274,7 @@ class DecisionService:
     # -- worker side ------------------------------------------------------------
 
     def _drain_one(self, index: int) -> None:
+        obs_on = OBS.enabled
         shard = self.engine._shards[index]
         with shard.lock:
             try:
@@ -243,6 +291,18 @@ class DecisionService:
                 observe_granted,
                 enqueued_at,
             ) = item
+            # Honour cancellation: only a future that transitions to
+            # RUNNING here gets decided.  cancel() returns False from
+            # now on, so the set_result/set_exception below cannot
+            # race a concurrent cancel.
+            if not future.set_running_or_notify_cancel():
+                with self._stats_lock:
+                    self._cancelled += 1
+                    self._idle.notify_all()
+                if obs_on:
+                    self._obs_cancelled.inc()
+                return
+            popped_at = time.perf_counter()
             try:
                 decision = self.engine._decide_on(
                     shard, session, access, t, history, program
@@ -254,11 +314,14 @@ class DecisionService:
                 decision = None
                 error = exc
         # Outside the shard lock: downstream effects + future resolution.
+        decided_at = time.perf_counter()
         if error is None and self._hook is not None:
             error = self._run_hook(decision)
-        latency = time.perf_counter() - enqueued_at
+        done_at = time.perf_counter()
+        latency = done_at - enqueued_at
         with self._stats_lock:
             self._completed += 1
+            completed = self._completed
             self._total_latency += latency
             self._max_latency = max(self._max_latency, latency)
             if error is not None:
@@ -268,6 +331,28 @@ class DecisionService:
             else:
                 self._denied += 1
             self._idle.notify_all()
+        if obs_on:
+            queue_wait = popped_at - enqueued_at
+            decide_s = decided_at - popped_at
+            hook_s = done_at - decided_at
+            self._obs_queue_wait[index].observe(queue_wait)
+            self._obs_decide[index].observe(decide_s)
+            if self._hook is not None:
+                self._obs_hook[index].observe(hook_s)
+            if completed % REQUEST_SPAN_SAMPLE == 0:
+                RECORDER.record(
+                    "service.request",
+                    enqueued_at,
+                    latency,
+                    {
+                        "shard": index,
+                        "queue_wait_s": queue_wait,
+                        "decide_s": decide_s,
+                        "hook_s": hook_s,
+                        "sampled": REQUEST_SPAN_SAMPLE,
+                    },
+                    error=type(error).__name__ if error is not None else None,
+                )
         if error is not None:
             future.set_exception(error)
         else:
@@ -302,7 +387,7 @@ class DecisionService:
         service-level ``flush()``).  Returns ``False`` on timeout."""
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._idle:
-            while self._completed < self._submitted:
+            while self._completed + self._cancelled < self._submitted:
                 remaining = (
                     None if deadline is None else deadline - time.monotonic()
                 )
@@ -330,13 +415,14 @@ class DecisionService:
                 workers=self.workers,
                 shards=self.engine.shard_count,
                 hook_retries=self._hook_retries,
+                cancelled=self._cancelled,
             )
 
     def reset_stats(self) -> None:
         """Zero the service counters and the engine-side counters so a
         benchmark can measure warm steady-state without restarting."""
         with self._stats_lock:
-            self._submitted -= self._completed
+            self._submitted -= self._completed + self._cancelled
             self._completed = 0
             self._granted = 0
             self._denied = 0
@@ -345,6 +431,7 @@ class DecisionService:
             self._total_latency = 0.0
             self._max_latency = 0.0
             self._hook_retries = 0
+            self._cancelled = 0
         self.engine.reset_stats()
 
     # -- lifecycle ----------------------------------------------------------------

@@ -120,18 +120,45 @@ def _states_of(formula: DCFormula) -> list[BooleanTimeline]:
     raise TypeError(f"not a DC formula: {formula!r}")
 
 
+#: Relative tolerance of duration comparisons.  Integrals are sums of
+#: interval lengths of magnitude ~``scale``, so their rounding error is
+#: proportional to ``scale × eps`` — an *absolute* epsilon misclassifies
+#: on long horizons (a flat 1e-12 slack is below one ulp of t ≈ 1e6 s).
+#: 1e-12 relative ≈ 4500 double ulps per unit scale: far above
+#: accumulated (pairwise) summation error at any horizon, far below
+#: any meaningful duration difference — and identical to the historic
+#: absolute slack on unit-scale intervals.
+_REL_TOL = 1e-12
+
+
+def _tol(*scales: float) -> float:
+    """Comparison tolerance scaled to the magnitudes involved (at least
+    the tolerance at scale 1, so short horizons keep the old slack)."""
+    return _REL_TOL * max(1.0, *map(abs, scales))
+
+
 def evaluate(formula: DCFormula, b: float, e: float) -> bool:
-    """Decide ``[b, e] ⊨ formula``."""
+    """Decide ``[b, e] ⊨ formula``.
+
+    Duration comparisons are **scale-relative**: the slack grows with
+    the magnitudes of the bound and the interval ends, so an integral
+    that differs from its bound only by floating-point rounding
+    compares equal on a seconds-scale horizon and on a ~1e9 s one
+    alike.
+    """
     if e < b:
         raise TemporalError(f"bad interval [{b}, {e}]: end before begin")
     if isinstance(formula, DurationAtLeast):
-        return formula.state.integrate(b, e) >= formula.bound - 1e-12
+        tol = _tol(formula.bound, b, e)
+        return formula.state.integrate(b, e) >= formula.bound - tol
     if isinstance(formula, DurationAtMost):
-        return formula.state.integrate(b, e) <= formula.bound + 1e-12
+        tol = _tol(formula.bound, b, e)
+        return formula.state.integrate(b, e) <= formula.bound + tol
     if isinstance(formula, Everywhere):
-        return e > b and formula.state.integrate(b, e) >= (e - b) - 1e-12
+        tol = _tol(b, e)
+        return e > b and formula.state.integrate(b, e) >= (e - b) - tol
     if isinstance(formula, Somewhere):
-        return formula.state.integrate(b, e) > 1e-12
+        return formula.state.integrate(b, e) > _tol(b, e)
     if isinstance(formula, DCAnd):
         return evaluate(formula.left, b, e) and evaluate(formula.right, b, e)
     if isinstance(formula, DCOr):

@@ -181,3 +181,37 @@ class TestSimulate:
         assert rc == 1
         assert "status: failed" in out
         assert "mallory" in out  # the authentication error is surfaced
+
+
+class TestObs:
+    def test_denied_run_prints_provenance_and_metrics(
+        self, policy_file, program_file, capsys
+    ):
+        rc = main(
+            ["obs", str(policy_file), str(program_file), "--owner", "alice",
+             "--roles", "trial"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1  # the count-2 bound denies the third access
+        assert "status: denied" in out
+        assert "spatial constraint 'count(0, 2, [res = rsw])'" in out
+        assert "granted via role 'trial'" in out
+        assert "metrics:" in out
+        assert "engine.decisions = 3" in out
+        assert "engine.decisions.denied = 1" in out
+
+    def test_json_export(self, policy_file, program_file, tmp_path, capsys):
+        import json
+
+        export_path = tmp_path / "obs.json"
+        main(
+            ["obs", str(policy_file), str(program_file), "--owner", "alice",
+             "--roles", "trial", "--json", str(export_path)]
+        )
+        data = json.loads(export_path.read_text())
+        assert data["metrics"]["collected"]["engine.decisions"] == 3
+        denials = [d for d in data["decisions"] if not d["granted"]]
+        assert denials
+        for denial in denials:
+            assert denial["provenance"]["kind"] == "spatial"
+            assert "count(0, 2, [res = rsw])" in denial["provenance"]["summary"]
