@@ -279,6 +279,23 @@ def exp_cache() -> None:
           f"({report['fallbacks']} BFS fallbacks)")
 
 
+def exp_vec() -> None:
+    header("EXP-VEC  vectorized compiled decision core")
+    from bench_vector_engine import (
+        ARTIFACT,
+        check_acceptance,
+        measure,
+        print_report,
+    )
+
+    report = measure(n=20_000)
+    print_report(report)
+    ARTIFACT.parent.mkdir(exist_ok=True)
+    ARTIFACT.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {ARTIFACT}")
+    check_acceptance(report)
+
+
 def exp_service() -> None:
     header("EXP-SERVICE  sharded concurrent decision service")
     from bench_concurrent_service import (
@@ -408,6 +425,7 @@ EXPERIMENTS = (
     ("deadline", exp_deadline),
     ("rbac", exp_rbac),
     ("cache", exp_cache),
+    ("vec", exp_vec),
     ("service", exp_service),
     ("faults", exp_faults),
     ("naplet", exp_naplet),

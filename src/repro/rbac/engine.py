@@ -140,6 +140,10 @@ class EngineCacheStats:
     #: Spatial checks that fell back to the BFS (product over budget).
     live_fallbacks: int
     srac: CacheStats
+    #: Batched decisions taken by the vectorized sweep.
+    vector_decisions: int = 0
+    #: Batched decisions that fell back to the scalar loop.
+    vector_fallbacks: int = 0
 
     def as_dict(self) -> dict[str, int]:
         out = {
@@ -148,6 +152,8 @@ class EngineCacheStats:
             "extension_entries": self.extension_entries,
             "live_hits": self.live_hits,
             "live_fallbacks": self.live_fallbacks,
+            "vector_decisions": self.vector_decisions,
+            "vector_fallbacks": self.vector_fallbacks,
         }
         out.update(self.srac.as_dict())
         return out
@@ -191,6 +197,14 @@ class AccessControlEngine:
         behaviour, kept for equivalence testing and as the baseline of
         ``benchmarks/bench_decision_cache.py``.  Decisions are
         bit-identical either way (property-tested).
+    use_vector_batches:
+        Enable the table-driven vectorized sweep
+        (:mod:`repro.rbac.vector_engine`) on :meth:`decide_batch` and
+        :meth:`decide_batch_many` (the default).  ``False`` forces the
+        scalar per-request loop — kept as the differential baseline of
+        ``tests/test_vector_engine.py`` and
+        ``benchmarks/bench_vector_engine.py``.  Decisions and
+        provenance are bit-identical either way (property-tested).
     """
 
     def __init__(
@@ -201,6 +215,7 @@ class AccessControlEngine:
         classifier: PermissionClassifier | None = None,
         coordination_scope: str = "subject",
         use_srac_caches: bool = True,
+        use_vector_batches: bool = True,
     ):
         if coordination_scope not in ("subject", "owner"):
             raise RbacError(
@@ -214,6 +229,7 @@ class AccessControlEngine:
         self.classifier = classifier
         self.coordination_scope = coordination_scope
         self.use_srac_caches = use_srac_caches
+        self.use_vector_batches = use_vector_batches
         self.audit = AuditLog()
         self._sessions: dict[str, Session] = {}
         # Owner-scope state: combined histories (list-backed, O(1)
@@ -241,6 +257,8 @@ class AccessControlEngine:
         self._candidate_misses = 0
         self._live_hits = 0
         self._live_fallbacks = 0
+        self._vector_decisions = 0
+        self._vector_fallbacks = 0
         # Observability counters (repro.obs).  Plain attributes, no
         # lock: engine internals are only ever touched single-threaded
         # or under the owning shard's lock, and the registry *pulls*
@@ -285,6 +303,8 @@ class AccessControlEngine:
             "engine.candidate_cache.misses": self._candidate_misses,
             "engine.live_set.hits": self._live_hits,
             "engine.live_set.fallbacks": self._live_fallbacks,
+            "engine.vector.decisions": self._vector_decisions,
+            "engine.vector.fallbacks": self._vector_fallbacks,
         }
 
     def _record_decide(self, start: float, decision: Decision) -> None:
@@ -502,6 +522,24 @@ class AccessControlEngine:
         else:
             history_mode = "explicit"
         candidates = self._candidates(session, access)
+        return self._decide_core(
+            session, access, t, history, program, history_mode, candidates, start
+        )
+
+    def _decide_core(
+        self,
+        session: Session,
+        access: AccessKey,
+        t: float,
+        history: Trace | None,
+        program: Program | None,
+        history_mode: str,
+        candidates: tuple[tuple[Role, Permission], ...],
+        start: float,
+    ) -> Decision:
+        """:meth:`decide` after candidate resolution — split out so the
+        batch paths can hoist the candidate lookup per distinct access
+        instead of re-resolving it per element."""
         if not candidates:
             decision = Decision(
                 subject_id=session.subject.subject_id,
@@ -669,17 +707,177 @@ class AccessControlEngine:
         every granted access is fed back via :meth:`observe` before the
         next request is decided, modelling a client that performs each
         access it is granted.
+
+        Incremental batches take the **vectorized sweep**
+        (:mod:`repro.rbac.vector_engine`) when ``use_vector_batches``
+        is on: decisions and provenance are bit-identical to the
+        scalar loop (property-tested), only faster.  Batches the sweep
+        cannot handle — explicit history, disclosed program,
+        ``observe_granted``, owner scope, products over the table
+        budget, non-monotone time — fall back to the scalar loop,
+        which itself hoists the candidate lookup per distinct access.
         """
+        keys = [
+            a if type(a) is AccessKey else AccessKey(*a) for a in accesses
+        ]
+        # Same float sequence as `clock += dt` accumulation, at C speed.
+        times: list[float] = list(
+            itertools.accumulate(
+                itertools.repeat(dt, len(keys) - 1), initial=t
+            )
+        ) if keys else []
+        if keys and self.use_vector_batches:
+            prepared = None
+            if (
+                history is None
+                and program is None
+                and not observe_granted
+                and dt >= 0
+            ):
+                from repro.rbac.vector_engine import (
+                    commit_sweep,
+                    prepare_sweep,
+                )
+
+                prepared = prepare_sweep(self, session, keys, times)
+            if prepared is not None:
+                self._vector_decisions += len(keys)
+                return commit_sweep(prepared)
+            self._vector_fallbacks += len(keys)
         decisions: list[Decision] = []
-        clock = t
-        for access in accesses:
-            access = AccessKey(*access)
-            decision = self.decide(session, access, clock, history, program)
+        obs_on = OBS.enabled
+        if program is not None:
+            history_mode = "program"
+        elif history is None:
+            history_mode = "incremental"
+        else:
+            history_mode = "explicit"
+        candidate_memo: dict[
+            AccessKey, tuple[tuple[Role, Permission], ...]
+        ] = {}
+        for access, when in zip(keys, times):
+            start = 0.0
+            if obs_on:
+                self._obs_decisions += 1
+                if self._obs_decisions % DECIDE_SPAN_SAMPLE == 0:
+                    start = time.perf_counter()
+            candidates = candidate_memo.get(access)
+            if candidates is None:
+                candidates = self._candidates(session, access)
+                candidate_memo[access] = candidates
+            decision = self._decide_core(
+                session, access, when, history, program, history_mode,
+                candidates, start,
+            )
             if observe_granted and decision.granted:
                 self.observe(session, access)
             decisions.append(decision)
-            clock += dt
         return decisions
+
+    def decide_batch_many(
+        self,
+        requests: Iterable[tuple[Session, AccessKey | tuple[str, str, str]]],
+        t: float,
+        dt: float = 0.0,
+        times: Sequence[float] | None = None,
+    ) -> list[Decision]:
+        """Decide an interleaved request stream across many sessions.
+
+        ``requests`` is a sequence of ``(session, access)`` pairs; the
+        i-th request is decided at ``t + i·dt`` on the same global
+        clock accumulation as :meth:`decide_batch` (or at ``times[i]``
+        when an explicit nondecreasing instant vector is given — the
+        sharded engine passes each shard its exact slice of the global
+        clock).  Incremental mode only (each session's own observed
+        history, no program).
+
+        The stream is regrouped per session and swept with the
+        vectorized path; validity-tracker effects are per-session, so
+        regrouping cannot change any verdict, and the audit log still
+        receives the decisions in global stream order.  If any
+        session's subsequence is ineligible the *whole* stream falls
+        back to the scalar loop, so decisions are identical either
+        way.
+        """
+        pairs = [
+            (session, a if type(a) is AccessKey else AccessKey(*a))
+            for session, a in requests
+        ]
+        if times is None:
+            times = list(
+                itertools.accumulate(
+                    itertools.repeat(dt, len(pairs) - 1), initial=t
+                )
+            ) if pairs else []
+        else:
+            times = list(times)
+            if len(times) != len(pairs):
+                raise RbacError(
+                    f"times has {len(times)} entries for {len(pairs)} requests"
+                )
+        monotone = all(b >= a for a, b in zip(times, times[1:]))
+        if pairs and self.use_vector_batches:
+            prepared = None
+            if monotone:
+                from repro.rbac.vector_engine import (
+                    commit_sweep,
+                    prepare_sweep,
+                )
+
+                by_session: dict[int, tuple[Session, list[int]]] = {}
+                for i, (session, _access) in enumerate(pairs):
+                    entry = by_session.get(id(session))
+                    if entry is None:
+                        by_session[id(session)] = (session, [i])
+                    else:
+                        entry[1].append(i)
+                prepared = []
+                for session, indices in by_session.values():
+                    prep = prepare_sweep(
+                        self,
+                        session,
+                        [pairs[i][1] for i in indices],
+                        [times[i] for i in indices],
+                    )
+                    if prep is None:
+                        prepared = None
+                        break
+                    prepared.append((prep, indices))
+            if prepared is not None:
+                decisions: list[Decision] = [None] * len(pairs)  # type: ignore[list-item]
+                granted = 0
+                for prep, indices in prepared:
+                    swept = commit_sweep(prep, record_audit=False)
+                    granted += prep.granted
+                    for local, i in enumerate(indices):
+                        decisions[i] = swept[local]
+                self.audit.record_many(decisions, granted=granted)
+                self._vector_decisions += len(pairs)
+                return decisions
+            self._vector_fallbacks += len(pairs)
+        out: list[Decision] = []
+        obs_on = OBS.enabled
+        memo: dict[
+            tuple[int, AccessKey], tuple[tuple[Role, Permission], ...]
+        ] = {}
+        for (session, access), when in zip(pairs, times):
+            start = 0.0
+            if obs_on:
+                self._obs_decisions += 1
+                if self._obs_decisions % DECIDE_SPAN_SAMPLE == 0:
+                    start = time.perf_counter()
+            memo_key = (id(session), access)
+            candidates = memo.get(memo_key)
+            if candidates is None:
+                candidates = self._candidates(session, access)
+                memo[memo_key] = candidates
+            out.append(
+                self._decide_core(
+                    session, access, when, None, None, "incremental",
+                    candidates, start,
+                )
+            )
+        return out
 
     def explain(
         self,
@@ -779,6 +977,8 @@ class AccessControlEngine:
             live_hits=self._live_hits,
             live_fallbacks=self._live_fallbacks,
             srac=cache_stats(),
+            vector_decisions=self._vector_decisions,
+            vector_fallbacks=self._vector_fallbacks,
         )
 
     def reset_stats(self) -> None:
@@ -791,6 +991,8 @@ class AccessControlEngine:
         self._candidate_misses = 0
         self._live_hits = 0
         self._live_fallbacks = 0
+        self._vector_decisions = 0
+        self._vector_fallbacks = 0
         self._obs_decisions = 0
         self._obs_decide_sampled = 0
         self._obs_decide_sampled_s = 0.0

@@ -1,0 +1,389 @@
+"""Batched decision sweeps over compiled tables and breakpoint arrays.
+
+The scalar :meth:`~repro.rbac.engine.AccessControlEngine.decide` is
+O(1) warm but pays interpreted-Python cost per decision: a candidate
+walk, a monitor dict step, a validity-tracker query and a fresh
+provenance record each time.  For a *batch* of requests over one
+session most of that work is invariant:
+
+* the session's observed history — and with it every cached monitor
+  state — is frozen for the whole batch (no ``observe`` happens), so
+  the **spatial verdict is a constant per (access, candidate)**:
+  one gather into the :class:`~repro.srac.compiled.TransitionTable`
+  plus one live-mask read;
+* each validity tracker's state function is piecewise constant with at
+  most one breakpoint (:meth:`~repro.temporal.validity.ValidityTracker.breakpoints`),
+  so the **temporal verdicts for a whole time vector** are one
+  ``np.searchsorted`` per (candidate, access-group);
+* provenance records depend only on the access, the candidate index
+  and the vector of temporal state codes — a handful of distinct
+  values per group — so whole ``Decision`` prototypes are memoised and
+  per-element decisions are cheap clones differing only in ``time``.
+
+The sweep is organised **prepare → commit**:
+
+:func:`prepare_sweep` does all the work without mutating any
+session-visible state (engine/process caches may warm — they are
+semantically invisible) and returns ``None`` whenever the batch is not
+eligible for the vector path.  The caller then falls back to the
+scalar loop, which reproduces the exact scalar behaviour *including*
+mid-batch exceptions.  Ineligible batches: explicit histories,
+disclosed programs, ``observe_granted``, owner coordination scope,
+disabled SRAC caches, non-monotone time steps, query times behind a
+tracker's clock, monitor products over the table budgets, or an access
+outside a compiled alphabet (:class:`~repro.errors.AlphabetError`).
+
+:func:`commit_sweep` applies the side effects: validity trackers of
+every examined candidate are created/advanced exactly as the scalar
+candidate loop would have left them (one closed-form advance to the
+maximum examined instant replays the same state, the same expiry
+switch at the same recorded instant), engine counters tick, and the
+decisions are appended to the audit log in stream order.
+
+Decisions and their :class:`~repro.obs.provenance.DecisionProvenance`
+are **bit-identical** to the scalar engine's (property-tested in
+``tests/test_vector_engine.py``); the only observable difference is
+that batched decisions do not emit sampled ``engine.decide`` tracing
+spans (``engine.decisions`` metrics still count them).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import AlphabetError
+from repro.obs import OBS
+from repro.obs.provenance import CandidateProvenance, DecisionProvenance
+from repro.rbac.audit import Decision
+from repro.rbac.engine import _constraint_source
+from repro.srac.compiled import compile_table
+from repro.temporal.validity import CODE_INACTIVE, CODE_VALID, STATE_CODES
+from repro.traces.trace import AccessKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rbac.engine import AccessControlEngine, Session
+
+__all__ = ["PreparedSweep", "prepare_sweep", "commit_sweep"]
+
+_NO_CANDIDATE_REASON = "no active role provides a matching permission"
+
+
+def _fill(
+    decisions: list,
+    proto: Decision,
+    positions,
+    idx_list: Sequence[int],
+    times: Sequence[float],
+) -> None:
+    """Clone ``proto`` into ``decisions`` at each position's instant.
+
+    This loop *is* the vector path's per-decision cost.  ``Decision``
+    is a frozen dataclass; cloning through ``__dict__`` skips the
+    ten-field ``__init__`` and the frozen-setattr guard — the clones
+    are indistinguishable (same fields, same equality/hash) and differ
+    from the prototype only in ``time``.
+    """
+    new = Decision.__new__
+    proto_dict = proto.__dict__
+    for p in positions:
+        d = new(Decision)
+        dd = d.__dict__
+        dd.update(proto_dict)
+        i = idx_list[p]
+        dd["time"] = times[i]
+        decisions[i] = d
+
+
+class PreparedSweep:
+    """The pure phase of a batched sweep: the finished decisions plus
+    the side effects :func:`commit_sweep` must apply."""
+
+    __slots__ = (
+        "engine",
+        "session",
+        "decisions",
+        "advances",
+        "live_hits_add",
+        "n",
+        "granted",
+    )
+
+    def __init__(self, engine: "AccessControlEngine", session: "Session"):
+        self.engine = engine
+        self.session = session
+        self.decisions: list[Decision] = []
+        #: tracker key -> (permission, max examined instant)
+        self.advances: dict[str, tuple] = {}
+        self.live_hits_add = 0
+        self.n = 0
+        self.granted = 0
+
+
+def prepare_sweep(
+    engine: "AccessControlEngine",
+    session: "Session",
+    accesses: Sequence[AccessKey],
+    times: Sequence[float],
+) -> PreparedSweep | None:
+    """Decide a request stream for one session without side effects.
+
+    ``accesses`` must already be ``AccessKey`` instances and ``times``
+    the per-request decision instants (nondecreasing — the caller built
+    them by the same ``clock += dt`` accumulation the scalar loop
+    uses).  Returns ``None`` when any part of the batch needs the
+    scalar path; in that case no session state was touched.
+    """
+    n = len(accesses)
+    if n == 0:
+        return PreparedSweep(engine, session)
+    if engine.coordination_scope != "subject" or not engine.use_srac_caches:
+        return None
+    if times[0] < session.start_time:
+        return None
+
+    prep = PreparedSweep(engine, session)
+    prep.n = n
+    prep.decisions = [None] * n  # type: ignore[list-item]
+    decisions = prep.decisions
+    times_arr = np.asarray(times, dtype=np.float64)
+    subject_id = session.subject.subject_id
+    history_len = len(session.observed)
+
+    groups: dict[AccessKey, list[int]] = {}
+    if len(set(accesses)) == 1:
+        # Single-access stream (the steady-state replay shape) — skip
+        # the grouping pass.
+        groups[accesses[0]] = list(range(n))
+    else:
+        for i, access in enumerate(accesses):
+            groups.setdefault(access, []).append(i)
+
+    for access, idx_list in groups.items():
+        candidates = engine._candidates(session, access)
+        k = len(candidates)
+        ts = times_arr[idx_list]
+        m = len(idx_list)
+
+        if k == 0:
+            proto = Decision(
+                subject_id=subject_id,
+                access=access,
+                granted=False,
+                time=0.0,
+                reason=_NO_CANDIDATE_REASON,
+                provenance=DecisionProvenance(
+                    kind="no-candidate",
+                    history_mode="incremental",
+                    history_len=history_len,
+                ),
+            )
+            _fill(decisions, proto, range(m), idx_list, times)
+            continue
+
+        # Spatial verdicts: constant per (access, candidate) for the
+        # whole batch (the observed history is frozen) — one table
+        # gather each.  Bail to scalar when a product is over budget.
+        spatial: list[bool] = []
+        ctexts: list[str | None] = []
+        for _role, permission in candidates:
+            constraint = permission.spatial_constraint
+            if constraint is None:
+                spatial.append(True)
+                ctexts.append(None)
+                continue
+            _compiled, universe, live = engine._extension_entry(
+                constraint, access
+            )
+            if live is None:
+                return None
+            table = compile_table(constraint, universe)
+            if table is None:
+                return None
+            _, states = engine._cached_monitors(session, constraint)
+            try:
+                symbol = table.intern(access)
+            except AlphabetError:
+                return None
+            successor = int(table.trans[table.encode(states), symbol])
+            spatial.append(bool(table.live[successor]))
+            ctexts.append(_constraint_source(constraint))
+
+        # Temporal state codes per candidate over the group's time
+        # vector: one searchsorted against the tracker's breakpoints.
+        # side="right" evaluates exactly the scalar `t >= expiry`.
+        codes_mat = np.empty((k, m), dtype=np.uint8)
+        tracker_keys: list[str] = []
+        for j, (_role, permission) in enumerate(candidates):
+            key = engine._tracker_key(permission)
+            tracker_keys.append(key)
+            tracker = session.trackers.get(key)
+            if tracker is None:
+                # The scalar path would lazily create an INACTIVE
+                # tracker; creation is deferred to commit.
+                codes_mat[j, :] = CODE_INACTIVE
+            else:
+                if ts[0] < tracker.now:
+                    return None
+                codes_mat[j, :] = tracker.state_codes_at(ts)
+
+        # Candidate-major sweep: candidate j grants the still-undecided
+        # requests whose spatial verdict holds and whose temporal code
+        # is VALID — the scalar first-grant short-circuit, batched.
+        undecided = np.ones(m, dtype=bool)
+        granted_at = np.full(m, -1, dtype=np.int32)
+        for j in range(k):
+            if spatial[j]:
+                ok = undecided & (codes_mat[j] == CODE_VALID)
+                if ok.any():
+                    granted_at[ok] = j
+                    undecided &= ~ok
+
+        # Commit bookkeeping: candidate j was *examined* by a request
+        # unless an earlier candidate granted it, exactly the scalar
+        # loop's prefix.  Examined candidates pin their tracker to the
+        # latest examined instant and count a live-set hit each.
+        for j, (_role, permission) in enumerate(candidates):
+            examined = (granted_at == -1) | (granted_at >= j)
+            count = int(examined.sum())
+            if count == 0:
+                continue
+            if permission.spatial_constraint is not None:
+                prep.live_hits_add += count
+            t_max = float(ts[examined].max())
+            key = tracker_keys[j]
+            previous = prep.advances.get(key)
+            if previous is None or t_max > previous[1]:
+                prep.advances[key] = (permission, t_max)
+
+        # Grants: one Decision prototype per granting candidate.
+        prep.granted += int((granted_at >= 0).sum())
+        for j in np.unique(granted_at[granted_at >= 0]):
+            role, permission = candidates[j]
+            record = CandidateProvenance(
+                role=role.name,
+                permission=permission.name,
+                constraint=ctexts[j],
+                spatial_ok=True,
+                temporal_ok=True,
+                temporal_state=STATE_CODES[CODE_VALID].value,
+            )
+            proto = Decision(
+                subject_id=subject_id,
+                access=access,
+                granted=True,
+                time=0.0,
+                role=role.name,
+                permission=permission.name,
+                spatial_ok=True,
+                temporal_ok=True,
+                provenance=DecisionProvenance(
+                    kind="granted",
+                    candidates=(record,),
+                    history_mode="incremental",
+                    history_len=history_len,
+                ),
+            )
+            winners = np.nonzero(granted_at == j)[0]
+            positions = range(m) if winners.size == m else winners.tolist()
+            _fill(decisions, proto, positions, idx_list, times)
+
+        # Denials examine every candidate; the provenance depends only
+        # on the column of temporal codes, of which a k-candidate group
+        # has at most k+1 distinct values — build one prototype per
+        # distinct code column and clone the rest.
+        denied_positions = np.nonzero(granted_at == -1)[0]
+        if denied_positions.size:
+            foreign = engine._foreign_servers(session, access, None)
+            columns = codes_mat.T[denied_positions]  # (denied, k)
+            uniq, inverse = np.unique(columns, axis=0, return_inverse=True)
+            protos: list[Decision] = []
+            for row in uniq:
+                records = []
+                last_reason = ""
+                for j, (role, permission) in enumerate(candidates):
+                    code = int(row[j])
+                    records.append(
+                        CandidateProvenance(
+                            role=role.name,
+                            permission=permission.name,
+                            constraint=ctexts[j],
+                            spatial_ok=spatial[j],
+                            temporal_ok=code == CODE_VALID,
+                            temporal_state=STATE_CODES[code].value,
+                        )
+                    )
+                    if not spatial[j]:
+                        last_reason = (
+                            f"spatial constraint of {permission.name!r} "
+                            f"cannot be satisfied"
+                        )
+                    else:
+                        last_reason = (
+                            f"permission {permission.name!r} is "
+                            f"{STATE_CODES[code].value}"
+                        )
+                failing = records[-1]
+                protos.append(
+                    Decision(
+                        subject_id=subject_id,
+                        access=access,
+                        granted=False,
+                        time=0.0,
+                        role=failing.role,
+                        permission=failing.permission,
+                        spatial_ok=failing.spatial_ok,
+                        temporal_ok=failing.temporal_ok,
+                        reason=last_reason,
+                        provenance=DecisionProvenance(
+                            kind=(
+                                "spatial"
+                                if not failing.spatial_ok
+                                else "temporal"
+                            ),
+                            candidates=tuple(records),
+                            history_mode="incremental",
+                            history_len=history_len,
+                            foreign_servers=foreign,
+                        ),
+                    )
+                )
+            proto_dicts = [proto.__dict__ for proto in protos]
+            new = Decision.__new__
+            for p, g in zip(denied_positions.tolist(), inverse.tolist()):
+                d = new(Decision)
+                dd = d.__dict__
+                dd.update(proto_dicts[g])
+                i = idx_list[p]
+                dd["time"] = times[i]
+                decisions[i] = d
+
+    return prep
+
+
+def commit_sweep(prep: PreparedSweep, record_audit: bool = True) -> list[Decision]:
+    """Apply a prepared sweep's side effects and return its decisions.
+
+    Tracker advancement replays what the scalar candidate loop did:
+    each examined tracker is (created if needed and) advanced to the
+    latest instant at which it was examined — under closed-form accrual
+    the resulting tracker state *and* the recorded validity timeline
+    (the expiry switch fires at the same precomputed instant) are
+    identical to the scalar query-by-query sequence.
+
+    With ``record_audit=False`` the caller takes over audit recording
+    (``decide_batch_many`` interleaves several sessions' decisions back
+    into global stream order first).
+    """
+    engine = prep.engine
+    for _key, (permission, t_max) in prep.advances.items():
+        engine._tracker(prep.session, permission).state(t_max)
+    engine._live_hits += prep.live_hits_add
+    if OBS.enabled:
+        # Metrics count every decision; the sampled per-decision spans
+        # are a scalar-path feature (documented in the module docstring).
+        engine._obs_decisions += prep.n
+    if record_audit:
+        engine.audit.record_many(prep.decisions, granted=prep.granted)
+    return prep.decisions

@@ -227,6 +227,44 @@ class ShardedEngine:
         shard.granted += sum(d.granted for d in decisions)
         return decisions
 
+    def decide_batch_many(
+        self,
+        requests: Iterable[tuple[Session, AccessKey | tuple[str, str, str]]],
+        t: float,
+        dt: float = 0.0,
+    ) -> list[Decision]:
+        """Decide an interleaved multi-session request stream: the i-th
+        request is decided at ``t + i·dt`` on a global clock, requests
+        are regrouped per owning shard (preserving per-session order —
+        what the routing invariant guarantees a client anyway), and
+        each shard sweeps its share with the vectorized
+        :meth:`AccessControlEngine.decide_batch_many` under its own
+        lock.  Returns decisions in request order."""
+        pairs = [(session, access) for session, access in requests]
+        times: list[float] = []
+        clock = t
+        for _ in pairs:
+            times.append(clock)
+            clock += dt
+        by_shard: dict[int, list[int]] = {}
+        for i, (session, _access) in enumerate(pairs):
+            by_shard.setdefault(self.shard_of(session), []).append(i)
+        decisions: list[Decision] = [None] * len(pairs)  # type: ignore[list-item]
+        for index, indices in by_shard.items():
+            shard = self._shards[index]
+            with shard.lock:
+                swept = shard.engine.decide_batch_many(
+                    [pairs[i] for i in indices],
+                    t,
+                    dt,
+                    times=[times[i] for i in indices],
+                )
+            shard.decisions += len(indices)
+            shard.granted += sum(d.granted for d in swept)
+            for local, i in enumerate(indices):
+                decisions[i] = swept[local]
+        return decisions
+
     # -- cache + stats management ------------------------------------------------
 
     def prewarm(
@@ -256,6 +294,8 @@ class ShardedEngine:
             extension_entries=0,
             live_hits=0,
             live_fallbacks=0,
+            vector_decisions=0,
+            vector_fallbacks=0,
         )
         for shard in self._shards:
             with shard.lock:
@@ -265,6 +305,8 @@ class ShardedEngine:
             totals["extension_entries"] += stats.extension_entries
             totals["live_hits"] += stats.live_hits
             totals["live_fallbacks"] += stats.live_fallbacks
+            totals["vector_decisions"] += stats.vector_decisions
+            totals["vector_fallbacks"] += stats.vector_fallbacks
         return EngineCacheStats(srac=srac_cache_stats(), **totals)
 
     def shard_stats(self) -> list[dict[str, int]]:

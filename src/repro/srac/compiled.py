@@ -1,0 +1,310 @@
+"""Table-driven lowering of compiled SRAC constraints.
+
+:class:`~repro.srac.monitors.CompiledConstraint` runs a monitor
+product one access at a time through interpreted Python — a dict walk
+and a tuple rebuild per step.  For batched decision sweeps
+(:mod:`repro.rbac.vector_engine`) we lower the product once per
+``(constraint, alphabet)`` to dense numpy arrays:
+
+* every monitor-state vector ``(s_0, …, s_{k-1})`` is **encoded** as a
+  single integer by mixed-radix positional encoding (MSB first:
+  ``id = ((s_0·n_1 + s_1)·n_2 + s_2)…``, i.e. monitor ``i`` has stride
+  ``Π_{j>i} n_j``);
+* every access in the alphabet is **interned** to a symbol id;
+* stepping becomes one fancy-indexing gather into an
+  ``np.int32[n_states, n_symbols]`` transition table;
+* acceptance and the coreachable ("live") set become boolean masks
+  indexed by state id.
+
+The live mask is derived *from* the cached
+:func:`repro.srac.reachability.live_set` frozenset — not recomputed by
+an independent algorithm — so the table-driven verdicts agree with the
+scalar engine's by construction.  Products over the state budget (or
+tables over the cell budget) are not lowered; :func:`compile_table`
+returns ``None`` and callers fall back to the scalar path, mirroring
+the live-set budget safety valve.
+
+Interning an access outside the compiled alphabet raises the typed
+:class:`~repro.errors.AlphabetError` (a :class:`~repro.errors.ReproError`)
+rather than a bare ``KeyError``; the vectorized engine catches it and
+falls back to the scalar path for that batch.
+
+Tables are immutable after construction and interned process-wide per
+``(constraint, alphabet)`` under a lock, exactly like the compile and
+live-set caches they build on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import AlphabetError
+from repro.srac.ast import Constraint
+from repro.srac.monitors import CompiledConstraint, compile_constraint
+from repro.srac.reachability import DEFAULT_STATE_BUDGET, live_set
+from repro.traces.trace import AccessKey
+
+__all__ = [
+    "DEFAULT_CELL_BUDGET",
+    "TransitionTable",
+    "compile_table",
+    "clear_table_cache",
+    "table_cache_counters",
+]
+
+#: Tables with more than this many transition cells
+#: (``n_states × n_symbols``) are not materialised even when the state
+#: count fits the live-set budget — a 4M-cell int32 table is 16 MB.
+DEFAULT_CELL_BUDGET = 4_000_000
+
+
+class TransitionTable:
+    """A dense-array lowering of one ``(constraint, alphabet)`` product.
+
+    Attributes
+    ----------
+    constraint, compiled:
+        The source constraint and its interned monitor-vector form.
+    symbols:
+        The alphabet in canonical order; ``symbol_ids`` maps each
+        access to its column index.
+    n_states:
+        ``Π monitor.size()`` — every mixed-radix code in
+        ``range(n_states)`` is a valid state id (the full Cartesian
+        product, matching :func:`repro.srac.reachability.live_set`,
+        because history-induced states need not be alphabet-reachable).
+    trans:
+        ``int32[n_states, n_symbols]``; ``trans[s, a]`` is the successor
+        state id.
+    accepting, live:
+        Boolean masks over state ids: constraint currently satisfied /
+        some word over the alphabet reaches acceptance.
+    initial:
+        State id of the all-initial monitor vector.
+    """
+
+    __slots__ = (
+        "constraint",
+        "compiled",
+        "symbols",
+        "symbol_ids",
+        "sizes",
+        "strides",
+        "n_states",
+        "trans",
+        "accepting",
+        "live",
+        "initial",
+    )
+
+    def __init__(
+        self,
+        compiled: CompiledConstraint,
+        symbols: Sequence[AccessKey],
+        live: frozenset[tuple[int, ...]],
+    ):
+        self.constraint = compiled.constraint
+        self.compiled = compiled
+        self.symbols = tuple(symbols)
+        self.symbol_ids = {sym: i for i, sym in enumerate(self.symbols)}
+        monitors = compiled.monitors
+        self.sizes = tuple(m.size() for m in monitors)
+        # MSB-first strides: monitor i moves in steps of Π_{j>i} sizes[j].
+        strides = [1] * len(monitors)
+        for i in range(len(monitors) - 2, -1, -1):
+            strides[i] = strides[i + 1] * self.sizes[i + 1]
+        self.strides = tuple(strides)
+        n_states = 1
+        for size in self.sizes:
+            n_states *= size
+        self.n_states = n_states
+        n_symbols = len(self.symbols)
+
+        ids = np.arange(n_states, dtype=np.int64)
+        digits = [
+            (ids // stride) % size
+            for stride, size in zip(self.strides, self.sizes)
+        ]
+
+        # Per-monitor small tables (size_i × n_symbols), composed into
+        # the product table by mixed-radix accumulation.  The Python
+        # loops here are over Σ size_i × n_symbols — the small factors,
+        # not the product.
+        trans = np.zeros((n_states, n_symbols), dtype=np.int64)
+        bits: list[np.ndarray] = []
+        for monitor, digit, stride, size in zip(
+            monitors, digits, self.strides, self.sizes
+        ):
+            small = np.empty((size, n_symbols), dtype=np.int64)
+            for s in range(size):
+                for a, sym in enumerate(self.symbols):
+                    small[s, a] = monitor.step(s, sym)
+            trans += small[digit] * stride
+            accept_small = np.fromiter(
+                (monitor.accepting(s) for s in range(size)),
+                dtype=bool,
+                count=size,
+            )
+            bits.append(accept_small[digit])
+        self.trans = trans.astype(np.int32)
+
+        # Acceptance mask: evaluate the boolean skeleton over whole
+        # state-id vectors at once.  _skeleton is library-internal to
+        # CompiledConstraint; this module is its vectorised twin.
+        def ev(node) -> np.ndarray:
+            tag = node[0]
+            if tag == "const":
+                return np.full(n_states, node[1], dtype=bool)
+            if tag == "bit":
+                return bits[node[1]]
+            if tag == "not":
+                return ~ev(node[1])
+            if tag == "and":
+                return ev(node[1]) & ev(node[2])
+            if tag == "or":
+                return ev(node[1]) | ev(node[2])
+            if tag == "iff":
+                return ev(node[1]) == ev(node[2])
+            raise AssertionError(tag)  # pragma: no cover
+
+        self.accepting = ev(compiled._skeleton)
+
+        # Live mask from the cached coreachability frozenset — shared
+        # provenance with the scalar path guarantees identical verdicts.
+        live_mask = np.zeros(n_states, dtype=bool)
+        if live:
+            vectors = np.array(sorted(live), dtype=np.int64)
+            live_mask[vectors @ np.asarray(self.strides, dtype=np.int64)] = True
+        self.live = live_mask
+        self.initial = self.encode(compiled.initial())
+
+    # -- state codecs -------------------------------------------------------
+
+    def encode(self, states: tuple[int, ...]) -> int:
+        """Mixed-radix state id of a monitor-state vector."""
+        return int(
+            sum(s * stride for s, stride in zip(states, self.strides))
+        )
+
+    def decode(self, state_id: int) -> tuple[int, ...]:
+        """Inverse of :meth:`encode`."""
+        return tuple(
+            (state_id // stride) % size
+            for stride, size in zip(self.strides, self.sizes)
+        )
+
+    # -- symbol interning ----------------------------------------------------
+
+    def intern(self, access: AccessKey) -> int:
+        """Symbol id of ``access``; :class:`AlphabetError` if the access
+        is outside the compiled alphabet."""
+        try:
+            return self.symbol_ids[access]
+        except KeyError:
+            raise AlphabetError(
+                f"access {access!r} is not in the compiled alphabet of "
+                f"{self.constraint!r} ({len(self.symbols)} symbols)"
+            ) from None
+
+    def intern_many(self, accesses: Iterable[AccessKey]) -> np.ndarray:
+        """Vector of symbol ids; :class:`AlphabetError` on the first
+        out-of-alphabet access."""
+        ids = self.symbol_ids
+        try:
+            return np.fromiter(
+                (ids[a] for a in accesses), dtype=np.int32
+            )
+        except KeyError as exc:
+            raise AlphabetError(
+                f"access {exc.args[0]!r} is not in the compiled alphabet of "
+                f"{self.constraint!r} ({len(self.symbols)} symbols)"
+            ) from None
+
+    # -- stepping ------------------------------------------------------------
+
+    def step_ids(self, state_ids: np.ndarray, symbol_ids: np.ndarray) -> np.ndarray:
+        """Successor state ids for paired vectors of states and symbols
+        — one fancy-indexing gather."""
+        return self.trans[state_ids, symbol_ids]
+
+
+# Process-level table cache, same discipline as the compile and
+# live-set caches: keyed by (constraint, canonical symbol tuple),
+# guarded by a lock, cleared wholesale past the cap, with a None entry
+# memoising "over budget" so the budget check runs once per key.
+_TABLE_CACHE_MAX = 1024
+_cache_lock = threading.Lock()
+_table_cache: dict[
+    tuple[Constraint, tuple[AccessKey, ...]], TransitionTable | None
+] = {}
+_table_hits = 0
+_table_misses = 0
+_table_fallbacks = 0
+
+
+def compile_table(
+    constraint: Constraint,
+    alphabet: Sequence[AccessKey | tuple[str, str, str]],
+    cache: bool = True,
+    state_budget: int = DEFAULT_STATE_BUDGET,
+    cell_budget: int = DEFAULT_CELL_BUDGET,
+) -> TransitionTable | None:
+    """Lower ``constraint`` over ``alphabet`` to a
+    :class:`TransitionTable`, or ``None`` when the product exceeds the
+    state budget (live set unavailable) or the table the cell budget —
+    callers must then use the scalar path.  Interned per
+    ``(constraint, alphabet)`` unless ``cache=False``.
+    """
+    global _table_hits, _table_misses, _table_fallbacks
+    symbols = tuple(dict.fromkeys(AccessKey(*a) for a in alphabet))
+    key = (constraint, symbols)
+    sentinel = object()
+    if cache:
+        with _cache_lock:
+            cached = _table_cache.get(key, sentinel)
+            if cached is not sentinel:
+                if cached is None:
+                    _table_fallbacks += 1
+                else:
+                    _table_hits += 1
+                return cached  # type: ignore[return-value]
+            _table_misses += 1
+    compiled = compile_constraint(constraint, cache=cache)
+    n_states = compiled.state_space()
+    table: TransitionTable | None
+    if n_states > state_budget or n_states * max(1, len(symbols)) > cell_budget:
+        table = None
+    else:
+        live = live_set(compiled, symbols, state_budget)
+        table = None if live is None else TransitionTable(compiled, symbols, live)
+    if not cache:
+        return table
+    with _cache_lock:
+        raced = _table_cache.get(key, sentinel)
+        if raced is not sentinel:
+            return raced  # type: ignore[return-value]
+        if len(_table_cache) >= _TABLE_CACHE_MAX:
+            _table_cache.clear()
+        _table_cache[key] = table
+        if table is None:
+            _table_fallbacks += 1
+    return table
+
+
+def clear_table_cache() -> None:
+    """Drop every interned table and zero the counters."""
+    global _table_hits, _table_misses, _table_fallbacks
+    with _cache_lock:
+        _table_cache.clear()
+        _table_hits = 0
+        _table_misses = 0
+        _table_fallbacks = 0
+
+
+def table_cache_counters() -> tuple[int, int, int, int]:
+    """``(hits, misses, fallbacks, entries)`` of the table cache."""
+    with _cache_lock:
+        return _table_hits, _table_misses, _table_fallbacks, len(_table_cache)

@@ -227,9 +227,15 @@ def reset_cache_stats() -> None:
 
 
 def clear_caches() -> None:
-    """Drop both process-level caches (compile + live sets) and all
-    counters — the big hammer for tests and policy hot-reloads."""
+    """Drop every process-level cache (compile, live sets, transition
+    tables) and all counters — the big hammer for tests and policy
+    hot-reloads."""
     with _cache_lock:
         _live_cache.clear()
     reset_cache_stats()
     clear_compile_cache()
+    # Local import: repro.srac.compiled builds on this module, so the
+    # table cache is cleared through it rather than imported at the top.
+    from repro.srac.compiled import clear_table_cache
+
+    clear_table_cache()

@@ -92,6 +92,14 @@ class BooleanTimeline:
     def __call__(self, t: float) -> bool:
         return self.value_at(t)
 
+    def values_at(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`value_at`: ``f(t)`` for every element of
+        ``ts`` as a boolean array.  Same right-open segment convention,
+        so ``values_at(np.array([t]))[0] == value_at(t)`` exactly."""
+        flips = np.searchsorted(self.switches, np.asarray(ts), side="right")
+        values = (flips & 1).astype(bool)
+        return ~values if self.initial else values
+
     def integrate(self, b: float, e: float) -> float:
         """``∫_b^e f(t) dt`` — the accumulated time the state is 1 in
         ``[b, e]`` (the paper's duration of a state over an interval)."""

@@ -23,6 +23,18 @@ query the state at any time; it also exposes the exact expiry instant
 and records the ``valid`` state function as a
 :class:`~repro.temporal.timeline.BooleanTimeline` for audit and for
 cross-checking against the declarative integral (tests do both).
+
+Between two events the tracker's state function is **piecewise
+constant with at most one breakpoint** (the expiry instant), so it can
+be *compiled* for batched decision sweeps: :meth:`ValidityTracker.profile`
+exposes the closed form and :meth:`ValidityTracker.breakpoints` the
+sorted-breakpoint-array view that
+:mod:`repro.rbac.vector_engine` resolves with ``np.searchsorted``.
+Accrual is itself closed-form — ``consumed(t) = consumed₀ + (t −
+anchor)`` against a precomputed expiry instant — so the scalar
+per-query path and the vectorized batched path evaluate the *same*
+floating-point expression and agree bit-for-bit, including exactly at
+the expiry boundary.
 """
 
 from __future__ import annotations
@@ -30,10 +42,20 @@ from __future__ import annotations
 import enum
 import math
 
+import numpy as np
+
 from repro.errors import TemporalError
 from repro.temporal.timeline import BooleanTimeline, TimelineRecorder
 
-__all__ = ["PermissionState", "Scheme", "ValidityTracker"]
+__all__ = [
+    "PermissionState",
+    "Scheme",
+    "ValidityTracker",
+    "STATE_CODES",
+    "CODE_INACTIVE",
+    "CODE_ACTIVE_INVALID",
+    "CODE_VALID",
+]
 
 
 class PermissionState(enum.Enum):
@@ -42,6 +64,18 @@ class PermissionState(enum.Enum):
     INACTIVE = "inactive"
     ACTIVE_INVALID = "active-but-invalid"
     VALID = "valid"
+
+
+#: Small-integer encodings of :class:`PermissionState` for packed
+#: (numpy) sweeps; ``STATE_CODES[code]`` recovers the enum member.
+CODE_INACTIVE = 0
+CODE_ACTIVE_INVALID = 1
+CODE_VALID = 2
+STATE_CODES = (
+    PermissionState.INACTIVE,
+    PermissionState.ACTIVE_INVALID,
+    PermissionState.VALID,
+)
 
 
 class Scheme(enum.Enum):
@@ -65,7 +99,27 @@ class ValidityTracker:
     start_time:
         ``t_1``, the start of the object's execution (arrival at the
         first server).
+
+    Internally the accrued budget is kept in *closed form*: while the
+    permission is active and unexpired, ``consumed(t) = _consumed0 +
+    (t - _anchor)`` and the expiry instant ``_expiry = _anchor +
+    (duration - _consumed0)`` is precomputed at the last event.  Every
+    query — scalar or vectorized — answers ``t >= _expiry``; there is
+    no per-query accumulation, so query *order* cannot drift the
+    floating-point state.
     """
+
+    __slots__ = (
+        "duration",
+        "scheme",
+        "_now",
+        "_active",
+        "_anchor",
+        "_consumed0",
+        "_expiry",
+        "_valid_recorder",
+        "_active_recorder",
+    )
 
     def __init__(
         self,
@@ -79,26 +133,50 @@ class ValidityTracker:
         self.scheme = scheme
         self._now = float(start_time)
         self._active = False
-        self._consumed = 0.0  # valid time accrued since the base time
+        # Closed-form accrual state: consumed(t) = _consumed0 while
+        # inactive (or expired); _consumed0 + (t - _anchor) while
+        # actively accruing.  _expiry is +inf when no expiry is pending
+        # (inactive, time-insensitive, or already expired).
+        self._anchor = self._now
+        self._consumed0 = 0.0
+        self._expiry = math.inf
         self._valid_recorder = TimelineRecorder(initial=False)
         self._active_recorder = TimelineRecorder(initial=False)
 
     # -- internal clock ----------------------------------------------------
 
+    def _pending_expiry(self) -> float:
+        """The expiry instant assuming the permission stays active from
+        the current accrual anchor; ``inf`` when it cannot expire."""
+        if math.isinf(self.duration) or self._consumed0 >= self.duration:
+            return math.inf
+        return self._anchor + (self.duration - self._consumed0)
+
+    def _consumed_at(self, t: float) -> float:
+        """``∫ valid du`` accrued by time ``t`` (t >= last event)."""
+        if not self._active or self._consumed0 >= self.duration:
+            return self._consumed0
+        if t >= self._expiry:
+            return self.duration
+        return self._consumed0 + (t - self._anchor)
+
     def _advance(self, t: float) -> None:
         if t < self._now:
             raise TemporalError(f"event at {t} is before current time {self._now}")
-        if self._active and self._consumed < self.duration:
-            # Accrue valid time; emit the expiry switch if the budget
-            # runs out before t.
-            remaining = self.duration - self._consumed
-            elapsed = t - self._now
-            if elapsed >= remaining:
-                self._valid_recorder.set(self._now + remaining, False)
-                self._consumed = self.duration
-            else:
-                self._consumed += elapsed
+        if self._active and t >= self._expiry:
+            # The budget ran out before t: emit the expiry switch at
+            # the precomputed instant and consolidate.
+            self._valid_recorder.set(self._expiry, False)
+            self._consumed0 = self.duration
+            self._anchor = self._expiry
+            self._expiry = math.inf
         self._now = t
+
+    def _consolidate(self, t: float) -> None:
+        """Fold the accrual run into ``_consumed0`` at instant ``t``
+        (called on events that stop or restart accrual)."""
+        self._consumed0 = self._consumed_at(t)
+        self._anchor = t
 
     # -- events ------------------------------------------------------------
 
@@ -109,15 +187,19 @@ class ValidityTracker:
             return
         self._active = True
         self._active_recorder.set(t, True)
-        if self._consumed < self.duration:
+        self._anchor = t
+        if self._consumed0 < self.duration:
             self._valid_recorder.set(t, True)
+        self._expiry = self._pending_expiry()
 
     def deactivate(self, t: float) -> None:
         """The role was deactivated (session ended) at ``t``."""
         self._advance(t)
         if not self._active:
             return
+        self._consolidate(t)
         self._active = False
+        self._expiry = math.inf
         self._active_recorder.set(t, False)
         self._valid_recorder.set(t, False)
 
@@ -130,9 +212,11 @@ class ValidityTracker:
         budget."""
         self._advance(t)
         if self.scheme is Scheme.PER_SERVER:
-            self._consumed = 0.0
+            self._consumed0 = 0.0
+            self._anchor = t
             if self._active:
                 self._valid_recorder.set(t, True)
+                self._expiry = self._pending_expiry()
 
     # -- queries ------------------------------------------------------------
 
@@ -143,7 +227,7 @@ class ValidityTracker:
             self._advance(t)
         if not self._active:
             return PermissionState.INACTIVE
-        if self._consumed >= self.duration:
+        if self._consumed0 >= self.duration:
             return PermissionState.ACTIVE_INVALID
         return PermissionState.VALID
 
@@ -158,17 +242,73 @@ class ValidityTracker:
             self._advance(t)
         if math.isinf(self.duration):
             return math.inf
-        return max(0.0, self.duration - self._consumed)
+        return max(0.0, self.duration - self._consumed_at(self._now))
 
     def expiry_time(self) -> float | None:
         """If the permission is currently valid, the instant its budget
         will be exhausted (assuming it stays active); ``None`` when
         inactive, already expired, or time-insensitive."""
-        if not self._active or self._consumed >= self.duration:
+        if not self._active or self._consumed0 >= self.duration:
             return None
         if math.isinf(self.duration):
             return None
-        return self._now + (self.duration - self._consumed)
+        return self._expiry
+
+    # -- compiled views (batched sweeps) -------------------------------------
+
+    def profile(self) -> tuple[bool, float]:
+        """The closed-form state function from now on, assuming no
+        further events: ``(active, expiry)``.
+
+        For query instants ``u >= now`` the state is ``INACTIVE`` when
+        not active, otherwise ``VALID`` for ``u < expiry`` and
+        ``ACTIVE_INVALID`` for ``u >= expiry`` — the *same* comparison
+        :meth:`state` performs, so a vectorized ``u >= expiry`` over a
+        float64 array is bit-identical to querying one instant at a
+        time.  Already-expired trackers report ``expiry = -inf``
+        (every query lands on ``ACTIVE_INVALID``); time-insensitive
+        ones report ``+inf``.  Read-only: does not advance the clock.
+        """
+        if not self._active:
+            return (False, math.inf)
+        if self._consumed0 >= self.duration:
+            return (True, -math.inf)
+        return (True, self._expiry)
+
+    def breakpoints(self) -> tuple[np.ndarray, np.ndarray]:
+        """The state function from now on as sorted breakpoint arrays
+        ``(times, codes)``: the state at instant ``u`` is
+        ``codes[np.searchsorted(times, u, side="right")]`` (codes are
+        :data:`CODE_INACTIVE` / :data:`CODE_ACTIVE_INVALID` /
+        :data:`CODE_VALID`).  ``side="right"`` makes the lookup
+        equivalent to ``u >= expiry``, matching :meth:`state` exactly
+        at the boundary instant.  Read-only.
+        """
+        active, expiry = self.profile()
+        if not active:
+            return (
+                np.empty(0, dtype=np.float64),
+                np.array([CODE_INACTIVE], dtype=np.uint8),
+            )
+        if math.isinf(expiry):
+            code = CODE_ACTIVE_INVALID if expiry < 0 else CODE_VALID
+            return (
+                np.empty(0, dtype=np.float64),
+                np.array([code], dtype=np.uint8),
+            )
+        return (
+            np.array([expiry], dtype=np.float64),
+            np.array([CODE_VALID, CODE_ACTIVE_INVALID], dtype=np.uint8),
+        )
+
+    def state_codes_at(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`state` for a sorted batch of query instants
+        (all ``>= now``): returns a ``uint8`` array of state codes.
+        Read-only — callers advance the clock once afterwards with
+        ``state(ts[-1])``, which leaves the tracker exactly as a
+        per-instant query sequence would have (property-tested)."""
+        times, codes = self.breakpoints()
+        return codes[np.searchsorted(times, ts, side="right")]
 
     # -- audit ---------------------------------------------------------------
 

@@ -1,0 +1,432 @@
+"""Differential properties of the vectorized decision core.
+
+The contract of :mod:`repro.rbac.vector_engine` is *bit-identity*: for
+any eligible batch, the vector sweep must return exactly the decisions
+the scalar loop returns — same grants, same reasons, same
+:class:`~repro.obs.provenance.DecisionProvenance`, same audit order,
+and the same validity-tracker end state (including the recorded
+timelines).  Every test here runs the same workload through a
+vector-enabled and a vector-disabled engine and compares.
+
+Ineligible batches must *fall back*, not fail: the fallback paths are
+driven both through configuration (owner scope, uncached SRAC,
+explicit history, ``observe_granted``) and through forced
+:class:`~repro.errors.AlphabetError` interning failures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import tests.strategies as strategies
+from repro.errors import AlphabetError, ReproError
+from repro.rbac.audit import AuditLog, Decision
+from repro.rbac.engine import AccessControlEngine
+from repro.rbac.model import Permission
+from repro.rbac.policy import Policy
+from repro.srac.compiled import TransitionTable, compile_table
+from repro.srac.parser import parse_constraint
+from repro.service.sharding import ShardedEngine
+from repro.traces.trace import AccessKey
+
+CHAIN_SRC = "exec r1 @ s1 >> exec r1 @ s2"
+COUNT_SRC = "count(0, 3, [res = r1])"
+
+
+def _norm(decision: Decision) -> Decision:
+    """Session subject ids are globally unique; mask them out."""
+    return dataclasses.replace(decision, subject_id="")
+
+
+def _build_engines(permissions, durations, use_srac_caches=True):
+    """One policy, two engines: vector path on vs off."""
+    policy = Policy()
+    policy.add_user("u")
+    policy.add_role("r")
+    for i, (constraint, duration) in enumerate(zip(permissions, durations)):
+        kwargs = {} if duration is None else {"validity_duration": duration}
+        policy.add_permission(
+            Permission(
+                f"p{i}",
+                op="exec",
+                resource="r1",
+                spatial_constraint=constraint,
+                **kwargs,
+            )
+        )
+        policy.assign_permission("r", f"p{i}")
+    policy.assign_user("u", "r")
+    out = []
+    for use_vector in (True, False):
+        engine = AccessControlEngine(
+            policy,
+            use_srac_caches=use_srac_caches,
+            use_vector_batches=use_vector,
+        )
+        session = engine.authenticate("u", 0.0)
+        engine.activate_role(session, "r", 0.0)
+        out.append((engine, session))
+    return out
+
+
+def _assert_equivalent(vec, sc):
+    """Decisions, audit, counters and tracker timelines must agree."""
+    (vec_engine, vec_session), (sc_engine, sc_session) = vec, sc
+    assert [_norm(d) for d in vec_engine.audit] == [
+        _norm(d) for d in sc_engine.audit
+    ]
+    assert vec_engine.audit.granted_count == sc_engine.audit.granted_count
+    assert vec_engine.audit.denied_count == sc_engine.audit.denied_count
+    assert set(vec_session.trackers) == set(sc_session.trackers)
+    for key, sc_tracker in sc_session.trackers.items():
+        vec_tracker = vec_session.trackers[key]
+        assert vec_tracker.now == sc_tracker.now
+        assert vec_tracker.state(sc_tracker.now) == sc_tracker.state(
+            sc_tracker.now
+        )
+        assert vec_tracker.valid_timeline() == sc_tracker.valid_timeline()
+        assert vec_tracker.active_timeline() == sc_tracker.active_timeline()
+
+
+class TestDifferentialProperty:
+    """Random policies x random workloads: scalar == vector, bitwise."""
+
+    @given(
+        constraint=strategies.constraints(max_leaves=4),
+        duration=st.one_of(st.none(), st.integers(1, 8).map(float)),
+        batch=st.lists(strategies.access_keys(), min_size=1, max_size=20),
+        t0=st.integers(0, 5).map(float),
+        dt=st.sampled_from([0.0, 1.0]),
+    )
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    def test_random_policy_bit_identity(
+        self, constraint, duration, batch, t0, dt
+    ):
+        vec, sc = _build_engines([constraint], [duration])
+        got = vec[0].decide_batch(vec[1], batch, t=t0, dt=dt)
+        want = sc[0].decide_batch(sc[1], batch, t=t0, dt=dt)
+        assert [_norm(d) for d in got] == [_norm(d) for d in want]
+        _assert_equivalent(vec, sc)
+
+    @given(
+        c1=strategies.constraints(max_leaves=3),
+        c2=strategies.constraints(max_leaves=3),
+        batch=st.lists(strategies.access_keys(), min_size=1, max_size=12),
+        dt=st.sampled_from([0.0, 0.5]),
+    )
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_multi_candidate_bit_identity(self, c1, c2, batch, dt):
+        """Several (role, permission) candidates per access: the
+        first-grant short-circuit and the failing-candidate provenance
+        must match the scalar walk exactly."""
+        vec, sc = _build_engines([c1, c2], [3.0, None])
+        got = vec[0].decide_batch(vec[1], batch, t=1.0, dt=dt)
+        want = sc[0].decide_batch(sc[1], batch, t=1.0, dt=dt)
+        assert [_norm(d) for d in got] == [_norm(d) for d in want]
+        _assert_equivalent(vec, sc)
+
+    def test_vector_path_actually_taken(self):
+        vec, sc = _build_engines([parse_constraint(COUNT_SRC)], [None])
+        batch = [AccessKey("exec", "r1", "s1")] * 10
+        got = vec[0].decide_batch(vec[1], batch, t=1.0, dt=0.5)
+        want = sc[0].decide_batch(sc[1], batch, t=1.0, dt=0.5)
+        assert [_norm(d) for d in got] == [_norm(d) for d in want]
+        stats = vec[0].cache_stats()
+        assert stats.vector_decisions == 10
+        assert stats.vector_fallbacks == 0
+        assert sc[0].cache_stats().vector_decisions == 0
+
+
+class TestTemporalBoundaries:
+    def test_decision_exactly_at_expiry_instant(self):
+        """``t >= expiry`` denies: the breakpoint arrays use
+        ``side="right"``, which must agree at the boundary itself."""
+        duration = 4.0
+        vec, sc = _build_engines([None], [duration])
+        # Role activation at 0.0 -> expiry at exactly 4.0.  The batch
+        # instants 0, 2, 4, 6, 8 include the boundary itself.
+        batch = [AccessKey("exec", "r1", "s1")] * 5
+        got = vec[0].decide_batch(vec[1], batch, t=0.0, dt=2.0)
+        want = sc[0].decide_batch(sc[1], batch, t=0.0, dt=2.0)
+        assert [_norm(d) for d in got] == [_norm(d) for d in want]
+        assert [d.granted for d in got] == [True, True, False, False, False]
+        _assert_equivalent(vec, sc)
+
+    def test_expiry_switch_recorded_at_same_instant(self):
+        """The committed tracker advance must emit the validity-expired
+        timeline switch at the same instant the scalar path records."""
+        vec, sc = _build_engines([None], [2.0])
+        batch = [AccessKey("exec", "r1", "s1")] * 8
+        vec[0].decide_batch(vec[1], batch, t=0.5, dt=0.5)
+        sc[0].decide_batch(sc[1], batch, t=0.5, dt=0.5)
+        _assert_equivalent(vec, sc)
+        (tracker,) = vec[1].trackers.values()
+        assert 2.0 in tracker.valid_timeline().switches
+
+
+class TestFallbacks:
+    def _grant_batch(self):
+        return [AccessKey("exec", "r1", "s1")] * 6
+
+    def test_owner_scope_falls_back(self):
+        policy = Policy()
+        policy.add_user("u")
+        policy.add_role("r")
+        policy.add_permission(
+            Permission("p", op="exec", resource="r1",
+                       spatial_constraint=parse_constraint(COUNT_SRC))
+        )
+        policy.assign_user("u", "r")
+        policy.assign_permission("r", "p")
+        engine = AccessControlEngine(policy, coordination_scope="owner")
+        session = engine.authenticate("u", 0.0)
+        engine.activate_role(session, "r", 0.0)
+        decisions = engine.decide_batch(session, self._grant_batch(), t=1.0)
+        assert all(d.granted for d in decisions[:3])
+        stats = engine.cache_stats()
+        assert stats.vector_fallbacks == 6
+        assert stats.vector_decisions == 0
+
+    def test_uncached_srac_falls_back_identically(self):
+        constraint = parse_constraint(COUNT_SRC)
+        vec, sc = _build_engines(
+            [constraint], [None], use_srac_caches=False
+        )
+        got = vec[0].decide_batch(vec[1], self._grant_batch(), t=1.0, dt=1.0)
+        want = sc[0].decide_batch(sc[1], self._grant_batch(), t=1.0, dt=1.0)
+        assert [_norm(d) for d in got] == [_norm(d) for d in want]
+        assert vec[0].cache_stats().vector_fallbacks == 6
+
+    def test_explicit_history_and_observe_granted_fall_back(self):
+        constraint = parse_constraint(COUNT_SRC)
+        for kwargs in (
+            {"history": ()},
+            {"observe_granted": True},
+        ):
+            vec, sc = _build_engines([constraint], [None])
+            got = vec[0].decide_batch(
+                vec[1], self._grant_batch(), t=1.0, dt=1.0, **kwargs
+            )
+            want = sc[0].decide_batch(
+                sc[1], self._grant_batch(), t=1.0, dt=1.0, **kwargs
+            )
+            assert [_norm(d) for d in got] == [_norm(d) for d in want]
+            assert vec[0].cache_stats().vector_fallbacks == 6
+            _assert_equivalent(vec, sc)
+
+    def test_alphabet_error_falls_back_not_raises(self, monkeypatch):
+        """A forced interning failure mid-prepare must degrade to the
+        scalar loop, not surface (prepare leaves no session state)."""
+        constraint = parse_constraint(COUNT_SRC)
+        vec, sc = _build_engines([constraint], [None])
+
+        def boom(self, access):
+            raise AlphabetError(f"access {access} outside table alphabet")
+
+        monkeypatch.setattr(TransitionTable, "intern", boom)
+        got = vec[0].decide_batch(vec[1], self._grant_batch(), t=1.0, dt=1.0)
+        monkeypatch.undo()
+        want = sc[0].decide_batch(sc[1], self._grant_batch(), t=1.0, dt=1.0)
+        assert [_norm(d) for d in got] == [_norm(d) for d in want]
+        assert vec[0].cache_stats().vector_fallbacks == 6
+        _assert_equivalent(vec, sc)
+
+    def test_stale_time_falls_back(self):
+        """A batch starting behind an existing tracker's clock cannot be
+        swept (tracker queries must stay monotone) — and the scalar
+        loop's behaviour, whatever it is, is reproduced."""
+        constraint = parse_constraint(COUNT_SRC)
+        vec, sc = _build_engines([constraint], [5.0])
+        for engine, session in (vec, sc):
+            engine.decide_batch(session, self._grant_batch()[:1], t=4.0)
+        outcomes = []
+        for engine, session in (vec, sc):
+            try:
+                result = engine.decide_batch(
+                    session, self._grant_batch()[:2], t=1.0, dt=0.5
+                )
+                outcomes.append([_norm(d) for d in result])
+            except ReproError as exc:
+                outcomes.append(type(exc).__name__)
+        assert outcomes[0] == outcomes[1]
+        assert vec[0].cache_stats().vector_fallbacks == 2
+
+
+class TestAlphabetInterning:
+    def test_intern_raises_typed_error(self):
+        constraint = parse_constraint(CHAIN_SRC)
+        universe = (
+            AccessKey("exec", "r1", "s1"),
+            AccessKey("exec", "r1", "s2"),
+        )
+        table = compile_table(constraint, universe, cache=False)
+        assert table is not None
+        foreign = AccessKey("write", "r9", "s9")
+        with pytest.raises(AlphabetError) as err:
+            table.intern(foreign)
+        assert isinstance(err.value, ReproError)
+        assert not isinstance(err.value, KeyError)
+        assert "r9" in str(err.value)
+
+    def test_intern_many_raises_typed_error(self):
+        constraint = parse_constraint(CHAIN_SRC)
+        universe = (
+            AccessKey("exec", "r1", "s1"),
+            AccessKey("exec", "r1", "s2"),
+        )
+        table = compile_table(constraint, universe, cache=False)
+        with pytest.raises(AlphabetError):
+            table.intern_many(
+                [AccessKey("exec", "r1", "s1"), AccessKey("read", "r2", "s3")]
+            )
+
+    def test_step_ids_matches_monitor_steps(self):
+        constraint = parse_constraint(COUNT_SRC)
+        universe = tuple(
+            AccessKey("exec", "r1", s) for s in ("s1", "s2", "s3")
+        )
+        table = compile_table(constraint, universe, cache=False)
+        state = table.initial
+        for access in universe * 3:
+            state = int(table.trans[state, table.intern(access)])
+        assert 0 <= state < table.trans.shape[0]
+        # Counting 9 accesses against count(0, 3) leaves a dead state.
+        assert not bool(table.live[state])
+
+
+class TestBatchMany:
+    def _sessions(self, engine, k):
+        out = []
+        for _ in range(k):
+            session = engine.authenticate("u", 0.0)
+            engine.activate_role(session, "r", 0.0)
+            out.append(session)
+        return out
+
+    def test_interleaved_stream_matches_scalar(self):
+        constraint = parse_constraint(COUNT_SRC)
+        vec, sc = _build_engines([constraint], [6.0])
+        vec_sessions = [vec[1]] + self._sessions(vec[0], 2)
+        sc_sessions = [sc[1]] + self._sessions(sc[0], 2)
+        accesses = [
+            AccessKey("exec", "r1", f"s{1 + i % 3}") for i in range(24)
+        ]
+        got = vec[0].decide_batch_many(
+            [(vec_sessions[i % 3], accesses[i]) for i in range(24)],
+            t=1.0,
+            dt=0.25,
+        )
+        want = sc[0].decide_batch_many(
+            [(sc_sessions[i % 3], accesses[i]) for i in range(24)],
+            t=1.0,
+            dt=0.25,
+        )
+        assert [_norm(d) for d in got] == [_norm(d) for d in want]
+        assert vec[0].cache_stats().vector_decisions == 24
+        assert [_norm(d) for d in vec[0].audit] == [
+            _norm(d) for d in sc[0].audit
+        ]
+        for v, s in zip(vec_sessions, sc_sessions):
+            for key, sc_tracker in s.trackers.items():
+                vec_tracker = v.trackers[key]
+                assert vec_tracker.now == sc_tracker.now
+                assert (
+                    vec_tracker.valid_timeline() == sc_tracker.valid_timeline()
+                )
+
+    def test_sharded_sweep_matches_plain_engine(self):
+        policy = Policy()
+        policy.add_user("u")
+        policy.add_role("r")
+        policy.add_permission(
+            Permission(
+                "p",
+                op="exec",
+                resource="r1",
+                spatial_constraint=parse_constraint(COUNT_SRC),
+                validity_duration=8.0,
+            )
+        )
+        policy.assign_user("u", "r")
+        policy.assign_permission("r", "p")
+        sharded = ShardedEngine(policy, shards=3)
+        plain = AccessControlEngine(policy)
+        sh_sessions, pl_sessions = [], []
+        for i in range(4):
+            s = sharded.authenticate("u", 0.0, shard_key=f"agent-{i}")
+            sharded.activate_role(s, "r", 0.0)
+            sh_sessions.append(s)
+            p = plain.authenticate("u", 0.0)
+            plain.activate_role(p, "r", 0.0)
+            pl_sessions.append(p)
+        requests = [
+            (i % 4, AccessKey("exec", "r1", f"s{1 + i % 3}"))
+            for i in range(20)
+        ]
+        got = sharded.decide_batch_many(
+            [(sh_sessions[j], a) for j, a in requests], t=2.0, dt=0.5
+        )
+        want = plain.decide_batch_many(
+            [(pl_sessions[j], a) for j, a in requests], t=2.0, dt=0.5
+        )
+        assert [_norm(d) for d in got] == [_norm(d) for d in want]
+        assert sum(s["decisions"] for s in sharded.shard_stats()) == 20
+
+    def test_explicit_times_length_mismatch(self):
+        constraint = parse_constraint(COUNT_SRC)
+        vec, _sc = _build_engines([constraint], [None])
+        with pytest.raises(ReproError):
+            vec[0].decide_batch_many(
+                [(vec[1], AccessKey("exec", "r1", "s1"))],
+                t=0.0,
+                times=[1.0, 2.0],
+            )
+
+
+class TestAuditRecordMany:
+    def test_counters_match_scalar_recording(self):
+        grant = Decision("s", AccessKey("e", "r", "s"), True, 1.0)
+        deny = Decision("s", AccessKey("e", "r", "s"), False, 2.0)
+        log = AuditLog()
+        log.record_many([grant, deny, grant])
+        assert (log.granted_count, log.denied_count) == (2, 1)
+        log.record_many([deny, deny], granted=0)
+        assert (log.granted_count, log.denied_count) == (2, 3)
+        assert len(log) == 5
+        assert list(log)[-1] is deny
+
+    def test_empty_batch(self):
+        log = AuditLog()
+        log.record_many([])
+        assert len(log) == 0
+        assert log.grant_rate() == 0.0
+
+
+class TestStateCodes:
+    def test_state_codes_match_scalar_states(self):
+        """The read-only vectorized state query agrees with repeated
+        scalar queries at every instant, including breakpoints."""
+        from repro.temporal.validity import (
+            STATE_CODES,
+            ValidityTracker,
+        )
+
+        tracker = ValidityTracker(duration=3.0)
+        # Inactive tracker: every instant reads INACTIVE.
+        inactive = tracker.state_codes_at(np.array([0.0, 0.5]))
+        assert [STATE_CODES[c] for c in inactive.tolist()] == [
+            tracker.state(0.0),
+            tracker.state(0.5),
+        ]
+        tracker.activate(1.0)
+        # Contract: query instants are >= now; the probe includes the
+        # expiry breakpoint (activation 1.0 + duration 3.0 = 4.0).
+        probe = np.array([1.0, 2.0, 3.999, 4.0, 4.5, 9.0])
+        codes = tracker.state_codes_at(probe)
+        scalar_states = [tracker.state(float(t)) for t in probe]
+        assert [STATE_CODES[c] for c in codes.tolist()] == scalar_states
