@@ -292,6 +292,21 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print("metrics:")
         for name, value in collected.items():
             print(f"  {name} = {value:g}")
+    histograms = export["metrics"].get("histograms", {})
+    nonempty = {k: v for k, v in histograms.items() if v["count"]}
+    if nonempty:
+        print("histograms:")
+        for name, row in nonempty.items():
+            line = (
+                f"  {name}: count={row['count']} "
+                f"mean={row['mean']:g} max={row['max']:g}"
+            )
+            buckets = row.get("buckets")
+            if buckets:
+                line += "  le[" + " ".join(
+                    f"{bound}:{n}" for bound, n in buckets.items() if n
+                ) + "]"
+            print(line)
     summary = export["spans"]
     if summary:
         print("spans:")

@@ -32,6 +32,7 @@ from repro.rbac.policy import Policy
 from repro.sral.ast import Program
 from repro.srac.ast import Constraint, constraint_alphabet
 from repro.srac.checker import check_program, satisfiable_extension_states
+from repro.srac.compiled import compile_table
 from repro.srac.monitors import CompiledConstraint, compile_constraint
 from repro.srac.printer import unparse_constraint
 from repro.srac.reachability import CacheStats, cache_stats, live_set
@@ -252,6 +253,13 @@ class AccessControlEngine:
                 tuple[AccessKey, ...],
                 frozenset[tuple[int, ...]] | None,
             ],
+        ] = {}
+        # (constraint, access) -> TransitionTable | None, fronting the
+        # process-level table cache: the vector sweep asks for the same
+        # table on every batch, and the process cache's canonicalised
+        # key is too expensive to rebuild per lookup on that path.
+        self._extension_tables: dict[
+            tuple[Constraint, AccessKey], "TransitionTable | None"
         ] = {}
         self._candidate_hits = 0
         self._candidate_misses = 0
@@ -928,10 +936,12 @@ class AccessControlEngine:
         self,
         alphabet: Iterable[AccessKey | tuple[str, str, str]] = (),
     ) -> int:
-        """Compile every policy constraint and precompute the live sets
+        """Compile every policy constraint, precompute the live sets
         for the given request alphabet (e.g. a
         :meth:`~repro.coalition.server.CoalitionServer.access_alphabet`),
-        so the first real decision already takes the O(1) path.
+        and lower each (constraint, request-universe) pair to its SRAC
+        transition table, so the first real decision — scalar *or*
+        vectorized batch — already takes the warm path.
         Returns the number of (constraint, access) entries warmed.
         """
         accesses = tuple(dict.fromkeys(AccessKey(*a) for a in alphabet))
@@ -943,26 +953,33 @@ class AccessControlEngine:
             targets = [a for a in accesses if permission.matches(a)]
             if not targets:
                 # No request alphabet: still intern the compilation and
-                # the constraint's own-universe live set.
+                # the constraint's own-universe live set and table.
                 compiled = compile_constraint(
                     constraint, cache=self.use_srac_caches
                 )
                 if self.use_srac_caches:
-                    live_set(
-                        compiled,
-                        tuple(
-                            dict.fromkeys(
-                                (
-                                    *constraint_alphabet(constraint),
-                                    *self.extension_alphabet,
-                                )
+                    universe = tuple(
+                        dict.fromkeys(
+                            (
+                                *constraint_alphabet(constraint),
+                                *self.extension_alphabet,
                             )
-                        ),
+                        )
                     )
+                    live_set(compiled, universe)
+                    if self.use_vector_batches:
+                        compile_table(constraint, universe)
                 warmed += 1
                 continue
             for access in targets:
-                self._extension_entry(constraint, access)
+                _compiled, universe, _live = self._extension_entry(
+                    constraint, access
+                )
+                if self.use_srac_caches and self.use_vector_batches:
+                    # The vector sweep keys its table on exactly this
+                    # entry's universe — warming it here is what makes
+                    # the first batch table-cache-miss-free.
+                    self._extension_table(constraint, access, universe)
                 warmed += 1
         return warmed
 
@@ -1008,6 +1025,7 @@ class AccessControlEngine:
         counter; this is the explicit hammer for out-of-band changes."""
         self._candidates_cache.clear()
         self._extension_cache.clear()
+        self._extension_tables.clear()
         self._owner_monitors.clear()
         for session in self._sessions.values():
             session.monitor_cache.clear()
@@ -1076,6 +1094,26 @@ class AccessControlEngine:
             if self.use_srac_caches:
                 self._extension_cache[key] = entry
         return entry
+
+    def _extension_table(
+        self,
+        constraint: Constraint,
+        access: AccessKey,
+        universe: tuple[AccessKey, ...],
+    ) -> "TransitionTable | None":
+        """The compiled transition table for one (constraint, access)
+        pair, memoised per engine in front of the process-level cache
+        (``None`` is memoised too — "over budget" is as stable as the
+        table itself).  ``universe`` must be the canonical request
+        universe from :meth:`_extension_entry` for the same pair."""
+        key = (constraint, access)
+        try:
+            return self._extension_tables[key]
+        except KeyError:
+            table = compile_table(constraint, universe)
+            if self.use_srac_caches:
+                self._extension_tables[key] = table
+            return table
 
     def _extendable(
         self,

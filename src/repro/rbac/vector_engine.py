@@ -58,14 +58,18 @@ from repro.obs import OBS
 from repro.obs.provenance import CandidateProvenance, DecisionProvenance
 from repro.rbac.audit import Decision
 from repro.rbac.engine import _constraint_source
-from repro.srac.compiled import compile_table
 from repro.temporal.validity import CODE_INACTIVE, CODE_VALID, STATE_CODES
 from repro.traces.trace import AccessKey
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.rbac.engine import AccessControlEngine, Session
 
-__all__ = ["PreparedSweep", "prepare_sweep", "commit_sweep"]
+__all__ = [
+    "PreparedSweep",
+    "prepare_sweep",
+    "commit_sweep",
+    "sweep_interleaved",
+]
 
 _NO_CANDIDATE_REASON = "no active role provides a matching permission"
 
@@ -152,19 +156,18 @@ def prepare_sweep(
     history_len = len(session.observed)
 
     groups: dict[AccessKey, list[int]] = {}
-    if len(set(accesses)) == 1:
-        # Single-access stream (the steady-state replay shape) — skip
-        # the grouping pass.
-        groups[accesses[0]] = list(range(n))
-    else:
-        for i, access in enumerate(accesses):
-            groups.setdefault(access, []).append(i)
+    for i, access in enumerate(accesses):
+        g = groups.get(access)
+        if g is None:
+            groups[access] = [i]
+        else:
+            g.append(i)
 
     for access, idx_list in groups.items():
         candidates = engine._candidates(session, access)
         k = len(candidates)
-        ts = times_arr[idx_list]
         m = len(idx_list)
+        ts = times_arr if m == n else times_arr[idx_list]
 
         if k == 0:
             proto = Decision(
@@ -198,7 +201,7 @@ def prepare_sweep(
             )
             if live is None:
                 return None
-            table = compile_table(constraint, universe)
+            table = engine._extension_table(constraint, access, universe)
             if table is None:
                 return None
             _, states = engine._cached_monitors(session, constraint)
@@ -244,22 +247,33 @@ def prepare_sweep(
         # unless an earlier candidate granted it, exactly the scalar
         # loop's prefix.  Examined candidates pin their tracker to the
         # latest examined instant and count a live-set hit each.
+        # (Plain lists: the groups a micro-batched service drains are
+        # small enough that numpy fixed costs dominate masked reductions.)
+        granted_list = granted_at.tolist()
+        ts_list = ts.tolist()
         for j, (_role, permission) in enumerate(candidates):
-            examined = (granted_at == -1) | (granted_at >= j)
-            count = int(examined.sum())
-            if count == 0:
-                continue
+            if j == 0:
+                # Every request examines the first candidate.
+                count = m
+                t_max = max(ts_list)
+            else:
+                examined = [
+                    p for p, g in enumerate(granted_list) if g == -1 or g >= j
+                ]
+                count = len(examined)
+                if count == 0:
+                    continue
+                t_max = max(ts_list[p] for p in examined)
             if permission.spatial_constraint is not None:
                 prep.live_hits_add += count
-            t_max = float(ts[examined].max())
             key = tracker_keys[j]
             previous = prep.advances.get(key)
             if previous is None or t_max > previous[1]:
                 prep.advances[key] = (permission, t_max)
 
         # Grants: one Decision prototype per granting candidate.
-        prep.granted += int((granted_at >= 0).sum())
-        for j in np.unique(granted_at[granted_at >= 0]):
+        prep.granted += m - granted_list.count(-1)
+        for j in sorted(set(granted_list) - {-1}):
             role, permission = candidates[j]
             record = CandidateProvenance(
                 role=role.name,
@@ -285,19 +299,30 @@ def prepare_sweep(
                     history_len=history_len,
                 ),
             )
-            winners = np.nonzero(granted_at == j)[0]
-            positions = range(m) if winners.size == m else winners.tolist()
+            winners = [p for p, g in enumerate(granted_list) if g == j]
+            positions = range(m) if len(winners) == m else winners
             _fill(decisions, proto, positions, idx_list, times)
 
         # Denials examine every candidate; the provenance depends only
         # on the column of temporal codes, of which a k-candidate group
         # has at most k+1 distinct values — build one prototype per
         # distinct code column and clone the rest.
-        denied_positions = np.nonzero(granted_at == -1)[0]
-        if denied_positions.size:
+        denied_positions = [p for p, g in enumerate(granted_list) if g == -1]
+        if denied_positions:
             foreign = engine._foreign_servers(session, access, None)
             columns = codes_mat.T[denied_positions]  # (denied, k)
-            uniq, inverse = np.unique(columns, axis=0, return_inverse=True)
+            # Group identical code columns by hand: the service's
+            # micro-batches make these groups small, where
+            # ``np.unique(axis=0)`` costs more than the whole sweep.
+            uniq: list[tuple[int, ...]] = []
+            uniq_index: dict[tuple[int, ...], int] = {}
+            inverse: list[int] = []
+            for col in map(tuple, columns.tolist()):
+                g = uniq_index.get(col)
+                if g is None:
+                    g = uniq_index[col] = len(uniq)
+                    uniq.append(col)
+                inverse.append(g)
             protos: list[Decision] = []
             for row in uniq:
                 records = []
@@ -351,7 +376,7 @@ def prepare_sweep(
                 )
             proto_dicts = [proto.__dict__ for proto in protos]
             new = Decision.__new__
-            for p, g in zip(denied_positions.tolist(), inverse.tolist()):
+            for p, g in zip(denied_positions, inverse):
                 d = new(Decision)
                 dd = d.__dict__
                 dd.update(proto_dicts[g])
@@ -360,6 +385,63 @@ def prepare_sweep(
                 decisions[i] = d
 
     return prep
+
+
+def sweep_interleaved(
+    engine: "AccessControlEngine",
+    entries: Sequence[tuple["Session", AccessKey, float]],
+) -> list[Decision] | None:
+    """Sweep an arrival-ordered, interleaved multi-session run.
+
+    ``entries`` is a stream of ``(session, access, t)`` triples in
+    arrival order, every one already *vector-eligible on its face*
+    (incremental history, no disclosed program, no ``observe_granted``
+    feedback) — the :class:`~repro.service.service.DecisionService`
+    drain loop filters those out before calling.  The run is regrouped
+    per session preserving per-session order; sessions are independent
+    under subject scope, so regrouping cannot change any verdict.  The
+    sweeps commit only if **every** group prepares — otherwise no
+    session-visible state has been touched, ``None`` is returned (one
+    vector fallback counted per entry) and the caller replays the run
+    through the scalar loop.  The audit log receives the decisions in
+    arrival order, exactly as the scalar per-request loop would have
+    recorded them.
+    """
+    n = len(entries)
+    if n == 0:
+        return []
+    by_session: dict[int, tuple["Session", list[int]]] = {}
+    for i, (session, _access, _t) in enumerate(entries):
+        entry = by_session.get(id(session))
+        if entry is None:
+            by_session[id(session)] = (session, [i])
+        else:
+            entry[1].append(i)
+    preps: list[tuple[PreparedSweep, list[int]]] = []
+    for session, idx_list in by_session.values():
+        times = [entries[i][2] for i in idx_list]
+        # Per-session monotonicity is all a sweep needs (trackers are
+        # per session); the global stream may interleave clocks freely.
+        if any(b < a for a, b in zip(times, times[1:])):
+            engine._vector_fallbacks += n
+            return None
+        prep = prepare_sweep(
+            engine, session, [entries[i][1] for i in idx_list], times
+        )
+        if prep is None:
+            engine._vector_fallbacks += n
+            return None
+        preps.append((prep, idx_list))
+    decisions: list[Decision] = [None] * n  # type: ignore[list-item]
+    granted = 0
+    for prep, idx_list in preps:
+        swept = commit_sweep(prep, record_audit=False)
+        granted += prep.granted
+        for local, i in enumerate(idx_list):
+            decisions[i] = swept[local]
+    engine.audit.record_many(decisions, granted=granted)
+    engine._vector_decisions += n
+    return decisions
 
 
 def commit_sweep(prep: PreparedSweep, record_audit: bool = True) -> list[Decision]:

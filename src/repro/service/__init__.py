@@ -10,8 +10,10 @@ Layers (bottom-up):
   latency-model-aware cross-server execution-proof propagation with an
   explicit ``flush()``.
 * :class:`~repro.service.service.DecisionService` — the front door:
-  worker pool, per-shard bounded queues, throughput/latency counters
-  via ``service_stats()``.
+  worker pool, per-shard bounded queues drained in adaptive
+  micro-batches through the vectorized decision core
+  (:mod:`repro.rbac.vector_engine`), throughput/latency/batching
+  counters via ``service_stats()``.
 
 See docs/architecture.md, "Concurrency & sharding".
 """

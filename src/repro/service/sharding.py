@@ -310,7 +310,10 @@ class ShardedEngine:
         return EngineCacheStats(srac=srac_cache_stats(), **totals)
 
     def shard_stats(self) -> list[dict[str, int]]:
-        """Per-shard decision/grant/session counts (load-balance view)."""
+        """Per-shard decision/grant/session counts (load-balance view),
+        plus each shard engine's vectorized-sweep accounting — how many
+        of the shard's decisions went through the batched path vs. the
+        scalar fallback (the per-shard batching-efficacy view)."""
         out = []
         with self._route_lock:
             routed: dict[int, int] = {}
@@ -324,6 +327,10 @@ class ShardedEngine:
                         "decisions": shard.decisions,
                         "granted": shard.granted,
                         "sessions": routed.get(shard.index, 0),
+                        # Engine counters are only mutated under this
+                        # shard's lock, so reading them here is exact.
+                        "vector_decisions": shard.engine._vector_decisions,
+                        "vector_fallbacks": shard.engine._vector_fallbacks,
                     }
                 )
         return out
