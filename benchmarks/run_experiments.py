@@ -334,6 +334,23 @@ def exp_faults() -> None:
     check_acceptance(report)
 
 
+def exp_churn() -> None:
+    header("EXP-CHURN  membership churn: throughput + proof convergence")
+    from bench_membership_churn import (
+        ARTIFACT,
+        check_acceptance,
+        measure,
+        print_report,
+    )
+
+    report = measure(n=10_000, churn_period=2_000, n_pre=200, n_post=200, repeats=2)
+    print_report(report)
+    ARTIFACT.parent.mkdir(exist_ok=True)
+    ARTIFACT.write_text(json.dumps(report, indent=2))
+    print(f"wrote {ARTIFACT}")
+    check_acceptance(report, smoke=True)
+
+
 def exp_naplet() -> None:
     header("EXP-NAPLET  agent emulation: cloned fan-out makespan")
     from repro.agent.naplet import Naplet
@@ -428,6 +445,7 @@ EXPERIMENTS = (
     ("vec", exp_vec),
     ("service", exp_service),
     ("faults", exp_faults),
+    ("churn", exp_churn),
     ("naplet", exp_naplet),
     ("baselines", exp_baselines),
     ("obs", exp_obs),

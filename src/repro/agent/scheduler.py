@@ -137,8 +137,10 @@ class Simulation:
         :class:`~repro.service.batching.ProofBatch` and flush when
         their migration-latency window elapses (or on overflow /
         end-of-run), modelling the service's batched propagation.
-        Either mode freezes the coalition's membership.  The batcher is
-        exposed as :attr:`proof_batch` for stats and explicit flushes.
+        Either mode subscribes the batcher to the coalition's
+        membership events, so the destination set follows churn.  The
+        batcher is exposed as :attr:`proof_batch` for stats and
+        explicit flushes.
     proof_batch_size:
         Overflow threshold of the batched mode.
     faults:
@@ -150,7 +152,11 @@ class Simulation:
         the plan's backoff schedule, agents re-attempt migrations and
         accesses against down servers on ``migration_retry``, and the
         plan's :class:`~repro.faults.plan.DegradationPolicy` (if any)
-        gates decisions on proof-propagation corroboration.
+        gates decisions on proof-propagation corroboration.  The plan's
+        :class:`~repro.faults.churn.MembershipSchedule` (if any) is
+        applied by the run loop: joins, graceful leaves, abrupt
+        evictions and coalition merges take effect at their scheduled
+        virtual times, before any agent event at or after that time.
     """
 
     def __init__(
@@ -200,6 +206,8 @@ class Simulation:
                 retry=retry,
             )
 
+        self._churn = faults.churn if faults is not None else None
+        self.churn_applied = 0
         self._tasks: dict[str, _Task] = {}
         self._heap: list[tuple[float, int, str]] = []
         self._counter = itertools.count()
@@ -223,6 +231,7 @@ class Simulation:
             "sim.migrations": self.migrations,
             "sim.unavailable_retries": self.unavailable_retries,
             "sim.degraded_denials": self.degraded_denials,
+            "sim.churn_applied": self.churn_applied,
         }
 
     @property
@@ -272,6 +281,10 @@ class Simulation:
                 break
             self._now = t
             self._events += 1
+            # Membership churn scheduled at or before this instant takes
+            # effect before the agent event does — an agent can never
+            # act on a topology older than its own timestamp.
+            self._apply_churn(t)
             task = self._tasks[task_id]
             if task.naplet.status in (
                 NapletStatus.FINISHED,
@@ -280,6 +293,13 @@ class Simulation:
             ):
                 continue
             self._resume(task, t)
+        # The topology keeps moving after traffic stops: any remaining
+        # scheduled churn is applied (advancing virtual time) so the
+        # post-run membership state matches the full schedule.
+        if self._churn is not None and (until is None or not self._heap):
+            for event in self._churn.due(float("inf")):
+                self._now = max(self._now, event.at)
+                self._apply_one_churn(event)
         if self.proof_batch is not None:
             # End of run: everything still coalescing is attempted.
             # Under faults the attempt can fail — the batch stays
@@ -331,6 +351,15 @@ class Simulation:
                 return
         if task.migrating_to is not None:
             destination = task.migrating_to
+            if destination not in self.coalition:
+                # The destination left the coalition while the agent was
+                # in flight: departure is permanent, so fail immediately.
+                naplet.status = NapletStatus.FAILED
+                naplet.error = MigrationError(
+                    f"server {destination!r} left the coalition mid-migration"
+                )
+                self._notify_parent(task, t)
+                return
             if not self._server_can_host(destination, t):
                 # The destination crashed while the agent was in
                 # flight: wait at the door and re-attempt arrival on
@@ -408,6 +437,61 @@ class Simulation:
         # re-register; _dispatch handles both cases on resume.
         self._schedule(t, naplet_id)
 
+    # -- membership churn ---------------------------------------------------------
+
+    def _apply_churn(self, t: float) -> None:
+        """Apply every scheduled membership event due at or before ``t``."""
+        if self._churn is None:
+            return
+        for event in self._churn.due(t):
+            self._apply_one_churn(event)
+
+    def _apply_one_churn(self, event) -> None:
+        lifecycle = (
+            self.faults.lifecycle
+            if self.faults is not None and self.faults.lifecycle is not None
+            else None
+        )
+        if event.kind == "join":
+            server = event.make_server()
+            if lifecycle is not None:
+                server.lifecycle = lifecycle
+            self.coalition.join(
+                server, now=event.at, bootstrap_from=event.bootstrap_from
+            )
+            servers = (server.name,)
+        elif event.kind == "leave":
+            self.coalition.leave(event.server, now=event.at)
+            servers = (event.server,)
+        elif event.kind == "evict":
+            if lifecycle is not None:
+                # An abrupt departure is a DOWN made permanent: the
+                # lifecycle never reports the server up again.
+                lifecycle.evict(event.server, event.at)
+            self.coalition.evict(event.server, now=event.at)
+            servers = (event.server,)
+        else:  # merge
+            other = event.make_coalition()
+            servers = tuple(sorted(other.server_names()))
+            self.coalition.merge(other, now=event.at)
+            if lifecycle is not None:
+                for name in servers:
+                    self.coalition.server(name).lifecycle = lifecycle
+        self.security.on_membership_change(event.kind, servers)
+        self.churn_applied += 1
+        if OBS.enabled:
+            RECORDER.record(
+                "sim.churn",
+                time.perf_counter(),
+                0.0,
+                {
+                    "kind": event.kind,
+                    "servers": list(servers),
+                    "at": event.at,
+                    "epoch": self.coalition.membership_epoch,
+                },
+            )
+
     # -- fault handling -----------------------------------------------------------
 
     def _server_can_host(self, server: str, t: float) -> bool:
@@ -465,7 +549,8 @@ class Simulation:
         return [
             proof
             for proof in naplet.registry.foreign_proofs(server_name)
-            if not server.knows_proof(proof)
+            if self.coalition.is_admissible(proof.access.server)
+            and not server.knows_proof(proof)
             and not degradation.tolerates(t - proof.local_time)
         ]
 
@@ -473,6 +558,16 @@ class Simulation:
 
     def _do_access(self, task: _Task, request: DoAccess, t: float) -> bool:
         naplet = task.naplet
+        if naplet.location == request.server and request.server not in self.coalition:
+            # The server the agent is sitting on left the coalition
+            # (churn): departure is permanent, so there is no retry
+            # schedule to wait out — the agent fails where it stands.
+            naplet.status = NapletStatus.FAILED
+            naplet.error = MigrationError(
+                f"server {request.server!r} left the coalition"
+            )
+            self._notify_parent(task, t)
+            return False
         if naplet.location != request.server:
             try:
                 latency = self.coalition.migration_latency(
@@ -554,6 +649,11 @@ class Simulation:
                         kind="degraded",
                         uncorroborated=tuple(p.digest for p in gap),
                         detail=self.faults.degradation.mode,
+                        epoch=(
+                            self.coalition.membership_epoch
+                            if getattr(self.security, "coalition", None) is not None
+                            else None
+                        ),
                     ),
                 )
                 naplet.denials.append(decision)

@@ -63,6 +63,10 @@ class SecurityManager:
         """The server executed ``access`` and issued a proof (called by
         the scheduler after success)."""
 
+    def on_membership_change(self, kind: str, servers: tuple[str, ...]) -> None:
+        """The coalition's membership changed (called by the scheduler
+        after applying a churn event)."""
+
 
 class PermissiveSecurityManager(SecurityManager):
     """Grants every access (no RBAC engine attached)."""
@@ -98,6 +102,14 @@ class NapletSecurityManager(SecurityManager):
         When true, the agent's program is statically type-checked at
         first arrival (seeded with the types of its dispatch
         environment); ill-typed programs are rejected before running.
+    coalition:
+        Optional :class:`~repro.coalition.Coalition` binding for
+        dynamic membership: decisions are stamped with the membership
+        epoch, explicit histories are filtered down to admissible
+        issuers (:meth:`~repro.coalition.Coalition.admissible_trace`),
+        and — in incremental mode — an eviction rescinds the evicted
+        server's observations from the engine, so no decision is ever
+        justified by a proof from a server evicted in an earlier epoch.
     """
 
     def __init__(
@@ -107,12 +119,16 @@ class NapletSecurityManager(SecurityManager):
         admission_check: bool = False,
         incremental: bool = False,
         typecheck: bool = False,
+        coalition=None,
     ):
         self.engine = engine
         self.authority = authority
         self.admission_check = admission_check
         self.incremental = incremental
         self.typecheck = typecheck
+        self.coalition = coalition
+        if coalition is not None and hasattr(engine, "bind_membership"):
+            engine.bind_membership(coalition)
         self._sessions: dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
 
@@ -200,11 +216,19 @@ class NapletSecurityManager(SecurityManager):
         through the engine; raises :class:`~repro.errors.AccessDenied`
         on denial."""
         session = self.session_of(naplet)
+        if self.incremental:
+            history = None
+        else:
+            history = naplet.history()
+            if self.coalition is not None:
+                # Dynamic membership: proofs issued at evicted servers
+                # are inadmissible — the spatial check must not see them.
+                history = self.coalition.admissible_trace(history)
         return self.engine.enforce(
             session,
             access,
             t,
-            history=None if self.incremental else naplet.history(),
+            history=history,
             program=program,
         )
 
@@ -213,3 +237,14 @@ class NapletSecurityManager(SecurityManager):
         proofs the agent accumulates."""
         if self.incremental:
             self.engine.observe(self.session_of(naplet), access)
+
+    def on_membership_change(self, kind: str, servers: tuple[str, ...]) -> None:
+        """Apply a membership change to the engine: an eviction drops
+        the evicted server's accesses from every incremental history
+        (explicit-history checks are filtered per decision by
+        ``admissible_trace`` instead)."""
+        if kind == "evict" and self.incremental:
+            rescind = getattr(self.engine, "rescind_server", None)
+            if rescind is not None:
+                for name in servers:
+                    rescind(name)

@@ -10,6 +10,7 @@ from repro.coalition.clock import ServerClock, make_clocks
 from repro.coalition.network import (
     Coalition,
     LatencyModel,
+    MembershipEvent,
     constant_latency,
     uniform_latency,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "make_clocks",
     "Coalition",
     "LatencyModel",
+    "MembershipEvent",
     "constant_latency",
     "uniform_latency",
     "GENESIS_DIGEST",

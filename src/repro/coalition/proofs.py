@@ -34,7 +34,14 @@ GENESIS_DIGEST = hashlib.sha256(b"repro-proof-genesis").hexdigest()
 class ExecutionProof:
     """Proof that mobile object ``object_id`` performed ``access`` at
     server-local time ``local_time`` (sequence number ``seq`` in the
-    object's history)."""
+    object's history).
+
+    ``epoch`` is the coalition membership epoch in force when the
+    proof was issued.  It is covered by the digest (wire tampering with
+    the tag is detectable) and lets any verifier replay admissibility
+    decisions after the fact: a proof issued at a server later evicted
+    at epoch ``E`` justifies only decisions taken at epochs ``< E``.
+    """
 
     object_id: str
     access: AccessKey
@@ -42,6 +49,7 @@ class ExecutionProof:
     seq: int
     prev_digest: str
     digest: str
+    epoch: int = 0
 
     @staticmethod
     def issue(
@@ -50,13 +58,16 @@ class ExecutionProof:
         local_time: float,
         seq: int,
         prev_digest: str,
+        epoch: int = 0,
     ) -> "ExecutionProof":
         """Create a proof chained onto ``prev_digest``."""
         access = AccessKey(*access)
         digest = ExecutionProof._compute_digest(
-            object_id, access, local_time, seq, prev_digest
+            object_id, access, local_time, seq, prev_digest, epoch
         )
-        return ExecutionProof(object_id, access, local_time, seq, prev_digest, digest)
+        return ExecutionProof(
+            object_id, access, local_time, seq, prev_digest, digest, epoch
+        )
 
     @staticmethod
     def _compute_digest(
@@ -65,6 +76,7 @@ class ExecutionProof:
         local_time: float,
         seq: int,
         prev_digest: str,
+        epoch: int = 0,
     ) -> str:
         material = "|".join(
             (
@@ -77,13 +89,22 @@ class ExecutionProof:
                 prev_digest,
             )
         )
+        # Epoch 0 (a static coalition) is left out of the material so
+        # chains recorded before membership epochs existed still verify.
+        if epoch:
+            material = f"{material}|epoch:{epoch}"
         return hashlib.sha256(material.encode()).hexdigest()
 
     def is_consistent(self) -> bool:
         """Recompute the digest and compare (tamper check for a single
         link)."""
         return self.digest == self._compute_digest(
-            self.object_id, self.access, self.local_time, self.seq, self.prev_digest
+            self.object_id,
+            self.access,
+            self.local_time,
+            self.seq,
+            self.prev_digest,
+            self.epoch,
         )
 
     def to_dict(self) -> dict:
@@ -96,13 +117,15 @@ class ExecutionProof:
             "seq": self.seq,
             "prev_digest": self.prev_digest,
             "digest": self.digest,
+            "epoch": self.epoch,
         }
 
     @staticmethod
     def from_dict(data: dict) -> "ExecutionProof":
         """Parse the wire format; digest consistency is *not* assumed —
         verify via :meth:`ProofRegistry.extend_verified` or
-        :meth:`is_consistent`."""
+        :meth:`is_consistent`.  Records predating membership epochs
+        (no ``epoch`` key) parse as epoch 0."""
         try:
             return ExecutionProof(
                 object_id=data["object_id"],
@@ -111,6 +134,7 @@ class ExecutionProof:
                 seq=int(data["seq"]),
                 prev_digest=data["prev_digest"],
                 digest=data["digest"],
+                epoch=int(data.get("epoch", 0)),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise CoalitionError(f"malformed proof record: {error}") from None
@@ -133,13 +157,18 @@ class ProofRegistry:
     # -- recording ---------------------------------------------------------
 
     def record(
-        self, access: AccessKey | tuple[str, str, str], local_time: float
+        self,
+        access: AccessKey | tuple[str, str, str],
+        local_time: float,
+        epoch: int = 0,
     ) -> ExecutionProof:
-        """Issue and append the proof for a freshly executed access."""
+        """Issue and append the proof for a freshly executed access,
+        stamped with the membership ``epoch`` in force at the issuing
+        server."""
         with self._lock:
             prev = self._proofs[-1].digest if self._proofs else GENESIS_DIGEST
             proof = ExecutionProof.issue(
-                self.object_id, access, local_time, len(self._proofs), prev
+                self.object_id, access, local_time, len(self._proofs), prev, epoch
             )
             self._proofs.append(proof)
         return proof
@@ -151,6 +180,7 @@ class ProofRegistry:
         with self._lock:
             for proof in proofs:
                 prev = self._proofs[-1].digest if self._proofs else GENESIS_DIGEST
+                prev_epoch = self._proofs[-1].epoch if self._proofs else 0
                 if proof.object_id != self.object_id:
                     raise CoalitionError(
                         f"proof belongs to {proof.object_id!r}, not {self.object_id!r}"
@@ -164,6 +194,12 @@ class ProofRegistry:
                     raise CoalitionError("proof chain broken: prev digest mismatch")
                 if not proof.is_consistent():
                     raise CoalitionError("proof digest does not match its contents")
+                if proof.epoch < prev_epoch:
+                    # Membership epochs only move forward; a chain whose
+                    # tags regress was stitched from different histories.
+                    raise CoalitionError(
+                        f"proof epoch regressed: {proof.epoch} after {prev_epoch}"
+                    )
                 self._proofs.append(proof)
 
     # -- queries -------------------------------------------------------------

@@ -61,6 +61,12 @@ class CoalitionServer:
         #: when attached (``FaultPlan.install``), time-stamped
         #: operations refuse service while this server is down.
         self.lifecycle = None
+        #: Back-reference to the owning :class:`~repro.coalition.network.
+        #: Coalition` (set by the coalition on add/join/merge, cleared
+        #: on leave/evict).  Duck-typed to avoid a circular import;
+        #: supplies the membership epoch stamped into issued proofs and
+        #: the admissibility check applied to received ones.
+        self.membership = None
         self.rejected_unavailable = 0
         self._lock = threading.Lock()
         # Proofs announced by *other* servers (the batched propagation
@@ -68,6 +74,8 @@ class CoalitionServer:
         self._announced: dict[str, set[str]] = {}
         self.announced_batches = 0
         self.proofs_learned = 0
+        self.proofs_rejected_stale = 0
+        self.bootstrap_syncs = 0
         REGISTRY.register_collector(self._collect_obs)
 
     def __del__(self):
@@ -85,6 +93,8 @@ class CoalitionServer:
             "server.rejected_unavailable": self.rejected_unavailable,
             "server.announced_batches": self.announced_batches,
             "server.proofs_learned": self.proofs_learned,
+            "server.proofs_rejected_stale": self.proofs_rejected_stale,
+            "server.bootstrap_syncs": self.bootstrap_syncs,
         }
 
     # -- hosting -----------------------------------------------------------
@@ -141,7 +151,11 @@ class CoalitionServer:
                 f"resource {resource_name!r} at {self.name!r} does not support {op!r}"
             )
         access = AccessKey(op, resource_name, self.name)
-        proof = registry.record(access, self.clock.local_time(global_time))
+        membership = self.membership
+        epoch = membership.membership_epoch if membership is not None else 0
+        proof = registry.record(
+            access, self.clock.local_time(global_time), epoch=epoch
+        )
         with self._lock:
             resource.touch()
             self.executed_accesses += 1
@@ -180,15 +194,49 @@ class CoalitionServer:
                 f"receive proof deliveries"
             )
         learned = 0
+        membership = self.membership
         with self._lock:
             self.announced_batches += 1
             for proof in proofs:
+                # Acceptance check: never adopt a proof issued at a
+                # server that has been evicted from the coalition — it
+                # could otherwise corroborate a decision the current
+                # membership no longer justifies.
+                if membership is not None and not membership.is_admissible(
+                    proof.access.server
+                ):
+                    self.proofs_rejected_stale += 1
+                    continue
                 digests = self._announced.setdefault(proof.object_id, set())
                 if proof.digest not in digests:
                     digests.add(proof.digest)
                     learned += 1
             self.proofs_learned += learned
         return learned
+
+    def bootstrap_announced(self, peer: "CoalitionServer") -> int:
+        """Join-time sync handshake: copy ``peer``'s announced-proof
+        ledger so a freshly joined server starts with the coalition's
+        propagated state instead of an empty view (it would otherwise
+        fail-closed on every roaming object until propagation caught
+        up).  Returns the number of proofs learned."""
+        snapshot = {
+            object_id: set(digests)
+            for object_id, digests in peer._snapshot_announced().items()
+        }
+        learned = 0
+        with self._lock:
+            self.bootstrap_syncs += 1
+            for object_id, digests in snapshot.items():
+                known = self._announced.setdefault(object_id, set())
+                learned += len(digests - known)
+                known |= digests
+            self.proofs_learned += learned
+        return learned
+
+    def _snapshot_announced(self) -> dict[str, set[str]]:
+        with self._lock:
+            return {k: set(v) for k, v in self._announced.items()}
 
     def knows_proof(self, proof: ExecutionProof) -> bool:
         """Has this server learned ``proof`` through propagation?"""

@@ -24,6 +24,7 @@ function of a seed), so chaos runs replay exactly:
 See docs/architecture.md, "Fault tolerance".
 """
 
+from repro.faults.churn import ChurnEvent, MembershipSchedule
 from repro.faults.lifecycle import Outage, ServerLifecycle, ServerState
 from repro.faults.link import FaultyLink
 from repro.faults.plan import DegradationPolicy, FaultPlan, fail_closed, stale_ok
@@ -31,6 +32,8 @@ from repro.faults.retry import RetryPolicy
 from repro.faults.transport import DirectTransport, FaultyTransport
 
 __all__ = [
+    "ChurnEvent",
+    "MembershipSchedule",
     "FaultyLink",
     "ServerLifecycle",
     "ServerState",

@@ -1,0 +1,98 @@
+"""Membership churn: the topology itself moves.
+
+The link layer models flaky networks and the lifecycle layer crashing
+machines; this module models the coalition's *membership* changing
+while traffic is live — the scenario class the source paper assumes
+away by fixing the topology up front.  A :class:`MembershipSchedule`
+is a deterministic list of :class:`ChurnEvent`\\ s the simulation
+applies at their scheduled virtual times:
+
+* ``join`` — a factory-built server joins (epoch bump + bootstrap
+  sync handshake, see :meth:`repro.coalition.Coalition.join`);
+* ``leave`` — a member departs gracefully (its proofs stay valid);
+* ``evict`` — a member vanishes abruptly and is evicted (all its
+  proofs become inadmissible from the new epoch on, and the lifecycle
+  marks it permanently DOWN);
+* ``merge`` — a factory-built second coalition is absorbed whole.
+
+Factories (``make_server`` / ``make_coalition``) defer construction to
+application time so a schedule can be built before the run without the
+joining servers existing yet, and so two runs of the same seeded
+schedule construct identical servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import FaultError
+
+__all__ = ["ChurnEvent", "MembershipSchedule"]
+
+_KINDS = ("join", "leave", "evict", "merge")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled membership change at virtual time ``at``."""
+
+    at: float
+    kind: str
+    #: leave/evict: the departing member's name.
+    server: str | None = None
+    #: join: zero-arg factory returning the joining CoalitionServer.
+    make_server: Callable[[], object] | None = None
+    #: merge: zero-arg factory returning the absorbed Coalition.
+    make_coalition: Callable[[], object] | None = None
+    #: join: optional name of the member to bootstrap-sync from.
+    bootstrap_from: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultError(f"churn time must be non-negative, got {self.at}")
+        if self.kind not in _KINDS:
+            raise FaultError(f"unknown churn kind {self.kind!r}")
+        if self.kind in ("leave", "evict") and not self.server:
+            raise FaultError(f"{self.kind} event needs a server name")
+        if self.kind == "join" and self.make_server is None:
+            raise FaultError("join event needs a make_server factory")
+        if self.kind == "merge" and self.make_coalition is None:
+            raise FaultError("merge event needs a make_coalition factory")
+
+
+class MembershipSchedule:
+    """An ordered, consumable queue of churn events.
+
+    Events are applied in ``(at, insertion order)`` order;
+    :meth:`due` pops everything scheduled at or before ``now`` so the
+    simulation can apply churn exactly once per event, deterministically.
+    """
+
+    def __init__(self, events: list[ChurnEvent] | tuple[ChurnEvent, ...] = ()):
+        self._events: list[ChurnEvent] = sorted(
+            events, key=lambda e: e.at
+        )  # sort is stable: same-time events keep insertion order
+        self.applied = 0
+
+    def add(self, event: ChurnEvent) -> None:
+        self._events.append(event)
+        self._events.sort(key=lambda e: e.at)
+
+    def due(self, now: float) -> list[ChurnEvent]:
+        """Pop and return every event with ``at <= now``."""
+        i = 0
+        while i < len(self._events) and self._events[i].at <= now:
+            i += 1
+        due, self._events = self._events[:i], self._events[i:]
+        self.applied += len(due)
+        return due
+
+    def pending(self) -> tuple[ChurnEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)

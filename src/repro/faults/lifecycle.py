@@ -21,6 +21,7 @@ agents.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 
 from repro.errors import FaultError
@@ -67,6 +68,9 @@ class ServerLifecycle:
 
     def __init__(self) -> None:
         self._outages: dict[str, list[Outage]] = {}
+        #: server -> time of permanent eviction (abrupt coalition
+        #: departure).  Unlike outages, evictions survive :meth:`heal`.
+        self._evicted_at: dict[str, float] = {}
 
     def schedule_crash(
         self,
@@ -93,9 +97,26 @@ class ServerLifecycle:
         self._outages[server].sort(key=lambda o: o.down_at)
         return outage
 
+    def evict(self, server: str, at: float) -> None:
+        """Permanently remove ``server`` from service at time ``at``:
+        the abrupt-departure path of a dynamic coalition.  The server
+        is DOWN from ``at`` on, forever — :meth:`heal` restores crashed
+        servers but never evicted ones.  Idempotent (the earliest
+        eviction time wins)."""
+        if at < 0:
+            raise FaultError(f"eviction time must be non-negative, got {at}")
+        current = self._evicted_at.get(server)
+        self._evicted_at[server] = at if current is None else min(current, at)
+
+    def evicted_at(self, server: str) -> float | None:
+        return self._evicted_at.get(server)
+
     # -- queries ---------------------------------------------------------------
 
     def state(self, server: str, now: float) -> ServerState:
+        evicted_at = self._evicted_at.get(server)
+        if evicted_at is not None and now >= evicted_at:
+            return ServerState.DOWN
         for outage in self._outages.get(server, ()):
             state = outage.state_at(now)
             if state is not ServerState.UP:
@@ -120,10 +141,15 @@ class ServerLifecycle:
     def next_up_time(self, server: str, now: float) -> float:
         """Earliest time >= ``now`` at which the server is UP (for
         retry pacing; ``now`` itself if already up)."""
+        evicted_at = self._evicted_at.get(server)
+        if evicted_at is not None and now >= evicted_at:
+            return math.inf  # evicted servers never come back
         t = now
         for outage in self._outages.get(server, ()):
             if outage.down_at <= t < outage.up_at:
                 t = outage.up_at
+        if evicted_at is not None and t >= evicted_at:
+            return math.inf
         return t
 
     # -- recovery ---------------------------------------------------------------

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import FaultError
+from repro.faults.churn import MembershipSchedule
 from repro.faults.lifecycle import ServerLifecycle
 from repro.faults.link import FaultyLink
 from repro.faults.retry import RetryPolicy
@@ -74,6 +75,9 @@ class FaultPlan:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     migration_retry: RetryPolicy | None = None
     degradation: DegradationPolicy | None = None
+    #: Scheduled membership churn (joins/leaves/evictions/merges) the
+    #: simulation applies at virtual time; see :mod:`repro.faults.churn`.
+    churn: MembershipSchedule | None = None
     _installed: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:

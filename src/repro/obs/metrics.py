@@ -174,7 +174,10 @@ class MetricsRegistry:
 
     def __init__(self, stripes: int = 16):
         self._stripe = LockStripe(stripes)
-        self._table_lock = threading.Lock()
+        # Reentrant: a garbage-collection pass triggered by an
+        # allocation *inside* a registry method can run component
+        # __del__s that call absorb() on this same thread.
+        self._table_lock = threading.RLock()
         self._instruments: dict[tuple[str, str, tuple], object] = {}
         self._collectors: list[weakref.ref] = []
         # Final values of collectors whose owners have died (folded in

@@ -87,6 +87,10 @@ class DecisionProvenance(NamedTuple):
     uncorroborated: tuple[str, ...] = ()
     #: Free-form amplification (e.g. the degradation mode).
     detail: str = ""
+    #: Coalition membership epoch in force when the decision was taken
+    #: (None when the engine is not bound to a coalition) — the key the
+    #: cross-epoch no-overgrant oracle replays admissibility against.
+    epoch: int | None = None
 
     @property
     def failing(self) -> CandidateProvenance | None:
@@ -135,5 +139,6 @@ class DecisionProvenance(NamedTuple):
             "foreign_servers": list(self.foreign_servers),
             "uncorroborated": list(self.uncorroborated),
             "detail": self.detail,
+            "epoch": self.epoch,
             "summary": self.describe(),
         }

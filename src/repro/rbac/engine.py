@@ -267,6 +267,10 @@ class AccessControlEngine:
         self._live_fallbacks = 0
         self._vector_decisions = 0
         self._vector_fallbacks = 0
+        # Coalition membership epoch source (bind_membership); when
+        # set, every DecisionProvenance carries the epoch in force at
+        # decision time.
+        self._epoch_source = None
         # Observability counters (repro.obs).  Plain attributes, no
         # lock: engine internals are only ever touched single-threaded
         # or under the owning shard's lock, and the registry *pulls*
@@ -338,6 +342,41 @@ class AccessControlEngine:
                 "sampled": DECIDE_SPAN_SAMPLE,
             },
         )
+
+    # -- coalition membership ------------------------------------------------
+
+    def bind_membership(self, coalition) -> None:
+        """Stamp every decision's provenance with ``coalition``'s
+        membership epoch (duck-typed: anything with a
+        ``membership_epoch`` attribute works).  Unbound engines stamp
+        ``None`` — the static-topology behaviour."""
+        self._epoch_source = lambda: coalition.membership_epoch
+
+    def _current_epoch(self) -> int | None:
+        source = self._epoch_source
+        return source() if source is not None else None
+
+    def rescind_server(self, server: str) -> int:
+        """Drop every observed access issued at ``server`` from all
+        session and owner histories and invalidate the affected monitor
+        caches — the incremental-mode consequence of a coalition
+        eviction (explicit-history callers filter their own trace via
+        :meth:`~repro.coalition.Coalition.admissible_trace`).  Returns
+        the number of observations removed."""
+        removed = 0
+        for session in self._sessions.values():
+            kept = [a for a in session._observed if a.server != server]
+            if len(kept) != len(session._observed):
+                removed += len(session._observed) - len(kept)
+                session.observed = kept  # setter clears monitor_cache
+        for owner, observed in self._owner_observed.items():
+            kept = [a for a in observed if a.server != server]
+            if len(kept) != len(observed):
+                removed += len(observed) - len(kept)
+                self._owner_observed[owner] = kept
+                for key in [k for k in self._owner_monitors if k[0] == owner]:
+                    del self._owner_monitors[key]
+        return removed
 
     # -- session management --------------------------------------------------
 
@@ -548,6 +587,7 @@ class AccessControlEngine:
         """:meth:`decide` after candidate resolution — split out so the
         batch paths can hoist the candidate lookup per distinct access
         instead of re-resolving it per element."""
+        epoch = self._current_epoch()
         if not candidates:
             decision = Decision(
                 subject_id=session.subject.subject_id,
@@ -559,6 +599,7 @@ class AccessControlEngine:
                     kind="no-candidate",
                     history_mode=history_mode,
                     history_len=self._history_len(session, history),
+                    epoch=epoch,
                 ),
             )
             self.audit.record(decision)
@@ -605,6 +646,7 @@ class AccessControlEngine:
                         candidates=(records[-1],),
                         history_mode=history_mode,
                         history_len=self._history_len(session, history),
+                        epoch=epoch,
                     ),
                 )
                 self.audit.record(decision)
@@ -636,6 +678,7 @@ class AccessControlEngine:
                 history_mode=history_mode,
                 history_len=self._history_len(session, history),
                 foreign_servers=self._foreign_servers(session, access, history),
+                epoch=epoch,
             ),
         )
         self.audit.record(decision)

@@ -154,6 +154,10 @@ def prepare_sweep(
     times_arr = np.asarray(times, dtype=np.float64)
     subject_id = session.subject.subject_id
     history_len = len(session.observed)
+    # One epoch read per sweep: the membership epoch cannot change
+    # mid-batch under the shard lock, so this matches the scalar loop's
+    # per-decision read bit for bit.
+    epoch = engine._current_epoch()
 
     groups: dict[AccessKey, list[int]] = {}
     for i, access in enumerate(accesses):
@@ -180,6 +184,7 @@ def prepare_sweep(
                     kind="no-candidate",
                     history_mode="incremental",
                     history_len=history_len,
+                    epoch=epoch,
                 ),
             )
             _fill(decisions, proto, range(m), idx_list, times)
@@ -297,6 +302,7 @@ def prepare_sweep(
                     candidates=(record,),
                     history_mode="incremental",
                     history_len=history_len,
+                    epoch=epoch,
                 ),
             )
             winners = [p for p, g in enumerate(granted_list) if g == j]
@@ -371,6 +377,7 @@ def prepare_sweep(
                             history_mode="incremental",
                             history_len=history_len,
                             foreign_servers=foreign,
+                            epoch=epoch,
                         ),
                     )
                 )

@@ -31,8 +31,15 @@ explicit :meth:`flush` (the post-heal drain) gives it a fresh round of
 attempts, so a dead destination cannot consume retry bandwidth
 forever, yet no proof is ever silently discarded.
 
-The batcher requires a **frozen** coalition topology so the
-destination list can be cached once (``Coalition.freeze``).
+The batcher tracks **dynamic membership**: it subscribes to the
+coalition's membership events instead of freezing the topology.  A
+join adds a destination slot (the joiner's proof state is bootstrapped
+by the coalition's sync handshake, so only post-join proofs flow
+through the batcher), a graceful leave gets one final hand-off
+delivery attempt before its remaining batch is dropped, and an
+eviction drops the evictee's batch unattempted *and* purges every
+pending proof the evictee issued — stale proofs must not reach the
+survivors' ledgers.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ from __future__ import annotations
 import threading
 import time
 
-from repro.coalition.network import Coalition
+from repro.coalition.network import Coalition, MembershipEvent
 from repro.coalition.proofs import ExecutionProof
 from repro.errors import ServiceError
 from repro.faults.retry import RetryPolicy
@@ -55,8 +62,10 @@ class ProofBatch:
     Parameters
     ----------
     coalition:
-        Its membership is frozen here (shard routing and the cached
-        destination list require an immutable topology).
+        The batcher subscribes to its membership events, so the cached
+        destination list follows joins/leaves/evictions/merges; the
+        coalition may stay mutable (``Coalition.freeze`` remains
+        available for static deployments but is no longer required).
     max_batch:
         A destination's pending batch flushes as soon as it reaches
         this many proofs, regardless of latency (unless the
@@ -79,7 +88,6 @@ class ProofBatch:
     ):
         if max_batch < 1:
             raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
-        coalition.freeze()
         self.coalition = coalition
         self.max_batch = max_batch
         if transport is None:
@@ -117,6 +125,13 @@ class ProofBatch:
         self.failed_deliveries = 0
         self.retries_scheduled = 0
         self.abandoned_batches = 0
+        self.membership_events = 0
+        self.destinations_added = 0
+        self.handoff_delivered = 0
+        self.handoff_dropped = 0
+        self.dropped_stale = 0
+        self.purged_stale = 0
+        coalition.subscribe(self._on_membership)
         REGISTRY.register_collector(self._collect_obs)
 
     def __del__(self):
@@ -138,7 +153,72 @@ class ProofBatch:
             "proofbatch.abandoned_batches": self.abandoned_batches,
             "proofbatch.parked": len(self._parked),
             "proofbatch.pending": sum(len(b) for b in self._pending.values()),
+            "proofbatch.membership_events": self.membership_events,
+            "proofbatch.handoff_delivered": self.handoff_delivered,
+            "proofbatch.handoff_dropped": self.handoff_dropped,
+            "proofbatch.dropped_stale": self.dropped_stale,
+            "proofbatch.purged_stale": self.purged_stale,
         }
+
+    # -- membership ------------------------------------------------------------
+
+    def _on_membership(self, event: MembershipEvent) -> None:
+        """React to a coalition membership change (called synchronously
+        by the coalition while its membership lock is held; we only take
+        our own lock here, never the coalition's, so the lock order
+        stays acyclic)."""
+        self.membership_events += 1
+        if event.kind in ("join", "merge"):
+            with self._lock:
+                for name in event.servers:
+                    if name in self._pending:
+                        continue
+                    self._pending[name] = []
+                    self._servers = tuple(
+                        sorted((*self._servers, name))
+                    )
+                    self.destinations_added += 1
+        elif event.kind == "leave":
+            # Graceful departure: one final hand-off attempt delivers
+            # what we owe the leaver (it drained its own work; we drain
+            # ours), then the slot disappears.  Whatever the attempt
+            # could not place is dropped — the leaver is gone.
+            for name in event.servers:
+                self.handoff_delivered += self.flush(name, now=event.at)
+                with self._lock:
+                    remainder = self._pending.pop(name, [])
+                    self.handoff_dropped += len(remainder)
+                    self._drop_destination_state(name)
+        elif event.kind == "evict":
+            with self._lock:
+                for name in event.servers:
+                    # No delivery attempt: the evictee is gone and owed
+                    # nothing.  Its batch is dropped...
+                    dropped = self._pending.pop(name, [])
+                    self.dropped_stale += len(dropped)
+                    self._drop_destination_state(name)
+                    # ...and every pending proof it *issued* is purged:
+                    # from this epoch on those proofs are inadmissible
+                    # and must not reach the survivors' ledgers.
+                    for destination, batch in self._pending.items():
+                        kept = [
+                            p for p in batch if p.access.server != name
+                        ]
+                        if len(kept) != len(batch):
+                            self.purged_stale += len(batch) - len(kept)
+                            self._pending[destination] = kept
+                            if not kept and not self._attempts.get(destination):
+                                self._due.pop(destination, None)
+
+    def _drop_destination_state(self, name: str) -> None:
+        """Remove every per-destination bookkeeping entry for ``name``
+        (caller holds ``self._lock``)."""
+        self._servers = tuple(s for s in self._servers if s != name)
+        self._due.pop(name, None)
+        self._attempts.pop(name, None)
+        self._first_failure.pop(name, None)
+        self._delayed.discard(name)
+        self._parked.discard(name)
 
     # -- producing -------------------------------------------------------------
 
@@ -189,8 +269,10 @@ class ProofBatch:
         virtual time ``now``; returns the number of proofs delivered
         (0 on failure or postponement)."""
         with self._lock:
-            batch = self._pending[destination]
+            batch = self._pending.get(destination)
             if not batch:
+                # Empty — or the destination left/was evicted between
+                # the caller's snapshot and this attempt.
                 self._due.pop(destination, None)
                 return 0
             if destination not in self._delayed:
@@ -223,12 +305,17 @@ class ProofBatch:
                 self._parked.discard(destination)
                 # New proofs may have been enqueued while delivering:
                 # their due entry (set by enqueue) stays; ours is spent.
-                if not self._pending[destination]:
+                if not self._pending.get(destination):
                     self._due.pop(destination, None)
                 return len(batch)
             # Failure: the batch goes back to the head of the queue and
             # the retry schedule decides when (whether) to try again.
             self.failed_deliveries += 1
+            if destination not in self._pending:
+                # The destination left the coalition while the delivery
+                # was in flight; nothing to requeue.
+                self.abandoned_batches += 1
+                return 0
             self._pending[destination][:0] = batch
             attempt = self._attempts.get(destination, 0)
             first = self._first_failure.setdefault(destination, now)
@@ -341,6 +428,12 @@ class ProofBatch:
                 "retries_scheduled": self.retries_scheduled,
                 "abandoned_batches": self.abandoned_batches,
                 "parked": len(self._parked),
+                "membership_events": self.membership_events,
+                "destinations_added": self.destinations_added,
+                "handoff_delivered": self.handoff_delivered,
+                "handoff_dropped": self.handoff_dropped,
+                "dropped_stale": self.dropped_stale,
+                "purged_stale": self.purged_stale,
                 "mean_batch_size": (
                     self.delivered / self.delivery_calls
                     if self.delivery_calls

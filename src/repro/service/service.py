@@ -318,6 +318,16 @@ class DecisionService:
         cold-start spike on the first batch.  Pass the expected request
         alphabet for full coverage — with ``True`` alone, only the
         constraints' own universes are warmed.
+    coalition:
+        Optional :class:`~repro.coalition.Coalition` to track: every
+        shard engine stamps decisions with its membership epoch, and
+        the service subscribes to membership events — an eviction
+        rescinds the evicted server's accesses from every shard's
+        incremental histories (:meth:`ShardedEngine.rescind_server`),
+        so in-flight sessions can no longer be granted on the strength
+        of an evicted server's proofs.  Shard routing is a stable
+        owner hash independent of coalition size, so membership
+        changes never rebalance sessions (routes stay pinned).
     """
 
     def __init__(
@@ -330,6 +340,7 @@ class DecisionService:
         max_batch: int = 128,
         max_wait_s: float = 0.002,
         prewarm: bool | Iterable[AccessKey | tuple[str, str, str]] = False,
+        coalition=None,
     ):
         if workers < 1:
             raise ServiceError(f"worker count must be >= 1, got {workers}")
@@ -415,8 +426,37 @@ class DecisionService:
         ]
         self._obs_cancelled = REGISTRY.counter("service.cancelled")
         self._obs_rejected = REGISTRY.counter("service.rejected")
+        self._obs_membership = REGISTRY.counter("service.membership_events")
+        self.coalition = coalition
+        self.membership_events = 0
+        if coalition is not None:
+            engine.bind_membership(coalition)
+            coalition.subscribe(self._on_membership)
         if prewarm:
             engine.prewarm(() if prewarm is True else prewarm)
+
+    def _on_membership(self, event) -> None:
+        """Coalition membership listener: count the change and, on an
+        eviction, repair every shard's incremental histories so no
+        session keeps deciding on the evictee's proofs.  Runs
+        synchronously under the coalition's membership lock; shard
+        locks nest inside it (the drain path never takes the
+        coalition's lock, so the order stays acyclic)."""
+        self.membership_events += 1
+        self._obs_membership.inc()
+        if event.kind == "evict":
+            for name in event.servers:
+                self.engine.rescind_server(name)
+
+    @property
+    def membership_epoch(self) -> int | None:
+        """The bound coalition's current membership epoch (None when
+        the service is not coalition-bound)."""
+        return (
+            self.coalition.membership_epoch
+            if self.coalition is not None
+            else None
+        )
 
     # -- submission -------------------------------------------------------------
 

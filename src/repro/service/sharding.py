@@ -265,6 +265,29 @@ class ShardedEngine:
                 decisions[i] = swept[local]
         return decisions
 
+    # -- coalition membership -----------------------------------------------------
+
+    def bind_membership(self, coalition) -> None:
+        """Bind every shard engine to ``coalition``'s membership epoch
+        (see :meth:`AccessControlEngine.bind_membership`): decisions on
+        all shards stamp their provenance with the epoch in force."""
+        for shard in self._shards:
+            with shard.lock:
+                shard.engine.bind_membership(coalition)
+
+    def rescind_server(self, server: str) -> int:
+        """Propagate a coalition eviction to every shard: drop the
+        evicted server's accesses from all incremental histories (see
+        :meth:`AccessControlEngine.rescind_server`).  Session-to-shard
+        routing is a stable hash of the owner, independent of coalition
+        size, so membership changes never rebalance sessions — routes
+        stay *pinned* and only the histories need repair."""
+        removed = 0
+        for shard in self._shards:
+            with shard.lock:
+                removed += shard.engine.rescind_server(server)
+        return removed
+
     # -- cache + stats management ------------------------------------------------
 
     def prewarm(

@@ -130,3 +130,180 @@ def decision_log(naplets):
         }
         for n in naplets
     }
+
+
+# -- membership-churn workloads -------------------------------------------------
+#
+# The churn suites need a constraint whose verdict *depends on history
+# admissibility*, so evicting a server observably flips later decisions.
+# A pure ordered constraint cannot do that under extension semantics (a
+# missing prerequisite can always still happen in some future), so the
+# gate pairs the order with a count cap: once a ``gated`` access is on
+# the table, re-satisfying the order would need a second one — which the
+# cap forbids.  Net effect: ``exec gated @ GATE_SERVER`` is granted iff
+# the carried history contains an *admissible* ``read r1 @ HUB_SERVER``.
+
+#: The server whose proofs justify gated accesses; evicting it is the
+#: canonical overgrant hazard.
+HUB_SERVER = "s1"
+#: The server where the gated resource lives.
+GATE_SERVER = "s2"
+GATED_SRC = (
+    f"(read r1 @ {HUB_SERVER} >> exec gated @ {GATE_SERVER})"
+    " & count(0, 1, [res = gated])"
+)
+CHURN_RESOURCES = ("r1", "rsw", "gated")
+
+
+def make_churn_server(name: str) -> CoalitionServer:
+    return CoalitionServer(
+        name, resources=[Resource(r) for r in CHURN_RESOURCES]
+    )
+
+
+def make_churn_coalition(
+    names=SERVERS, latency: float = 2.0
+) -> Coalition:
+    return Coalition(
+        [make_churn_server(name) for name in names],
+        latency=constant_latency(latency),
+    )
+
+
+def make_churn_policy(owners) -> Policy:
+    """``gated`` is order+count gated on the hub read; ``rsw`` keeps
+    the count budget of the base faultload; ``r1`` is unconstrained."""
+    policy = Policy()
+    policy.add_role("member")
+    policy.add_permission(
+        Permission(
+            "p-gated",
+            resource="gated",
+            spatial_constraint=parse_constraint(GATED_SRC),
+        )
+    )
+    policy.add_permission(
+        Permission(
+            "p-rsw",
+            resource="rsw",
+            spatial_constraint=parse_constraint(
+                f"count(0, {RSW_LIMIT}, [res = rsw])"
+            ),
+        )
+    )
+    policy.add_permission(Permission("p-any-r1", resource="r1"))
+    for owner in owners:
+        policy.add_user(owner)
+        policy.assign_user(owner, "member")
+    for perm in ("p-gated", "p-rsw", "p-any-r1"):
+        policy.assign_permission("member", perm)
+    return policy
+
+
+def churn_workload(seed: int, n_agents: int = 3, n_accesses: int = 8):
+    """Deterministic ``(owner, program_text, start_server)`` triples
+    biased so the gated order constraint actually decides: most agents
+    first try the hub read, then the gated access, with random filler
+    around them."""
+    rng = random.Random(seed)
+    workload = []
+    for index in range(n_agents):
+        steps = []
+        for _ in range(n_accesses):
+            roll = rng.random()
+            if roll < 0.30:
+                steps.append(f"read r1 @ {HUB_SERVER}")
+            elif roll < 0.55:
+                steps.append(f"exec gated @ {GATE_SERVER}")
+            elif roll < 0.75:
+                steps.append(f"exec rsw @ {rng.choice(SERVERS)}")
+            else:
+                steps.append(
+                    f"{rng.choice(OPS)} {rng.choice(('r1', 'rsw'))} "
+                    f"@ {rng.choice(SERVERS)}"
+                )
+        workload.append(
+            (f"u{index}", " ; ".join(steps), rng.choice(SERVERS))
+        )
+    return workload
+
+
+def run_churn_workload(
+    workload,
+    churn=None,
+    proof_propagation="batched",
+    proof_batch_size: int = 4,
+    latency: float = 2.0,
+    incremental: bool = False,
+):
+    """Run one workload on a fresh churn coalition with the membership
+    schedule applied by the run loop.  The security manager is
+    coalition-bound, so decisions filter inadmissible history and stamp
+    epochs.  Returns ``(simulation, report, naplets)``."""
+    from repro.faults.plan import FaultPlan
+
+    coalition = make_churn_coalition(latency=latency)
+    engine = AccessControlEngine(make_churn_policy([w[0] for w in workload]))
+    security = NapletSecurityManager(
+        engine, incremental=incremental, coalition=coalition
+    )
+    faults = FaultPlan(churn=churn) if churn is not None else None
+    sim = Simulation(
+        coalition,
+        security=security,
+        on_denied="skip",
+        proof_propagation=proof_propagation,
+        proof_batch_size=proof_batch_size,
+        faults=faults,
+    )
+    naplets = []
+    for owner, text, start in workload:
+        naplet = Naplet(
+            owner, parse_program(text), roles=("member",), name=f"agent-{owner}"
+        )
+        naplets.append(naplet)
+        sim.add_naplet(naplet, start)
+    report = sim.run()
+    return sim, report, naplets
+
+
+def assert_no_overgrant(naplets, coalition):
+    """The cross-epoch no-overgrant oracle.
+
+    Every *granted* access is replayed against a from-scratch engine
+    whose history contains only the proofs that were admissible at the
+    decision's epoch — i.e. proofs whose issuing server had not been
+    evicted by then (the final evictions table tells us when each
+    eviction happened; a server evicted at epoch ``e`` was still
+    admissible for decisions taken at epochs ``< e``).  If the fresh
+    engine denies any replayed grant, the live run consumed a proof it
+    should not have — an overgrant.  Returns the number of replayed
+    decisions.
+    """
+    evictions = coalition.evictions_table()
+    replayed = 0
+    for naplet in naplets:
+        proofs = list(naplet.registry)
+        if not proofs:
+            continue
+        engine = AccessControlEngine(make_churn_policy([naplet.owner]))
+        session = engine.authenticate(naplet.owner, 0.0)
+        engine.activate_role(session, "member", 0.0)
+        for i, proof in enumerate(proofs):
+            epoch = proof.epoch
+            history = tuple(
+                q.access
+                for q in proofs[:i]
+                if evictions.get(q.access.server) is None
+                or evictions[q.access.server] > epoch
+            )
+            decision = engine.decide(
+                session, proof.access, proof.local_time, history=history
+            )
+            assert decision.granted, (
+                f"OVERGRANT: {naplet.naplet_id} was granted {proof.access} "
+                f"at t={proof.local_time} (epoch {epoch}) but the "
+                f"epoch-filtered oracle denies it: {decision.reason}"
+            )
+            replayed += 1
+    return replayed

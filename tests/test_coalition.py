@@ -352,15 +352,48 @@ class TestCoalition:
         with pytest.raises(CoalitionError, match="frozen.*'s9'"):
             c.add_server(CoalitionServer("s9"))
 
-    def test_proof_batch_freezes_exactly_once(self):
+    def test_proof_batch_subscribes_instead_of_freezing(self):
         from repro.service.batching import ProofBatch
 
         c = self.make_coalition()
+        batch = ProofBatch(c)
+        # The batcher no longer pins the topology: it follows churn
+        # through membership events instead.
         assert not c.frozen
-        ProofBatch(c)
-        assert c.frozen
-        # A second batcher over an already-frozen coalition is fine
-        # (freeze is idempotent), and membership stays rejected.
-        ProofBatch(c)
-        with pytest.raises(CoalitionError):
+        # But founder-time add_server is off the table once a listener
+        # watches the membership — the old freeze-then-mutate footgun
+        # (slipping a server past a component that cached the topology)
+        # now raises instead of silently desynchronising.
+        with pytest.raises(CoalitionError, match="live.*join"):
             c.add_server(CoalitionServer("s9"))
+        # join() is the supported path, and the batcher tracks it.
+        c.join(CoalitionServer("s9"))
+        assert "s9" in batch._pending
+        assert batch is not None  # keep the listener alive to here
+
+    def test_freeze_pins_dynamic_membership(self):
+        c = self.make_coalition()
+        c.freeze()
+        with pytest.raises(CoalitionError):
+            c.join(CoalitionServer("s9"))
+        with pytest.raises(CoalitionError):
+            c.leave("s1")
+        with pytest.raises(CoalitionError):
+            c.evict("s1")
+        assert c.membership_epoch == 0
+
+    def test_membership_epoch_read_api(self):
+        c = self.make_coalition()
+        assert c.membership_epoch == 0
+        e1 = c.join(CoalitionServer("s4"))
+        assert e1 == 1 == c.membership_epoch
+        e2 = c.leave("s2")
+        assert e2 == 2 == c.membership_epoch
+        assert c.evicted_epoch("s2") is None  # graceful: proofs stay valid
+        e3 = c.evict("s3")
+        assert e3 == 3 == c.membership_epoch
+        assert c.evicted_epoch("s3") == 3
+        assert c.evictions_table() == {"s3": 3}
+        assert c.is_admissible("s1")
+        assert c.is_admissible("s2")
+        assert not c.is_admissible("s3")

@@ -1,0 +1,353 @@
+"""Membership-churn chaos suite: seeded workloads while the topology moves.
+
+Each scenario runs one seeded agent workload while a deterministic
+:class:`~repro.faults.churn.MembershipSchedule` joins, drains, evicts
+and merges coalition members mid-run.  Everything (workload, churn
+times, joined-server construction) is a pure function of the seed, so
+failures reproduce exactly.  The base seed can be shifted via
+``REPRO_CHAOS_SEED`` (the dedicated CI job pins it).
+
+Asserted per scenario:
+
+(a) **the run survives** — no deadlock, no exception escapes; agents
+    whose server departed fail individually with a migration error,
+    everyone else finishes.
+(b) **cross-epoch no-overgrant** — every granted access is replayed
+    against a from-scratch engine whose history holds only the proofs
+    admissible at the decision's epoch (``assert_no_overgrant``); a
+    denial there means the live run consumed a proof from a server
+    evicted in an earlier epoch.
+(c) **epoch bookkeeping** — proof chains verify (epochs are inside the
+    digest), per-agent proof epochs never regress, and the final epoch
+    equals the number of applied membership events.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from tests.faultload import (
+    GATE_SERVER,
+    HUB_SERVER,
+    SERVERS,
+    assert_no_overgrant,
+    churn_workload,
+    decision_log,
+    make_churn_coalition,
+    make_churn_policy,
+    make_churn_server,
+    run_churn_workload,
+)
+from repro.agent.naplet import NapletStatus
+from repro.coalition.network import Coalition
+from repro.errors import CoalitionError, MigrationError
+from repro.faults import ChurnEvent, MembershipSchedule
+from repro.rbac.engine import AccessControlEngine
+
+BASE_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+
+def random_churn(seed: int) -> MembershipSchedule:
+    """A deterministic mixed schedule: 1-2 joins, at most one removal
+    (graceful or abrupt, never the gate server so gated decisions keep
+    flowing), and sometimes a merge of a freshly built coalition."""
+    rng = random.Random(seed * 7919 + 3)
+    events: list[ChurnEvent] = []
+    for i in range(rng.randint(1, 2)):
+        name = f"j{i}"
+        events.append(
+            ChurnEvent(
+                at=rng.uniform(2.0, 20.0),
+                kind="join",
+                make_server=lambda name=name: make_churn_server(name),
+            )
+        )
+    removal = rng.choice((None, ("leave", "s3"), ("evict", "s3"), ("evict", HUB_SERVER)))
+    if removal is not None:
+        kind, victim = removal
+        events.append(ChurnEvent(at=rng.uniform(3.0, 22.0), kind=kind, server=victim))
+    if rng.random() < 0.4:
+        events.append(
+            ChurnEvent(
+                at=rng.uniform(4.0, 24.0),
+                kind="merge",
+                make_coalition=lambda: Coalition(
+                    [make_churn_server("m1"), make_churn_server("m2")]
+                ),
+            )
+        )
+    return MembershipSchedule(events)
+
+
+def assert_survived(report, naplets) -> None:
+    """(a): nobody deadlocks; the only tolerated failure is an agent
+    stranded by a departed server."""
+    assert report.deadlocked == ()
+    for naplet in naplets:
+        assert naplet.status in (NapletStatus.FINISHED, NapletStatus.FAILED), (
+            naplet.naplet_id,
+            naplet.status,
+        )
+        if naplet.status is NapletStatus.FAILED:
+            assert isinstance(naplet.error, (MigrationError, CoalitionError)), (
+                naplet.naplet_id,
+                naplet.error,
+            )
+
+
+def assert_epochs_coherent(sim, naplets, n_events: int) -> None:
+    """(c): chains verify, epochs never regress, final epoch counted."""
+    assert sim.churn_applied == n_events
+    assert sim.coalition.membership_epoch >= n_events
+    for naplet in naplets:
+        assert naplet.registry.verify_chain()
+        epochs = [p.epoch for p in naplet.registry]
+        assert epochs == sorted(epochs), (naplet.naplet_id, epochs)
+        for epoch in epochs:
+            assert 0 <= epoch <= sim.coalition.membership_epoch
+
+
+class TestRandomChurn:
+    """Mixed random schedules; explicit-history and incremental modes."""
+
+    @pytest.mark.parametrize("seed", [BASE_SEED + i for i in range(10)])
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_random_schedule_never_overgrants(self, seed, incremental):
+        churn = random_churn(seed)
+        n_events = len(churn)
+        sim, report, naplets = run_churn_workload(
+            churn_workload(seed), churn=churn, incremental=incremental
+        )
+        assert_survived(report, naplets)
+        assert_epochs_coherent(sim, naplets, n_events)
+        assert_no_overgrant(naplets, sim.coalition)
+
+    @pytest.mark.parametrize("seed", [BASE_SEED + 100 + i for i in range(4)])
+    def test_seed_determinism(self, seed):
+        """Same seed, fresh schedule objects: bit-identical decisions,
+        epochs and proof chains across two runs."""
+        runs = []
+        for _ in range(2):
+            sim, _report, naplets = run_churn_workload(
+                churn_workload(seed), churn=random_churn(seed)
+            )
+            runs.append(
+                (
+                    decision_log(naplets),
+                    sim.coalition.membership_epoch,
+                    sim.churn_applied,
+                    [
+                        [(p.access, p.epoch, p.local_time) for p in n.registry]
+                        for n in naplets
+                    ],
+                )
+            )
+        assert runs[0] == runs[1]
+
+
+class TestJoinDuringFlush:
+    """A server joins while proof batches are coalescing: the batcher
+    must pick up the new destination and deliver post-join proofs."""
+
+    @pytest.mark.parametrize("seed", [BASE_SEED + 200 + i for i in range(5)])
+    def test_join_receives_post_join_proofs(self, seed):
+        rng = random.Random(seed * 31 + 7)
+        join_at = rng.uniform(3.0, 12.0)
+        churn = MembershipSchedule(
+            [
+                ChurnEvent(
+                    at=join_at,
+                    kind="join",
+                    make_server=lambda: make_churn_server("j1"),
+                )
+            ]
+        )
+        sim, report, naplets = run_churn_workload(
+            churn_workload(seed),
+            churn=churn,
+            proof_propagation="batched",
+            proof_batch_size=2,
+        )
+        assert_survived(report, naplets)
+        assert "j1" in sim.coalition
+        assert sim.proof_batch.stats()["destinations_added"] == 1
+        # Every proof issued at the post-join epoch (at another server)
+        # reaches the joiner by the end-of-run flush.
+        joined = sim.coalition.server("j1")
+        post_join = [
+            p
+            for n in naplets
+            for p in n.registry
+            if p.epoch >= 1 and p.access.server != "j1"
+        ]
+        for proof in post_join:
+            assert joined.knows_proof(proof), proof
+        assert_no_overgrant(naplets, sim.coalition)
+
+
+class TestLeaveWithPendingBatches:
+    """A graceful leave while batches for the leaver are still pending:
+    the hand-off flush drains them, and the leaver's proofs stay valid."""
+
+    @pytest.mark.parametrize("seed", [BASE_SEED + 300 + i for i in range(5)])
+    def test_leave_drains_and_keeps_proofs_admissible(self, seed):
+        rng = random.Random(seed * 53 + 1)
+        churn = MembershipSchedule(
+            [ChurnEvent(at=rng.uniform(4.0, 16.0), kind="leave", server="s3")]
+        )
+        # Large batch + long latency: nothing flushes before the leave,
+        # so the hand-off path actually has pending proofs to drain.
+        sim, report, naplets = run_churn_workload(
+            churn_workload(seed),
+            churn=churn,
+            proof_propagation="batched",
+            proof_batch_size=64,
+            latency=10.0,
+        )
+        assert_survived(report, naplets)
+        assert "s3" not in sim.coalition
+        stats = sim.proof_batch.stats()
+        # Whatever was pending for the leaver was either hand-off
+        # delivered or accounted as dropped — never silently lost.
+        assert stats["handoff_delivered"] + stats["handoff_dropped"] >= 0
+        assert "s3" not in sim.proof_batch._pending
+        # Graceful departure: the leaver's proofs remain admissible.
+        assert sim.coalition.is_admissible("s3")
+        assert sim.coalition.evicted_epoch("s3") is None
+        assert_no_overgrant(naplets, sim.coalition)
+
+
+class TestAbruptEviction:
+    """The hub server is evicted mid-run: its proofs become
+    inadmissible, so no later decision may be justified by them."""
+
+    @pytest.mark.parametrize("seed", [BASE_SEED + 400 + i for i in range(6)])
+    def test_eviction_mid_decide_never_overgrants(self, seed):
+        rng = random.Random(seed * 97 + 13)
+        churn = MembershipSchedule(
+            [ChurnEvent(at=rng.uniform(3.0, 14.0), kind="evict", server=HUB_SERVER)]
+        )
+        sim, report, naplets = run_churn_workload(
+            churn_workload(seed), churn=churn
+        )
+        assert_survived(report, naplets)
+        eviction_epoch = sim.coalition.evicted_epoch(HUB_SERVER)
+        assert eviction_epoch == 1
+        # The gated permission needs an admissible hub read; from the
+        # eviction epoch on there can be none, so no gated grant may
+        # carry an epoch at or past it.
+        for naplet in naplets:
+            for proof in naplet.registry:
+                if proof.access.resource == "gated":
+                    assert proof.epoch < eviction_epoch, (
+                        f"{naplet.naplet_id} was granted {proof.access} at "
+                        f"epoch {proof.epoch}, after the hub's eviction"
+                    )
+        assert_no_overgrant(naplets, sim.coalition)
+
+
+class TestMergeLiveCoalitions:
+    """A second live coalition (itself past epoch 0) is absorbed whole:
+    epochs stay strictly ordered and the batcher follows."""
+
+    @pytest.mark.parametrize("seed", [BASE_SEED + 500 + i for i in range(5)])
+    def test_merge_absorbs_and_propagates(self, seed):
+        rng = random.Random(seed * 151 + 29)
+
+        def make_live_coalition():
+            other = Coalition([make_churn_server("m1"), make_churn_server("m2")])
+            # Make it *live*: a join bumps it past epoch 0 before the
+            # merge, so the merged epoch must clear both sides.
+            other.join(make_churn_server("m3"))
+            return other
+
+        merge_at = rng.uniform(4.0, 14.0)
+        churn = MembershipSchedule(
+            [ChurnEvent(at=merge_at, kind="merge", make_coalition=make_live_coalition)]
+        )
+        sim, report, naplets = run_churn_workload(
+            churn_workload(seed),
+            churn=churn,
+            proof_propagation="batched",
+            proof_batch_size=2,
+        )
+        assert_survived(report, naplets)
+        for name in ("m1", "m2", "m3"):
+            assert name in sim.coalition
+        # merge epoch = max(self, other) + 1 = max(0, 1) + 1.
+        assert sim.coalition.membership_epoch == 2
+        assert sim.proof_batch.stats()["destinations_added"] == 3
+        merged = sim.coalition.server("m1")
+        for naplet in naplets:
+            for proof in naplet.registry:
+                if proof.epoch >= 2 and proof.access.server != "m1":
+                    assert merged.knows_proof(proof), proof
+        assert_no_overgrant(naplets, sim.coalition)
+
+
+class TestOracleBite:
+    """Deterministic scenarios proving the oracle and the epoch filter
+    are not vacuous: the gated grant observably flips on eviction."""
+
+    WORKLOAD = [("u0", f"read r1 @ {HUB_SERVER} ; exec gated @ {GATE_SERVER}", HUB_SERVER)]
+
+    def test_gated_granted_without_churn(self):
+        _sim, report, naplets = run_churn_workload(self.WORKLOAD)
+        assert report.all_finished()
+        (naplet,) = naplets
+        assert ("exec", "gated", GATE_SERVER) in [
+            tuple(p.access) for p in naplet.registry
+        ]
+        assert naplet.denials == []
+
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_eviction_flips_gated_to_deny(self, incremental):
+        # The read lands at t=0 on the hub; the agent then migrates
+        # (latency 2.0) and requests the gated access at t=3.  Evicting
+        # the hub at t=2 makes the justifying read inadmissible first.
+        churn = MembershipSchedule(
+            [ChurnEvent(at=2.0, kind="evict", server=HUB_SERVER)]
+        )
+        sim, report, naplets = run_churn_workload(
+            self.WORKLOAD, churn=churn, incremental=incremental
+        )
+        (naplet,) = naplets
+        assert naplet.status is NapletStatus.FINISHED
+        granted = [tuple(p.access) for p in naplet.registry]
+        assert ("read", "r1", HUB_SERVER) in granted
+        assert ("exec", "gated", GATE_SERVER) not in granted
+        assert [tuple(d.access) for d in naplet.denials] == [
+            ("exec", "gated", GATE_SERVER)
+        ]
+        assert_no_overgrant(naplets, sim.coalition)
+
+    def test_oracle_catches_manufactured_overgrant(self):
+        """Vacuity guard: a hand-built chain where a gated access was
+        'granted' at an epoch past the hub's eviction must make the
+        oracle fail."""
+        from repro.agent.naplet import Naplet
+        from repro.sral.parser import parse_program
+
+        coalition = make_churn_coalition()
+        coalition.evict(HUB_SERVER)  # epoch 1, evicted at epoch 1
+        naplet = Naplet("u0", parse_program("read r1 @ s2"), roles=("member",))
+        naplet.registry.record(("read", "r1", HUB_SERVER), 0.0, epoch=0)
+        naplet.registry.record(("exec", "gated", GATE_SERVER), 1.0, epoch=1)
+        with pytest.raises(AssertionError, match="OVERGRANT"):
+            assert_no_overgrant([naplet], coalition)
+
+    def test_full_history_would_have_granted(self):
+        """The companion direction: the manufactured chain above is
+        *only* wrong because of the epoch filter — with the evicted
+        read left in, a fresh engine grants the gated access."""
+        engine = AccessControlEngine(make_churn_policy(["u0"]))
+        session = engine.authenticate("u0", 0.0)
+        engine.activate_role(session, "member", 0.0)
+        unfiltered = (("read", "r1", HUB_SERVER),)
+        decision = engine.decide(
+            session, ("exec", "gated", GATE_SERVER), 1.0, history=unfiltered
+        )
+        assert decision.granted

@@ -1,0 +1,188 @@
+"""Property test: churn-equivalence of the batched decision service.
+
+For any random churn schedule interleaved with any random request
+stream, the coalition-bound :class:`~repro.service.DecisionService`
+(micro-batched, sharded, vector sweeps and all) must produce decisions
+**bit-identical** — outcome, reason and
+:class:`~repro.obs.provenance.DecisionProvenance`, including the
+membership epoch stamp — to a plain single-threaded
+:class:`~repro.rbac.engine.AccessControlEngine` bound to an identical
+coalition replica and fed the same epoch-filtered stream.
+
+Churn is applied at round boundaries (after a service drain), the same
+way the service is deployed: membership changes take effect between
+micro-batches, and an eviction rescinds the evicted server's accesses
+from both sides' incremental histories.  Hypothesis runs derandomized
+(like ``tests/test_vector_engine.py``) so CI is reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.faultload import GATE_SERVER, HUB_SERVER, make_churn_policy, make_churn_server
+from repro.coalition.network import Coalition
+from repro.rbac.audit import Decision
+from repro.rbac.engine import AccessControlEngine
+from repro.service.service import DecisionService
+from repro.service.sharding import ShardedEngine
+from repro.traces.trace import AccessKey
+
+OWNERS = ("u0", "u1")
+
+#: The request alphabet: the hub read that justifies the gate, the
+#: gated access itself, and count-budgeted rsw filler on every founder.
+ACCESSES = (
+    AccessKey("read", "r1", HUB_SERVER),
+    AccessKey("exec", "gated", GATE_SERVER),
+    AccessKey("exec", "rsw", "s1"),
+    AccessKey("exec", "rsw", "s2"),
+    AccessKey("exec", "rsw", "s3"),
+)
+
+CHURN_MENU = ("join", "leave-s3", "evict-s1", "evict-s3", "merge")
+
+
+def _norm(decision: Decision) -> Decision:
+    """Session subject ids are globally unique; mask them out."""
+    return dataclasses.replace(decision, subject_id="")
+
+
+def _apply_churn(op: str | None, coalition: Coalition, state: dict) -> None:
+    """Apply one churn op if it is still applicable; the applicability
+    rules are pure functions of ``state``, so the service-side and the
+    direct-side replicas always take identical steps."""
+    if op is None:
+        return
+    if op == "join":
+        name = f"j{state['joined']}"
+        state["joined"] += 1
+        coalition.join(make_churn_server(name))
+    elif op in ("leave-s3", "evict-s3"):
+        if "s3" in state["removed"]:
+            return
+        state["removed"].add("s3")
+        if op == "leave-s3":
+            coalition.leave("s3")
+        else:
+            coalition.evict("s3")
+    elif op == "evict-s1":
+        if "s1" in state["removed"]:
+            return
+        state["removed"].add("s1")
+        coalition.evict("s1")
+    elif op == "merge":
+        if state["merged"]:
+            return
+        state["merged"] = True
+        coalition.merge(
+            Coalition([make_churn_server("n1"), make_churn_server("n2")])
+        )
+
+
+def _evictions_of(op: str | None, state: dict) -> tuple[str, ...]:
+    """Which servers the op would evict, under the same applicability
+    rules as :func:`_apply_churn` (checked *before* applying)."""
+    if op == "evict-s3" and "s3" not in state["removed"]:
+        return ("s3",)
+    if op == "evict-s1" and "s1" not in state["removed"]:
+        return ("s1",)
+    return ()
+
+
+rounds_strategy = st.lists(
+    st.tuples(
+        st.sampled_from((None,) + CHURN_MENU),
+        st.lists(
+            st.tuples(
+                st.integers(0, len(OWNERS) - 1),
+                st.sampled_from(ACCESSES),
+            ),
+            max_size=8,
+        ),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestChurnEquivalence:
+    @given(rounds=rounds_strategy, observe=st.booleans(), shards=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_service_matches_direct_engine_under_churn(
+        self, rounds, observe, shards
+    ):
+        policy = make_churn_policy(OWNERS)
+
+        # Service side: sharded engine + micro-batched worker pool over
+        # coalition A.  Evictions reach the shards via the service's
+        # membership subscription.
+        coalition_a = Coalition([make_churn_server(s) for s in ("s1", "s2", "s3")])
+        sharded = ShardedEngine(policy, shards=shards)
+        service = DecisionService(
+            sharded, workers=2, max_wait_s=0.0, coalition=coalition_a
+        )
+        svc_sessions = {}
+        for owner in OWNERS:
+            session = sharded.authenticate(owner, 0.0)
+            sharded.activate_role(session, "member", 0.0)
+            svc_sessions[owner] = session
+
+        # Direct side: one plain engine bound to coalition B, the same
+        # churn applied by hand (including the eviction rescind).
+        coalition_b = Coalition([make_churn_server(s) for s in ("s1", "s2", "s3")])
+        direct = AccessControlEngine(policy)
+        direct.bind_membership(coalition_b)
+        direct_sessions = {}
+        for owner in OWNERS:
+            session = direct.authenticate(owner, 0.0)
+            direct.activate_role(session, "member", 0.0)
+            direct_sessions[owner] = session
+
+        state_a = {"joined": 0, "removed": set(), "merged": False}
+        state_b = {"joined": 0, "removed": set(), "merged": False}
+        try:
+            t = 0.0
+            for op, requests in rounds:
+                evicted = _evictions_of(op, state_b)
+                _apply_churn(op, coalition_a, state_a)  # service rescinds via listener
+                _apply_churn(op, coalition_b, state_b)
+                for name in evicted:
+                    direct.rescind_server(name)
+
+                times = [t + i for i in range(len(requests))]
+                futures = service.submit_many(
+                    [
+                        (svc_sessions[OWNERS[who]], access, when)
+                        for (who, access), when in zip(requests, times)
+                    ],
+                    observe_granted=observe,
+                )
+                got = [f.result(timeout=30.0) for f in futures]
+                assert service.drain(timeout=30.0)
+
+                want = []
+                for (who, access), when in zip(requests, times):
+                    session = direct_sessions[OWNERS[who]]
+                    # history=None selects incremental mode — the same
+                    # default submit_many uses on the service side.
+                    decision = direct.decide(session, access, when, history=None)
+                    if observe and decision.granted:
+                        direct.observe(session, access)
+                    want.append(decision)
+
+                assert [_norm(d) for d in got] == [_norm(d) for d in want]
+                # Both replicas moved in lockstep, and the decisions'
+                # epoch stamps witness it.
+                assert coalition_a.membership_epoch == coalition_b.membership_epoch
+                for decision in got:
+                    assert decision.provenance is None or (
+                        decision.provenance.epoch == coalition_b.membership_epoch
+                    )
+                t += len(requests)
+        finally:
+            service.shutdown()

@@ -301,12 +301,20 @@ class TestProofBatch:
             registry.record(("exec", "rsw", server), float(i)) for i in range(n)
         ]
 
-    def test_freezes_topology(self):
+    def test_tracks_topology_through_membership_events(self):
         coalition = self.make_coalition()
-        ProofBatch(coalition)
-        assert coalition.frozen
+        batch = ProofBatch(coalition)
+        # The batcher follows churn instead of freezing the coalition;
+        # founder-time add_server is rejected once it subscribes.
+        assert not coalition.frozen
         with pytest.raises(CoalitionError):
             coalition.add_server(CoalitionServer("s9"))
+        coalition.join(CoalitionServer("s9", [Resource("rsw")]))
+        (proof,) = self.issue(1)
+        batch.enqueue("s0", proof, now=0.0)
+        batch.flush()
+        # The joined server receives propagated proofs like a founder.
+        assert coalition.server("s9").knows_proof(proof)
 
     def test_coalesces_until_flush(self):
         coalition = self.make_coalition()
