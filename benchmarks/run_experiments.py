@@ -433,6 +433,27 @@ def exp_obs() -> None:
     check_acceptance(report)
 
 
+def exp_scale() -> None:
+    header("EXP-SCALE  columnar session store at coalition scale")
+    from bench_scale import (
+        ARTIFACT,
+        check_acceptance,
+        measure,
+        print_report,
+        smoke_specs,
+    )
+
+    # Smoke-sized here (100k resident sessions); the full million-session
+    # run is `python benchmarks/bench_scale.py` and takes minutes.
+    spec, verify_spec, ref_spec, repeats = smoke_specs()
+    report = measure(spec, verify_spec, ref_spec, repeats=repeats)
+    print_report(report)
+    ARTIFACT.parent.mkdir(exist_ok=True)
+    ARTIFACT.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {ARTIFACT}")
+    check_acceptance(report, smoke=True)
+
+
 EXPERIMENTS = (
     ("f1", exp_f1),
     ("t31", exp_t31),
@@ -444,6 +465,7 @@ EXPERIMENTS = (
     ("cache", exp_cache),
     ("vec", exp_vec),
     ("service", exp_service),
+    ("scale", exp_scale),
     ("faults", exp_faults),
     ("churn", exp_churn),
     ("naplet", exp_naplet),

@@ -20,15 +20,20 @@ from __future__ import annotations
 
 import itertools
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
+import repro.rbac.model as rbac_model
 from repro.errors import AccessDenied, ConstraintError, RbacError
 from repro.obs import OBS, RECORDER, REGISTRY
 from repro.obs.provenance import CandidateProvenance, DecisionProvenance
 from repro.rbac.audit import AuditLog, Decision
 from repro.rbac.model import Permission, Role, Subject
 from repro.rbac.policy import Policy
+from repro.rbac.session_store import SessionStore, StoredSession
 from repro.sral.ast import Program
 from repro.srac.ast import Constraint, constraint_alphabet
 from repro.srac.checker import check_program, satisfiable_extension_states
@@ -98,10 +103,19 @@ class Session:
     _observed_view: tuple[AccessKey, ...] | None = field(
         default=None, repr=False, compare=False
     )
+    #: Latest instant the engine saw activity for this session
+    #: (authentication or a decision) — the idle-expiry clock.
+    last_seen: float | None = field(default=None, repr=False, compare=False)
+    #: How many times the ``observed`` tuple view was materialised —
+    #: the regression meter of the memo-churn fix (tests assert batch
+    #: paths rebuild at most once per batch, not once per item).
+    view_rebuilds: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.session_id:
             self.session_id = f"session-{next(_session_counter)}"
+        if self.last_seen is None:
+            self.last_seen = self.start_time
 
     @property
     def observed(self) -> tuple[AccessKey, ...]:
@@ -110,19 +124,68 @@ class Session:
         spatial checking."""
         if self._observed_view is None:
             self._observed_view = tuple(self._observed)
+            self.view_rebuilds += 1
         return self._observed_view
 
     @observed.setter
     def observed(self, value: Iterable[AccessKey | tuple[str, str, str]]) -> None:
-        self._observed = [AccessKey(*a) for a in value]
+        self._observed = [
+            a if type(a) is AccessKey else AccessKey.of(a) for a in value
+        ]
         self._observed_view = None
         # Cached monitor states were advanced over the old history.
         self.monitor_cache.clear()
 
     def record_observation(self, access: AccessKey) -> None:
         """Append one access to the observation log (O(1) amortised)."""
-        self._observed.append(access)
+        self._observed.append(AccessKey.of(access))
         self._observed_view = None
+
+    def record_observations(self, accesses: Iterable[AccessKey]) -> None:
+        """Append a batch with a single view invalidation."""
+        self._observed.extend(AccessKey.of(a) for a in accesses)
+        self._observed_view = None
+
+    def observed_len(self) -> int:
+        """History length without materialising the tuple view."""
+        return len(self._observed)
+
+    def touch(self, t: float) -> None:
+        if t > self.last_seen:
+            self.last_seen = t
+
+    def role_set(self) -> frozenset:
+        """The active roles as a frozenset (the columnar handle returns
+        its interned instance; here it is a plain copy)."""
+        return frozenset(self.active_roles)
+
+    def create_tracker(self, key: str, duration: float, scheme) -> ValidityTracker:
+        tracker = ValidityTracker(
+            duration=duration, scheme=scheme, start_time=self.start_time
+        )
+        self.trackers[key] = tracker
+        return tracker
+
+    def advance_monitors(self, access: AccessKey) -> None:
+        """Step every cached constraint monitor by one access."""
+        for constraint, (compiled, states) in list(self.monitor_cache.items()):
+            self.monitor_cache[constraint] = (
+                compiled,
+                compiled.step(states, access),
+            )
+
+    def monitor_entry(self, constraint):
+        return self.monitor_cache.get(constraint)
+
+    def init_monitor(self, constraint, compiled):
+        # Fold the list-backed log directly: the tuple view is a
+        # reader-facing memo and need not be rebuilt here.
+        entry = (compiled, compiled.run(self._observed))
+        self.monitor_cache[constraint] = entry
+        return entry
+
+    def clear_monitor_states(self) -> None:
+        self.monitor_cache.clear()
 
 
 @dataclass(frozen=True)
@@ -206,6 +269,23 @@ class AccessControlEngine:
         ``tests/test_vector_engine.py`` and
         ``benchmarks/bench_vector_engine.py``.  Decisions and
         provenance are bit-identical either way (property-tested).
+    use_session_store:
+        Keep resident session state in the columnar
+        :class:`~repro.rbac.session_store.SessionStore` (the default):
+        sessions returned by :meth:`authenticate` are
+        :class:`~repro.rbac.session_store.StoredSession` handles over
+        numpy columns instead of :class:`Session` dataclasses —
+        ~200 bytes of store overhead per resident session instead of
+        kilobytes of object graph.  ``False`` keeps the object-backed
+        sessions — the differential baseline of
+        ``tests/test_session_store.py``.  Decisions, provenance, audit
+        records and tracker timelines are bit-identical either way
+        (property-tested).
+    record_timelines:
+        Store mode only: record the per-tracker ``valid``/``active``
+        timeline events (the default).  ``False`` drops the event
+        arenas — the million-session benchmark's configuration — and
+        makes ``valid_timeline()`` raise.
     """
 
     def __init__(
@@ -217,6 +297,8 @@ class AccessControlEngine:
         coordination_scope: str = "subject",
         use_srac_caches: bool = True,
         use_vector_batches: bool = True,
+        use_session_store: bool = True,
+        record_timelines: bool = True,
     ):
         if coordination_scope not in ("subject", "owner"):
             raise RbacError(
@@ -232,7 +314,24 @@ class AccessControlEngine:
         self.use_srac_caches = use_srac_caches
         self.use_vector_batches = use_vector_batches
         self.audit = AuditLog()
-        self._sessions: dict[str, Session] = {}
+        if use_session_store:
+            self._store: SessionStore | None = SessionStore(
+                scheme, record_timelines=record_timelines
+            )
+            # Handles are views — the columns are the state — so the
+            # engine only weakly tracks them; dropping every reference
+            # to a session does not lose it (materialize() by id).
+            self._sessions: "dict[str, Session] | weakref.WeakValueDictionary" = (
+                weakref.WeakValueDictionary()
+            )
+        else:
+            self._store = None
+            self._sessions = {}
+        # Set by ShardedEngine so freshly minted handles/sessions carry
+        # their routing stamp (attribute routing replaces the old
+        # per-session-id route dict).
+        self.shard_index: int | None = None
+        self.router_token: object | None = None
         # Owner-scope state: combined histories (list-backed, O(1)
         # append) and monitor caches keyed by user name.
         self._owner_observed: dict[str, list[AccessKey]] = {}
@@ -304,7 +403,12 @@ class AccessControlEngine:
         taken while it was enabled."""
         granted = self.audit.granted_count - self._obs_granted_base
         denied = self.audit.denied_count - self._obs_denied_base
+        store_bytes = (
+            float(self._store.nbytes()) if self._store is not None else 0.0
+        )
         return {
+            "engine.sessions.resident": float(self.resident_sessions()),
+            "engine.sessions.store_bytes": store_bytes,
             "engine.decisions": granted + denied,
             "engine.decisions.granted": granted,
             "engine.decisions.denied": denied,
@@ -364,11 +468,14 @@ class AccessControlEngine:
         :meth:`~repro.coalition.Coalition.admissible_trace`).  Returns
         the number of observations removed."""
         removed = 0
-        for session in self._sessions.values():
-            kept = [a for a in session._observed if a.server != server]
-            if len(kept) != len(session._observed):
-                removed += len(session._observed) - len(kept)
-                session.observed = kept  # setter clears monitor_cache
+        if self._store is not None:
+            removed += self._store.rescind_server(server)
+        else:
+            for session in self._sessions.values():
+                kept = [a for a in session._observed if a.server != server]
+                if len(kept) != len(session._observed):
+                    removed += len(session._observed) - len(kept)
+                    session.observed = kept  # setter clears monitor_cache
         for owner, observed in self._owner_observed.items():
             kept = [a for a in observed if a.server != server]
             if len(kept) != len(observed):
@@ -390,15 +497,184 @@ class AccessControlEngine:
         paper's subject creation after certificate validation)."""
         user = self.policy.user(user_name)
         subject = Subject(user, frozenset(principals) | {f"user:{user_name}"})
+        if self._store is not None:
+            sid = subject.subject_id
+            seq: int | None = None
+            if sid.startswith("subject-"):
+                try:
+                    seq = int(sid[8:])
+                except ValueError:  # pragma: no cover - exotic ids
+                    seq = None
+            row = self._store.open(
+                subject, t, next(_session_counter), subj_seq=seq
+            )
+            return self._handle(row, subject=subject)
         session = Session(subject=subject, start_time=t)
+        session._shard_index = self.shard_index
+        session._router = self.router_token
         self._sessions[session.session_id] = session
         return session
+
+    def _handle(self, row: int, subject: Subject | None = None) -> StoredSession:
+        """The (cached) handle for a live store row."""
+        store = self._store
+        handle = store.handle_for(row)
+        if handle is None:
+            if not store._alive.data[row]:
+                raise RbacError(f"no live session at store row {row}")
+            handle = StoredSession(store, row, subject=subject)
+            handle._shard_index = self.shard_index
+            handle._router = self.router_token
+            store.register_handle(row, handle)
+            self._sessions[handle.session_id] = handle
+        return handle
+
+    def materialize(self, session_id: str) -> Session:
+        """The live session with ``session_id`` — for columnar engines
+        a (possibly fresh) :class:`StoredSession` view over the row;
+        the store keeps no per-session Python object, so dropping every
+        handle loses nothing.  Raises :class:`RbacError` for unknown or
+        closed sessions."""
+        session = self._sessions.get(session_id)
+        if session is not None:
+            return session
+        if self._store is not None:
+            row = self._store.row_of_session_id(session_id)
+            if row is not None:
+                return self._handle(row)
+        raise RbacError(f"unknown session {session_id!r}")
+
+    def session_at(self, row: int) -> StoredSession:
+        """The handle for store row ``row`` (columnar engines only) —
+        the bulk loader's O(1) alternative to :meth:`materialize`."""
+        if self._store is None:
+            raise RbacError("session_at requires the columnar session store")
+        return self._handle(int(row))
+
+    def resident_sessions(self) -> int:
+        """How many sessions are currently resident."""
+        if self._store is not None:
+            return self._store.resident
+        return len(self._sessions)
 
     def close_session(self, session: Session, t: float) -> None:
         """End a session: deactivate everything."""
         for role in list(session.active_roles):
             self.deactivate_role(session, role.name, t)
         self._sessions.pop(session.session_id, None)
+        store = getattr(session, "_store", None)
+        if store is not None and store is self._store:
+            store.close(session._row, session._gen)
+
+    def expire_sessions(
+        self, now: float | None = None, idle_for: float = 0.0
+    ) -> int:
+        """Close every session idle for at least ``idle_for`` as of
+        ``now`` (default: the engine's latest observed activity
+        instant) — the long-run guard against unbounded session growth.
+        Each expired session is closed at the latest instant any of its
+        trackers has reached (never behind a tracker clock), exactly as
+        an explicit :meth:`close_session` there.  Returns the number of
+        sessions expired."""
+        expired = 0
+        if self._store is not None:
+            eff_now, rows = self._store.idle_rows(now, idle_for)
+            for row in rows.tolist():
+                session = self._handle(row)
+                t = eff_now
+                for tracker in session.trackers.values():
+                    t = max(t, tracker.now)
+                self.close_session(session, t)
+                expired += 1
+            return expired
+        sessions = list(self._sessions.values())
+        if not sessions:
+            return 0
+        eff_now = (
+            float(now)
+            if now is not None
+            else max(s.last_seen for s in sessions)
+        )
+        for session in sessions:
+            if eff_now - session.last_seen >= idle_for:
+                t = eff_now
+                for tracker in session.trackers.values():
+                    t = max(t, tracker.now)
+                self.close_session(session, t)
+                expired += 1
+        return expired
+
+    def open_sessions(
+        self,
+        user_names: Sequence[str],
+        t: float,
+        roles: Iterable[str] = (),
+    ) -> np.ndarray:
+        """Bulk-authenticate ``user_names`` at ``t`` and activate
+        ``roles`` on every session — the columnar load path (vectorized
+        column fills; entitlement and DSD are checked once per distinct
+        user / role set).  Equivalent to :meth:`authenticate` +
+        :meth:`activate_role` per session (property-tested), minus the
+        per-session Python objects.  Returns the opened row indices
+        (:meth:`session_at` materialises handles on demand)."""
+        store = self._store
+        if store is None:
+            raise RbacError("open_sessions requires the columnar session store")
+        names = list(user_names)
+        role_objs = tuple(self.policy.role(name) for name in roles)
+        role_fs = frozenset(role_objs)
+        for constraint in self.policy.dsd_constraints:
+            if constraint.violated_by(role_fs):
+                raise RbacError(
+                    f"activating {sorted(r.name for r in role_objs)!r} "
+                    f"violates DSD constraint {constraint.name!r}"
+                )
+        # One tracker plan for the whole block: key -> duration, in the
+        # same first-creation order the scalar activation loop uses.
+        tracker_plan: dict[str, float] = {}
+        for role in role_objs:
+            for permission in self.policy.permissions_of_role(role):
+                key = self._tracker_key(permission)
+                if key not in tracker_plan:
+                    tracker_plan[key] = self._duration_for(permission)
+        checked: dict[str, tuple[int, int]] = {}
+        user_codes: list[int] = []
+        principal_codes: list[int] = []
+        sid_seqs: list[int] = []
+        subj_seqs: list[int] = []
+        for name in names:
+            entry = checked.get(name)
+            if entry is None:
+                user = self.policy.user(name)
+                if role_objs:
+                    entitled = self.policy.hierarchy.closure(
+                        self.policy.roles_of_user(user)
+                    )
+                    for role in role_objs:
+                        if role not in entitled:
+                            raise RbacError(
+                                f"user {name!r} is not authorized "
+                                f"for role {role.name!r}"
+                            )
+                entry = checked[name] = (
+                    store._intern_user(user),
+                    store._intern_principals(frozenset({f"user:{name}"})),
+                )
+            user_codes.append(entry[0])
+            principal_codes.append(entry[1])
+            sid_seqs.append(next(_session_counter))
+            subj_seqs.append(next(rbac_model._subject_counter))
+        rows = store.open_block(
+            t,
+            sid_seqs,
+            subj_seqs,
+            user_codes,
+            principal_codes,
+            store._intern_role_set(role_fs),
+        )
+        for key, duration in tracker_plan.items():
+            store.tracker_activate_block(key, rows, t, duration)
+        return rows
 
     def activate_role(self, session: Session, role_name: str, t: float) -> None:
         """Activate a role the user is entitled to (checks UA membership
@@ -432,7 +708,7 @@ class AccessControlEngine:
         role = self.policy.role(role_name)
         session.active_roles.discard(role)
         remaining = self.policy.permissions_of_roles(
-            self.policy.hierarchy.closure(session.active_roles)
+            self.policy.hierarchy.closure(set(session.active_roles))
         )
         remaining_keys = {self._tracker_key(p) for p in remaining}
         for key, tracker in session.trackers.items():
@@ -465,16 +741,13 @@ class AccessControlEngine:
                 return cls.aggregate(durations)
         return permission.validity_duration
 
-    def _tracker(self, session: Session, permission: Permission) -> ValidityTracker:
+    def _tracker(self, session: Session, permission: Permission):
         key = self._tracker_key(permission)
         tracker = session.trackers.get(key)
         if tracker is None:
-            tracker = ValidityTracker(
-                duration=self._duration_for(permission),
-                scheme=self.scheme,
-                start_time=session.start_time,
+            tracker = session.create_tracker(
+                key, self._duration_for(permission), self.scheme
             )
-            session.trackers[key] = tracker
         return tracker
 
     # -- decisions ---------------------------------------------------------------
@@ -485,13 +758,9 @@ class AccessControlEngine:
         monitors so that incremental decisions (``history=None``) stay
         O(1) in history length.  Under owner scope the observation also
         counts against every companion session of the same user."""
-        access = AccessKey(*access)
+        access = AccessKey.of(access)
         session.record_observation(access)
-        for constraint, (compiled, states) in list(session.monitor_cache.items()):
-            session.monitor_cache[constraint] = (
-                compiled,
-                compiled.step(states, access),
-            )
+        session.advance_monitors(access)
         if self.coordination_scope == "owner":
             owner = session.subject.user.name
             self._owner_observed.setdefault(owner, []).append(access)
@@ -516,11 +785,10 @@ class AccessControlEngine:
                 entry = (compiled, compiled.run(self._owner_observed.get(owner, ())))
                 self._owner_monitors[key] = entry
             return entry
-        entry = session.monitor_cache.get(constraint)
+        entry = session.monitor_entry(constraint)
         if entry is None:
             compiled = compile_constraint(constraint, cache=self.use_srac_caches)
-            entry = (compiled, compiled.run(session.observed))
-            session.monitor_cache[constraint] = entry
+            entry = session.init_monitor(constraint, compiled)
         return entry
 
     def decide(
@@ -587,6 +855,7 @@ class AccessControlEngine:
         """:meth:`decide` after candidate resolution — split out so the
         batch paths can hoist the candidate lookup per distinct access
         instead of re-resolving it per element."""
+        session.touch(t)
         epoch = self._current_epoch()
         if not candidates:
             decision = Decision(
@@ -701,6 +970,11 @@ class AccessControlEngine:
         return session.observed
 
     def _history_len(self, session: Session, history: Trace | None) -> int:
+        if history is None and self.coordination_scope != "owner":
+            # Column/list length read — no tuple-view materialisation
+            # (the memo-churn fix: a batch that records observations no
+            # longer rebuilds the O(n) view once per decision).
+            return session.observed_len()
         effective = self._effective_history(session, history)
         try:
             return len(effective)
@@ -1070,8 +1344,11 @@ class AccessControlEngine:
         self._extension_cache.clear()
         self._extension_tables.clear()
         self._owner_monitors.clear()
-        for session in self._sessions.values():
-            session.monitor_cache.clear()
+        if self._store is not None:
+            self._store.clear_all_monitor_states()
+        else:
+            for session in self._sessions.values():
+                session.monitor_cache.clear()
 
     # -- internals -------------------------------------------------------------
 
@@ -1083,7 +1360,7 @@ class AccessControlEngine:
         active-role set, access): role activation changes the key, and
         policy mutations bump the version, so stale entries are never
         served."""
-        key = (self.policy.version, frozenset(session.active_roles), access)
+        key = (self.policy.version, session.role_set(), access)
         cached = self._candidates_cache.get(key)
         if cached is not None:
             self._candidate_hits += 1

@@ -1,0 +1,1272 @@
+"""Columnar struct-of-arrays session store.
+
+A resident session's hot state — validity-tracker accrual, compiled
+monitor states, the active role set and the observation log — lives in
+per-engine **numpy columns** indexed by row instead of per-session
+Python objects.  A ``Session`` dataclass costs hundreds of bytes to
+kilobytes of object overhead (dict headers, list over-allocation,
+tracker ``__slots__`` instances, recorder lists); at the ROADMAP's
+"millions of users" scale that overhead *is* the memory bill.  The
+columnar layout brings a resident session down to a fixed set of
+scalar cells:
+
+::
+
+    row columns (one entry per session row)
+      start_time   f64   last_seen   f64   alive  u8   gen  i32
+      sid_seq      i64   subj_seq    i64
+      user_id      i32   principals_id i32  role_set_id i32
+      obs_head/obs_tail/obs_len/obs_ver     i32 (observation list)
+
+    per tracker key (lazily created, one cell per row)
+      alloc u8  active u8  anchor f64  consumed0 f64  expiry f64
+      now f64   dur i16 (index into the key's distinct durations)
+      + an append-only timeline event arena (row, gen, time, kind)
+
+    per compiled constraint (lazily created, one cell per row)
+      state i64  — the mixed-radix monitor-product encoding of
+      :class:`repro.srac.compiled.TransitionTable` (same strides), so
+      the vectorized sweep reads a ready-made table state id
+
+    observation arena (append-only, shared by all rows)
+      sym i32 (interned AccessKey id)   nxt i32 (linked list)
+
+Scalar callers never see the columns: :class:`StoredSession` is a lazy
+**handle** that duck-types :class:`repro.rbac.engine.Session` — its
+``trackers`` mapping yields :class:`ColumnTracker` views that replay
+:class:`repro.temporal.validity.ValidityTracker`'s closed-form accrual
+*expression for expression* against the columns, so decisions, audit
+records and recorded timelines are bit-identical to the object-backed
+engine (property-tested in ``tests/test_session_store.py``).  Handles
+are cached per row in a ``WeakValueDictionary``; when the last handle
+of a *closed* row dies, a ``weakref.finalize`` hook returns the row to
+the free list (rows are generation-stamped so stale finalizers and
+stale handles can never free or mutate a recycled row).
+
+Timeline recording (the audit ``valid``/``active`` state functions) is
+columnar too: events append to a per-tracker-key arena and are replayed
+through a real :class:`~repro.temporal.timeline.TimelineRecorder` only
+when a timeline is actually requested.  Stores built with
+``record_timelines=False`` skip the arena entirely — the
+million-session benchmark's configuration — at the price of
+``valid_timeline()`` raising :class:`~repro.errors.TemporalError`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import weakref
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, MutableSet
+
+import numpy as np
+
+from repro.errors import RbacError, TemporalError
+from repro.rbac.model import Role, Subject, User
+from repro.temporal.timeline import BooleanTimeline, TimelineRecorder
+from repro.temporal.validity import (
+    CODE_ACTIVE_INVALID,
+    CODE_INACTIVE,
+    CODE_VALID,
+    PermissionState,
+    Scheme,
+)
+from repro.traces.trace import AccessKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.srac.compiled import TransitionTable
+    from repro.srac.monitors import CompiledConstraint
+
+__all__ = ["SessionStore", "StoredSession", "ColumnTracker"]
+
+_INITIAL_ROWS = 64
+_INITIAL_ARENA = 256
+
+# Timeline event kinds (per tracker-key event arena).
+_EV_ACTIVE_OFF = 0
+_EV_ACTIVE_ON = 1
+_EV_VALID_OFF = 2
+_EV_VALID_ON = 3
+
+
+class _Column:
+    """One growable numpy column (capacity doubling, stable dtype)."""
+
+    __slots__ = ("data", "fill")
+
+    def __init__(self, capacity: int, dtype, fill=0):
+        self.fill = fill
+        self.data = np.full(capacity, fill, dtype=dtype)
+
+    def grow(self, capacity: int) -> None:
+        old = self.data
+        if capacity <= old.size:
+            return
+        new = np.full(capacity, self.fill, dtype=old.dtype)
+        new[: old.size] = old
+        self.data = new
+
+
+class _Arena:
+    """An append-only growable numpy array with an element count."""
+
+    __slots__ = ("data", "count", "fill")
+
+    def __init__(self, dtype, fill=0, capacity: int = _INITIAL_ARENA):
+        self.data = np.full(capacity, fill, dtype=dtype)
+        self.count = 0
+        self.fill = fill
+
+    def _ensure(self, extra: int) -> None:
+        need = self.count + extra
+        if need > self.data.size:
+            capacity = max(need, self.data.size * 2)
+            new = np.full(capacity, self.fill, dtype=self.data.dtype)
+            new[: self.count] = self.data[: self.count]
+            self.data = new
+
+    def append(self, value) -> int:
+        self._ensure(1)
+        index = self.count
+        self.data[index] = value
+        self.count = index + 1
+        return index
+
+
+class _TrackerColumns:
+    """Column set for one tracker key: closed-form accrual cells plus
+    the timeline event arena.  The cell fields mirror
+    :class:`~repro.temporal.validity.ValidityTracker`'s slots one for
+    one (``dur`` indirects through the key's distinct durations so the
+    cell stays 2 bytes instead of a float column)."""
+
+    __slots__ = (
+        "alloc",
+        "active",
+        "anchor",
+        "consumed0",
+        "expiry",
+        "now",
+        "dur",
+        "durations",
+        "_dur_codes",
+        "record_events",
+        "ev_row",
+        "ev_gen",
+        "ev_time",
+        "ev_kind",
+    )
+
+    def __init__(self, capacity: int, record_events: bool):
+        self.alloc = _Column(capacity, np.uint8)
+        self.active = _Column(capacity, np.uint8)
+        self.anchor = _Column(capacity, np.float64)
+        self.consumed0 = _Column(capacity, np.float64)
+        self.expiry = _Column(capacity, np.float64, fill=math.inf)
+        self.now = _Column(capacity, np.float64)
+        self.dur = _Column(capacity, np.int16, fill=-1)
+        self.durations: list[float] = []
+        self._dur_codes: dict[float, int] = {}
+        self.record_events = record_events
+        if record_events:
+            self.ev_row = _Arena(np.int32)
+            self.ev_gen = _Arena(np.int32)
+            self.ev_time = _Arena(np.float64)
+            self.ev_kind = _Arena(np.int8)
+        else:
+            self.ev_row = self.ev_gen = self.ev_time = self.ev_kind = None
+
+    def columns(self) -> tuple[_Column, ...]:
+        return (
+            self.alloc,
+            self.active,
+            self.anchor,
+            self.consumed0,
+            self.expiry,
+            self.now,
+            self.dur,
+        )
+
+    def dur_code(self, duration: float) -> int:
+        duration = float(duration)
+        code = self._dur_codes.get(duration)
+        if code is None:
+            code = len(self.durations)
+            if code > 32000:  # pragma: no cover - pathological policies
+                raise RbacError(
+                    "too many distinct validity durations for one tracker key"
+                )
+            self.durations.append(duration)
+            self._dur_codes[duration] = code
+        return code
+
+    def record(self, row: int, gen: int, kind: int, t: float) -> None:
+        if self.record_events:
+            self.ev_row.append(row)
+            self.ev_gen.append(gen)
+            self.ev_time.append(t)
+            self.ev_kind.append(kind)
+
+    def replay(self, row: int, gen: int) -> tuple[TimelineRecorder, TimelineRecorder]:
+        """Re-run this row's recorded events through fresh recorders —
+        the exact ``set`` call sequence the object-backed tracker made,
+        so the frozen timelines are identical."""
+        if not self.record_events:
+            raise TemporalError(
+                "timeline recording is disabled for this session store "
+                "(record_timelines=False)"
+            )
+        valid = TimelineRecorder(initial=False)
+        active = TimelineRecorder(initial=False)
+        n = self.ev_row.count
+        rows = self.ev_row.data[:n]
+        gens = self.ev_gen.data[:n]
+        mask = (rows == row) & (gens == gen)
+        for i in np.nonzero(mask)[0].tolist():
+            kind = int(self.ev_kind.data[i])
+            t = float(self.ev_time.data[i])
+            if kind == _EV_VALID_ON:
+                valid.set(t, True)
+            elif kind == _EV_VALID_OFF:
+                valid.set(t, False)
+            elif kind == _EV_ACTIVE_ON:
+                active.set(t, True)
+            else:
+                active.set(t, False)
+        return valid, active
+
+
+class _MonitorColumn:
+    """Per-constraint monitor-product states, one mixed-radix encoded
+    int64 per row (``-1`` = not initialised for that row).  The strides
+    are the same MSB-first mixed radix as
+    :class:`repro.srac.compiled.TransitionTable`, so an initialised
+    cell *is* a valid table state id for any table compiled from the
+    same constraint."""
+
+    __slots__ = ("compiled", "sizes", "strides", "col")
+
+    def __init__(self, compiled: "CompiledConstraint", capacity: int):
+        self.compiled = compiled
+        self.sizes = tuple(m.size() for m in compiled.monitors)
+        strides = [1] * len(self.sizes)
+        for i in range(len(self.sizes) - 2, -1, -1):
+            strides[i] = strides[i + 1] * self.sizes[i + 1]
+        self.strides = tuple(strides)
+        self.col = _Column(capacity, np.int64, fill=-1)
+
+    def encode(self, states: tuple[int, ...]) -> int:
+        return int(sum(s * stride for s, stride in zip(states, self.strides)))
+
+    def decode(self, state_id: int) -> tuple[int, ...]:
+        return tuple(
+            (state_id // stride) % size
+            for stride, size in zip(self.strides, self.sizes)
+        )
+
+
+class ColumnTracker:
+    """A :class:`~repro.temporal.validity.ValidityTracker`-compatible
+    view over one tracker cell.  Every method is a line-for-line port
+    of the object tracker's closed-form accrual — the same float
+    expressions in the same order — so scalar decisions and recorded
+    timelines agree bit for bit.  The view pins its session handle
+    (``_session``) so the row cannot be recycled while the view is
+    reachable."""
+
+    __slots__ = ("_tc", "_row", "_gen", "_session", "scheme")
+
+    def __init__(
+        self,
+        tc: _TrackerColumns,
+        row: int,
+        gen: int,
+        scheme: Scheme,
+        session: "StoredSession | None" = None,
+    ):
+        self._tc = tc
+        self._row = row
+        self._gen = gen
+        self._session = session
+        self.scheme = scheme
+
+    @property
+    def duration(self) -> float:
+        tc = self._tc
+        return tc.durations[int(tc.dur.data[self._row])]
+
+    # -- internal clock (ports of ValidityTracker) -----------------------
+
+    def _pending_expiry(self) -> float:
+        tc, row = self._tc, self._row
+        duration = self.duration
+        consumed0 = float(tc.consumed0.data[row])
+        if math.isinf(duration) or consumed0 >= duration:
+            return math.inf
+        return float(tc.anchor.data[row]) + (duration - consumed0)
+
+    def _consumed_at(self, t: float) -> float:
+        tc, row = self._tc, self._row
+        duration = self.duration
+        consumed0 = float(tc.consumed0.data[row])
+        if not tc.active.data[row] or consumed0 >= duration:
+            return consumed0
+        if t >= float(tc.expiry.data[row]):
+            return duration
+        return consumed0 + (t - float(tc.anchor.data[row]))
+
+    def _advance(self, t: float) -> None:
+        tc, row = self._tc, self._row
+        now = float(tc.now.data[row])
+        if t < now:
+            raise TemporalError(f"event at {t} is before current time {now}")
+        if tc.active.data[row] and t >= float(tc.expiry.data[row]):
+            expiry = float(tc.expiry.data[row])
+            tc.record(row, self._gen, _EV_VALID_OFF, expiry)
+            tc.consumed0.data[row] = self.duration
+            tc.anchor.data[row] = expiry
+            tc.expiry.data[row] = math.inf
+        tc.now.data[row] = t
+
+    def _consolidate(self, t: float) -> None:
+        tc, row = self._tc, self._row
+        tc.consumed0.data[row] = self._consumed_at(t)
+        tc.anchor.data[row] = t
+
+    # -- events ----------------------------------------------------------
+
+    def activate(self, t: float) -> None:
+        tc, row = self._tc, self._row
+        self._advance(t)
+        if tc.active.data[row]:
+            return
+        tc.active.data[row] = 1
+        tc.record(row, self._gen, _EV_ACTIVE_ON, t)
+        tc.anchor.data[row] = t
+        if float(tc.consumed0.data[row]) < self.duration:
+            tc.record(row, self._gen, _EV_VALID_ON, t)
+        tc.expiry.data[row] = self._pending_expiry()
+
+    def deactivate(self, t: float) -> None:
+        tc, row = self._tc, self._row
+        self._advance(t)
+        if not tc.active.data[row]:
+            return
+        self._consolidate(t)
+        tc.active.data[row] = 0
+        tc.expiry.data[row] = math.inf
+        tc.record(row, self._gen, _EV_ACTIVE_OFF, t)
+        tc.record(row, self._gen, _EV_VALID_OFF, t)
+
+    def migrate(self, t: float) -> None:
+        tc, row = self._tc, self._row
+        self._advance(t)
+        if self.scheme is Scheme.PER_SERVER:
+            tc.consumed0.data[row] = 0.0
+            tc.anchor.data[row] = t
+            if tc.active.data[row]:
+                tc.record(row, self._gen, _EV_VALID_ON, t)
+                tc.expiry.data[row] = self._pending_expiry()
+
+    # -- queries ---------------------------------------------------------
+
+    def state(self, t: float | None = None) -> PermissionState:
+        tc, row = self._tc, self._row
+        if t is not None:
+            self._advance(t)
+        if not tc.active.data[row]:
+            return PermissionState.INACTIVE
+        if float(tc.consumed0.data[row]) >= self.duration:
+            return PermissionState.ACTIVE_INVALID
+        return PermissionState.VALID
+
+    def is_valid(self, t: float | None = None) -> bool:
+        return self.state(t) is PermissionState.VALID
+
+    def remaining_budget(self, t: float | None = None) -> float:
+        tc, row = self._tc, self._row
+        if t is not None:
+            self._advance(t)
+        duration = self.duration
+        if math.isinf(duration):
+            return math.inf
+        return max(0.0, duration - self._consumed_at(float(tc.now.data[row])))
+
+    def expiry_time(self) -> float | None:
+        tc, row = self._tc, self._row
+        duration = self.duration
+        if not tc.active.data[row] or float(tc.consumed0.data[row]) >= duration:
+            return None
+        if math.isinf(duration):
+            return None
+        return float(tc.expiry.data[row])
+
+    # -- compiled views (batched sweeps) ---------------------------------
+
+    def profile(self) -> tuple[bool, float]:
+        tc, row = self._tc, self._row
+        if not tc.active.data[row]:
+            return (False, math.inf)
+        if float(tc.consumed0.data[row]) >= self.duration:
+            return (True, -math.inf)
+        return (True, float(tc.expiry.data[row]))
+
+    def breakpoints(self) -> tuple[np.ndarray, np.ndarray]:
+        active, expiry = self.profile()
+        if not active:
+            return (
+                np.empty(0, dtype=np.float64),
+                np.array([CODE_INACTIVE], dtype=np.uint8),
+            )
+        if math.isinf(expiry):
+            code = CODE_ACTIVE_INVALID if expiry < 0 else CODE_VALID
+            return (
+                np.empty(0, dtype=np.float64),
+                np.array([code], dtype=np.uint8),
+            )
+        return (
+            np.array([expiry], dtype=np.float64),
+            np.array([CODE_VALID, CODE_ACTIVE_INVALID], dtype=np.uint8),
+        )
+
+    def state_codes_at(self, ts: np.ndarray) -> np.ndarray:
+        times, codes = self.breakpoints()
+        return codes[np.searchsorted(times, ts, side="right")]
+
+    # -- audit -----------------------------------------------------------
+
+    def valid_timeline(self) -> BooleanTimeline:
+        valid, _active = self._tc.replay(self._row, self._gen)
+        return valid.freeze()
+
+    def active_timeline(self) -> BooleanTimeline:
+        _valid, active = self._tc.replay(self._row, self._gen)
+        return active.freeze()
+
+    @property
+    def now(self) -> float:
+        return float(self._tc.now.data[self._row])
+
+
+class _RoleSetView(MutableSet):
+    """``session.active_roles`` over the interned role-set column.
+    Mutations re-intern (role sets are tiny and shared by construction:
+    a coalition has a handful of distinct activation profiles)."""
+
+    __slots__ = ("_session",)
+
+    def __init__(self, session: "StoredSession"):
+        self._session = session
+
+    @classmethod
+    def _from_iterable(cls, it) -> set:
+        # Set algebra on the view (``roles | {r}``) yields plain sets.
+        return set(it)
+
+    def _current(self) -> frozenset:
+        session = self._session
+        return session._store.role_set(session._row)
+
+    def __contains__(self, role: object) -> bool:
+        return role in self._current()
+
+    def __iter__(self) -> Iterator[Role]:
+        return iter(self._current())
+
+    def __len__(self) -> int:
+        return len(self._current())
+
+    def add(self, role: Role) -> None:
+        current = self._current()
+        if role not in current:
+            session = self._session
+            session._store.set_role_set(session._row, current | {role})
+
+    def discard(self, role: Role) -> None:
+        current = self._current()
+        if role in current:
+            session = self._session
+            session._store.set_role_set(session._row, current - {role})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{set(self._current())!r}"
+
+
+class _TrackerMap(Mapping):
+    """``session.trackers``: tracker keys allocated for this row,
+    yielding cached :class:`ColumnTracker` views."""
+
+    __slots__ = ("_session", "_views")
+
+    def __init__(self, session: "StoredSession"):
+        self._session = session
+        self._views: dict[str, ColumnTracker] = {}
+
+    def _view(self, key: str, tc: _TrackerColumns) -> ColumnTracker:
+        view = self._views.get(key)
+        if view is None:
+            session = self._session
+            view = ColumnTracker(
+                tc, session._row, session._gen, session._store.scheme, session
+            )
+            self._views[key] = view
+        return view
+
+    def get(self, key: str, default=None):
+        session = self._session
+        tc = session._store._trackers.get(key)
+        if tc is None or not tc.alloc.data[session._row]:
+            return default
+        return self._view(key, tc)
+
+    def __getitem__(self, key: str) -> ColumnTracker:
+        view = self.get(key)
+        if view is None:
+            raise KeyError(key)
+        return view
+
+    def __iter__(self) -> Iterator[str]:
+        session = self._session
+        row = session._row
+        for key, tc in session._store._trackers.items():
+            if tc.alloc.data[row]:
+                yield key
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __contains__(self, key: object) -> bool:
+        session = self._session
+        tc = session._store._trackers.get(key)
+        return tc is not None and bool(tc.alloc.data[session._row])
+
+
+class _MonitorCacheView:
+    """``session.monitor_cache``: dict-compatible façade over the
+    monitor-state columns (truthiness, length, ``clear`` and item reads
+    are what engine internals and tests use)."""
+
+    __slots__ = ("_session",)
+
+    def __init__(self, session: "StoredSession"):
+        self._session = session
+
+    def _entries(self):
+        session = self._session
+        return session._store.monitor_items(session._row)
+
+    def __bool__(self) -> bool:
+        session = self._session
+        return session._store.has_monitor_state(session._row)
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def __contains__(self, constraint: object) -> bool:
+        session = self._session
+        return (
+            session._store.monitor_entry(session._row, constraint) is not None
+        )
+
+    def get(self, constraint, default=None):
+        session = self._session
+        entry = session._store.monitor_entry(session._row, constraint)
+        return entry if entry is not None else default
+
+    def items(self):
+        return self._entries()
+
+    def keys(self):
+        return [constraint for constraint, _entry in self._entries()]
+
+    def clear(self) -> None:
+        session = self._session
+        session._store.clear_monitor_row(session._row)
+
+
+class StoredSession:
+    """A live handle to one store row, duck-typing
+    :class:`repro.rbac.engine.Session`.
+
+    Handles are *views*: all state reads and writes go to the columns,
+    so any number of materialisations of the same session observe the
+    same state (the store caches one handle per row while referenced).
+    ``view_rebuilds`` counts ``observed`` tuple-view materialisations —
+    the regression meter for the memo-churn fix."""
+
+    __slots__ = (
+        "_store",
+        "_row",
+        "_gen",
+        "subject",
+        "session_id",
+        "start_time",
+        "_observed_view",
+        "_view_ver",
+        "view_rebuilds",
+        "_tracker_map",
+        "_role_view",
+        "_monitor_view",
+        "_shard_index",
+        "_router",
+        "__weakref__",
+    )
+
+    def __init__(
+        self, store: "SessionStore", row: int, subject: Subject | None = None
+    ):
+        self._store = store
+        self._row = row
+        self._gen = int(store._gen.data[row])
+        self.start_time = float(store._start_time.data[row])
+        self.session_id = f"session-{int(store._sid_seq.data[row])}"
+        self.subject = subject if subject is not None else store.subject_of(row)
+        self._observed_view: tuple[AccessKey, ...] | None = None
+        self._view_ver = -1
+        self.view_rebuilds = 0
+        self._tracker_map: _TrackerMap | None = None
+        self._role_view: _RoleSetView | None = None
+        self._monitor_view: _MonitorCacheView | None = None
+        self._shard_index: int | None = None
+        self._router: object | None = None
+
+    # -- Session surface --------------------------------------------------
+
+    @property
+    def active_roles(self) -> _RoleSetView:
+        view = self._role_view
+        if view is None:
+            view = self._role_view = _RoleSetView(self)
+        return view
+
+    @active_roles.setter
+    def active_roles(self, roles: Iterable[Role]) -> None:
+        self._store.set_role_set(self._row, frozenset(roles))
+
+    @property
+    def trackers(self) -> _TrackerMap:
+        view = self._tracker_map
+        if view is None:
+            view = self._tracker_map = _TrackerMap(self)
+        return view
+
+    @property
+    def monitor_cache(self) -> _MonitorCacheView:
+        view = self._monitor_view
+        if view is None:
+            view = self._monitor_view = _MonitorCacheView(self)
+        return view
+
+    @property
+    def observed(self) -> tuple[AccessKey, ...]:
+        ver = int(self._store._obs_ver.data[self._row])
+        if self._observed_view is None or self._view_ver != ver:
+            self._observed_view = tuple(self._store.observed_list(self._row))
+            self._view_ver = ver
+            self.view_rebuilds += 1
+        return self._observed_view
+
+    @observed.setter
+    def observed(self, value: Iterable[AccessKey | tuple[str, str, str]]) -> None:
+        self._store.set_observations(self._row, value)
+
+    def observed_len(self) -> int:
+        return int(self._store._obs_len.data[self._row])
+
+    def record_observation(self, access: AccessKey) -> None:
+        self._store.append_observation(self._row, access)
+
+    def record_observations(self, accesses: Iterable[AccessKey]) -> None:
+        self._store.extend_observations(self._row, accesses)
+
+    @property
+    def last_seen(self) -> float:
+        return float(self._store._last_seen.data[self._row])
+
+    def touch(self, t: float) -> None:
+        cells = self._store._last_seen.data
+        if t > cells[self._row]:
+            cells[self._row] = t
+
+    def role_set(self) -> frozenset:
+        """The interned active-role frozenset (no per-call copy)."""
+        return self._store.role_set(self._row)
+
+    def create_tracker(
+        self, key: str, duration: float, scheme: Scheme
+    ) -> ColumnTracker:
+        self._store.alloc_tracker(self._row, key, duration)
+        return self.trackers[key]
+
+    def advance_monitors(self, access: AccessKey) -> None:
+        self._store.step_monitors_row(self._row, access)
+
+    def monitor_entry(self, constraint):
+        return self._store.monitor_entry(self._row, constraint)
+
+    def init_monitor(self, constraint, compiled):
+        return self._store.init_monitor(self._row, constraint, compiled)
+
+    def clear_monitor_states(self) -> None:
+        self._store.clear_monitor_row(self._row)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StoredSession(session_id={self.session_id!r}, "
+            f"subject={self.subject!r}, row={self._row})"
+        )
+
+
+class SessionStore:
+    """The columnar backing of one engine's resident sessions.
+
+    All mutation happens on the owning engine's thread (under the shard
+    lock in sharded deployments) — the store inherits the engine's
+    threading contract.  The only cross-thread touch point is the
+    garbage collector running handle finalizers, so the free list and
+    the generation column are guarded by ``_free_lock``.
+
+    ``set_observations`` (the ``observed`` setter / churn rescind path)
+    rebuilds a row's log at the arena tail and orphans the old nodes:
+    the arena is append-only by design — rescinds are rare relative to
+    observations, and compaction would invalidate live row links.
+    """
+
+    def __init__(self, scheme: Scheme, record_timelines: bool = True):
+        self.scheme = scheme
+        self.record_timelines = record_timelines
+        capacity = _INITIAL_ROWS
+        self._start_time = _Column(capacity, np.float64)
+        self._last_seen = _Column(capacity, np.float64, fill=-math.inf)
+        self._alive = _Column(capacity, np.uint8)
+        self._gen = _Column(capacity, np.int32)
+        self._sid_seq = _Column(capacity, np.int64, fill=-1)
+        self._subj_seq = _Column(capacity, np.int64, fill=-1)
+        self._user_id = _Column(capacity, np.int32, fill=-1)
+        self._principals_id = _Column(capacity, np.int32, fill=-1)
+        self._role_set_id = _Column(capacity, np.int32)
+        self._obs_head = _Column(capacity, np.int32, fill=-1)
+        self._obs_tail = _Column(capacity, np.int32, fill=-1)
+        self._obs_len = _Column(capacity, np.int32)
+        self._obs_ver = _Column(capacity, np.int32)
+        self._row_columns: list[_Column] = [
+            self._start_time,
+            self._last_seen,
+            self._alive,
+            self._gen,
+            self._sid_seq,
+            self._subj_seq,
+            self._user_id,
+            self._principals_id,
+            self._role_set_id,
+            self._obs_head,
+            self._obs_tail,
+            self._obs_len,
+            self._obs_ver,
+        ]
+        # Interning tables.  Index 0 of the role sets is the empty set
+        # (every fresh row's default).
+        self._users: list[User] = []
+        self._user_codes: dict[User, int] = {}
+        self._principal_sets: list[frozenset] = []
+        self._principal_codes: dict[frozenset, int] = {}
+        self._role_sets: list[frozenset] = [frozenset()]
+        self._role_set_codes: dict[frozenset, int] = {frozenset(): 0}
+        self._symbols: list[AccessKey] = []
+        self._symbol_codes: dict[AccessKey, int] = {}
+        # Rows whose subject was constructed with a non-sequential id
+        # (tests build exotic subjects); plain dict fallback.
+        self._odd_subjects: dict[int, Subject] = {}
+        # Observation arena: linked list of interned symbol ids.
+        self._obs_sym = _Arena(np.int32, fill=-1)
+        self._obs_next = _Arena(np.int32, fill=-1)
+        # Lazy column families.
+        self._trackers: dict[str, _TrackerColumns] = {}
+        self._monitors: dict[object, _MonitorColumn] = {}
+        # Monitor products too wide for an int64 encoding (astronomic;
+        # falls back to per-row state tuples).
+        self._odd_monitors: dict[int, dict[object, tuple]] = {}
+        self._handles: "weakref.WeakValueDictionary[int, StoredSession]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._free: list[int] = []
+        self._free_lock = threading.Lock()
+        self._n = 0  # high-water row mark
+        self._resident = 0
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._alive.data.size
+
+    def _grow_to(self, capacity: int) -> None:
+        for column in self._row_columns:
+            column.grow(capacity)
+        for tc in self._trackers.values():
+            for column in tc.columns():
+                column.grow(capacity)
+        for mc in self._monitors.values():
+            mc.col.grow(capacity)
+
+    def reserve(self, n: int) -> None:
+        """Presize every column for ``n`` rows (so bulk loads measure
+        their true footprint instead of doubling slack)."""
+        if n > self.capacity:
+            self._grow_to(n)
+
+    def nbytes(self) -> int:
+        """Bytes held by the columns and arenas (the store overhead the
+        scale benchmark's per-session gate divides by residency)."""
+        total = sum(c.data.nbytes for c in self._row_columns)
+        for tc in self._trackers.values():
+            total += sum(c.data.nbytes for c in tc.columns())
+            if tc.record_events:
+                total += (
+                    tc.ev_row.data.nbytes
+                    + tc.ev_gen.data.nbytes
+                    + tc.ev_time.data.nbytes
+                    + tc.ev_kind.data.nbytes
+                )
+        for mc in self._monitors.values():
+            total += mc.col.data.nbytes
+        total += self._obs_sym.data.nbytes + self._obs_next.data.nbytes
+        return total
+
+    @property
+    def resident(self) -> int:
+        return self._resident
+
+    # -- interning ----------------------------------------------------------
+
+    def _intern_user(self, user: User) -> int:
+        code = self._user_codes.get(user)
+        if code is None:
+            code = len(self._users)
+            self._users.append(user)
+            self._user_codes[user] = code
+        return code
+
+    def _intern_principals(self, principals: frozenset) -> int:
+        code = self._principal_codes.get(principals)
+        if code is None:
+            code = len(self._principal_sets)
+            self._principal_sets.append(principals)
+            self._principal_codes[principals] = code
+        return code
+
+    def _intern_role_set(self, roles: frozenset) -> int:
+        code = self._role_set_codes.get(roles)
+        if code is None:
+            code = len(self._role_sets)
+            self._role_sets.append(roles)
+            self._role_set_codes[roles] = code
+        return code
+
+    def _symbol_code(self, access: AccessKey) -> int:
+        code = self._symbol_codes.get(access)
+        if code is None:
+            access = AccessKey.of(access)
+            code = len(self._symbols)
+            self._symbols.append(access)
+            self._symbol_codes[access] = code
+        return code
+
+    def role_set(self, row: int) -> frozenset:
+        return self._role_sets[int(self._role_set_id.data[row])]
+
+    def set_role_set(self, row: int, roles: frozenset) -> None:
+        self._role_set_id.data[row] = self._intern_role_set(frozenset(roles))
+
+    # -- rows ----------------------------------------------------------------
+
+    def _alloc_row(self) -> int:
+        with self._free_lock:
+            if self._free:
+                return self._free.pop()
+        row = self._n
+        if row >= self.capacity:
+            self._grow_to(max(row + 1, self.capacity * 2))
+        self._n = row + 1
+        return row
+
+    def open(
+        self,
+        subject: Subject,
+        t: float,
+        sid_seq: int,
+        subj_seq: int | None = None,
+    ) -> int:
+        """Open a session row for ``subject`` at ``t``; returns the row."""
+        row = self._alloc_row()
+        self._start_time.data[row] = t
+        self._last_seen.data[row] = t
+        self._alive.data[row] = 1
+        self._sid_seq.data[row] = sid_seq
+        self._user_id.data[row] = self._intern_user(subject.user)
+        self._principals_id.data[row] = self._intern_principals(
+            subject.principals
+        )
+        self._role_set_id.data[row] = 0
+        self._obs_head.data[row] = -1
+        self._obs_tail.data[row] = -1
+        self._obs_len.data[row] = 0
+        self._obs_ver.data[row] = 0
+        if subj_seq is not None and subject.subject_id == f"subject-{subj_seq}":
+            self._subj_seq.data[row] = subj_seq
+        else:
+            self._subj_seq.data[row] = -1
+            self._odd_subjects[row] = subject
+        self._resident += 1
+        return row
+
+    def open_block(
+        self,
+        t: float,
+        sid_seqs,
+        subj_seqs,
+        user_codes,
+        principal_codes,
+        role_set_code: int,
+    ) -> np.ndarray:
+        """Bulk-open ``len(sid_seqs)`` rows at the high-water mark with
+        vectorized column fills (the scale benchmark's load path).
+        All inputs are parallel integer sequences; interning codes come
+        from the scalar helpers.  Returns the opened row indices."""
+        n = len(sid_seqs)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        first = self._n
+        if first + n > self.capacity:
+            self._grow_to(max(first + n, self.capacity * 2))
+        rows = np.arange(first, first + n, dtype=np.int64)
+        self._n = first + n
+        sl = slice(first, first + n)
+        self._start_time.data[sl] = t
+        self._last_seen.data[sl] = t
+        self._alive.data[sl] = 1
+        self._sid_seq.data[sl] = np.asarray(sid_seqs, dtype=np.int64)
+        self._subj_seq.data[sl] = np.asarray(subj_seqs, dtype=np.int64)
+        self._user_id.data[sl] = np.asarray(user_codes, dtype=np.int32)
+        self._principals_id.data[sl] = np.asarray(
+            principal_codes, dtype=np.int32
+        )
+        self._role_set_id.data[sl] = role_set_code
+        self._obs_head.data[sl] = -1
+        self._obs_tail.data[sl] = -1
+        self._obs_len.data[sl] = 0
+        self._obs_ver.data[sl] = 0
+        self._resident += n
+        return rows
+
+    def close(self, row: int, gen: int) -> None:
+        """Mark a row closed; it is recycled once the last handle dies
+        (immediately when none exists)."""
+        with self._free_lock:
+            if int(self._gen.data[row]) != gen or not self._alive.data[row]:
+                return
+            self._alive.data[row] = 0
+            self._resident -= 1
+            if self._handles.get(row) is None:
+                self._free_row_locked(row)
+
+    def _on_handle_dead(self, row: int, gen: int) -> None:
+        """weakref.finalize hook: recycle a closed row when its last
+        handle is collected.  Generation-checked, so a handle from a
+        previous occupancy of the row is a no-op."""
+        with self._free_lock:
+            if int(self._gen.data[row]) == gen and not self._alive.data[row]:
+                self._free_row_locked(row)
+
+    def _free_row_locked(self, row: int) -> None:
+        """Reset a row and return it to the free list.  Caller holds
+        ``_free_lock``.  The generation bump invalidates every stale
+        handle, view and pending finalizer for the old occupancy."""
+        self._gen.data[row] += 1
+        self._sid_seq.data[row] = -1
+        self._subj_seq.data[row] = -1
+        self._user_id.data[row] = -1
+        self._principals_id.data[row] = -1
+        self._role_set_id.data[row] = 0
+        self._last_seen.data[row] = -math.inf
+        self._obs_head.data[row] = -1
+        self._obs_tail.data[row] = -1
+        self._obs_len.data[row] = 0
+        self._obs_ver.data[row] = 0
+        self._odd_subjects.pop(row, None)
+        self._odd_monitors.pop(row, None)
+        for tc in self._trackers.values():
+            tc.alloc.data[row] = 0
+        for mc in self._monitors.values():
+            mc.col.data[row] = -1
+        self._free.append(row)
+
+    def register_handle(self, row: int, handle: StoredSession) -> None:
+        self._handles[row] = handle
+        weakref.finalize(handle, self._on_handle_dead, row, handle._gen)
+
+    def handle_for(self, row: int) -> StoredSession | None:
+        return self._handles.get(row)
+
+    def subject_of(self, row: int) -> Subject:
+        odd = self._odd_subjects.get(row)
+        if odd is not None:
+            return odd
+        return Subject(
+            self._users[int(self._user_id.data[row])],
+            self._principal_sets[int(self._principals_id.data[row])],
+            subject_id=f"subject-{int(self._subj_seq.data[row])}",
+        )
+
+    def row_of_session_id(self, session_id: str) -> int | None:
+        """Row of a live session by id — a vectorized scan (no reverse
+        index: materialisation by id is an administrative operation,
+        and an id→row dict would be the store's single biggest cell)."""
+        prefix = "session-"
+        if not session_id.startswith(prefix):
+            return None
+        try:
+            seq = int(session_id[len(prefix):])
+        except ValueError:
+            return None
+        n = self._n
+        hits = np.nonzero(
+            (self._sid_seq.data[:n] == seq) & (self._alive.data[:n] == 1)
+        )[0]
+        if hits.size == 0:
+            return None
+        return int(hits[0])
+
+    def alive_rows(self) -> np.ndarray:
+        return np.nonzero(self._alive.data[: self._n] == 1)[0]
+
+    def idle_rows(self, now: float | None, idle_for: float) -> tuple[float, np.ndarray]:
+        """Live rows idle for at least ``idle_for`` as of ``now``
+        (default: the store's own latest activity instant), plus the
+        effective ``now`` used."""
+        n = self._n
+        alive = self._alive.data[:n] == 1
+        if not alive.any():
+            return (0.0, np.empty(0, dtype=np.int64))
+        seen = self._last_seen.data[:n]
+        eff_now = float(seen[alive].max()) if now is None else float(now)
+        idle = alive & (eff_now - seen >= idle_for)
+        return (eff_now, np.nonzero(idle)[0])
+
+    # -- observations --------------------------------------------------------
+
+    def append_observation(self, row: int, access: AccessKey) -> None:
+        index = self._obs_sym.append(self._symbol_code(access))
+        self._obs_next.append(-1)
+        tail = int(self._obs_tail.data[row])
+        if tail >= 0:
+            self._obs_next.data[tail] = index
+        else:
+            self._obs_head.data[row] = index
+        self._obs_tail.data[row] = index
+        self._obs_len.data[row] += 1
+        self._obs_ver.data[row] += 1
+
+    def extend_observations(self, row: int, accesses: Iterable[AccessKey]) -> None:
+        """Append many observations with one version bump (the
+        per-commit-batch invalidation of the memo-churn fix)."""
+        appended = 0
+        tail = int(self._obs_tail.data[row])
+        for access in accesses:
+            index = self._obs_sym.append(self._symbol_code(access))
+            self._obs_next.append(-1)
+            if tail >= 0:
+                self._obs_next.data[tail] = index
+            else:
+                self._obs_head.data[row] = index
+            tail = index
+            appended += 1
+        if appended:
+            self._obs_tail.data[row] = tail
+            self._obs_len.data[row] += appended
+            self._obs_ver.data[row] += 1
+
+    def set_observations(
+        self, row: int, accesses: Iterable[AccessKey | tuple[str, str, str]]
+    ) -> None:
+        """Replace the row's log (the ``observed`` setter / rescind
+        path).  Clears the row's monitor states — they were advanced
+        over the old history — exactly like the object-backed setter."""
+        self._obs_head.data[row] = -1
+        self._obs_tail.data[row] = -1
+        self._obs_len.data[row] = 0
+        self._obs_ver.data[row] += 1
+        self.extend_observations(
+            row,
+            (a if type(a) is AccessKey else AccessKey.of(a) for a in accesses),
+        )
+        self.clear_monitor_row(row)
+
+    def observed_list(self, row: int) -> list[AccessKey]:
+        out: list[AccessKey] = []
+        symbols = self._symbols
+        sym = self._obs_sym.data
+        nxt = self._obs_next.data
+        index = int(self._obs_head.data[row])
+        while index >= 0:
+            out.append(symbols[sym[index]])
+            index = int(nxt[index])
+        return out
+
+    def rescind_server(self, server: str) -> int:
+        """Drop every observation at ``server`` from every live row
+        (the coalition-eviction path).  Returns observations removed."""
+        removed = 0
+        for row in self.alive_rows().tolist():
+            if not self._obs_len.data[row]:
+                continue
+            log = self.observed_list(row)
+            kept = [a for a in log if a.server != server]
+            if len(kept) != len(log):
+                removed += len(log) - len(kept)
+                self.set_observations(row, kept)
+        return removed
+
+    # -- monitor states ------------------------------------------------------
+
+    def monitor_entry(self, row: int, constraint) -> tuple | None:
+        mc = self._monitors.get(constraint)
+        if mc is not None:
+            value = int(mc.col.data[row])
+            if value >= 0:
+                return (mc.compiled, mc.decode(value))
+        odd = self._odd_monitors.get(row)
+        if odd is not None:
+            return odd.get(constraint)
+        return None
+
+    def init_monitor(self, row: int, constraint, compiled) -> tuple:
+        """Initialise a row's monitor cell by folding its observed
+        history — the columnar analogue of the object engine's
+        ``monitor_cache`` fill."""
+        states = compiled.run(self.observed_list(row))
+        mc = self._monitors.get(constraint)
+        if mc is None:
+            product = 1
+            for monitor in compiled.monitors:
+                product *= monitor.size()
+            if product <= 2**62:
+                mc = _MonitorColumn(compiled, self.capacity)
+                self._monitors[constraint] = mc
+            else:  # pragma: no cover - astronomically wide products
+                self._odd_monitors.setdefault(row, {})[constraint] = (
+                    compiled,
+                    states,
+                )
+                return (compiled, states)
+        mc.col.data[row] = mc.encode(states)
+        return (mc.compiled, states)
+
+    def monitor_state_id(self, row: int, constraint, table: "TransitionTable") -> int | None:
+        """The row's ready-made table state id for ``constraint`` —
+        the vector sweep's fast path (no tuple decode/encode).  ``None``
+        when the cell is uninitialised or its radix disagrees with the
+        table's (then the caller takes the compiled-monitor path)."""
+        mc = self._monitors.get(constraint)
+        if mc is None or mc.sizes != table.sizes:
+            return None
+        value = int(mc.col.data[row])
+        return value if value >= 0 else None
+
+    def step_monitors_row(self, row: int, access: AccessKey) -> None:
+        """Advance every initialised monitor cell of ``row`` by one
+        access (the ``observe`` hot path)."""
+        for mc in self._monitors.values():
+            value = int(mc.col.data[row])
+            if value >= 0:
+                mc.col.data[row] = mc.encode(
+                    mc.compiled.step(mc.decode(value), access)
+                )
+        odd = self._odd_monitors.get(row)
+        if odd is not None:
+            for constraint, (compiled, states) in list(odd.items()):
+                odd[constraint] = (compiled, compiled.step(states, access))
+
+    def has_monitor_state(self, row: int) -> bool:
+        if any(mc.col.data[row] >= 0 for mc in self._monitors.values()):
+            return True
+        return bool(self._odd_monitors.get(row))
+
+    def monitor_items(self, row: int) -> list[tuple]:
+        out = []
+        for constraint, mc in self._monitors.items():
+            value = int(mc.col.data[row])
+            if value >= 0:
+                out.append((constraint, (mc.compiled, mc.decode(value))))
+        odd = self._odd_monitors.get(row)
+        if odd is not None:
+            out.extend((c, entry) for c, entry in odd.items())
+        return out
+
+    def clear_monitor_row(self, row: int) -> None:
+        for mc in self._monitors.values():
+            mc.col.data[row] = -1
+        self._odd_monitors.pop(row, None)
+
+    def clear_all_monitor_states(self) -> None:
+        for mc in self._monitors.values():
+            mc.col.data[:] = -1
+        self._odd_monitors.clear()
+
+    # -- trackers ------------------------------------------------------------
+
+    def _tracker_columns(self, key: str) -> _TrackerColumns:
+        tc = self._trackers.get(key)
+        if tc is None:
+            tc = _TrackerColumns(self.capacity, self.record_timelines)
+            self._trackers[key] = tc
+        return tc
+
+    def alloc_tracker(self, row: int, key: str, duration: float) -> None:
+        """Allocate one tracker cell in the fresh (inactive) state the
+        object tracker's constructor produces."""
+        if duration <= 0:
+            raise TemporalError(
+                f"validity duration must be positive, got {duration}"
+            )
+        tc = self._tracker_columns(key)
+        start = float(self._start_time.data[row])
+        tc.alloc.data[row] = 1
+        tc.active.data[row] = 0
+        tc.anchor.data[row] = start
+        tc.consumed0.data[row] = 0.0
+        tc.expiry.data[row] = math.inf
+        tc.now.data[row] = start
+        tc.dur.data[row] = tc.dur_code(duration)
+
+    def tracker_activate_block(
+        self, key: str, rows: np.ndarray, t: float, duration: float
+    ) -> None:
+        """Bulk create-and-activate one tracker key for freshly opened
+        rows (start_time == ``t``): the vectorized equivalent of
+        ``create_tracker`` + ``activate(t)`` per row."""
+        if duration <= 0:
+            raise TemporalError(
+                f"validity duration must be positive, got {duration}"
+            )
+        tc = self._tracker_columns(key)
+        code = tc.dur_code(duration)
+        tc.alloc.data[rows] = 1
+        tc.active.data[rows] = 1
+        tc.anchor.data[rows] = t
+        tc.consumed0.data[rows] = 0.0
+        tc.now.data[rows] = t
+        tc.expiry.data[rows] = (
+            math.inf if math.isinf(duration) else t + duration
+        )
+        tc.dur.data[rows] = code
+        if tc.record_events:
+            gens = self._gen.data[rows]
+            # Per-row replay order is active-on then valid-on at t —
+            # appending the whole active block first preserves it.
+            for kind in (_EV_ACTIVE_ON, _EV_VALID_ON):
+                for row, gen in zip(rows.tolist(), gens.tolist()):
+                    tc.ev_row.append(row)
+                    tc.ev_gen.append(gen)
+                    tc.ev_time.append(t)
+                    tc.ev_kind.append(kind)

@@ -112,6 +112,7 @@ class PreparedSweep:
         "live_hits_add",
         "n",
         "granted",
+        "t_last",
     )
 
     def __init__(self, engine: "AccessControlEngine", session: "Session"):
@@ -123,6 +124,8 @@ class PreparedSweep:
         self.live_hits_add = 0
         self.n = 0
         self.granted = 0
+        #: Final decision instant of the batch (idle-clock commit).
+        self.t_last = 0.0
 
 
 def prepare_sweep(
@@ -149,11 +152,16 @@ def prepare_sweep(
 
     prep = PreparedSweep(engine, session)
     prep.n = n
+    prep.t_last = float(times[-1])
     prep.decisions = [None] * n  # type: ignore[list-item]
     decisions = prep.decisions
     times_arr = np.asarray(times, dtype=np.float64)
     subject_id = session.subject.subject_id
-    history_len = len(session.observed)
+    history_len = session.observed_len()
+    # Columnar fast path: a store-backed session's monitor cells *are*
+    # table state ids — no tuple decode/encode per candidate.
+    store = getattr(session, "_store", None)
+    store_row = session._row if store is not None else -1
     # One epoch read per sweep: the membership epoch cannot change
     # mid-batch under the shard lock, so this matches the scalar loop's
     # per-decision read bit for bit.
@@ -209,12 +217,19 @@ def prepare_sweep(
             table = engine._extension_table(constraint, access, universe)
             if table is None:
                 return None
-            _, states = engine._cached_monitors(session, constraint)
             try:
                 symbol = table.intern(access)
             except AlphabetError:
                 return None
-            successor = int(table.trans[table.encode(states), symbol])
+            state_id = (
+                store.monitor_state_id(store_row, constraint, table)
+                if store is not None
+                else None
+            )
+            if state_id is None:
+                _, states = engine._cached_monitors(session, constraint)
+                state_id = table.encode(states)
+            successor = int(table.trans[state_id, symbol])
             spatial.append(bool(table.live[successor]))
             ctexts.append(_constraint_source(constraint))
 
@@ -468,6 +483,8 @@ def commit_sweep(prep: PreparedSweep, record_audit: bool = True) -> list[Decisio
     engine = prep.engine
     for _key, (permission, t_max) in prep.advances.items():
         engine._tracker(prep.session, permission).state(t_max)
+    if prep.n:
+        prep.session.touch(prep.t_last)
     engine._live_hits += prep.live_hits_add
     if OBS.enabled:
         # Metrics count every decision; the sampled per-decision spans

@@ -236,6 +236,9 @@ class ServiceStats:
     #: served by the vectorized path vs. scalar fallbacks.
     vector_decisions: int = 0
     vector_fallbacks: int = 0
+    #: Sessions closed by the opt-in idle-expiry sweep (see the
+    #: ``idle_expiry`` constructor parameter).
+    expired_sessions: int = 0
 
     @property
     def mean_latency_s(self) -> float:
@@ -267,6 +270,7 @@ class ServiceStats:
             "max_batch_size": self.max_batch_size,
             "vector_decisions": self.vector_decisions,
             "vector_fallbacks": self.vector_fallbacks,
+            "expired_sessions": self.expired_sessions,
         }
 
 
@@ -328,6 +332,20 @@ class DecisionService:
         of an evicted server's proofs.  Shard routing is a stable
         owner hash independent of coalition size, so membership
         changes never rebalance sessions (routes stay pinned).
+    idle_expiry:
+        Opt-in idle-session reclamation: when set (logical seconds), a
+        daemon thread periodically calls
+        :meth:`ShardedEngine.expire_sessions` with this ``idle_for``,
+        closing every session whose ``last_seen`` has fallen that far
+        behind the shard's newest activity.  The sweep runs on the
+        engines' *logical* clock (the ``t`` of decided requests), so a
+        quiet service never expires anything — idleness is relative to
+        traffic actually flowing.  Expired sessions count toward
+        :attr:`ServiceStats.expired_sessions`.  ``None`` (default)
+        disables the sweep entirely.
+    idle_sweep_interval_s:
+        Wall-clock period of the idle-expiry daemon (only meaningful
+        with ``idle_expiry`` set).
     """
 
     def __init__(
@@ -341,6 +359,8 @@ class DecisionService:
         max_wait_s: float = 0.002,
         prewarm: bool | Iterable[AccessKey | tuple[str, str, str]] = False,
         coalition=None,
+        idle_expiry: float | None = None,
+        idle_sweep_interval_s: float = 0.05,
     ):
         if workers < 1:
             raise ServiceError(f"worker count must be >= 1, got {workers}")
@@ -350,6 +370,14 @@ class DecisionService:
             raise ServiceError(f"max batch must be >= 1, got {max_batch}")
         if max_wait_s < 0:
             raise ServiceError(f"max wait must be >= 0, got {max_wait_s}")
+        if idle_expiry is not None and idle_expiry <= 0:
+            raise ServiceError(
+                f"idle expiry must be > 0, got {idle_expiry}"
+            )
+        if idle_sweep_interval_s <= 0:
+            raise ServiceError(
+                f"idle sweep interval must be > 0, got {idle_sweep_interval_s}"
+            )
         self.engine = engine
         self.workers = workers
         self.max_batch = max_batch
@@ -383,6 +411,7 @@ class DecisionService:
         self._batches = 0
         self._batched_requests = 0
         self._max_batch_seen = 0
+        self._expired_sessions = 0
         # Drain scheduling: at most one drainer per shard at a time.
         # The flag is only read/written under its shard's drain lock,
         # which closes the submit-vs-drainer-exit race (an item is
@@ -434,6 +463,30 @@ class DecisionService:
             coalition.subscribe(self._on_membership)
         if prewarm:
             engine.prewarm(() if prewarm is True else prewarm)
+        self.idle_expiry = idle_expiry
+        self._idle_stop = threading.Event()
+        self._idle_thread: threading.Thread | None = None
+        if idle_expiry is not None:
+            self._idle_thread = threading.Thread(
+                target=self._idle_sweep_loop,
+                args=(idle_expiry, idle_sweep_interval_s),
+                name="idle-expiry",
+                daemon=True,
+            )
+            self._idle_thread.start()
+
+    def _idle_sweep_loop(
+        self, idle_for: float, interval_s: float
+    ) -> None:
+        """Daemon body of the opt-in idle-expiry sweep: every
+        ``interval_s`` of wall time, close sessions idle for more than
+        ``idle_for`` logical seconds on every shard (under the shard
+        locks, so the sweep never races a drain's decisions)."""
+        while not self._idle_stop.wait(interval_s):
+            expired = self.engine.expire_sessions(idle_for=idle_for)
+            if expired:
+                with self._stats_lock:
+                    self._expired_sessions += expired
 
     def _on_membership(self, event) -> None:
         """Coalition membership listener: count the change and, on an
@@ -959,6 +1012,7 @@ class DecisionService:
                 vector_fallbacks=sum(
                     row["vector_fallbacks"] for row in shard_rows
                 ),
+                expired_sessions=self._expired_sessions,
             )
 
     def reset_stats(self) -> None:
@@ -978,12 +1032,17 @@ class DecisionService:
             self._batches = 0
             self._batched_requests = 0
             self._max_batch_seen = 0
+            self._expired_sessions = 0
         self.engine.reset_stats()
 
     # -- lifecycle ----------------------------------------------------------------
 
     def shutdown(self, wait: bool = True) -> None:
         self._closed = True
+        self._idle_stop.set()
+        if self._idle_thread is not None and wait:
+            self._idle_thread.join()
+            self._idle_thread = None
         self._executor.shutdown(wait=wait)
 
     def __enter__(self) -> "DecisionService":

@@ -79,9 +79,14 @@ class ShardedEngine:
             for i in range(shards)
         ]
         self.policy = policy
-        # session_id -> shard index; guarded for concurrent authenticates.
-        self._routes: dict[str, int] = {}
-        self._route_lock = threading.Lock()
+        # Attribute routing: every session minted by a shard engine is
+        # stamped with its shard index and this token, so ``shard_of``
+        # is two attribute reads — no per-session route dict to grow
+        # (and leak) alongside a million-session store.
+        self._token = object()
+        for shard in self._shards:
+            shard.engine.shard_index = shard.index
+            shard.engine.router_token = self._token
 
     # -- routing --------------------------------------------------------------
 
@@ -94,14 +99,13 @@ class ShardedEngine:
         return stripe_index(key, len(self._shards))
 
     def shard_of(self, session: Session) -> int:
-        """The shard that owns ``session``."""
-        try:
-            return self._routes[session.session_id]
-        except KeyError:
-            raise ServiceError(
-                f"session {session.session_id!r} is not routed through this "
-                f"sharded engine"
-            ) from None
+        """The shard that owns ``session`` (its routing stamp)."""
+        if getattr(session, "_router", None) is self._token:
+            return session._shard_index
+        raise ServiceError(
+            f"session {session.session_id!r} is not routed through this "
+            f"sharded engine"
+        )
 
     def _shard_for(self, session: Session) -> _Shard:
         return self._shards[self.shard_of(session)]
@@ -121,17 +125,60 @@ class ShardedEngine:
         index = self.shard_index(shard_key if shard_key is not None else user_name)
         shard = self._shards[index]
         with shard.lock:
-            session = shard.engine.authenticate(user_name, t, principals)
-        with self._route_lock:
-            self._routes[session.session_id] = index
-        return session
+            return shard.engine.authenticate(user_name, t, principals)
+
+    def open_sessions(
+        self,
+        user_names: Iterable[str],
+        t: float,
+        roles: Iterable[str] = (),
+    ) -> dict[int, "np.ndarray"]:
+        """Bulk-open sessions across shards (columnar engines only):
+        users are routed by name exactly as :meth:`authenticate` would,
+        then each shard bulk-loads its share
+        (:meth:`AccessControlEngine.open_sessions`).  Returns
+        ``{shard_index: row_indices}``; :meth:`session_at` materialises
+        handles on demand."""
+        roles = tuple(roles)
+        by_shard: dict[int, list[str]] = {}
+        for name in user_names:
+            by_shard.setdefault(self.shard_index(name), []).append(name)
+        out: dict[int, "np.ndarray"] = {}
+        for index, names in sorted(by_shard.items()):
+            shard = self._shards[index]
+            with shard.lock:
+                out[index] = shard.engine.open_sessions(names, t, roles)
+        return out
+
+    def session_at(self, shard_index: int, row: int) -> Session:
+        """The session handle at ``row`` of shard ``shard_index``."""
+        shard = self._shards[shard_index]
+        with shard.lock:
+            return shard.engine.session_at(row)
 
     def close_session(self, session: Session, t: float) -> None:
         shard = self._shard_for(session)
         with shard.lock:
             shard.engine.close_session(session, t)
-        with self._route_lock:
-            self._routes.pop(session.session_id, None)
+
+    def expire_sessions(
+        self, now: float | None = None, idle_for: float = 0.0
+    ) -> int:
+        """Expire idle sessions on every shard (see
+        :meth:`AccessControlEngine.expire_sessions`)."""
+        expired = 0
+        for shard in self._shards:
+            with shard.lock:
+                expired += shard.engine.expire_sessions(now, idle_for)
+        return expired
+
+    def resident_sessions(self) -> int:
+        """Resident sessions summed across shards."""
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                total += shard.engine.resident_sessions()
+        return total
 
     def activate_role(self, session: Session, role_name: str, t: float) -> None:
         shard = self._shard_for(session)
@@ -338,10 +385,6 @@ class ShardedEngine:
         of the shard's decisions went through the batched path vs. the
         scalar fallback (the per-shard batching-efficacy view)."""
         out = []
-        with self._route_lock:
-            routed: dict[int, int] = {}
-            for index in self._routes.values():
-                routed[index] = routed.get(index, 0) + 1
         for shard in self._shards:
             with shard.lock:
                 out.append(
@@ -349,7 +392,7 @@ class ShardedEngine:
                         "shard": shard.index,
                         "decisions": shard.decisions,
                         "granted": shard.granted,
-                        "sessions": routed.get(shard.index, 0),
+                        "sessions": shard.engine.resident_sessions(),
                         # Engine counters are only mutated under this
                         # shard's lock, so reading them here is exact.
                         "vector_decisions": shard.engine._vector_decisions,

@@ -13,6 +13,7 @@ The paper's trace operators (concatenation ``t·v``, interleaving
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Iterator, NamedTuple
 
 __all__ = [
@@ -44,6 +45,48 @@ class AccessKey(NamedTuple):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.op} {self.resource} @ {self.server}"
+
+    @classmethod
+    def of(
+        cls,
+        op: "str | AccessKey | tuple[str, str, str]",
+        resource: str | None = None,
+        server: str | None = None,
+    ) -> "AccessKey":
+        """The process-wide interned instance equal to the given key.
+
+        Observation logs, explicit histories and the columnar session
+        store all hold the *same* accesses over and over; interning
+        collapses those duplicates to one tuple per distinct
+        ``(op, resource, server)``.  Accepts either the three fields or
+        a single key/triple: ``AccessKey.of("read", "r1", "s1")`` and
+        ``AccessKey.of(("read", "r1", "s1"))`` return the same object.
+
+        The intern table is lock-striped: the read path is a plain
+        GIL-atomic dict probe, only a miss takes its stripe's lock to
+        insert.  The table is bounded by the access alphabet (ops ×
+        resources × servers actually seen), not by traffic.
+        """
+        if resource is None:
+            key = op if type(op) is cls else cls(*op)  # type: ignore[misc]
+        else:
+            key = cls(op, resource, server)  # type: ignore[arg-type]
+        stripe = hash(key) % _INTERN_STRIPES
+        table = _intern_tables[stripe]
+        found = table.get(key)
+        if found is None:
+            with _intern_locks[stripe]:
+                found = table.get(key)
+                if found is None:
+                    table[key] = found = key
+        return found
+
+
+#: Stripe count of the :meth:`AccessKey.of` intern table (locks guard
+#: inserts only; lookups are GIL-atomic dict probes).
+_INTERN_STRIPES = 16
+_intern_locks = tuple(threading.Lock() for _ in range(_INTERN_STRIPES))
+_intern_tables: tuple[dict, ...] = tuple({} for _ in range(_INTERN_STRIPES))
 
 
 Trace = tuple[AccessKey, ...]

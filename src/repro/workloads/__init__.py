@@ -13,10 +13,20 @@ from repro.workloads.programs import (
     random_program,
     random_regex,
 )
+from repro.workloads.scale import (
+    ScaleSpec,
+    ScaleWorkload,
+    build_policy as build_scale_policy,
+    build_workload as build_scale_workload,
+)
 
 __all__ = [
     "random_constraint",
     "random_selection",
+    "ScaleSpec",
+    "ScaleWorkload",
+    "build_scale_policy",
+    "build_scale_workload",
     "coalition_topology",
     "random_module_graph",
     "access_alphabet",

@@ -1,0 +1,207 @@
+"""Million-session coalition workload for the scale benchmark.
+
+EXP-SCALE drives the columnar session store
+(:mod:`repro.rbac.session_store`) to coalition scale: hundreds of
+servers, a session population in the millions, request traffic with
+the two skews real fleets show —
+
+* **Zipf popularity** over sessions: a small hot set produces most of
+  the traffic while the long tail stays resident but quiet (exactly
+  the population the columnar store is built to hold cheaply);
+* **diurnal arrivals**: request times follow an inhomogeneous Poisson
+  process whose rate swings sinusoidally over a simulated day, sampled
+  by time-rescaling (homogeneous arrivals warped through the inverse
+  cumulative intensity).
+
+Arrival times are globally nondecreasing, so every session's own
+request subsequence is monotone — each drained micro-batch is
+vector-sweep eligible by construction, and any fallback the service
+reports is attributable to the store, not the workload.
+
+Everything is generated from one seeded :class:`numpy.random.Generator`
+(vectorized; no per-request Python loop), so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rbac.model import Permission
+from repro.rbac.policy import Policy
+from repro.srac.parser import parse_constraint
+from repro.traces.trace import AccessKey
+
+__all__ = ["ScaleSpec", "ScaleWorkload", "build_policy", "build_workload"]
+
+#: Table-eligible SRAC constraints of the scale policy (small monitor
+#: products — the store keeps one int64 state column per constraint).
+COUNT_CONSTRAINT_SRC = "count(0, {bound}, [res = rsw])"
+ORDER_CONSTRAINT_SRC = "exec rsw @ s0 >> exec rsw @ s1"
+
+
+@dataclass(frozen=True)
+class ScaleSpec:
+    """Shape of one scale run (all fields have benchmark defaults)."""
+
+    #: Resident session population.
+    sessions: int = 1_000_000
+    #: Distinct users the sessions belong to (sessions per user =
+    #: ``sessions / users``; routing co-locates one user's sessions).
+    users: int = 10_000
+    #: Coalition servers: the access alphabet spans ``s0 .. s{n-1}``.
+    servers: int = 200
+    #: Requests in the generated stream.
+    requests: int = 200_000
+    #: Zipf exponent of the session-popularity skew (>1 = heavy head).
+    zipf_s: float = 1.1
+    #: Simulated-day length (logical seconds) of the diurnal cycle.
+    day_s: float = 86_400.0
+    #: Relative amplitude of the diurnal rate swing (0 = flat Poisson).
+    diurnal_amplitude: float = 0.6
+    #: Streams span roughly this many simulated days.
+    days: float = 1.0
+    #: Upper bound of the counting constraint (``count(0, bound, ...)``)
+    #: — tiny bounds force spatial denials, the verification shape.
+    count_bound: int = 200
+    seed: int = 2026
+
+
+@dataclass
+class ScaleWorkload:
+    """A fully materialised request stream over a session population."""
+
+    spec: ScaleSpec
+    #: ``user_names[i]`` owns session ``i`` (the bulk-open order).
+    user_names: list[str]
+    #: Nondecreasing request instants (inhomogeneous Poisson samples).
+    times: np.ndarray
+    #: ``session_index[k]`` is the Zipf-drawn target of request ``k``.
+    session_index: np.ndarray
+    #: Interned request accesses, aligned with ``times``.
+    accesses: list[AccessKey] = field(repr=False)
+
+    @property
+    def alphabet(self) -> list[AccessKey]:
+        """The distinct accesses the stream draws from (prewarm set)."""
+        seen: dict[AccessKey, None] = {}
+        for access in self.accesses:
+            seen.setdefault(access)
+        return list(seen)
+
+
+def build_policy(spec: ScaleSpec) -> Policy:
+    """The scale policy: one role over three permissions — two gated
+    by table-eligible SRAC constraints, with mixed finite/infinite
+    validity durations (finite budgets keep tracker expiry arithmetic
+    on the hot path; the unconstrained permission is the cheap-grant
+    floor)."""
+    policy = Policy()
+    policy.add_role("agent")
+    policy.add_permission(
+        Permission(
+            "exec-rsw",
+            op="exec",
+            resource="rsw",
+            spatial_constraint=parse_constraint(
+                COUNT_CONSTRAINT_SRC.format(bound=spec.count_bound)
+            ),
+            validity_duration=4.0 * spec.day_s,
+        )
+    )
+    policy.add_permission(
+        Permission(
+            "read-rsw",
+            op="read",
+            resource="rsw",
+            spatial_constraint=parse_constraint(ORDER_CONSTRAINT_SRC),
+            validity_duration=math.inf,
+        )
+    )
+    policy.add_permission(
+        Permission("write-log", op="write", resource="log")
+    )
+    for i in range(spec.users):
+        name = f"u{i:05d}"
+        policy.add_user(name)
+        policy.assign_user(name, "agent")
+    policy.assign_permission("agent", "exec-rsw")
+    policy.assign_permission("agent", "read-rsw")
+    policy.assign_permission("agent", "write-log")
+    return policy
+
+
+def _diurnal_times(spec: ScaleSpec, rng: np.random.Generator) -> np.ndarray:
+    """Arrival instants of an inhomogeneous Poisson process with rate
+    ``lam(t) = base * (1 + A * sin(2*pi*t/day))`` via time-rescaling:
+    draw homogeneous unit-rate arrivals, then warp them through the
+    inverse cumulative intensity (tabulated on a dense grid)."""
+    horizon = spec.days * spec.day_s
+    # Unit-mean gaps -> homogeneous arrivals on [0, n); scale to the
+    # cumulative intensity over the horizon so the stream spans it.
+    gaps = rng.exponential(1.0, size=spec.requests)
+    homogeneous = np.cumsum(gaps)
+    homogeneous *= spec.requests / homogeneous[-1]
+    grid = np.linspace(0.0, horizon, 4096)
+    amplitude = spec.diurnal_amplitude
+    omega = 2.0 * math.pi / spec.day_s
+    # Closed-form integral of the (unnormalised) rate profile.
+    cumulative = grid + (amplitude / omega) * (1.0 - np.cos(omega * grid))
+    cumulative *= spec.requests / cumulative[-1]
+    times = np.interp(homogeneous, cumulative, grid)
+    # Strictly increasing instants: equal-time requests to one session
+    # are legal but needlessly stress float-equality paths.
+    np.maximum.accumulate(times, out=times)
+    times += np.arange(spec.requests) * 1e-7
+    return times
+
+
+def _zipf_sessions(spec: ScaleSpec, rng: np.random.Generator) -> np.ndarray:
+    """Zipf-skewed session targets: rank ``r`` has weight ``1/r**s``,
+    drawn by inverse-CDF over the precomputed cumulative weights, then
+    shuffled through a random rank->session permutation so the hot set
+    is scattered across shards."""
+    ranks = np.arange(1, spec.sessions + 1, dtype=np.float64)
+    weights = ranks ** -spec.zipf_s
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    draws = rng.random(spec.requests)
+    picked = np.searchsorted(cdf, draws, side="left")
+    permutation = rng.permutation(spec.sessions)
+    return permutation[picked].astype(np.int64)
+
+
+def build_workload(spec: ScaleSpec) -> ScaleWorkload:
+    """Generate the full reproducible stream for ``spec``."""
+    if spec.sessions < 1 or spec.users < 1 or spec.requests < 1:
+        raise ValueError(f"degenerate scale spec: {spec}")
+    rng = np.random.default_rng(spec.seed)
+    user_names = [f"u{i % spec.users:05d}" for i in range(spec.sessions)]
+    times = _diurnal_times(spec, rng)
+    session_index = _zipf_sessions(spec, rng)
+    # Request mix: mostly the SRAC-gated permissions (monitor steps on
+    # the hot path), a write floor, spread across the server fleet.
+    ops = rng.integers(0, 3, size=spec.requests)
+    servers = rng.integers(0, spec.servers, size=spec.requests)
+    # The ordered constraint watches s0/s1 only; bias a slice of the
+    # exec/read traffic onto them so its monitor actually advances.
+    watched = rng.random(spec.requests) < 0.2
+    servers[watched] = rng.integers(0, 2, size=int(watched.sum()))
+    kinds = (
+        AccessKey.of("exec", "rsw", ""),
+        AccessKey.of("read", "rsw", ""),
+        AccessKey.of("write", "log", ""),
+    )
+    accesses = [
+        AccessKey.of(kinds[op].op, kinds[op].resource, f"s{srv}")
+        for op, srv in zip(ops.tolist(), servers.tolist())
+    ]
+    return ScaleWorkload(
+        spec=spec,
+        user_names=user_names,
+        times=times,
+        session_index=session_index,
+        accesses=accesses,
+    )

@@ -1,0 +1,515 @@
+"""Differential properties of the columnar session store.
+
+The contract of :mod:`repro.rbac.session_store` is *bit-identity*: an
+engine whose sessions live in struct-of-arrays columns must be
+indistinguishable from the classic object-backed engine — same
+decisions (full provenance), same audit order, same observation
+histories, same validity-tracker states and recorded timelines —
+across random policies, interleaved multi-session walks, session
+churn and server rescission.  Every test here runs the same workload
+through a store-backed and an object-backed engine and compares.
+
+The store's own mechanics (row recycling, generation guards, handle
+identity, memory accounting) are unit-tested at the bottom.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import tracemalloc
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import tests.strategies as strategies
+from repro.errors import RbacError, TemporalError
+from repro.rbac.audit import Decision
+from repro.rbac.engine import AccessControlEngine
+from repro.rbac.model import Permission
+from repro.rbac.policy import Policy
+from repro.service import DecisionService, ShardedEngine
+from repro.srac.parser import parse_constraint
+from repro.traces.trace import AccessKey
+
+COUNT_SRC = "count(0, 3, [res = r1])"
+
+
+def _norm(decision: Decision) -> Decision:
+    """Subject ids are globally unique across engines; mask them."""
+    return dataclasses.replace(decision, subject_id="")
+
+
+def _policy(constraints, durations):
+    policy = Policy()
+    policy.add_user("u")
+    policy.add_role("r")
+    for i, (constraint, duration) in enumerate(zip(constraints, durations)):
+        kwargs = {} if duration is None else {"validity_duration": duration}
+        policy.add_permission(
+            Permission(
+                f"p{i}",
+                op="exec",
+                resource="r1",
+                spatial_constraint=constraint,
+                **kwargs,
+            )
+        )
+        policy.assign_permission("r", f"p{i}")
+    policy.assign_user("u", "r")
+    return policy
+
+
+def _build_pair(constraints, durations, sessions=1, **engine_kwargs):
+    """One policy, two engines: columnar store on vs off, ``sessions``
+    activated sessions each."""
+    policy = _policy(constraints, durations)
+    out = []
+    for use_store in (True, False):
+        engine = AccessControlEngine(
+            policy, use_session_store=use_store, **engine_kwargs
+        )
+        opened = []
+        for _ in range(sessions):
+            session = engine.authenticate("u", 0.0)
+            engine.activate_role(session, "r", 0.0)
+            opened.append(session)
+        out.append((engine, opened))
+    return out
+
+
+def _assert_equivalent(store_side, plain_side):
+    """Audit, histories, role sets and tracker states must agree."""
+    (store_engine, store_sessions) = store_side
+    (plain_engine, plain_sessions) = plain_side
+    assert [_norm(d) for d in store_engine.audit] == [
+        _norm(d) for d in plain_engine.audit
+    ]
+    assert store_engine.audit.granted_count == plain_engine.audit.granted_count
+    for ss, ps in zip(store_sessions, plain_sessions):
+        assert tuple(ss.observed) == tuple(ps.observed)
+        assert ss.role_set() == ps.role_set()
+        assert ss.last_seen == ps.last_seen
+        assert set(ss.trackers) == set(ps.trackers)
+        for key, plain_tracker in ps.trackers.items():
+            store_tracker = ss.trackers[key]
+            assert store_tracker.now == plain_tracker.now
+            assert store_tracker.state(plain_tracker.now) == (
+                plain_tracker.state(plain_tracker.now)
+            )
+            assert store_tracker.remaining_budget(plain_tracker.now) == (
+                plain_tracker.remaining_budget(plain_tracker.now)
+            )
+            assert (
+                store_tracker.valid_timeline() == plain_tracker.valid_timeline()
+            )
+            assert (
+                store_tracker.active_timeline()
+                == plain_tracker.active_timeline()
+            )
+
+
+class TestDifferentialProperty:
+    """Random policies x random workloads: columnar == object, bitwise."""
+
+    @given(
+        constraint=strategies.constraints(max_leaves=4),
+        duration=st.one_of(st.none(), st.integers(1, 8).map(float)),
+        batch=st.lists(strategies.access_keys(), min_size=1, max_size=16),
+        dt=st.sampled_from([0.0, 1.0]),
+    )
+    @settings(max_examples=80, deadline=None, derandomize=True)
+    def test_single_session_bit_identity(self, constraint, duration, batch, dt):
+        store, plain = _build_pair([constraint], [duration])
+        got = store[0].decide_batch(store[1][0], batch, t=1.0, dt=dt)
+        want = plain[0].decide_batch(plain[1][0], batch, t=1.0, dt=dt)
+        assert [_norm(d) for d in got] == [_norm(d) for d in want]
+        _assert_equivalent(store, plain)
+
+    @given(
+        constraint=strategies.constraints(max_leaves=3),
+        duration=st.one_of(st.none(), st.integers(1, 6).map(float)),
+        walk=st.lists(
+            st.tuples(st.integers(0, 3), strategies.access_keys()),
+            min_size=1,
+            max_size=24,
+        ),
+        observe_every=st.sampled_from([0, 2]),
+    )
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_interleaved_walk_bit_identity(
+        self, constraint, duration, walk, observe_every
+    ):
+        """An interleaved multi-session stream — scalar decides plus
+        granted-observation feedback plus a vectorized sweep — must
+        leave both engines in identical states."""
+        store, plain = _build_pair([constraint], [duration], sessions=4)
+        t = 1.0
+        for step, (idx, access) in enumerate(walk):
+            t += 0.5
+            got = store[0].decide(store[1][idx], access, t, history=None)
+            want = plain[0].decide(plain[1][idx], access, t, history=None)
+            assert _norm(got) == _norm(want)
+            if observe_every and step % observe_every == 0 and got.granted:
+                store[0].observe(store[1][idx], access)
+                plain[0].observe(plain[1][idx], access)
+        requests_store = [(store[1][i], a) for i, a in walk]
+        requests_plain = [(plain[1][i], a) for i, a in walk]
+        got = store[0].decide_batch_many(requests_store, t=t + 1.0, dt=0.25)
+        want = plain[0].decide_batch_many(requests_plain, t=t + 1.0, dt=0.25)
+        assert [_norm(d) for d in got] == [_norm(d) for d in want]
+        _assert_equivalent(store, plain)
+
+    @given(
+        closes=st.lists(st.integers(0, 5), min_size=1, max_size=4),
+        rescind=st.booleans(),
+        batch=st.lists(strategies.access_keys(), min_size=1, max_size=10),
+    )
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_churn_and_rescind_bit_identity(self, closes, rescind, batch):
+        """Closing sessions mid-stream and rescinding an evicted
+        server's observations must behave identically columnar vs
+        object-backed (the churn suite's store-mode twin)."""
+        constraint = parse_constraint(COUNT_SRC)
+        store, plain = _build_pair([constraint], [None], sessions=6)
+        seed = AccessKey.of("exec", "r1", "s1")
+        for engine, sessions in (store, plain):
+            for k, session in enumerate(sessions):
+                for _ in range(k % 4):
+                    engine.observe(session, seed)
+        for engine, sessions in (store, plain):
+            engine.decide_batch_many(
+                [(sessions[i % 6], a) for i, a in enumerate(batch)],
+                t=1.0,
+                dt=0.5,
+            )
+        closed = set()
+        for idx in closes:
+            if idx in closed:
+                continue
+            closed.add(idx)
+            store[0].close_session(store[1][idx], 50.0)
+            plain[0].close_session(plain[1][idx], 50.0)
+        if rescind:
+            assert store[0].rescind_server("s1") == plain[0].rescind_server(
+                "s1"
+            )
+        survivors_store = (store[0], [
+            s for i, s in enumerate(store[1]) if i not in closed
+        ])
+        survivors_plain = (plain[0], [
+            s for i, s in enumerate(plain[1]) if i not in closed
+        ])
+        for (engine, sessions) in (survivors_store, survivors_plain):
+            for k, session in enumerate(sessions):
+                engine.decide(session, seed, 60.0 + k, history=None)
+        _assert_equivalent(survivors_store, survivors_plain)
+        assert store[0].resident_sessions() == plain[0].resident_sessions()
+
+
+class TestBulkOpen:
+    def test_bulk_open_equals_scalar_establishment(self):
+        """``open_sessions`` must leave every session exactly as
+        ``authenticate`` + ``activate_role`` would: same role set, same
+        tracker states, and identical subsequent decisions."""
+        constraint = parse_constraint(COUNT_SRC)
+        policy = _policy([constraint], [5.0])
+        bulk_engine = AccessControlEngine(policy, use_session_store=True)
+        scalar_engine = AccessControlEngine(policy, use_session_store=True)
+        rows = bulk_engine.open_sessions(["u"] * 8, 1.0, roles=("r",))
+        bulk_sessions = [bulk_engine.session_at(r) for r in rows]
+        scalar_sessions = []
+        for _ in range(8):
+            session = scalar_engine.authenticate("u", 1.0)
+            scalar_engine.activate_role(session, "r", 1.0)
+            scalar_sessions.append(session)
+        access = AccessKey.of("exec", "r1", "s1")
+        for t in (2.0, 4.0, 7.0):
+            got = [
+                _norm(bulk_engine.decide(s, access, t, history=None))
+                for s in bulk_sessions
+            ]
+            want = [
+                _norm(scalar_engine.decide(s, access, t, history=None))
+                for s in scalar_sessions
+            ]
+            assert got == want
+        for bs, ss in zip(bulk_sessions, scalar_sessions):
+            assert bs.role_set() == ss.role_set()
+            assert set(bs.trackers) == set(ss.trackers)
+            for key, st_tracker in ss.trackers.items():
+                assert bs.trackers[key].now == st_tracker.now
+                assert (
+                    bs.trackers[key].valid_timeline()
+                    == st_tracker.valid_timeline()
+                )
+
+    def test_bulk_open_rejects_unknown_role_and_user(self):
+        policy = _policy([None], [None])
+        engine = AccessControlEngine(policy, use_session_store=True)
+        with pytest.raises(RbacError):
+            engine.open_sessions(["nobody"], 0.0, roles=("r",))
+        assert engine.resident_sessions() == 0
+
+    def test_bulk_open_requires_store(self):
+        engine = AccessControlEngine(
+            _policy([None], [None]), use_session_store=False
+        )
+        with pytest.raises(RbacError):
+            engine.open_sessions(["u"], 0.0)
+
+
+class TestObservedViewMemo:
+    """Satellite 3: the ``observed`` tuple view must rebuild once per
+    mutation batch, not once per appended access."""
+
+    def _session(self, use_store: bool):
+        engine = AccessControlEngine(
+            _policy([parse_constraint(COUNT_SRC)], [None]),
+            use_session_store=use_store,
+        )
+        session = engine.authenticate("u", 0.0)
+        engine.activate_role(session, "r", 0.0)
+        return engine, session
+
+    @pytest.mark.parametrize("use_store", [True, False])
+    def test_view_rebuilds_coalesce_per_batch(self, use_store):
+        engine, session = self._session(use_store)
+        access = AccessKey.of("exec", "r1", "s1")
+        assert session.view_rebuilds == 0
+        # Repeated reads of an unchanged history share one rebuild.
+        assert session.observed == ()
+        assert session.observed == ()
+        assert session.view_rebuilds == 1
+        # A batch of appended observations is one invalidation: the
+        # next read rebuilds once, further reads are free.
+        session.record_observations([access] * 50)
+        assert len(session.observed) == 50
+        assert session.observed is session.observed
+        assert session.view_rebuilds == 2
+        # Scalar appends never rebuild until somebody actually reads.
+        for _ in range(25):
+            session.record_observation(access)
+        assert session.view_rebuilds == 2
+        assert len(session.observed) == 75
+        assert session.view_rebuilds == 3
+
+    @pytest.mark.parametrize("use_store", [True, False])
+    def test_incremental_decides_never_materialize_view(self, use_store):
+        """The subject-scope incremental *grant* path reads only the
+        history length — a million-session sweep must not rebuild a
+        tuple per session per batch.  (Denial provenance legitimately
+        walks the history for its coordination footprint.)"""
+        engine = AccessControlEngine(
+            _policy([parse_constraint("count(0, 100, [res = r1])")], [None]),
+            use_session_store=use_store,
+        )
+        session = engine.authenticate("u", 0.0)
+        engine.activate_role(session, "r", 0.0)
+        access = AccessKey.of("exec", "r1", "s1")
+        for i in range(6):
+            assert engine.decide(
+                session, access, 1.0 + i, history=None
+            ).granted
+            engine.observe(session, access)
+        assert session.view_rebuilds == 0
+        engine.decide_batch(session, [access] * 4, t=10.0, dt=0.5)
+        assert session.view_rebuilds == 0
+
+
+class TestIdleExpiry:
+    def _engine(self, use_store: bool):
+        engine = AccessControlEngine(
+            _policy([None], [None]), use_session_store=use_store
+        )
+        sessions = []
+        for _ in range(4):
+            session = engine.authenticate("u", 0.0)
+            engine.activate_role(session, "r", 0.0)
+            sessions.append(session)
+        return engine, sessions
+
+    @pytest.mark.parametrize("use_store", [True, False])
+    def test_idle_sessions_expire(self, use_store):
+        engine, sessions = self._engine(use_store)
+        access = AccessKey.of("exec", "r1", "s1")
+        # Sessions 0 and 1 stay hot; 2 and 3 never decide again.
+        for t in (10.0, 20.0, 30.0):
+            engine.decide(sessions[0], access, t, history=None)
+            engine.decide(sessions[1], access, t + 0.5, history=None)
+        assert engine.expire_sessions(idle_for=25.0) == 2
+        assert engine.resident_sessions() == 2
+        # The hot pair survives and keeps deciding.
+        decision = engine.decide(sessions[0], access, 40.0, history=None)
+        assert decision.granted
+        # Everything idles out relative to the latest activity.
+        assert engine.expire_sessions(idle_for=0.0) == 2
+        assert engine.resident_sessions() == 0
+
+    @pytest.mark.parametrize("use_store", [True, False])
+    def test_expire_nothing_when_fresh(self, use_store):
+        engine, _ = self._engine(use_store)
+        assert engine.expire_sessions(idle_for=1.0) == 0
+        assert engine.resident_sessions() == 4
+
+    def test_service_idle_sweep_counts_expired(self):
+        engine = ShardedEngine(
+            _policy([None], [None]), shards=2, use_session_store=True
+        )
+        with DecisionService(
+            engine,
+            workers=2,
+            idle_expiry=5.0,
+            idle_sweep_interval_s=0.01,
+        ) as service:
+            stale = engine.authenticate("u", 0.0)
+            engine.activate_role(stale, "r", 0.0)
+            hot = engine.authenticate("u", 0.0)
+            engine.activate_role(hot, "r", 0.0)
+            access = AccessKey.of("exec", "r1", "s1")
+            service.submit(hot, access, 100.0).result(timeout=30.0)
+            deadline = 100
+            while service.service_stats().expired_sessions < 1:
+                deadline -= 1
+                assert deadline > 0, "idle sweep never fired"
+                import time
+
+                time.sleep(0.02)
+            stats = service.service_stats()
+            assert stats.expired_sessions == 1
+            assert engine.resident_sessions() == 1
+            assert "expired_sessions" in stats.as_dict()
+
+    def test_service_rejects_bad_idle_config(self):
+        from repro.errors import ServiceError
+
+        engine = ShardedEngine(_policy([None], [None]), shards=1)
+        with pytest.raises(ServiceError):
+            DecisionService(engine, idle_expiry=0.0)
+        with pytest.raises(ServiceError):
+            DecisionService(engine, idle_sweep_interval_s=0.0)
+
+
+class TestAccessKeyInterning:
+    def test_of_returns_one_instance_per_key(self):
+        a = AccessKey.of("read", "r1", "s1")
+        b = AccessKey.of(("read", "r1", "s1"))
+        c = AccessKey.of(AccessKey("read", "r1", "s1"))
+        assert a is b is c
+        assert a == ("read", "r1", "s1")
+        assert AccessKey.of("read", "r1", "s2") is not a
+
+    def test_record_observation_interns(self):
+        store, plain = _build_pair([None], [None])
+        for _, sessions in (store, plain):
+            session = sessions[0]
+            session.record_observation(("exec", "r1", "s1"))
+            session.record_observation(AccessKey("exec", "r1", "s1"))
+            first, second = session.observed
+            assert first is second
+            assert first is AccessKey.of("exec", "r1", "s1")
+
+
+class TestStoreMechanics:
+    def _engine(self, **kwargs):
+        return AccessControlEngine(
+            _policy([parse_constraint(COUNT_SRC)], [4.0]),
+            use_session_store=True,
+            **kwargs,
+        )
+
+    def test_handles_are_cached_and_materializable(self):
+        engine = self._engine()
+        session = engine.authenticate("u", 0.0)
+        assert engine.materialize(session.session_id) is session
+        assert engine.session_at(session._row) is session
+        sid, row = session.session_id, session._row
+        del session
+        gc.collect()
+        # The row is still live; a fresh handle materialises from it.
+        revived = engine.materialize(sid)
+        assert revived.session_id == sid
+        assert revived._row == row
+
+    def test_rows_recycle_with_generation_bump(self):
+        engine = self._engine()
+        first = engine.authenticate("u", 0.0)
+        first.record_observation(("exec", "r1", "s1"))
+        row, gen = first._row, first._gen
+        sid = first.session_id
+        engine.close_session(first, 1.0)
+        # Freeing is deferred while a handle is live (views pin it);
+        # dropping the last reference recycles the row.
+        del first
+        gc.collect()
+        second = engine.authenticate("u", 2.0)
+        assert second._row == row
+        assert second._gen == gen + 1
+        assert second.start_time == 2.0
+        assert second.observed == ()
+        with pytest.raises(RbacError):
+            engine.materialize(sid)
+
+    def test_dead_handle_operations_fail_closed(self):
+        engine = self._engine()
+        session = engine.authenticate("u", 0.0)
+        engine.activate_role(session, "r", 0.0)
+        engine.close_session(session, 1.0)
+        assert engine.resident_sessions() == 0
+        # Double close is a no-op (generation guard).
+        engine.close_session(session, 2.0)
+        assert engine.resident_sessions() == 0
+
+    def test_record_timelines_off_drops_event_arenas(self):
+        engine = self._engine(record_timelines=False)
+        session = engine.authenticate("u", 0.0)
+        engine.activate_role(session, "r", 0.0)
+        access = AccessKey.of("exec", "r1", "s1")
+        decision = engine.decide(session, access, 1.0, history=None)
+        assert decision.granted
+        (tracker,) = session.trackers.values()
+        assert tracker.is_valid(1.0)
+        with pytest.raises(TemporalError):
+            tracker.valid_timeline()
+
+    def test_store_invalidation_on_policy_change(self):
+        engine = self._engine()
+        session = engine.authenticate("u", 0.0)
+        engine.activate_role(session, "r", 0.0)
+        access = AccessKey.of("exec", "r1", "s1")
+        for t in (1.0, 2.0):
+            engine.observe(session, access)
+            engine.decide(session, access, t, history=None)
+        engine.invalidate_caches()
+        # Monitor states rebuild from the observation arena.
+        decision = engine.decide(session, access, 3.0, history=None)
+        assert decision.granted
+
+
+class TestMemoryBudget:
+    def test_bytes_per_session_within_budget(self):
+        """The ISSUE gate, in miniature: marginal store overhead for a
+        bulk-opened population (timelines off, capacity reserved so
+        doubling slack is excluded) must stay within 200 B/session."""
+        from repro.workloads.scale import ScaleSpec, build_policy
+
+        n = 20_000
+        spec = ScaleSpec(sessions=n, users=100, servers=8, requests=1)
+        engine = AccessControlEngine(
+            build_policy(spec),
+            use_session_store=True,
+            record_timelines=False,
+        )
+        names = [f"u{i % spec.users:05d}" for i in range(n)]
+        engine._store.reserve(n)
+        gc.collect()
+        tracemalloc.start()
+        base, _ = tracemalloc.get_traced_memory()
+        rows = engine.open_sessions(names, 0.0, roles=("agent",))
+        current, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert engine.resident_sessions() == n
+        traced = (current - base - rows.nbytes) / n
+        columns = engine._store.nbytes() / n
+        assert max(traced, columns) <= 200.0, (traced, columns)
